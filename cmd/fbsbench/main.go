@@ -1,0 +1,310 @@
+// Command fbsbench regenerates Figure 8: ttcp and rcp throughput for
+// GENERIC (stock IP), FBS NOP (nullified crypto) and FBS DES+MD5 on the
+// calibrated Pentium-133 / 10 Mb Ethernet model, while running the real
+// protocol code of every configuration on every simulated packet.
+//
+// With -native it also measures raw Seal/Open throughput of the real
+// implementation on the local machine, and with -stack it pushes a
+// ttcp-style transfer through the real IPv4 + TCP-lite stack with FBS
+// at the Section 7.2 hook points.
+//
+// Usage:
+//
+//	fbsbench [-bytes N] [-native] [-stack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"fbs/internal/baseline"
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/flowsim"
+	"fbs/internal/ip"
+	"fbs/internal/l4"
+	"fbs/internal/netsim"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+
+	fbs "fbs"
+)
+
+func main() {
+	total := flag.Int("bytes", 4<<20, "bytes per simulated transfer")
+	native := flag.Bool("native", false, "also measure native Seal/Open throughput")
+	stack := flag.Bool("stack", false, "also run a ttcp transfer through the real IPv4+TCP-lite stack with FBS")
+	flag.Parse()
+
+	if err := run(*total, *native); err != nil {
+		fmt.Fprintln(os.Stderr, "fbsbench:", err)
+		os.Exit(1)
+	}
+	if *stack {
+		if err := stackRun(*total); err != nil {
+			fmt.Fprintln(os.Stderr, "fbsbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// endpointPair builds two FBS endpoints in one domain for inline
+// protocol execution inside the simulator.
+func endpointPair(combined bool, mutate ...func(*core.Config)) (*core.Endpoint, *core.Endpoint, error) {
+	d, err := fbs.NewDomain("fbsbench", fbs.WithGroup(cryptolib.TestGroup))
+	if err != nil {
+		return nil, nil, err
+	}
+	net := fbs.NewNetwork(fbs.Impairments{})
+	mk := func(addr fbs.Address) (*core.Endpoint, error) {
+		return d.NewEndpoint(addr, net, func(c *core.Config) {
+			c.CombinedFSTTFKC = combined
+			c.SinglePass = true
+			for _, m := range mutate {
+				m(c)
+			}
+		})
+	}
+	a, err := mk("sim-a")
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := mk("sim-b")
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// fbsSealer adapts an endpoint pair to the baseline.Sealer interface
+// used by the simulator.
+type fbsSealer struct {
+	name   string
+	ep     *core.Endpoint
+	secret bool
+}
+
+func (f fbsSealer) Name() string { return f.name }
+func (f fbsSealer) Seal(dg transport.Datagram, _ bool) (transport.Datagram, error) {
+	return f.ep.Seal(dg, f.secret)
+}
+func (f fbsSealer) Open(dg transport.Datagram) (transport.Datagram, error) {
+	return f.ep.Open(dg)
+}
+
+func run(total int, native bool) error {
+	a, b, err := endpointPair(true)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	defer b.Close()
+	// A true NOP pair: MAC and encryption nullified, everything else
+	// (FAM, keying, caches, header) running for real.
+	nopA, nopB, err := endpointPair(true, func(c *core.Config) { c.MAC = cryptolib.MACNull })
+	if err != nil {
+		return err
+	}
+	defer nopA.Close()
+	defer nopB.Close()
+
+	rows, err := netsim.Figure8(netsim.Figure8Config{
+		TotalBytes: total,
+		Sealers: map[string][2]baseline.Sealer{
+			// Every configuration runs real code per simulated packet.
+			"GENERIC": {baseline.Generic{}, baseline.Generic{}},
+			"FBS NOP": {
+				fbsSealer{name: "FBS NOP", ep: nopA},
+				fbsSealer{name: "FBS NOP", ep: nopB},
+			},
+			"FBS DES+MD5": {
+				fbsSealer{name: "FBS", ep: a, secret: true},
+				fbsSealer{name: "FBS", ep: b},
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 8 — throughput on simulated P133s / dedicated 10 Mb Ethernet (%d MB transfers)\n", total>>20)
+	fmt.Printf("paper reference: ttcp GENERIC ~7700 kb/s, ttcp FBS DES+MD5 ~3400 kb/s\n\n")
+	hdr := []string{"workload", "configuration", "throughput (kb/s)"}
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{r.Workload, r.Config, fmt.Sprintf("%.0f", r.Kbps)})
+	}
+	fmt.Println(flowsim.RenderTable(hdr, tbl))
+	fmt.Printf("real protocol work performed inside the simulation: %d datagrams sealed, %d opened\n\n",
+		a.FAMStats().Lookups, b.Metrics().Received)
+
+	if native {
+		if err := nativeRun(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nativeRun measures raw Seal+Open throughput of the real protocol and
+// the baselines on this machine.
+func nativeRun() error {
+	fmt.Println("Native Seal+Open throughput on this machine (1460-byte datagrams, encrypted):")
+	a, b, err := endpointPair(true)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	defer b.Close()
+	payload := make([]byte, 1460)
+	dg := transport.Datagram{Source: "sim-a", Destination: "sim-b", Payload: payload}
+
+	measure := func(name string, fn func() error) error {
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		start := time.Now()
+		var bytes int64
+		for time.Since(start) < time.Second {
+			if err := fn(); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			bytes += int64(len(payload))
+		}
+		el := time.Since(start).Seconds()
+		fmt.Printf("  %-24s %10.0f kb/s\n", name, float64(bytes)*8/el/1000)
+		return nil
+	}
+	if err := measure("FBS DES+MD5", func() error {
+		sealed, err := a.Seal(dg, true)
+		if err != nil {
+			return err
+		}
+		_, err = b.Open(sealed)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := measure("FBS NOP (MAC only)", func() error {
+		sealed, err := a.Seal(dg, false)
+		if err != nil {
+			return err
+		}
+		_, err = b.Open(sealed)
+		return err
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// stackRun pushes a ttcp-style transfer through the real IPv4 stack with
+// the FBS hook installed, end to end, at native speed.
+func stackRun(total int) error {
+	fmt.Printf("\nFull-stack native run: %d MB through real IPv4 + TCP-lite + FBS (DES+MD5)\n", total>>20)
+	ca, err := cert.NewAuthority("fbsbench-stack", 512)
+	if err != nil {
+		return err
+	}
+	dir := cert.NewStaticDirectory()
+	ver := &cert.Verifier{CAKey: ca.PublicKey(), CA: "fbsbench-stack"}
+	type wireT struct {
+		mu    sync.Mutex
+		peers map[ip.Addr]*ip.Stack
+	}
+	w := &wireT{peers: make(map[ip.Addr]*ip.Stack)}
+	sender := func(self ip.Addr) ip.LinkSender {
+		return ip.LinkFunc(func(frame []byte) error {
+			w.mu.Lock()
+			var dst *ip.Stack
+			if h, _, err := ip.Unmarshal(frame); err == nil {
+				dst = w.peers[h.Dst]
+			}
+			w.mu.Unlock()
+			if dst != nil {
+				go dst.Input(append([]byte(nil), frame...))
+			}
+			return nil
+		})
+	}
+	mk := func(addr ip.Addr) (*ip.Stack, error) {
+		id, err := principal.NewIdentity(ip.Principal(addr), cryptolib.TestGroup)
+		if err != nil {
+			return nil, err
+		}
+		c, err := ca.Issue(id, time.Now().Add(-time.Hour), time.Now().Add(time.Hour))
+		if err != nil {
+			return nil, err
+		}
+		dir.Publish(c)
+		hook, err := ip.NewFBSHook(core.Config{
+			Identity: id, Directory: dir, Verifier: ver, SinglePass: true,
+		}, ip.AlwaysSecret)
+		if err != nil {
+			return nil, err
+		}
+		s, err := ip.NewStack(ip.StackConfig{Addr: addr, Link: sender(addr), Hook: hook})
+		if err != nil {
+			return nil, err
+		}
+		w.mu.Lock()
+		w.peers[addr] = s
+		w.mu.Unlock()
+		return s, nil
+	}
+	addrA, addrB := ip.Addr{10, 8, 0, 1}, ip.Addr{10, 8, 0, 2}
+	sa, err := mk(addrA)
+	if err != nil {
+		return err
+	}
+	sb, err := mk(addrB)
+	if err != nil {
+		return err
+	}
+	overhead := core.HeaderSize + cryptolib.BlockSize
+	ssa, err := l4.NewStreamStack(sa, l4.StreamConfig{SecurityHeaderLen: overhead})
+	if err != nil {
+		return err
+	}
+	ssb, err := l4.NewStreamStack(sb, l4.StreamConfig{SecurityHeaderLen: overhead})
+	if err != nil {
+		return err
+	}
+	ln, err := ssb.Listen(5001)
+	if err != nil {
+		return err
+	}
+	got := make(chan int64, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			got <- -1
+			return
+		}
+		n, _ := io.Copy(io.Discard, conn)
+		got <- n
+	}()
+	start := time.Now()
+	conn, err := ssa.Dial(addrB, 5001)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(make([]byte, total)); err != nil {
+		return err
+	}
+	if err := conn.CloseWrite(); err != nil {
+		return err
+	}
+	n := <-got
+	elapsed := time.Since(start)
+	if int(n) != total {
+		return fmt.Errorf("received %d of %d bytes", n, total)
+	}
+	fmt.Printf("  %d bytes in %v = %.0f kb/s (every packet MACed and DES-encrypted end to end)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)*8/elapsed.Seconds()/1000)
+	return nil
+}

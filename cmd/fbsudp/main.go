@@ -1,0 +1,232 @@
+// Command fbsudp runs FBS between real processes over UDP: a minimal
+// secure-datagram chat/echo demonstrating the protocol outside the
+// in-memory harness.
+//
+// Because zero-message keying needs both sides' public values, the
+// sender process plays the Domain: it mints both identities, writes the
+// receiver's identity material and the shared directory to a state file,
+// and the receiver loads it. (A production deployment would use a real
+// certificate service instead; see internal/cert.)
+//
+// Usage:
+//
+//	fbsudp -mode recv -listen 127.0.0.1:7001 -state /tmp/fbsudp.state
+//	fbsudp -mode send -listen 127.0.0.1:7000 -peer 127.0.0.1:7001 \
+//	       -state /tmp/fbsudp.state -msg "hello over real UDP"
+//
+// Start the receiver first with the same -state path.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+
+	fbs "fbs"
+)
+
+type state struct {
+	// Receiver's private value (hex) — the "provisioning" side channel.
+	RecvPrivate string `json:"recv_private"`
+	// Serialized certificates for both principals.
+	Certs [][]byte `json:"certs"`
+	// CA public key.
+	CAN string `json:"ca_n"`
+	CAE string `json:"ca_e"`
+}
+
+func main() {
+	mode := flag.String("mode", "", "send or recv")
+	listen := flag.String("listen", "127.0.0.1:0", "local UDP address")
+	peer := flag.String("peer", "", "peer UDP address (send mode)")
+	statePath := flag.String("state", "/tmp/fbsudp.state", "shared provisioning file")
+	msg := flag.String("msg", "hello over real UDP", "message to send")
+	count := flag.Int("count", 3, "datagrams to send/receive")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "send":
+		err = send(*listen, *peer, *statePath, *msg, *count)
+	case "recv":
+		err = recv(*listen, *statePath, *count)
+	default:
+		err = fmt.Errorf("need -mode send or -mode recv")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbsudp:", err)
+		os.Exit(1)
+	}
+}
+
+func send(listen, peerAddr, statePath, msg string, count int) error {
+	if peerAddr == "" {
+		return fmt.Errorf("send mode needs -peer")
+	}
+	d, err := fbs.NewDomain("fbsudp")
+	if err != nil {
+		return err
+	}
+	sender, err := d.NewPrincipal("sender")
+	if err != nil {
+		return err
+	}
+	// Mint the receiver's identity with a known private value so the
+	// receiver process can reconstruct it from the state file.
+	recvPriv, err := d.Group.GeneratePrivate()
+	if err != nil {
+		return err
+	}
+	recvID, err := principal.NewIdentityWithPrivate("receiver", d.Group, recvPriv)
+	if err != nil {
+		return err
+	}
+	if err := d.Enroll(recvID); err != nil {
+		return err
+	}
+	// Write provisioning state.
+	senderCert, err := lookupWire(d, "sender")
+	if err != nil {
+		return err
+	}
+	recvCert, err := lookupWire(d, "receiver")
+	if err != nil {
+		return err
+	}
+	caKey := caPublic(d)
+	st := state{
+		RecvPrivate: hex.EncodeToString(recvPriv.Bytes()),
+		Certs:       [][]byte{senderCert, recvCert},
+		CAN:         caKey.N.Text(16),
+		CAE:         caKey.E.Text(16),
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(statePath, blob, 0600); err != nil {
+		return err
+	}
+	fmt.Printf("provisioning state written to %s — start the receiver, then press enter\n", statePath)
+	fmt.Scanln()
+
+	udp, err := transport.NewUDPTransport("sender", listen)
+	if err != nil {
+		return err
+	}
+	if err := udp.AddPeer("receiver", peerAddr); err != nil {
+		return err
+	}
+	ep, err := d.NewEndpointOn(sender, udp)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	for i := 0; i < count; i++ {
+		payload := fmt.Sprintf("%s [%d]", msg, i)
+		if err := ep.SendTo("receiver", []byte(payload), true); err != nil {
+			return err
+		}
+		fmt.Printf("sent encrypted datagram %d: %q\n", i, payload)
+		time.Sleep(100 * time.Millisecond)
+	}
+	m := ep.Metrics()
+	fmt.Printf("done: %d datagrams, %d bytes\n", m.Sent, m.SentBytes)
+	return nil
+}
+
+func recv(listen, statePath string, count int) error {
+	blob, err := os.ReadFile(statePath)
+	if err != nil {
+		return fmt.Errorf("reading provisioning state (run the sender first): %w", err)
+	}
+	var st state
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return err
+	}
+	ep, err := rebuildEndpoint(st, listen)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	fmt.Printf("listening on %s\n", listen)
+	for i := 0; i < count; i++ {
+		dg, err := ep.ReceiveValid()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verified+decrypted from %s: %q\n", dg.Source, dg.Payload)
+	}
+	m := ep.Metrics()
+	fmt.Printf("done: %d accepted, %d rejected (MAC), %d rejected (stale)\n",
+		m.Received, m.RejectedMAC, m.RejectedStale)
+	return nil
+}
+
+// lookupWire fetches a certificate from the domain directory in wire
+// form.
+func lookupWire(d *fbs.Domain, addr fbs.Address) ([]byte, error) {
+	c, err := d.Directory().Lookup(addr)
+	if err != nil {
+		return nil, err
+	}
+	return c.Marshal(), nil
+}
+
+// caPublic extracts the domain CA verification key.
+func caPublic(d *fbs.Domain) cryptolib.RSAPublicKey { return d.CAKey() }
+
+// rebuildEndpoint reconstructs the receiver endpoint from provisioning
+// state: certificates, CA key, and the receiver's private value.
+func rebuildEndpoint(st state, listen string) (*fbs.Endpoint, error) {
+	dir := cert.NewStaticDirectory()
+	var recvCert *cert.Certificate
+	for _, wire := range st.Certs {
+		c, err := cert.Unmarshal(wire)
+		if err != nil {
+			return nil, err
+		}
+		dir.Publish(c)
+		if c.Subject == "receiver" {
+			recvCert = c
+		}
+	}
+	if recvCert == nil {
+		return nil, fmt.Errorf("state carries no receiver certificate")
+	}
+	privBytes, err := hex.DecodeString(st.RecvPrivate)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := new(big.Int).SetString(st.CAN, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad CA modulus")
+	}
+	e, ok := new(big.Int).SetString(st.CAE, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad CA exponent")
+	}
+	id, err := principal.NewIdentityWithPrivate("receiver", recvCert.Group(), new(big.Int).SetBytes(privBytes))
+	if err != nil {
+		return nil, err
+	}
+	udp, err := transport.NewUDPTransport("receiver", listen)
+	if err != nil {
+		return nil, err
+	}
+	return fbs.NewEndpoint(fbs.Config{
+		Identity:  id,
+		Transport: udp,
+		Directory: dir,
+		Verifier:  &cert.Verifier{CAKey: cryptolib.RSAPublicKey{N: n, E: e}, CA: "fbsudp"},
+	})
+}

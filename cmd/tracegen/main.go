@@ -1,0 +1,46 @@
+// Command tracegen generates the synthetic packet traces that stand in
+// for the paper's tcpdump captures (Section 7.3): a campus workgroup LAN
+// mix and a ~10,000-hits/day WWW server. Traces are emitted in a
+// tcpdump-like text format consumed by cmd/flowsim.
+//
+// Usage:
+//
+//	tracegen -kind campus [-seed N] [-minutes M] [-desktops D] > campus.trace
+//	tracegen -kind www    [-seed N] [-minutes M] [-hits H]     > www.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fbs/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "campus", "trace kind: campus or www")
+	seed := flag.Uint64("seed", 1997, "generator seed")
+	minutes := flag.Int("minutes", 60, "capture duration in minutes")
+	desktops := flag.Int("desktops", 25, "campus: number of desktops")
+	hits := flag.Float64("hits", 10000, "www: hits per day")
+	flag.Parse()
+
+	dur := time.Duration(*minutes) * time.Minute
+	var tr *trace.Trace
+	switch *kind {
+	case "campus":
+		tr = trace.Campus(trace.CampusConfig{Seed: *seed, Duration: dur, Desktops: *desktops})
+	case "www":
+		tr = trace.WWW(trace.WWWConfig{Seed: *seed, Duration: dur, HitsPerDay: *hits})
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown kind %q (want campus or www)\n", *kind)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d packets, %.1f MB, %.0f s\n",
+		len(tr.Packets), float64(tr.Bytes())/1e6, tr.Duration().Seconds())
+	if err := tr.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+package fbs
+
+import (
+	"fmt"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+)
+
+// Domain bundles the public-value infrastructure the paper assumes
+// exists around FBS (Section 5.2): a certificate authority, a directory
+// of public-value certificates, and a verifier with the CA key pinned.
+// One Domain stands in for "a distributed certification hierarchy or a
+// secure DNS service".
+type Domain struct {
+	// Name is the CA name embedded in issued certificates.
+	Name string
+	// Group is the Diffie-Hellman group all principals share.
+	Group cryptolib.DHGroup
+	// CertLifetime is the validity of issued certificates; default 30
+	// days.
+	CertLifetime time.Duration
+	// Clock drives certificate validity and endpoint timestamps.
+	Clock Clock
+
+	ca  *cert.Authority
+	dir *cert.StaticDirectory
+	ver *cert.Verifier
+}
+
+// DomainOption mutates a Domain under construction.
+type DomainOption func(*Domain)
+
+// WithGroup selects the Diffie-Hellman group (e.g. cryptolib.TestGroup
+// in tests, where 1024-bit keying is needlessly slow).
+func WithGroup(g cryptolib.DHGroup) DomainOption {
+	return func(d *Domain) { d.Group = g }
+}
+
+// WithClock installs a simulation clock.
+func WithClock(c Clock) DomainOption {
+	return func(d *Domain) { d.Clock = c }
+}
+
+// NewDomain creates a security domain with a fresh 1024-bit CA key.
+func NewDomain(name string, opts ...DomainOption) (*Domain, error) {
+	d := &Domain{
+		Name:         name,
+		Group:        cryptolib.Oakley2,
+		CertLifetime: 30 * 24 * time.Hour,
+		Clock:        core.RealClock{},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	ca, err := cert.NewAuthority(name, 1024)
+	if err != nil {
+		return nil, fmt.Errorf("fbs: creating domain CA: %w", err)
+	}
+	d.ca = ca
+	d.dir = cert.NewStaticDirectory()
+	d.ver = &cert.Verifier{CAKey: ca.PublicKey(), CA: name}
+	return d, nil
+}
+
+// Directory returns the domain's certificate directory.
+func (d *Domain) Directory() Directory { return d.dir }
+
+// CAKey returns the domain CA's public verification key, for relying
+// parties outside this process.
+func (d *Domain) CAKey() cryptolib.RSAPublicKey { return d.ca.PublicKey() }
+
+// Verifier returns a certificate verifier pinned to this domain's CA.
+func (d *Domain) Verifier() *cert.Verifier { return d.ver }
+
+// NewPrincipal mints an identity, issues its public-value certificate
+// and publishes it in the directory.
+func (d *Domain) NewPrincipal(addr Address) (*Identity, error) {
+	id, err := principal.NewIdentity(addr, d.Group)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Enroll(id); err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
+// Enroll issues and publishes a certificate for an existing identity —
+// also the way to re-publish after Identity.Rekey.
+func (d *Domain) Enroll(id *Identity) error {
+	now := d.Clock.Now()
+	c, err := d.ca.Issue(id, now.Add(-time.Minute), now.Add(d.CertLifetime))
+	if err != nil {
+		return fmt.Errorf("fbs: enrolling %q: %w", id.Addr, err)
+	}
+	d.dir.Publish(c)
+	return nil
+}
+
+// NewEndpoint mints a principal, attaches it to the network and returns
+// a ready endpoint with the domain's certificate machinery wired in.
+// Extra configuration can be layered with opts.
+func (d *Domain) NewEndpoint(addr Address, net *Network, opts ...func(*Config)) (*Endpoint, error) {
+	id, err := d.NewPrincipal(addr)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := net.Attach(addr, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Identity:  id,
+		Transport: tr,
+		Directory: d.dir,
+		Verifier:  d.ver,
+		Clock:     d.Clock,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.NewEndpoint(cfg)
+}
+
+// NewEndpointOn wires an endpoint for an already-enrolled identity over
+// an arbitrary transport (e.g. transport.UDPTransport).
+func (d *Domain) NewEndpointOn(id *Identity, tr Transport, opts ...func(*Config)) (*Endpoint, error) {
+	cfg := Config{
+		Identity:  id,
+		Transport: tr,
+		Directory: d.dir,
+		Verifier:  d.ver,
+		Clock:     d.Clock,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.NewEndpoint(cfg)
+}

@@ -1,0 +1,119 @@
+package fbs
+
+import (
+	"testing"
+	"time"
+
+	"fbs/internal/core"
+)
+
+func TestDomainDefaults(t *testing.T) {
+	d := testDomain(t)
+	if d.Group.Bits() != 512 {
+		t.Fatalf("WithGroup not applied: %d bits", d.Group.Bits())
+	}
+	if d.CertLifetime != 30*24*time.Hour {
+		t.Fatalf("default cert lifetime = %v", d.CertLifetime)
+	}
+	if d.Directory() == nil || d.Verifier() == nil {
+		t.Fatal("directory/verifier not wired")
+	}
+	if d.CAKey().N == nil {
+		t.Fatal("CA key missing")
+	}
+}
+
+func TestDomainWithClock(t *testing.T) {
+	clk := core.NewSimClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	d, err := NewDomain("clocked", WithGroup(TestGroup), WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.NewPrincipal("clocked-p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Directory().Lookup("clocked-p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validity derives from the simulated clock, not wall time.
+	if c.NotBefore.After(clk.Now()) || c.NotAfter.Before(clk.Now().Add(29*24*time.Hour)) {
+		t.Fatalf("validity %v-%v not anchored to sim clock %v", c.NotBefore, c.NotAfter, clk.Now())
+	}
+	_ = id
+}
+
+func TestDomainDuplicateAttach(t *testing.T) {
+	d := testDomain(t)
+	net := NewNetwork(Impairments{})
+	if _, err := d.NewEndpoint("dup-ep", net); err != nil {
+		t.Fatal(err)
+	}
+	// Attaching the same address twice fails at the network layer and
+	// surfaces cleanly.
+	if _, err := d.NewEndpoint("dup-ep", net); err == nil {
+		t.Fatal("duplicate endpoint address accepted")
+	}
+}
+
+func TestDomainCertificateExpiryBlocksKeying(t *testing.T) {
+	clk := core.NewSimClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	d, err := NewDomain("expiring", WithGroup(TestGroup), WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CertLifetime = time.Hour
+	net := NewNetwork(Impairments{})
+	a, err := d.NewEndpoint("exp-a", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := d.NewEndpoint("exp-b", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.SendTo("exp-b", []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	// Two days later every certificate has expired; a fresh endpoint
+	// cannot key to the stale directory entries.
+	clk.Advance(48 * time.Hour)
+	c, err := d.NewEndpoint("exp-c", net)
+	if err != nil {
+		t.Fatal(err) // its own cert is freshly issued at the new time
+	}
+	defer c.Close()
+	if err := c.SendTo("exp-b", []byte("y"), true); err == nil {
+		t.Fatal("keyed against an expired certificate")
+	}
+	// Re-enrolment heals it with no protocol messages.
+	bID := bIdentity(t, d, b)
+	if err := d.Enroll(bID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendTo("exp-b", []byte("z"), true); err != nil {
+		t.Fatalf("send after re-enrolment failed: %v", err)
+	}
+}
+
+// bIdentity digs an endpoint's identity back out via the directory and a
+// fresh key agreement — or, simpler, re-mints: Domain does not retain
+// identities, so tests that need to re-enroll keep their own handle.
+// Here we reconstruct by enrolling a NEW identity under the same address
+// (allowed: the directory replaces the certificate), which is equivalent
+// to a rekey.
+func bIdentity(t *testing.T, d *Domain, b *Endpoint) *Identity {
+	t.Helper()
+	id, err := d.NewPrincipal(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new identity has a new private value: flush b's... but b holds
+	// the OLD identity. For the purpose of this test (c keying to the
+	// directory's current certificate), only the directory entry
+	// matters; b never receives, we only check c's send-side keying.
+	return id
+}

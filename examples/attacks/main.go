@@ -1,0 +1,133 @@
+// Attacks: an executable tour of the security analysis (Sections 2.2
+// and 6) — each attack from the paper is mounted against FBS and, where
+// instructive, against the host-pair keying baseline it improves on.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"fbs/internal/baseline"
+	"fbs/internal/core"
+
+	fbs "fbs"
+)
+
+func main() {
+	domain, err := fbs.NewDomain("attacks", fbs.WithGroup(fbs.TestGroup),
+		fbs.WithClock(core.NewSimClock(time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock := domain.Clock.(*core.SimClock)
+	network := fbs.NewNetwork(fbs.Impairments{})
+	alice, err := domain.NewEndpoint("alice", network, func(c *fbs.Config) {
+		c.Selector = bySurface
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := domain.NewEndpoint("bob", network, func(c *fbs.Config) {
+		c.Selector = bySurface
+		c.EnableReplayCache = true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	fmt.Println("== 1. Tampering (Section 5.2: the MAC)")
+	sealed, err := alice.Seal(fbs.Datagram{Source: "alice", Destination: "bob", Payload: []byte("Apay $100 to carol")}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tampered := sealed.Clone()
+	tampered.Payload[len(tampered.Payload)-3] ^= 0x42
+	if _, err := bob.Open(tampered); err != nil {
+		fmt.Printf("   flipped one ciphertext bit -> %v\n", err)
+	} else {
+		log.Fatal("tampering went undetected!")
+	}
+
+	fmt.Println("== 2. Replay inside and outside the freshness window (Section 6.2)")
+	if _, err := bob.Open(sealed); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.Open(sealed); errors.Is(err, fbs.ErrReplay) {
+		fmt.Println("   immediate replay -> caught by the (extension) replay cache")
+	} else {
+		log.Fatal("replay slipped through the cache")
+	}
+	clock.Advance(30 * time.Minute)
+	if _, err := bob.Open(sealed); errors.Is(err, fbs.ErrStale) {
+		fmt.Println("   replay after 30 min -> rejected by the timestamp window (the paper's stateless defence)")
+	} else {
+		log.Fatal("stale replay accepted")
+	}
+	clock.Advance(-30 * time.Minute)
+
+	fmt.Println("== 3. Cut-and-paste across flows (Section 2.2)")
+	s1, _ := alice.Seal(fbs.Datagram{Source: "alice", Destination: "bob", Payload: []byte("Ahello surface A")}, true)
+	s2, _ := alice.Seal(fbs.Datagram{Source: "alice", Destination: "bob", Payload: []byte("Bhello surface B")}, true)
+	franken := s2.Clone()
+	franken.Payload = append(franken.Payload[:core.HeaderSize], s1.Payload[core.HeaderSize:]...)
+	if _, err := bob.Open(franken); err != nil {
+		fmt.Printf("   flow B header + flow A body -> %v\n", err)
+		fmt.Println("   (each flow has its own key: grafting bodies across flows cannot verify)")
+	} else {
+		log.Fatal("cut-and-paste accepted!")
+	}
+
+	fmt.Println("== 4. The same splice against host-pair keying")
+	ksA := core.NewKeyService(mustPrincipal(domain, "hp-alice"), domain.Directory(), domain.Verifier(), clock, core.KeyServiceConfig{})
+	ksB := core.NewKeyService(mustPrincipal(domain, "hp-bob"), domain.Directory(), domain.Verifier(), clock, core.KeyServiceConfig{})
+	hpA := baseline.NewHostPair(ksA, clock)
+	hpB := baseline.NewHostPair(ksB, clock)
+	h1, _ := hpA.Seal(fbs.Datagram{Source: "hp-alice", Destination: "hp-bob", Payload: []byte("conversation one")}, true)
+	if _, err := hpB.Open(h1); err != nil {
+		log.Fatal(err)
+	}
+	// Under host-pair keying ALL traffic shares one key, so a recorded
+	// datagram replays into any other conversation context while fresh.
+	if _, err := hpB.Open(h1); err == nil {
+		fmt.Println("   host-pair keying: recorded datagram replayed into another conversation -> ACCEPTED")
+		fmt.Println("   (one key per host pair = no flow separation; this is what FBS fixes)")
+	} else {
+		log.Fatal("unexpected rejection")
+	}
+
+	fmt.Println("== 5. Flow-key compromise containment (Section 6.1)")
+	var master [16]byte // pretend-compromised flow key below is derived from it
+	k1 := fbs.FlowKey(1000, master, "alice", "bob")
+	k2 := fbs.FlowKey(1001, master, "alice", "bob")
+	diff := 0
+	for i := range k1 {
+		x := k1[i] ^ k2[i]
+		for x != 0 {
+			diff += int(x & 1)
+			x >>= 1
+		}
+	}
+	fmt.Printf("   adjacent flow keys differ in %d/128 bits: knowing one flow's key says nothing about the next\n", diff)
+	fmt.Println("\nall attacks behaved as the paper's analysis predicts")
+}
+
+// bySurface: first payload byte selects the application conversation.
+func bySurface(dg fbs.Datagram) fbs.FlowID {
+	id := fbs.FlowID{Src: dg.Source, Dst: dg.Destination}
+	if len(dg.Payload) > 0 {
+		id.Aux = uint64(dg.Payload[0])
+	}
+	return id
+}
+
+func mustPrincipal(d *fbs.Domain, addr fbs.Address) *fbs.Identity {
+	id, err := d.NewPrincipal(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return id
+}

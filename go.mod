@@ -1,0 +1,3 @@
+module fbs
+
+go 1.22

@@ -1,0 +1,448 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+type world struct {
+	ca  *cert.Authority
+	dir *cert.StaticDirectory
+	ver *cert.Verifier
+	clk *core.SimClock
+}
+
+var (
+	blCAOnce sync.Once
+	blCA     *cert.Authority
+)
+
+func newWorld(t testing.TB) *world {
+	t.Helper()
+	blCAOnce.Do(func() {
+		ca, err := cert.NewAuthority("bl-root", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blCA = ca
+	})
+	return &world{
+		ca:  blCA,
+		dir: cert.NewStaticDirectory(),
+		ver: &cert.Verifier{CAKey: blCA.PublicKey(), CA: "bl-root"},
+		clk: core.NewSimClock(time.Date(2026, 7, 4, 10, 0, 0, 0, time.UTC)),
+	}
+}
+
+func (w *world) keyService(t testing.TB, addr principal.Address) *core.KeyService {
+	t.Helper()
+	id, err := principal.NewIdentity(addr, cryptolib.TestGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.ca.Issue(id, w.clk.Now().Add(-time.Hour), w.clk.Now().Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.dir.Publish(c)
+	return core.NewKeyService(id, w.dir, w.ver, w.clk, core.KeyServiceConfig{})
+}
+
+func roundTrip(t *testing.T, a, b Sealer, secret bool) {
+	t.Helper()
+	want := []byte("baseline round trip payload with some length to it")
+	dg := transport.Datagram{Source: "a", Destination: "b", Payload: want}
+	sealed, err := a.Seal(dg, secret)
+	if err != nil {
+		t.Fatalf("%s: seal: %v", a.Name(), err)
+	}
+	if secret && bytes.Contains(sealed.Payload, want) {
+		t.Fatalf("%s: secret payload visible on wire", a.Name())
+	}
+	got, err := b.Open(sealed)
+	if err != nil {
+		t.Fatalf("%s: open: %v", a.Name(), err)
+	}
+	if !bytes.Equal(got.Payload, want) {
+		t.Fatalf("%s: payload mismatch", a.Name())
+	}
+	// Corruption must be rejected (except GENERIC, which has no
+	// protection by construction).
+	if _, isGeneric := a.(Generic); !isGeneric {
+		bad := sealed.Clone()
+		bad.Payload[len(bad.Payload)/2] ^= 0x10
+		if _, err := b.Open(bad); err == nil {
+			t.Fatalf("%s: corrupted datagram accepted", a.Name())
+		}
+	}
+}
+
+func TestGenericPassThrough(t *testing.T) {
+	roundTrip(t, Generic{}, Generic{}, false)
+	if (Generic{}).Name() != "GENERIC" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestHostPairRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	a := NewHostPair(w.keyService(t, "a"), w.clk)
+	b := NewHostPair(w.keyService(t, "b"), w.clk)
+	roundTrip(t, a, b, true)
+	roundTrip(t, a, b, false)
+}
+
+func TestHostPairStale(t *testing.T) {
+	w := newWorld(t)
+	a := NewHostPair(w.keyService(t, "a"), w.clk)
+	b := NewHostPair(w.keyService(t, "b"), w.clk)
+	sealed, _ := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("x")}, false)
+	w.clk.Advance(30 * time.Minute)
+	if _, err := b.Open(sealed); !errors.Is(err, core.ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+}
+
+// TestHostPairCutAndPaste demonstrates the Section 2.2 attack: because
+// every datagram between a host pair is protected under one key, an
+// attacker can splice the header of one datagram onto the (encrypted)
+// body of another and the result still verifies... for schemes that MAC
+// ciphertext. Our host-pair scheme MACs plaintext, so splicing is caught
+// — but REPLAYING an old datagram wholesale into a different application
+// context succeeds, which is the practical form of the attack. The
+// comparison point: under FBS the replayed datagram would only ever
+// decrypt within its own flow.
+func TestHostPairReplayAcrossContexts(t *testing.T) {
+	w := newWorld(t)
+	a := NewHostPair(w.keyService(t, "a"), w.clk)
+	b := NewHostPair(w.keyService(t, "b"), w.clk)
+	// "Context one": a sends a secret to b's application 1.
+	sealed, _ := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("for app 1 only")}, true)
+	// The attacker records it and replays it unchanged; b decrypts it
+	// happily — host-pair keying has no notion of flow to scope it to.
+	got, err := b.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := b.Open(sealed)
+	if err != nil {
+		t.Fatalf("host-pair: replay rejected (unexpectedly strong): %v", err)
+	}
+	if !bytes.Equal(got.Payload, got2.Payload) {
+		t.Fatal("replay decrypted differently")
+	}
+}
+
+func TestSKIPRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	a, err := NewSKIP(w.keyService(t, "a"), w.clk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSKIP(w.keyService(t, "b"), w.clk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, a, b, true)
+	roundTrip(t, a, b, false)
+	if a.Stats().KeyGenerations < 2 {
+		t.Fatal("per-datagram keys not counted")
+	}
+}
+
+func TestSKIPPerDatagramKeysDiffer(t *testing.T) {
+	w := newWorld(t)
+	a, _ := NewSKIP(w.keyService(t, "a"), w.clk, nil)
+	w.keyService(t, "b") // publish b's certificate
+	dg := transport.Datagram{Source: "a", Destination: "b", Payload: []byte("same payload")}
+	s1, err := a.Seal(dg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.Seal(dg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrapped keys (bytes 9:25) must differ between datagrams.
+	if bytes.Equal(s1.Payload[9:25], s2.Payload[9:25]) {
+		t.Fatal("two datagrams carried the same wrapped key")
+	}
+}
+
+func TestSKIPWrapUnwrap(t *testing.T) {
+	var master, kp [16]byte
+	copy(master[:], "master-key-0123!")
+	copy(kp[:], "per-datagram-key")
+	wrapped, err := wrapKey(master, kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := unwrapKey(master, wrapped[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != kp {
+		t.Fatal("wrap/unwrap mismatch")
+	}
+	if wrapped == kp {
+		t.Fatal("wrapping is the identity")
+	}
+}
+
+func TestKDCRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	server := NewKDCServer(w.clk)
+	secA, err := server.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secB, err := server.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewKDC("a", secA, server, w.clk)
+	b := NewKDC("b", secB, server, w.clk)
+	roundTrip(t, a, b, true)
+	roundTrip(t, a, b, false)
+	// One conversation: one ticket fetch (two messages), even across
+	// many datagrams.
+	for i := 0; i < 10; i++ {
+		sealed, _ := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("x")}, true)
+		if _, err := b.Open(sealed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().SetupMessages; got != 2 {
+		t.Fatalf("SetupMessages = %d, want 2", got)
+	}
+	if server.Requests() != 1 {
+		t.Fatalf("KDC served %d requests, want 1", server.Requests())
+	}
+	if a.Stats().HardStateEntries != 1 {
+		t.Fatal("session state not counted")
+	}
+}
+
+func TestKDCTicketMisuse(t *testing.T) {
+	w := newWorld(t)
+	server := NewKDCServer(w.clk)
+	secA, _ := server.Register("a")
+	secB, _ := server.Register("b")
+	secC, _ := server.Register("c")
+	a := NewKDC("a", secA, server, w.clk)
+	b := NewKDC("b", secB, server, w.clk)
+	c := NewKDC("c", secC, server, w.clk)
+	sealed, err := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("for b")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c cannot open b's traffic: the ticket is sealed under b's secret.
+	misdirected := sealed.Clone()
+	misdirected.Destination = "c"
+	if _, err := c.Open(misdirected); err == nil {
+		t.Fatal("third party opened a ticketed datagram")
+	}
+	// A datagram claiming to be from someone else fails the ticket
+	// source check.
+	spoofed := sealed.Clone()
+	spoofed.Source = "mallory"
+	if _, err := b.Open(spoofed); err == nil {
+		t.Fatal("spoofed source accepted")
+	}
+	// Expired tickets are rejected.
+	w.clk.Advance(2 * time.Hour)
+	sealed2, _ := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("later")}, true)
+	_ = sealed2
+	w.clk.Advance(-2 * time.Hour)
+	late := sealed.Clone()
+	w.clk.Advance(61 * time.Minute)
+	// Refresh timestamp freshness by rewriting? No — the timestamp is
+	// also stale now, which masks the expiry path; accept either error.
+	if _, err := b.Open(late); err == nil {
+		t.Fatal("expired/stale datagram accepted")
+	}
+	w.clk.Advance(-61 * time.Minute)
+}
+
+func TestKDCUnknownDestination(t *testing.T) {
+	w := newWorld(t)
+	server := NewKDCServer(w.clk)
+	secA, _ := server.Register("a")
+	a := NewKDC("a", secA, server, w.clk)
+	if _, err := a.Seal(transport.Datagram{Source: "a", Destination: "ghost", Payload: nil}, false); err == nil {
+		t.Fatal("seal to unregistered principal succeeded")
+	}
+}
+
+func TestSessionRequiresHandshake(t *testing.T) {
+	a := NewSession("a", cryptolib.TestGroup, nil)
+	if _, err := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("x")}, false); err == nil {
+		t.Fatal("seal without handshake succeeded — datagram semantics would be preserved, which session keying cannot do")
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	a := NewSession("a", cryptolib.TestGroup, nil)
+	b := NewSession("b", cryptolib.TestGroup, nil)
+	if err := a.Handshake(b); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, a, b, true)
+	roundTrip(t, a, b, false)
+	if a.Stats().SetupMessages != 1 || b.Stats().SetupMessages != 1 {
+		t.Fatalf("setup messages: a=%d b=%d", a.Stats().SetupMessages, b.Stats().SetupMessages)
+	}
+	if !a.HasSession("b") || a.HasSession("c") {
+		t.Fatal("HasSession wrong")
+	}
+}
+
+func TestSessionSequenceReplay(t *testing.T) {
+	a := NewSession("a", cryptolib.TestGroup, nil)
+	b := NewSession("b", cryptolib.TestGroup, nil)
+	if err := a.Handshake(b); err != nil {
+		t.Fatal(err)
+	}
+	dg := transport.Datagram{Source: "a", Destination: "b", Payload: []byte("once")}
+	sealed, _ := a.Seal(dg, true)
+	if _, err := b.Open(sealed); err != nil {
+		t.Fatal(err)
+	}
+	// Hard state buys exact replay protection — the paper's trade-off.
+	if _, err := b.Open(sealed); !errors.Is(err, core.ErrReplay) {
+		t.Fatalf("replay: err = %v, want ErrReplay", err)
+	}
+	// Out-of-order but fresh datagrams still pass.
+	s1, _ := a.Seal(dg, true)
+	s2, _ := a.Seal(dg, true)
+	if _, err := b.Open(s2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(s1); err != nil {
+		t.Fatalf("out-of-order rejected: %v", err)
+	}
+}
+
+func TestSessionDropStateBreaksTraffic(t *testing.T) {
+	a := NewSession("a", cryptolib.TestGroup, nil)
+	b := NewSession("b", cryptolib.TestGroup, nil)
+	a.Handshake(b)
+	sealed, _ := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("x")}, false)
+	b.DropState()
+	if _, err := b.Open(sealed); err == nil {
+		t.Fatal("datagram opened after state loss — hard state would be soft")
+	}
+	if _, err := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("y")}, false); err != nil {
+		t.Fatal("sender state should survive (only receiver dropped)")
+	}
+	a.DropState()
+	if _, err := a.Seal(transport.Datagram{Source: "a", Destination: "b", Payload: []byte("y")}, false); err == nil {
+		t.Fatal("seal succeeded after sender state loss")
+	}
+}
+
+// The KDC exchange over an actual (lossy) datagram network: the setup
+// messages that FBS never needs are not only countable, they are
+// droppable.
+func TestKDCOverNetwork(t *testing.T) {
+	w := newWorld(t)
+	net := transport.NewNetwork(transport.Impairments{LossProb: 0.3, Seed: 23})
+	server := NewKDCServer(w.clk)
+	secA, err := server.Register("nk-alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Register("nk-bob"); err != nil {
+		t.Fatal(err)
+	}
+	serverTr, err := net.Attach("kdc", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { serverTr.Close() })
+	go NewKDCNetServer(serverTr, server).Serve()
+
+	clientTr, err := net.Attach("nk-alice", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clientTr.Close() })
+	client := NewKDCNetClient("nk-alice", secA, "kdc", clientTr)
+	client.Timeout = 100 * time.Millisecond
+	client.Retries = 30
+
+	session, ticket, err := client.RequestTicket("nk-bob")
+	if err != nil {
+		t.Fatalf("ticket fetch through 30%% loss failed: %v", err)
+	}
+	// The ticket opens correctly at bob and carries the same session key.
+	secB, _ := server.secretOf("nk-bob")
+	src, gotSession, expiry, err := OpenTicket(secB, ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "nk-alice" || gotSession != session {
+		t.Fatal("ticket contents wrong")
+	}
+	if !expiry.After(w.clk.Now()) {
+		t.Fatal("ticket already expired")
+	}
+	// Every retry was a real message: under loss the setup cost
+	// multiplies, which zero-message keying never pays.
+	if client.Messages() < 2 {
+		t.Fatalf("messages = %d; expected retries under 30%% loss", client.Messages())
+	}
+	t.Logf("setup messages sent under 30%% loss: %d (FBS: always 0)", client.Messages())
+}
+
+func TestKDCNetClientUnknownPrincipal(t *testing.T) {
+	w := newWorld(t)
+	net := transport.NewNetwork(transport.Impairments{})
+	server := NewKDCServer(w.clk)
+	secA, _ := server.Register("nk2-alice")
+	serverTr, _ := net.Attach("kdc2", 64)
+	t.Cleanup(func() { serverTr.Close() })
+	go NewKDCNetServer(serverTr, server).Serve()
+	clientTr, _ := net.Attach("nk2-alice", 64)
+	t.Cleanup(func() { clientTr.Close() })
+	client := NewKDCNetClient("nk2-alice", secA, "kdc2", clientTr)
+	client.Timeout = 100 * time.Millisecond
+	if _, _, err := client.RequestTicket("ghost"); err == nil {
+		t.Fatal("ticket for unregistered principal")
+	}
+}
+
+// The complete over-the-wire KDC baseline: ticket fetch over the
+// network, then ticketed datagrams between the peers.
+func TestKDCEndToEndOverWire(t *testing.T) {
+	w := newWorld(t)
+	net := transport.NewNetwork(transport.Impairments{})
+	server := NewKDCServer(w.clk)
+	// roundTrip exchanges datagrams between principals "a" and "b".
+	secA, _ := server.Register("a")
+	secB, _ := server.Register("b")
+	serverTr, _ := net.Attach("kdc-w", 64)
+	t.Cleanup(func() { serverTr.Close() })
+	go NewKDCNetServer(serverTr, server).Serve()
+
+	clientTr, _ := net.Attach("w-client", 64)
+	t.Cleanup(func() { clientTr.Close() })
+	netClient := NewKDCNetClient("a", secA, "kdc-w", clientTr)
+	netClient.Timeout = 200 * time.Millisecond
+
+	alice := NewKDCWithFetcher("a", secA, netClient, w.clk)
+	bob := NewKDC("b", secB, server, w.clk)
+	roundTrip(t, alice, bob, true)
+	if netClient.Messages() != 1 {
+		t.Fatalf("network messages = %d, want 1 request", netClient.Messages())
+	}
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/transport"
+)
+
+// hpHeaderLen is the host-pair header: confounder(4) timestamp(4)
+// flags(1) mac(16).
+const hpHeaderLen = 4 + 4 + 1 + 16
+
+// HostPair is basic host-pair keying (Section 2.2): the pair-based
+// master key itself keys the MAC and directly encrypts traffic. All
+// flows, connections and users between two hosts share one key — the
+// granularity weakness FBS fixes — and the scheme admits the
+// cut-and-paste attack because every datagram between the pair is
+// protected identically.
+type HostPair struct {
+	ks     *core.KeyService
+	clock  core.Clock
+	window time.Duration
+	mac    cryptolib.MACID
+
+	mu   sync.Mutex
+	conf *cryptolib.LCG
+	st   Stats
+}
+
+// NewHostPair builds a host-pair keying endpoint over a key service.
+func NewHostPair(ks *core.KeyService, clock core.Clock) *HostPair {
+	if clock == nil {
+		clock = core.RealClock{}
+	}
+	return &HostPair{
+		ks:     ks,
+		clock:  clock,
+		window: 10 * time.Minute,
+		mac:    cryptolib.MACPrefixMD5,
+		conf:   cryptolib.NewLCG(),
+	}
+}
+
+// Name implements Sealer.
+func (h *HostPair) Name() string { return "host-pair" }
+
+// Stats returns scheme counters.
+func (h *HostPair) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.st
+}
+
+// Seal implements Sealer.
+func (h *HostPair) Seal(dg transport.Datagram, secret bool) (transport.Datagram, error) {
+	master, err := h.ks.MasterKey(dg.Destination)
+	if err != nil {
+		return transport.Datagram{}, err
+	}
+	h.mu.Lock()
+	conf := h.conf.Uint32()
+	h.mu.Unlock()
+	ts := core.TimestampOf(h.clock.Now())
+	hdr := make([]byte, hpHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:], conf)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(ts))
+	if secret {
+		hdr[8] = 1
+	}
+	mac := h.mac.Compute(master[:], hdr[:9], dg.Payload)
+	copy(hdr[9:], mac[:16])
+	body := dg.Payload
+	if secret {
+		body, err = encryptDES(master[:8], conf, body)
+		if err != nil {
+			return transport.Datagram{}, err
+		}
+	}
+	out := append(hdr, body...)
+	return transport.Datagram{Source: dg.Source, Destination: dg.Destination, Payload: out}, nil
+}
+
+// Open implements Sealer.
+func (h *HostPair) Open(dg transport.Datagram) (transport.Datagram, error) {
+	if len(dg.Payload) < hpHeaderLen {
+		return transport.Datagram{}, fmt.Errorf("host-pair: short datagram")
+	}
+	master, err := h.ks.MasterKey(dg.Source)
+	if err != nil {
+		return transport.Datagram{}, err
+	}
+	hdr := dg.Payload[:hpHeaderLen]
+	body := dg.Payload[hpHeaderLen:]
+	conf := binary.BigEndian.Uint32(hdr[0:])
+	ts := core.Timestamp(binary.BigEndian.Uint32(hdr[4:]))
+	if !ts.Fresh(h.clock.Now(), h.window) {
+		return transport.Datagram{}, core.ErrStale
+	}
+	secret := hdr[8] == 1
+	if secret {
+		body, err = decryptDES(master[:8], conf, body)
+		if err != nil {
+			return transport.Datagram{}, core.ErrBadMAC
+		}
+	}
+	if !h.mac.Verify(master[:], hdr[9:9+16], hdr[:9], body) {
+		return transport.Datagram{}, core.ErrBadMAC
+	}
+	return transport.Datagram{Source: dg.Source, Destination: dg.Destination, Payload: body}, nil
+}
+
+// encryptDES CBC-encrypts data under an 8-byte key with the duplicated
+// confounder as IV.
+func encryptDES(key []byte, conf uint32, data []byte) ([]byte, error) {
+	c, err := cryptolib.NewDES(key)
+	if err != nil {
+		return nil, err
+	}
+	var iv [8]byte
+	binary.BigEndian.PutUint32(iv[0:], conf)
+	binary.BigEndian.PutUint32(iv[4:], conf)
+	padded := cryptolib.Pad(data, 8)
+	if _, err := cryptolib.EncryptMode(c, cryptolib.CBC, iv[:], padded, padded); err != nil {
+		return nil, err
+	}
+	return padded, nil
+}
+
+func decryptDES(key []byte, conf uint32, data []byte) ([]byte, error) {
+	c, err := cryptolib.NewDES(key)
+	if err != nil {
+		return nil, err
+	}
+	var iv [8]byte
+	binary.BigEndian.PutUint32(iv[0:], conf)
+	binary.BigEndian.PutUint32(iv[4:], conf)
+	out := make([]byte, len(data))
+	if _, err := cryptolib.DecryptMode(c, cryptolib.CBC, iv[:], out, data); err != nil {
+		return nil, err
+	}
+	return cryptolib.Unpad(out, 8)
+}

@@ -1,0 +1,308 @@
+package baseline
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// KDCServer is a Kerberos-style key distribution centre (Section 2.1): it
+// shares a long-term secret key with every registered principal, and
+// issues (session key, ticket) pairs on request. The ticket is the
+// session key and client name sealed under the *destination's* secret
+// key, so only the destination can recover it.
+type KDCServer struct {
+	mu       sync.Mutex
+	secrets  map[principal.Address][16]byte
+	requests uint64
+	// TicketLifetime bounds ticket validity; default one hour.
+	TicketLifetime time.Duration
+	clock          core.Clock
+}
+
+// NewKDCServer creates an empty KDC.
+func NewKDCServer(clock core.Clock) *KDCServer {
+	if clock == nil {
+		clock = core.RealClock{}
+	}
+	return &KDCServer{
+		secrets:        make(map[principal.Address][16]byte),
+		TicketLifetime: time.Hour,
+		clock:          clock,
+	}
+}
+
+// Register provisions a principal with a fresh long-term secret (the
+// out-of-band enrolment Kerberos assumes) and returns that secret for
+// the principal's own use.
+func (k *KDCServer) Register(addr principal.Address) ([16]byte, error) {
+	var key [16]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return key, fmt.Errorf("kdc: generating principal secret: %w", err)
+	}
+	k.mu.Lock()
+	k.secrets[addr] = key
+	k.mu.Unlock()
+	return key, nil
+}
+
+// Requests counts ticket requests served — each stands for one
+// client↔KDC round trip that FBS does not need.
+func (k *KDCServer) Requests() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.requests
+}
+
+// ticket layout: expiry(8) | srcLen(2) | src | sessionKey(16), sealed
+// under the destination's long-term key with 3DES-CBC (zero IV is safe:
+// the plaintext starts with a unique expiry/src pair per issuance).
+func sealTicket(dstKey [16]byte, src principal.Address, session [16]byte, expiry time.Time) ([]byte, error) {
+	body := make([]byte, 0, 8+2+len(src)+16)
+	body = binary.BigEndian.AppendUint64(body, uint64(expiry.Unix()))
+	body = append(body, src.Wire()...)
+	body = append(body, session[:]...)
+	c, err := cryptolib.NewTripleDES(dstKey[:])
+	if err != nil {
+		return nil, err
+	}
+	var iv [8]byte
+	padded := cryptolib.Pad(body, 8)
+	if _, err := cryptolib.EncryptMode(c, cryptolib.CBC, iv[:], padded, padded); err != nil {
+		return nil, err
+	}
+	return padded, nil
+}
+
+// OpenTicket recovers (src, session key, expiry) from a ticket using the
+// destination's long-term key.
+func OpenTicket(dstKey [16]byte, ticket []byte) (principal.Address, [16]byte, time.Time, error) {
+	var zero [16]byte
+	c, err := cryptolib.NewTripleDES(dstKey[:])
+	if err != nil {
+		return "", zero, time.Time{}, err
+	}
+	var iv [8]byte
+	plain := make([]byte, len(ticket))
+	if _, err := cryptolib.DecryptMode(c, cryptolib.CBC, iv[:], plain, ticket); err != nil {
+		return "", zero, time.Time{}, err
+	}
+	body, err := cryptolib.Unpad(plain, 8)
+	if err != nil {
+		return "", zero, time.Time{}, fmt.Errorf("kdc: bad ticket")
+	}
+	if len(body) < 8+2+16 {
+		return "", zero, time.Time{}, fmt.Errorf("kdc: short ticket")
+	}
+	expiry := time.Unix(int64(binary.BigEndian.Uint64(body)), 0)
+	src, n, err := principal.DecodeAddress(body[8:])
+	if err != nil {
+		return "", zero, time.Time{}, err
+	}
+	if len(body) != 8+n+16 {
+		return "", zero, time.Time{}, fmt.Errorf("kdc: malformed ticket")
+	}
+	var session [16]byte
+	copy(session[:], body[8+n:])
+	return src, session, expiry, nil
+}
+
+// RequestTicket serves the client's two-message exchange with the KDC.
+func (k *KDCServer) RequestTicket(src, dst principal.Address) (session [16]byte, ticket []byte, err error) {
+	k.mu.Lock()
+	k.requests++
+	dstKey, ok := k.secrets[dst]
+	k.mu.Unlock()
+	if !ok {
+		return session, nil, fmt.Errorf("kdc: unknown destination %q", dst)
+	}
+	if _, err := rand.Read(session[:]); err != nil {
+		return session, nil, fmt.Errorf("kdc: generating session key: %w", err)
+	}
+	ticket, err = sealTicket(dstKey, src, session, k.clock.Now().Add(k.TicketLifetime))
+	if err != nil {
+		return session, nil, err
+	}
+	return session, ticket, nil
+}
+
+// kdcSession is the hard state a KDC client keeps per destination.
+type kdcSession struct {
+	key    [16]byte
+	ticket []byte
+}
+
+// TicketFetcher obtains (session key, ticket) pairs for a destination:
+// either a direct call into an in-process KDCServer or the two-message
+// network exchange of KDCNetClient.
+type TicketFetcher interface {
+	RequestTicket(dst principal.Address) ([16]byte, []byte, error)
+}
+
+// serverFetcher adapts an in-process KDCServer to TicketFetcher.
+type serverFetcher struct {
+	self   principal.Address
+	server *KDCServer
+}
+
+func (f serverFetcher) RequestTicket(dst principal.Address) ([16]byte, []byte, error) {
+	return f.server.RequestTicket(f.self, dst)
+}
+
+// KDC is the client side of KDC-based session keying, as a Sealer. Each
+// datagram carries the ticket (so the destination needs no per-source
+// state), exactly as Section 2.1 describes.
+type KDC struct {
+	self    principal.Address
+	secret  [16]byte
+	fetcher TicketFetcher
+	clock   core.Clock
+	mac     cryptolib.MACID
+
+	mu       sync.Mutex
+	sessions map[principal.Address]kdcSession
+	conf     *cryptolib.LCG
+	st       Stats
+}
+
+// NewKDC builds a client for a registered principal using an in-process
+// KDC. secret is the value Register returned for self.
+func NewKDC(self principal.Address, secret [16]byte, server *KDCServer, clock core.Clock) *KDC {
+	return NewKDCWithFetcher(self, secret, serverFetcher{self: self, server: server}, clock)
+}
+
+// NewKDCWithFetcher builds a client over any ticket source — in
+// particular a KDCNetClient, making the whole baseline run over the
+// wire.
+func NewKDCWithFetcher(self principal.Address, secret [16]byte, fetcher TicketFetcher, clock core.Clock) *KDC {
+	if clock == nil {
+		clock = core.RealClock{}
+	}
+	return &KDC{
+		self:     self,
+		secret:   secret,
+		fetcher:  fetcher,
+		clock:    clock,
+		mac:      cryptolib.MACPrefixMD5,
+		sessions: make(map[principal.Address]kdcSession),
+		conf:     cryptolib.NewLCG(),
+	}
+}
+
+// Name implements Sealer.
+func (k *KDC) Name() string { return "KDC session" }
+
+// Stats returns scheme counters.
+func (k *KDC) Stats() Stats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s := k.st
+	s.HardStateEntries = len(k.sessions)
+	return s
+}
+
+// session returns (fetching if needed) the session with dst.
+func (k *KDC) session(dst principal.Address) (kdcSession, error) {
+	k.mu.Lock()
+	s, ok := k.sessions[dst]
+	k.mu.Unlock()
+	if ok {
+		return s, nil
+	}
+	key, ticket, err := k.fetcher.RequestTicket(dst)
+	if err != nil {
+		return kdcSession{}, err
+	}
+	s = kdcSession{key: key, ticket: ticket}
+	k.mu.Lock()
+	k.st.SetupMessages += 2 // request + reply
+	k.st.KeyGenerations++
+	k.sessions[dst] = s
+	k.mu.Unlock()
+	return s, nil
+}
+
+// kdc data header: confounder(4) timestamp(4) flags(1) ticketLen(2)
+// ticket mac(16).
+
+// Seal implements Sealer.
+func (k *KDC) Seal(dg transport.Datagram, secret bool) (transport.Datagram, error) {
+	s, err := k.session(dg.Destination)
+	if err != nil {
+		return transport.Datagram{}, err
+	}
+	k.mu.Lock()
+	conf := k.conf.Uint32()
+	k.mu.Unlock()
+	ts := core.TimestampOf(k.clock.Now())
+	hdr := make([]byte, 11+len(s.ticket))
+	binary.BigEndian.PutUint32(hdr[0:], conf)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(ts))
+	if secret {
+		hdr[8] = 1
+	}
+	binary.BigEndian.PutUint16(hdr[9:], uint16(len(s.ticket)))
+	copy(hdr[11:], s.ticket)
+	mac := k.mac.Compute(s.key[:], hdr, dg.Payload)
+	body := dg.Payload
+	if secret {
+		body, err = encryptDES(s.key[:8], conf, body)
+		if err != nil {
+			return transport.Datagram{}, err
+		}
+	}
+	out := make([]byte, 0, len(hdr)+16+len(body))
+	out = append(out, hdr...)
+	out = append(out, mac[:16]...)
+	out = append(out, body...)
+	return transport.Datagram{Source: dg.Source, Destination: dg.Destination, Payload: out}, nil
+}
+
+// Open implements Sealer.
+func (k *KDC) Open(dg transport.Datagram) (transport.Datagram, error) {
+	p := dg.Payload
+	if len(p) < 11+16 {
+		return transport.Datagram{}, fmt.Errorf("kdc: short datagram")
+	}
+	conf := binary.BigEndian.Uint32(p[0:])
+	ts := core.Timestamp(binary.BigEndian.Uint32(p[4:]))
+	secret := p[8] == 1
+	tlen := int(binary.BigEndian.Uint16(p[9:]))
+	if len(p) < 11+tlen+16 {
+		return transport.Datagram{}, fmt.Errorf("kdc: truncated ticket")
+	}
+	hdr := p[:11+tlen]
+	ticket := p[11 : 11+tlen]
+	mac := p[11+tlen : 11+tlen+16]
+	body := p[11+tlen+16:]
+	if !ts.Fresh(k.clock.Now(), 10*time.Minute) {
+		return transport.Datagram{}, core.ErrStale
+	}
+	src, session, expiry, err := OpenTicket(k.secret, ticket)
+	if err != nil {
+		return transport.Datagram{}, err
+	}
+	if src != dg.Source {
+		return transport.Datagram{}, fmt.Errorf("kdc: ticket issued to %q, datagram from %q", src, dg.Source)
+	}
+	if k.clock.Now().After(expiry) {
+		return transport.Datagram{}, fmt.Errorf("kdc: expired ticket")
+	}
+	if secret {
+		body, err = decryptDES(session[:8], conf, body)
+		if err != nil {
+			return transport.Datagram{}, core.ErrBadMAC
+		}
+	}
+	if !k.mac.Verify(session[:], mac, hdr, body) {
+		return transport.Datagram{}, core.ErrBadMAC
+	}
+	return transport.Datagram{Source: dg.Source, Destination: dg.Destination, Payload: body}, nil
+}

@@ -1,0 +1,252 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// Networked KDC: the same Kerberos-style exchange as KDCServer, but with
+// the two setup messages actually travelling over the datagram
+// transport. This makes the session-based baselines' setup cost real
+// (and lossy-network-fragile) rather than merely counted.
+//
+// Wire format:
+//
+//	request:  'K' 'Q' | reqID(8) | wire(src) | wire(dst)
+//	response: 'K' 'R' | reqID(8) | status(1) |
+//	          encKeyLen(2) | E_{K_src}(session key) | ticket
+//
+// The session key travels encrypted under the *requester's* long-term
+// secret (3DES-CBC, zero IV over a random key — unique plaintext per
+// response); the ticket is sealed under the destination's secret as in
+// kdc.go.
+const (
+	kdcMagic  = 'K'
+	kdcReqTag = 'Q'
+	kdcRspTag = 'R'
+
+	kdcStatusOK      = 0
+	kdcStatusUnknown = 1
+)
+
+// KDCNetServer serves ticket requests over a transport endpoint.
+type KDCNetServer struct {
+	inner *KDCServer
+	tr    transport.Transport
+}
+
+// NewKDCNetServer wraps a KDCServer behind a transport.
+func NewKDCNetServer(tr transport.Transport, inner *KDCServer) *KDCNetServer {
+	return &KDCNetServer{inner: inner, tr: tr}
+}
+
+// Serve answers requests until the transport closes.
+func (s *KDCNetServer) Serve() {
+	for {
+		dg, err := s.tr.Receive()
+		if err != nil {
+			return
+		}
+		b := dg.Payload
+		if len(b) < 2+8 || b[0] != kdcMagic || b[1] != kdcReqTag {
+			continue
+		}
+		reqID := binary.BigEndian.Uint64(b[2:10])
+		src, n, err := principal.DecodeAddress(b[10:])
+		if err != nil {
+			continue
+		}
+		dst, _, err := principal.DecodeAddress(b[10+n:])
+		if err != nil {
+			continue
+		}
+		resp := []byte{kdcMagic, kdcRspTag}
+		resp = binary.BigEndian.AppendUint64(resp, reqID)
+		session, ticket, err := s.inner.RequestTicket(src, dst)
+		srcKey, known := s.inner.secretOf(src)
+		if err != nil || !known {
+			resp = append(resp, kdcStatusUnknown)
+			s.tr.Send(transport.Datagram{Destination: dg.Source, Payload: resp})
+			continue
+		}
+		encKey, err := sealSessionKey(srcKey, session)
+		if err != nil {
+			continue
+		}
+		resp = append(resp, kdcStatusOK)
+		resp = binary.BigEndian.AppendUint16(resp, uint16(len(encKey)))
+		resp = append(resp, encKey...)
+		resp = append(resp, ticket...)
+		s.tr.Send(transport.Datagram{Destination: dg.Source, Payload: resp})
+	}
+}
+
+// secretOf looks up a principal's long-term key.
+func (k *KDCServer) secretOf(addr principal.Address) ([16]byte, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	key, ok := k.secrets[addr]
+	return key, ok
+}
+
+func sealSessionKey(key [16]byte, session [16]byte) ([]byte, error) {
+	c, err := cryptolib.NewTripleDES(key[:])
+	if err != nil {
+		return nil, err
+	}
+	var iv [8]byte
+	out := cryptolib.Pad(session[:], 8)
+	if _, err := cryptolib.EncryptMode(c, cryptolib.CBC, iv[:], out, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func openSessionKey(key [16]byte, enc []byte) ([16]byte, error) {
+	var session [16]byte
+	c, err := cryptolib.NewTripleDES(key[:])
+	if err != nil {
+		return session, err
+	}
+	var iv [8]byte
+	plain := make([]byte, len(enc))
+	if _, err := cryptolib.DecryptMode(c, cryptolib.CBC, iv[:], plain, enc); err != nil {
+		return session, err
+	}
+	body, err := cryptolib.Unpad(plain, 8)
+	if err != nil || len(body) != 16 {
+		return session, fmt.Errorf("kdc: bad session key blob")
+	}
+	copy(session[:], body)
+	return session, nil
+}
+
+// KDCNetClient fetches (session key, ticket) pairs over the network.
+// It plugs into NewKDC-style use by wrapping the fetched state in the
+// same client Sealer.
+type KDCNetClient struct {
+	self   principal.Address
+	secret [16]byte
+	server principal.Address
+	tr     transport.Transport
+	// Timeout bounds each round trip; default one second.
+	Timeout time.Duration
+	// Retries on loss; default 3.
+	Retries int
+
+	mu       sync.Mutex
+	nextID   uint64
+	pending  map[uint64]chan kdcNetResult
+	started  bool
+	messages uint64
+}
+
+type kdcNetResult struct {
+	session [16]byte
+	ticket  []byte
+	err     error
+}
+
+// NewKDCNetClient builds a client over its own transport endpoint.
+func NewKDCNetClient(self principal.Address, secret [16]byte, server principal.Address, tr transport.Transport) *KDCNetClient {
+	return &KDCNetClient{
+		self:    self,
+		secret:  secret,
+		server:  server,
+		tr:      tr,
+		Timeout: time.Second,
+		Retries: 3,
+		pending: make(map[uint64]chan kdcNetResult),
+	}
+}
+
+// Messages reports how many setup messages this client has sent.
+func (c *KDCNetClient) Messages() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.messages
+}
+
+func (c *KDCNetClient) receiveLoop() {
+	for {
+		dg, err := c.tr.Receive()
+		if err != nil {
+			return
+		}
+		b := dg.Payload
+		if len(b) < 2+8+1 || b[0] != kdcMagic || b[1] != kdcRspTag {
+			continue
+		}
+		reqID := binary.BigEndian.Uint64(b[2:10])
+		var res kdcNetResult
+		if b[10] != kdcStatusOK {
+			res.err = fmt.Errorf("kdc: server refused request")
+		} else if len(b) < 13 {
+			res.err = fmt.Errorf("kdc: truncated response")
+		} else {
+			encLen := int(binary.BigEndian.Uint16(b[11:13]))
+			if len(b) < 13+encLen {
+				res.err = fmt.Errorf("kdc: truncated key blob")
+			} else {
+				res.session, res.err = openSessionKey(c.secret, b[13:13+encLen])
+				res.ticket = append([]byte(nil), b[13+encLen:]...)
+			}
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if ok {
+			ch <- res
+		}
+	}
+}
+
+// RequestTicket runs the two-message exchange over the wire.
+func (c *KDCNetClient) RequestTicket(dst principal.Address) ([16]byte, []byte, error) {
+	c.mu.Lock()
+	if !c.started {
+		c.started = true
+		go c.receiveLoop()
+	}
+	c.mu.Unlock()
+	tries := c.Retries + 1
+	if tries < 1 {
+		tries = 1
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	for attempt := 0; attempt < tries; attempt++ {
+		c.mu.Lock()
+		c.nextID++
+		reqID := c.nextID
+		ch := make(chan kdcNetResult, 1)
+		c.pending[reqID] = ch
+		c.messages++
+		c.mu.Unlock()
+		req := []byte{kdcMagic, kdcReqTag}
+		req = binary.BigEndian.AppendUint64(req, reqID)
+		req = append(req, c.self.Wire()...)
+		req = append(req, dst.Wire()...)
+		if err := c.tr.Send(transport.Datagram{Destination: c.server, Payload: req}); err != nil {
+			return [16]byte{}, nil, err
+		}
+		select {
+		case res := <-ch:
+			return res.session, res.ticket, res.err
+		case <-time.After(timeout):
+			c.mu.Lock()
+			delete(c.pending, reqID)
+			c.mu.Unlock()
+		}
+	}
+	return [16]byte{}, nil, fmt.Errorf("kdc: request to %q timed out after %d attempts", c.server, tries)
+}

@@ -1,0 +1,187 @@
+package cert
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"time"
+
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+)
+
+// Certification hierarchy support: the paper assumes public values are
+// authenticated "via a distributed certification hierarchy (e.g., X.509
+// certificates)" (Section 5.2). A root authority certifies subordinate
+// authorities, which issue the leaf public-value certificates; relying
+// parties pin only the root and verify chains.
+
+// CACertificate binds a subordinate authority's name to its RSA
+// verification key, under the parent authority's signature.
+type CACertificate struct {
+	Version   uint8
+	Name      string
+	KeyN      *big.Int
+	KeyE      *big.Int
+	NotBefore time.Time
+	NotAfter  time.Time
+	Issuer    string
+	Signature []byte
+}
+
+func (c *CACertificate) tbs() []byte {
+	var out []byte
+	out = append(out, c.Version)
+	out = appendBytes(out, []byte(c.Name))
+	out = appendBytes(out, c.KeyN.Bytes())
+	out = appendBytes(out, c.KeyE.Bytes())
+	out = binary.BigEndian.AppendUint64(out, uint64(c.NotBefore.Unix()))
+	out = binary.BigEndian.AppendUint64(out, uint64(c.NotAfter.Unix()))
+	out = appendBytes(out, []byte(c.Issuer))
+	return out
+}
+
+// Key returns the certified verification key.
+func (c *CACertificate) Key() cryptolib.RSAPublicKey {
+	return cryptolib.RSAPublicKey{N: c.KeyN, E: c.KeyE}
+}
+
+// Marshal produces the wire encoding.
+func (c *CACertificate) Marshal() []byte { return appendBytes(c.tbs(), c.Signature) }
+
+// UnmarshalCA parses a CA certificate.
+func UnmarshalCA(b []byte) (*CACertificate, error) {
+	c := new(CACertificate)
+	if len(b) < 1 {
+		return nil, fmt.Errorf("cert: empty CA certificate")
+	}
+	c.Version = b[0]
+	if c.Version != certVersion {
+		return nil, fmt.Errorf("cert: unsupported CA certificate version %d", c.Version)
+	}
+	rest := b[1:]
+	var field []byte
+	var err error
+	if field, rest, err = readBytes(rest); err != nil {
+		return nil, err
+	}
+	c.Name = string(field)
+	if field, rest, err = readBytes(rest); err != nil {
+		return nil, err
+	}
+	c.KeyN = new(big.Int).SetBytes(field)
+	if field, rest, err = readBytes(rest); err != nil {
+		return nil, err
+	}
+	c.KeyE = new(big.Int).SetBytes(field)
+	if len(rest) < 16 {
+		return nil, fmt.Errorf("cert: truncated CA validity")
+	}
+	c.NotBefore = time.Unix(int64(binary.BigEndian.Uint64(rest[:8])), 0).UTC()
+	c.NotAfter = time.Unix(int64(binary.BigEndian.Uint64(rest[8:16])), 0).UTC()
+	rest = rest[16:]
+	if field, rest, err = readBytes(rest); err != nil {
+		return nil, err
+	}
+	c.Issuer = string(field)
+	if field, rest, err = readBytes(rest); err != nil {
+		return nil, err
+	}
+	c.Signature = field
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("cert: %d trailing bytes in CA certificate", len(rest))
+	}
+	return c, nil
+}
+
+// CertifySubordinate signs a CA certificate for a subordinate authority.
+func (a *Authority) CertifySubordinate(sub *Authority, notBefore, notAfter time.Time) (*CACertificate, error) {
+	if !notAfter.After(notBefore) {
+		return nil, fmt.Errorf("cert: empty validity interval")
+	}
+	pub := sub.PublicKey()
+	c := &CACertificate{
+		Version:   certVersion,
+		Name:      sub.Name,
+		KeyN:      pub.N,
+		KeyE:      pub.E,
+		NotBefore: notBefore.UTC().Truncate(time.Second),
+		NotAfter:  notAfter.UTC().Truncate(time.Second),
+		Issuer:    a.Name,
+	}
+	sig, err := a.key.Sign(c.tbs())
+	if err != nil {
+		return nil, fmt.Errorf("cert: signing subordinate: %w", err)
+	}
+	c.Signature = sig
+	return c, nil
+}
+
+// ChainVerifier validates leaf certificates through a hierarchy of
+// subordinate authorities down from a single pinned root key. It
+// implements the same interface role as Verifier, so an FBS endpoint can
+// plug either in.
+type ChainVerifier struct {
+	// RootName and RootKey pin the hierarchy's trust anchor.
+	RootName string
+	RootKey  cryptolib.RSAPublicKey
+	// Intermediates holds the CA certificates linking leaf issuers to
+	// the root, in any order.
+	Intermediates []*CACertificate
+	// MaxDepth bounds chain walks (default 8).
+	MaxDepth int
+}
+
+// issuerKey resolves the verification key for an issuer name at time
+// now, walking intermediates up to the root.
+func (cv *ChainVerifier) issuerKey(issuer string, now time.Time, depth int) (cryptolib.RSAPublicKey, error) {
+	if issuer == cv.RootName {
+		return cv.RootKey, nil
+	}
+	max := cv.MaxDepth
+	if max <= 0 {
+		max = 8
+	}
+	if depth >= max {
+		return cryptolib.RSAPublicKey{}, fmt.Errorf("cert: chain deeper than %d", max)
+	}
+	for _, ic := range cv.Intermediates {
+		if ic.Name != issuer {
+			continue
+		}
+		if now.Before(ic.NotBefore) || now.After(ic.NotAfter) {
+			return cryptolib.RSAPublicKey{}, fmt.Errorf("cert: intermediate %q not valid at %v", issuer, now)
+		}
+		parentKey, err := cv.issuerKey(ic.Issuer, now, depth+1)
+		if err != nil {
+			return cryptolib.RSAPublicKey{}, err
+		}
+		if !parentKey.Verify(ic.tbs(), ic.Signature) {
+			return cryptolib.RSAPublicKey{}, fmt.Errorf("cert: bad signature on intermediate %q", issuer)
+		}
+		return ic.Key(), nil
+	}
+	return cryptolib.RSAPublicKey{}, fmt.Errorf("cert: no path from issuer %q to root %q", issuer, cv.RootName)
+}
+
+// Verify checks a leaf certificate through the hierarchy. It matches
+// the Verifier.Verify signature.
+func (cv *ChainVerifier) Verify(c *Certificate, subject principal.Address, now time.Time) error {
+	if c == nil {
+		return fmt.Errorf("cert: nil certificate")
+	}
+	if c.Subject != subject {
+		return fmt.Errorf("cert: subject %q, want %q", c.Subject, subject)
+	}
+	if now.Before(c.NotBefore) || now.After(c.NotAfter) {
+		return fmt.Errorf("cert: not valid at %v", now)
+	}
+	key, err := cv.issuerKey(c.Issuer, now, 0)
+	if err != nil {
+		return err
+	}
+	if !key.Verify(c.tbs(), c.Signature) {
+		return fmt.Errorf("cert: bad signature on certificate for %q", c.Subject)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package cert
+
+import (
+	"testing"
+	"time"
+
+	"fbs/internal/cryptolib"
+)
+
+// chainFixture: root → regional → campus, with a leaf issued by campus.
+func chainFixture(t *testing.T) (*Authority, *Authority, *Authority, *ChainVerifier, *Certificate) {
+	t.Helper()
+	root := testAuthority(t) // "repro-root"
+	regional, err := NewAuthority("regional", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campus, err := NewAuthority("campus", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	caRegional, err := root.CertifySubordinate(regional, now.Add(-time.Hour), now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caCampus, err := regional.CertifySubordinate(campus, now.Add(-time.Hour), now.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafID := testIdentity(t, "10.7.7.7")
+	leaf, err := campus.Issue(leafID, now.Add(-time.Hour), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := &ChainVerifier{
+		RootName:      root.Name,
+		RootKey:       root.PublicKey(),
+		Intermediates: []*CACertificate{caRegional, caCampus},
+	}
+	return root, regional, campus, cv, leaf
+}
+
+func TestChainVerifyTwoLevels(t *testing.T) {
+	_, _, _, cv, leaf := chainFixture(t)
+	if err := cv.Verify(leaf, "10.7.7.7", time.Now()); err != nil {
+		t.Fatalf("valid chained certificate rejected: %v", err)
+	}
+}
+
+func TestChainVerifyDirectFromRoot(t *testing.T) {
+	root := testAuthority(t)
+	id := testIdentity(t, "direct")
+	now := time.Now()
+	leaf, err := root.Issue(id, now.Add(-time.Hour), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := &ChainVerifier{RootName: root.Name, RootKey: root.PublicKey()}
+	if err := cv.Verify(leaf, "direct", now); err != nil {
+		t.Fatalf("root-issued leaf rejected: %v", err)
+	}
+}
+
+func TestChainRejectsMissingIntermediate(t *testing.T) {
+	_, _, _, cv, leaf := chainFixture(t)
+	cv.Intermediates = cv.Intermediates[:1] // drop campus
+	if err := cv.Verify(leaf, "10.7.7.7", time.Now()); err == nil {
+		t.Fatal("verified without the issuing intermediate")
+	}
+}
+
+func TestChainRejectsForgedIntermediate(t *testing.T) {
+	_, _, campus, cv, leaf := chainFixture(t)
+	// A rogue authority claims to certify "campus" with its own key.
+	rogue, err := NewAuthority("rogue-parent", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	forged, err := rogue.CertifySubordinate(campus, now.Add(-time.Hour), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv.Intermediates = []*CACertificate{forged} // no path: issuer "rogue-parent" unknown
+	if err := cv.Verify(leaf, "10.7.7.7", now); err == nil {
+		t.Fatal("verified through a rogue intermediate")
+	}
+}
+
+func TestChainRejectsExpiredIntermediate(t *testing.T) {
+	root := testAuthority(t)
+	sub, err := NewAuthority("short-lived", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	caSub, err := root.CertifySubordinate(sub, now.Add(-2*time.Hour), now.Add(-time.Hour)) // already expired
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testIdentity(t, "under-expired")
+	leaf, err := sub.Issue(id, now.Add(-time.Hour), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := &ChainVerifier{RootName: root.Name, RootKey: root.PublicKey(), Intermediates: []*CACertificate{caSub}}
+	if err := cv.Verify(leaf, "under-expired", now); err == nil {
+		t.Fatal("verified through an expired intermediate")
+	}
+}
+
+func TestChainDepthBound(t *testing.T) {
+	// A self-referential intermediate must not loop forever.
+	root := testAuthority(t)
+	loopy, err := NewAuthority("loopy", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	selfSigned, err := loopy.CertifySubordinate(loopy, now.Add(-time.Hour), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testIdentity(t, "loop-leaf")
+	leaf, err := loopy.Issue(id, now.Add(-time.Hour), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := &ChainVerifier{RootName: root.Name, RootKey: root.PublicKey(), Intermediates: []*CACertificate{selfSigned}}
+	done := make(chan error, 1)
+	go func() { done <- cv.Verify(leaf, "loop-leaf", now) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("self-signed loop verified")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("chain verification looped")
+	}
+}
+
+func TestCACertificateMarshalRoundTrip(t *testing.T) {
+	root := testAuthority(t)
+	sub, err := NewAuthority("marshal-sub", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	c, err := root.CertifySubordinate(sub, now, now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCA(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != c.Name || back.Issuer != c.Issuer {
+		t.Fatal("metadata did not round-trip")
+	}
+	if back.KeyN.Cmp(c.KeyN) != 0 || back.KeyE.Cmp(c.KeyE) != 0 {
+		t.Fatal("key did not round-trip")
+	}
+	rootKey := root.PublicKey()
+	if !rootKey.Verify(back.tbs(), back.Signature) {
+		t.Fatal("round-tripped CA certificate fails verification")
+	}
+	// Truncations rejected.
+	wire := c.Marshal()
+	for _, n := range []int{0, 1, 5, len(wire) / 2, len(wire) - 1} {
+		if _, err := UnmarshalCA(wire[:n]); err == nil {
+			t.Errorf("UnmarshalCA accepted %d-byte truncation", n)
+		}
+	}
+}
+
+// An endpoint-facing check: a ChainVerifier drops into an FBS key
+// service wherever a Verifier would go.
+func TestChainVerifierSatisfiesCertVerifier(t *testing.T) {
+	var _ CertVerifier = (*ChainVerifier)(nil)
+	var _ CertVerifier = (*Verifier)(nil)
+	_ = cryptolib.RSAPublicKey{}
+}

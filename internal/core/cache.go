@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+)
+
+// CacheStats classifies cache activity. Misses are divided per Section
+// 5.3 into compulsory (cold — key never seen before), and conflict misses
+// (key was present earlier but was displaced). Capacity misses are a
+// subset of conflict misses here; flowsim separates them offline by
+// replaying traces against a fully associative cache of equal size.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Cold      uint64
+	Conflict  uint64
+	Installs  uint64
+	Evictions uint64
+}
+
+// MissRate returns misses / lookups, or 0 with no lookups.
+func (s CacheStats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// DirectMapped is a direct-mapped software cache, the structure Section
+// 5.3 argues for: O(1) lookup, no associativity, correctness independent
+// of evictions (contents are soft state), with a randomising hash
+// supplied by the caller to spread correlated keys.
+//
+// DirectMapped is safe for concurrent use.
+type DirectMapped[K comparable, V any] struct {
+	mu    sync.Mutex
+	slots []dmSlot[K, V]
+	hash  func(K) uint32
+	stats CacheStats
+
+	// seen supports cold-vs-conflict miss classification. It grows with
+	// the number of distinct keys ever inserted, so it is disabled by
+	// default in protocol use and enabled for experiments.
+	seen map[K]struct{}
+}
+
+type dmSlot[K comparable, V any] struct {
+	valid bool
+	key   K
+	val   V
+}
+
+// NewDirectMapped builds a cache with size slots and the given index
+// hash.
+func NewDirectMapped[K comparable, V any](size int, hash func(K) uint32) *DirectMapped[K, V] {
+	if size <= 0 {
+		size = 64
+	}
+	return &DirectMapped[K, V]{
+		slots: make([]dmSlot[K, V], size),
+		hash:  hash,
+	}
+}
+
+// ClassifyMisses enables cold/conflict miss accounting (costs memory
+// proportional to distinct keys).
+func (c *DirectMapped[K, V]) ClassifyMisses() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen == nil {
+		c.seen = make(map[K]struct{})
+	}
+}
+
+// Size returns the number of slots.
+func (c *DirectMapped[K, V]) Size() int { return len(c.slots) }
+
+// Get looks up key, returning its value and whether it was present.
+func (c *DirectMapped[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &c.slots[c.hash(key)%uint32(len(c.slots))]
+	if s.valid && s.key == key {
+		c.stats.Hits++
+		return s.val, true
+	}
+	c.stats.Misses++
+	if c.seen != nil {
+		if _, ok := c.seen[key]; ok {
+			c.stats.Conflict++
+		} else {
+			c.stats.Cold++
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put installs key → val, displacing whatever occupied the slot.
+func (c *DirectMapped[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &c.slots[c.hash(key)%uint32(len(c.slots))]
+	if s.valid && s.key != key {
+		c.stats.Evictions++
+	}
+	s.valid = true
+	s.key = key
+	s.val = val
+	c.stats.Installs++
+	if c.seen != nil {
+		c.seen[key] = struct{}{}
+	}
+}
+
+// Invalidate removes key if present and reports whether it was.
+func (c *DirectMapped[K, V]) Invalidate(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &c.slots[c.hash(key)%uint32(len(c.slots))]
+	if s.valid && s.key == key {
+		s.valid = false
+		return true
+	}
+	return false
+}
+
+// Flush invalidates every slot.
+func (c *DirectMapped[K, V]) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.slots {
+		c.slots[i].valid = false
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *DirectMapped[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

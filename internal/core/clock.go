@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the protocol so simulations can drive it with
+// virtual time. The paper's timestamp scheme needs only loose
+// synchronisation between principals (Section 5.3).
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock reads the system clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// SimClock is a manually advanced clock for tests and simulations. It is
+// safe for concurrent use.
+type SimClock struct {
+	mu sync.RWMutex
+	t  time.Time
+}
+
+// NewSimClock creates a simulated clock starting at t.
+func NewSimClock(t time.Time) *SimClock { return &SimClock{t: t} }
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *SimClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t.
+func (c *SimClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+// TimestampEpoch is the zero point of the FBS timestamp: 00:00 GMT
+// January 1, 1996, per Section 7.2. With 32 bits of minutes the field
+// wraps only after roughly 8000 years.
+var TimestampEpoch = time.Date(1996, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Timestamp is the FBS header time value: minutes since TimestampEpoch.
+// Minute resolution is deliberate — the timestamp is only a coarse replay
+// guard (Section 5.3).
+type Timestamp uint32
+
+// TimestampOf converts a wall-clock time to an FBS timestamp.
+func TimestampOf(t time.Time) Timestamp {
+	m := t.Sub(TimestampEpoch) / time.Minute
+	if m < 0 {
+		return 0
+	}
+	return Timestamp(m)
+}
+
+// Time converts the timestamp back to the start of its minute.
+func (ts Timestamp) Time() time.Time {
+	return TimestampEpoch.Add(time.Duration(ts) * time.Minute)
+}
+
+// Fresh reports whether the timestamp falls within a sliding window of
+// +-window centred on now (Section 5.2, step R3). The window accounts for
+// transmission delay and clock skew between principals.
+func (ts Timestamp) Fresh(now time.Time, window time.Duration) bool {
+	d := now.Sub(ts.Time())
+	if d < 0 {
+		d = -d
+	}
+	return d <= window
+}

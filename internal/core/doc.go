@@ -1,0 +1,33 @@
+// Package core implements the Flow-Based Security (FBS) protocol of
+// Mittra and Woo (SIGCOMM '97): datagram security structured around
+// flows.
+//
+// The protocol consists of two tightly coupled mechanisms:
+//
+//   - The flow association mechanism (FAM) classifies outgoing datagrams
+//     into flows. It is policy-driven: mapper and sweeper policy modules
+//     plug into a flow state table (Section 5.1, Figures 1 and 7).
+//   - Zero-message keying derives a per-flow key without any end-to-end
+//     exchange: from the implicit Diffie-Hellman pair-based master key
+//     K_{S,D} = g^sd mod p and the flow's security flow label (sfl), both
+//     ends compute K_f = H(sfl | K_{S,D} | S | D) (Section 5.2).
+//
+// Every datagram carries a security flow header (sfl, confounder,
+// timestamp, MAC); all other state — certificates, master keys, flow keys
+// — is soft, held in the PVC/MKC/TFKC/RFKC cache hierarchy (Section 5.3)
+// and recomputable from the datagram itself. Losing any cache entry
+// costs time, never correctness, so datagram semantics are fully
+// preserved: no setup messages, no hard state, each datagram processable
+// in isolation.
+//
+// The two protocol halves are implemented by Endpoint.Send (FBSSend,
+// Figure 4 left; the cached fast path is Figure 6) and Endpoint.Receive
+// (FBSReceive, Figure 4 right).
+//
+// One deliberate deviation from the paper's pseudo-code: Figure 4
+// computes the MAC over the plaintext body before encrypting (S6 before
+// S8–S9) but verifies it before decrypting (R7 before R10–R11), which
+// cannot both hold. Like the authors' BSD implementation must have, this
+// implementation resolves the inconsistency by decrypting first and then
+// verifying the MAC over the recovered plaintext.
+package core

@@ -1,0 +1,28 @@
+package core
+
+import "errors"
+
+// Receive-side rejection errors. Each corresponds to a check in
+// FBSReceive (Figure 4); callers typically count them and continue
+// receiving.
+var (
+	// ErrStale means the timestamp fell outside the freshness window
+	// (R3-R4): a delayed datagram, gross clock skew, or a replay of old
+	// traffic.
+	ErrStale = errors.New("fbs: timestamp outside freshness window")
+	// ErrBadMAC means MAC verification failed (R8-R9): corruption,
+	// forgery, or a key mismatch.
+	ErrBadMAC = errors.New("fbs: message authentication code mismatch")
+	// ErrReplay means the optional replay cache saw an exact duplicate
+	// within the freshness window.
+	ErrReplay = errors.New("fbs: duplicate datagram within freshness window")
+	// ErrMalformed means the security flow header could not be parsed.
+	ErrMalformed = errors.New("fbs: malformed security flow header")
+	// ErrNotForUs means the datagram's destination is not this
+	// principal.
+	ErrNotForUs = errors.New("fbs: datagram addressed to another principal")
+	// ErrAlgorithmRejected means the header's algorithm identification
+	// named a MAC, cipher or mode this endpoint is configured not to
+	// accept (a downgrade-resistance check).
+	ErrAlgorithmRejected = errors.New("fbs: datagram algorithm not acceptable")
+)

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+var famEpoch = time.Date(2026, 7, 4, 0, 0, 0, 0, time.UTC)
+
+func testFAM(threshold time.Duration, size int) *FAM {
+	return newFAMWithSeed(ThresholdPolicy{Threshold: threshold}, size, 1000)
+}
+
+func TestFAMSameTupleSameFlow(t *testing.T) {
+	f := testFAM(10*time.Minute, 64)
+	id := FlowID{Src: "a", Dst: "b", Proto: 6, SrcPort: 1234, DstPort: 80}
+	sfl1, new1 := f.Classify(id, famEpoch, 100)
+	sfl2, new2 := f.Classify(id, famEpoch.Add(time.Minute), 200)
+	if !new1 || new2 {
+		t.Fatalf("newness: got %v,%v want true,false", new1, new2)
+	}
+	if sfl1 != sfl2 {
+		t.Fatal("same 5-tuple within threshold got different sfls")
+	}
+	s := f.Stats()
+	if s.FlowsCreated != 1 || s.Hits != 1 || s.Lookups != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFAMThresholdExpiry(t *testing.T) {
+	f := testFAM(10*time.Minute, 64)
+	id := FlowID{Src: "a", Dst: "b", Proto: 17, SrcPort: 53, DstPort: 53}
+	sfl1, _ := f.Classify(id, famEpoch, 1)
+	// Just inside the threshold: same flow.
+	sfl2, isNew := f.Classify(id, famEpoch.Add(10*time.Minute), 1)
+	if isNew || sfl1 != sfl2 {
+		t.Fatal("flow expired too early")
+	}
+	// The gap is measured from the LAST datagram.
+	sfl3, isNew := f.Classify(id, famEpoch.Add(20*time.Minute), 1)
+	if isNew || sfl3 != sfl1 {
+		t.Fatal("threshold should measure from last arrival, not creation")
+	}
+	// Beyond the threshold: new flow, fresh sfl.
+	sfl4, isNew := f.Classify(id, famEpoch.Add(31*time.Minute), 1)
+	if !isNew || sfl4 == sfl1 {
+		t.Fatal("idle flow not expired")
+	}
+}
+
+func TestFAMDistinctTuplesDistinctFlows(t *testing.T) {
+	f := testFAM(10*time.Minute, 1024)
+	ids := []FlowID{
+		{Src: "a", Dst: "b", Proto: 6, SrcPort: 1, DstPort: 80},
+		{Src: "a", Dst: "b", Proto: 6, SrcPort: 2, DstPort: 80},
+		{Src: "a", Dst: "b", Proto: 17, SrcPort: 1, DstPort: 80},
+		{Src: "a", Dst: "c", Proto: 6, SrcPort: 1, DstPort: 80},
+		{Src: "d", Dst: "b", Proto: 6, SrcPort: 1, DstPort: 80},
+		{Src: "a", Dst: "b", Proto: 6, SrcPort: 1, DstPort: 81},
+		{Src: "a", Dst: "b", Proto: 6, SrcPort: 1, DstPort: 80, Aux: 9},
+	}
+	seen := make(map[SFL]bool)
+	for _, id := range ids {
+		sfl, _ := f.Classify(id, famEpoch, 1)
+		if seen[sfl] {
+			t.Fatalf("sfl %d reused across different attribute sets", sfl)
+		}
+		seen[sfl] = true
+	}
+}
+
+func TestFAMSFLNeverReused(t *testing.T) {
+	f := testFAM(time.Minute, 8)
+	seen := make(map[SFL]bool)
+	now := famEpoch
+	// Churn many flows through a tiny table: collisions and expiries
+	// must always mint fresh sfls.
+	for i := 0; i < 500; i++ {
+		id := FlowID{Src: "a", Dst: "b", SrcPort: uint16(i)}
+		sfl, isNew := f.Classify(id, now, 1)
+		if isNew {
+			if seen[sfl] {
+				t.Fatalf("sfl %d assigned to two flows", sfl)
+			}
+			seen[sfl] = true
+		}
+		now = now.Add(time.Second)
+	}
+}
+
+func TestFAMCollisionCounted(t *testing.T) {
+	f := testFAM(time.Hour, 1) // single slot: every distinct tuple collides
+	f.Classify(FlowID{SrcPort: 1}, famEpoch, 1)
+	f.Classify(FlowID{SrcPort: 2}, famEpoch, 1)
+	s := f.Stats()
+	if s.Collisions != 1 {
+		t.Fatalf("Collisions = %d, want 1", s.Collisions)
+	}
+}
+
+func TestFAMSweeper(t *testing.T) {
+	f := testFAM(10*time.Minute, 64)
+	f.Classify(FlowID{SrcPort: 1}, famEpoch, 1)
+	f.Classify(FlowID{SrcPort: 2}, famEpoch.Add(5*time.Minute), 1)
+	if got := f.ActiveFlows(); got != 2 {
+		t.Fatalf("ActiveFlows = %d, want 2", got)
+	}
+	// At +12min the first flow is idle >10min, the second is not.
+	if n := f.Sweep(famEpoch.Add(12 * time.Minute)); n != 1 {
+		t.Fatalf("Sweep expired %d, want 1", n)
+	}
+	if got := f.ActiveFlows(); got != 1 {
+		t.Fatalf("ActiveFlows after sweep = %d, want 1", got)
+	}
+	if f.Stats().Expirations != 1 {
+		t.Fatal("expirations not counted")
+	}
+}
+
+func TestFAMAccounting(t *testing.T) {
+	f := testFAM(time.Hour, 4)
+	id := FlowID{Src: "a", Dst: "b"}
+	_, _, slot := f.classify(id, famEpoch, 100)
+	f.classify(id, famEpoch.Add(time.Second), 150)
+	e := f.entry(slot)
+	if e.Packets != 2 || e.Bytes != 250 {
+		t.Fatalf("entry accounting = %d pkts %d bytes", e.Packets, e.Bytes)
+	}
+	if !e.Created.Equal(famEpoch) || !e.Last.Equal(famEpoch.Add(time.Second)) {
+		t.Fatal("entry times wrong")
+	}
+}
+
+func TestHostPairPolicyAggregates(t *testing.T) {
+	f := newFAMWithSeed(HostPairPolicy{}, 64, 5)
+	a := FlowID{Src: "a", Dst: "b", Proto: 6, SrcPort: 1, DstPort: 80}
+	b := FlowID{Src: "a", Dst: "b", Proto: 17, SrcPort: 999, DstPort: 53}
+	c := FlowID{Src: "a", Dst: "c", Proto: 6, SrcPort: 1, DstPort: 80}
+	s1, _ := f.Classify(a, famEpoch, 1)
+	s2, _ := f.Classify(b, famEpoch.Add(time.Hour*100), 1) // never expires
+	s3, _ := f.Classify(c, famEpoch, 1)
+	if s1 != s2 {
+		t.Fatal("host-pair policy separated same-pair traffic")
+	}
+	if s1 == s3 {
+		t.Fatal("host-pair policy merged different pairs")
+	}
+}
+
+func TestHostPairPolicyWithThreshold(t *testing.T) {
+	f := newFAMWithSeed(HostPairPolicy{Threshold: time.Minute}, 64, 5)
+	id := FlowID{Src: "a", Dst: "b"}
+	s1, _ := f.Classify(id, famEpoch, 1)
+	s2, isNew := f.Classify(id, famEpoch.Add(2*time.Minute), 1)
+	if !isNew || s1 == s2 {
+		t.Fatal("host-pair flow with threshold did not expire")
+	}
+	if f.Sweep(famEpoch.Add(10*time.Minute)) != 1 {
+		t.Fatal("sweeper did not expire host-pair flow")
+	}
+}
+
+func TestNewFAMValidation(t *testing.T) {
+	if _, err := NewFAM(nil, 0); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	f, err := NewFAM(ThresholdPolicy{Threshold: time.Minute}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.table) != DefaultFSTSize {
+		t.Fatalf("default table size = %d", len(f.table))
+	}
+}
+
+func TestNewFAMRandomizesSFL(t *testing.T) {
+	f1, _ := NewFAM(ThresholdPolicy{Threshold: time.Minute}, 8)
+	f2, _ := NewFAM(ThresholdPolicy{Threshold: time.Minute}, 8)
+	s1, _ := f1.Classify(FlowID{}, famEpoch, 1)
+	s2, _ := f2.Classify(FlowID{}, famEpoch, 1)
+	if s1 == s2 {
+		t.Fatal("two fresh FAMs minted the same first sfl; counter not randomised")
+	}
+}
+
+func TestFlowIDHashSpreadsSequentialPorts(t *testing.T) {
+	// Sequential ports from one host pair must spread across a small
+	// table (the Section 5.3 argument for CRC-32).
+	const size = 32
+	var hit [size]bool
+	p := ThresholdPolicy{}
+	for port := uint16(1024); port < 1024+128; port++ {
+		hit[p.Index(FlowID{Src: "10.0.0.1", Dst: "10.0.0.2", Proto: 6, SrcPort: port, DstPort: 80}, size)] = true
+	}
+	used := 0
+	for _, h := range hit {
+		if h {
+			used++
+		}
+	}
+	if used < size/2 {
+		t.Fatalf("128 sequential ports used only %d/%d slots", used, size)
+	}
+}
+
+func TestFAMSnapshot(t *testing.T) {
+	f := testFAM(10*time.Minute, 64)
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh FAM has %d flows", len(got))
+	}
+	f.Classify(FlowID{Src: "a", Dst: "b", SrcPort: 1}, famEpoch, 100)
+	f.Classify(FlowID{Src: "a", Dst: "b", SrcPort: 1}, famEpoch.Add(time.Second), 50)
+	f.Classify(FlowID{Src: "a", Dst: "b", SrcPort: 2}, famEpoch, 10)
+	snap := f.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d flows, want 2", len(snap))
+	}
+	for _, fi := range snap {
+		if fi.ID.SrcPort == 1 {
+			if fi.Packets != 2 || fi.Bytes != 150 {
+				t.Fatalf("flow accounting: %+v", fi)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"fbs/internal/transport"
+)
+
+// Native Go fuzz targets. `go test` runs them over the seed corpus;
+// `go test -fuzz=FuzzOpen ./internal/core` explores further.
+
+func FuzzHeaderDecode(f *testing.F) {
+	var h Header
+	h.Version = HeaderVersion
+	h.SFL = 42
+	f.Add(h.Encode(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize-1))
+	f.Add(make([]byte, HeaderSize+17))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var hh Header
+		n, err := hh.Decode(b)
+		if err == nil {
+			// A successful decode must consume exactly HeaderSize and
+			// re-encode to the same bytes.
+			if n != HeaderSize {
+				t.Fatalf("decode consumed %d", n)
+			}
+			re := hh.Encode(nil)
+			for i := range re {
+				if re[i] != b[i] {
+					t.Fatalf("re-encode differs at %d", i)
+				}
+			}
+		}
+	})
+}
+
+// fuzzWorld is built once per fuzz process.
+var fuzzEndpoint *Endpoint
+
+func fuzzReceiver(f *testing.F) *Endpoint {
+	f.Helper()
+	if fuzzEndpoint != nil {
+		return fuzzEndpoint
+	}
+	w := newWorld(f)
+	net := transport.NewNetwork(transport.Impairments{})
+	tr, err := net.Attach("fuzz-bob", 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ep, err := NewEndpoint(Config{
+		Identity:  w.principal(f, "fuzz-bob"),
+		Transport: tr,
+		Directory: w.dir,
+		Verifier:  w.ver,
+		Clock:     w.clock,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.principal(f, "fuzz-alice")
+	fuzzEndpoint = ep
+	return ep
+}
+
+func FuzzOpen(f *testing.F) {
+	ep := fuzzReceiver(f)
+	var h Header
+	h.Version = HeaderVersion
+	f.Add(h.Encode(nil))
+	f.Add([]byte("short"))
+	f.Add(append(h.Encode(nil), make([]byte, 64)...))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// Must never panic; must never accept (no key material in the
+		// fuzzer's hands).
+		if _, err := ep.Open(transport.Datagram{
+			Source:      "fuzz-alice",
+			Destination: "fuzz-bob",
+			Payload:     payload,
+		}); err == nil {
+			t.Fatal("fuzzer forged an acceptable datagram")
+		}
+	})
+}

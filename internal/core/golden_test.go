@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/big"
+	"testing"
+	"time"
+
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// Golden wire-format vectors: with every input pinned (private values,
+// sfl, confounder, clock), the sealed datagram bytes are fully
+// deterministic. These tests freeze the wire format — any change that
+// breaks interoperability with previously generated traffic fails here.
+
+// goldenFlowKey pins the flow key derivation.
+func TestGoldenFlowKey(t *testing.T) {
+	var master [16]byte
+	copy(master[:], []byte{
+		0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+		0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff,
+	})
+	kf := FlowKey(cryptolib.HashMD5, 0x0123456789abcdef, master, "10.0.0.1", "10.0.0.2")
+	// K_f = MD5(sfl_be64 | master | len16|"10.0.0.1" | len16|"10.0.0.2")
+	want := cryptolib.MD5Sum(append(append(append(append([]byte{},
+		0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef),
+		master[:]...),
+		0x00, 0x08, '1', '0', '.', '0', '.', '0', '.', '1'),
+		0x00, 0x08, '1', '0', '.', '0', '.', '0', '.', '2'))
+	if kf != want {
+		t.Fatalf("flow key derivation changed:\n got %x\nwant %x", kf, want)
+	}
+}
+
+// TestGoldenHeaderBytes pins the header layout byte for byte.
+func TestGoldenHeaderBytes(t *testing.T) {
+	h := Header{
+		Version:    1,
+		Flags:      FlagSecret,
+		MAC:        cryptolib.MACPrefixMD5, // 0
+		Cipher:     CipherDES,              // 1
+		Mode:       cryptolib.CBC,          // 1
+		SFL:        0x1122334455667788,
+		Confounder: 0xAABBCCDD,
+		Timestamp:  0x00112233,
+	}
+	for i := range h.MACValue {
+		h.MACValue[i] = byte(i)
+	}
+	got := h.Encode(nil)
+	want, _ := hex.DecodeString(
+		"01" + // version
+			"01" + // flags: secret
+			"00" + // MAC alg: keyed MD5
+			"11" + // cipher DES << 4 | mode CBC
+			"1122334455667788" + // sfl
+			"aabbccdd" + // confounder
+			"00112233" + // timestamp
+			"000102030405060708090a0b0c0d0e0f") // MAC
+	if !bytes.Equal(got, want) {
+		t.Fatalf("header layout changed:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestGoldenSealedDatagram pins an entire sealed datagram produced with
+// fully deterministic inputs.
+func TestGoldenSealedDatagram(t *testing.T) {
+	// Deterministic identities on the test group.
+	group := cryptolib.TestGroup
+	src, err := principal.NewIdentityWithPrivate("S", group, big.NewInt(0x5EED))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := principal.NewIdentityWithPrivate("D", group, big.NewInt(0xD00D))
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := src.MasterKey(dst.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic protocol inputs.
+	const sfl = SFL(1000)
+	const conf = uint32(0x01020304)
+	clock := NewSimClock(time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC))
+	ts := TimestampOf(clock.Now())
+	payload := []byte("golden payload 123")
+
+	// Build the sealed datagram exactly as Seal does.
+	kf := FlowKey(cryptolib.HashMD5, sfl, master, "S", "D")
+	h := Header{
+		Version:    HeaderVersion,
+		Flags:      FlagSecret,
+		MAC:        cryptolib.MACPrefixMD5,
+		Cipher:     CipherDES,
+		Mode:       cryptolib.CBC,
+		SFL:        sfl,
+		Confounder: conf,
+		Timestamp:  ts,
+	}
+	mi := h.macInput()
+	mac := cryptolib.MACPrefixMD5.Compute(kf[:], mi[:], payload)
+	copy(h.MACValue[:], mac)
+	cipher, err := cryptolib.NewDES(kf[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := h.iv()
+	body := cryptolib.Pad(payload, 8)
+	if _, err := cryptolib.EncryptMode(cipher, cryptolib.CBC, iv[:], body, body); err != nil {
+		t.Fatal(err)
+	}
+	wire := append(h.Encode(nil), body...)
+
+	// The self-check that matters: the golden construction is exactly
+	// what the endpoint produces and accepts. (The absolute bytes are
+	// pinned indirectly through TestGoldenHeaderBytes and
+	// TestGoldenFlowKey; the master key itself depends on the
+	// deterministically derived TestGroup prime.)
+	w := newWorld(t)
+	dstTr, err := transportAttach(t, w, "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild a receiving endpoint around the SAME deterministic
+	// identity (bypass the world's identity minting).
+	ep, err := NewEndpoint(Config{
+		Identity:  dst,
+		Transport: dstTr,
+		Directory: w.dir,
+		Verifier:  w.ver,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	// Publish S's certificate so D can key the reverse derivation.
+	cS, err := w.ca.Issue(src, clock.Now().Add(-time.Hour), clock.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.dir.Publish(cS)
+	got, err := ep.Open(transportDatagram("S", "D", wire))
+	if err != nil {
+		t.Fatalf("hand-built golden datagram rejected: %v", err)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("golden payload mismatch: %q", got.Payload)
+	}
+	// Determinism: building it twice gives identical bytes.
+	wire2 := append(h.Encode(nil), body...)
+	if !bytes.Equal(wire, wire2) {
+		t.Fatal("golden construction not deterministic")
+	}
+}
+
+func transportAttach(t *testing.T, _ *testWorld, name principal.Address) (transport.Transport, error) {
+	t.Helper()
+	net := transport.NewNetwork(transport.Impairments{})
+	return net.Attach(name, 16)
+}
+
+func transportDatagram(src, dst principal.Address, payload []byte) transport.Datagram {
+	return transport.Datagram{Source: src, Destination: dst, Payload: payload}
+}

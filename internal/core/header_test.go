@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fbs/internal/cryptolib"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(flags uint8, mac uint8, cipher uint8, mode uint8, sfl uint64, conf uint32, ts uint32, macv [MACLen]byte) bool {
+		h := Header{
+			Version:    HeaderVersion,
+			Flags:      flags,
+			MAC:        cryptolib.MACID(mac % 3),
+			Cipher:     CipherID(cipher % 3),
+			Mode:       cryptolib.Mode(mode % 4),
+			SFL:        SFL(sfl),
+			Confounder: conf,
+			Timestamp:  Timestamp(ts),
+			MACValue:   macv,
+		}
+		wire := h.Encode(nil)
+		if len(wire) != HeaderSize {
+			return false
+		}
+		var back Header
+		n, err := back.Decode(wire)
+		return err == nil && n == HeaderSize && back == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderDecodeErrors(t *testing.T) {
+	var h Header
+	if _, err := h.Decode(make([]byte, HeaderSize-1)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := make([]byte, HeaderSize)
+	bad[0] = 99 // unknown version
+	if _, err := h.Decode(bad); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestHeaderSecretFlag(t *testing.T) {
+	h := Header{}
+	if h.Secret() {
+		t.Error("zero header claims secret")
+	}
+	h.Flags |= FlagSecret
+	if !h.Secret() {
+		t.Error("FlagSecret not detected")
+	}
+}
+
+func TestHeaderIVDuplicatesConfounder(t *testing.T) {
+	h := Header{Confounder: 0xDEADBEEF}
+	iv := h.iv()
+	want := [8]byte{0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF}
+	if iv != want {
+		t.Fatalf("iv = %x, want %x", iv, want)
+	}
+}
+
+func TestTimestampEncoding(t *testing.T) {
+	// The paper encodes minutes since 1996-01-01 00:00 GMT.
+	if TimestampOf(TimestampEpoch) != 0 {
+		t.Error("epoch timestamp not zero")
+	}
+	later := TimestampEpoch.Add(90 * time.Minute)
+	if TimestampOf(later) != 90 {
+		t.Errorf("90 minutes = %d", TimestampOf(later))
+	}
+	if got := Timestamp(90).Time(); !got.Equal(later) {
+		t.Errorf("Time() = %v, want %v", got, later)
+	}
+	// Pre-epoch times clamp to zero rather than wrapping.
+	if TimestampOf(TimestampEpoch.Add(-time.Hour)) != 0 {
+		t.Error("pre-epoch timestamp did not clamp")
+	}
+}
+
+func TestTimestampFresh(t *testing.T) {
+	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	window := 10 * time.Minute
+	cases := []struct {
+		delta time.Duration
+		want  bool
+	}{
+		{0, true},
+		{-5 * time.Minute, true},
+		{5 * time.Minute, true},
+		{-11 * time.Minute, false},
+		{11 * time.Minute, false},
+		{-10 * time.Minute, true},
+	}
+	for _, c := range cases {
+		ts := TimestampOf(now.Add(c.delta))
+		if got := ts.Fresh(now, window); got != c.want {
+			t.Errorf("delta %v: Fresh = %v, want %v", c.delta, got, c.want)
+		}
+	}
+}
+
+func TestCipherIDStringsAndErrors(t *testing.T) {
+	if CipherDES.String() != "DES" || Cipher3DES.String() != "3DES" || CipherNone.String() != "none" {
+		t.Error("bad cipher names")
+	}
+	var key [16]byte
+	if _, err := CipherNone.newCipher(key[:]); err == nil {
+		t.Error("CipherNone produced a cipher")
+	}
+	if c, err := CipherDES.newCipher(key[:]); err != nil || c.BlockSize() != 8 {
+		t.Error("DES cipher construction failed")
+	}
+	if c, err := Cipher3DES.newCipher(key[:]); err != nil || c.BlockSize() != 8 {
+		t.Error("3DES cipher construction failed")
+	}
+}
+
+func TestSimClock(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewSimClock(start)
+	if !c.Now().Equal(start) {
+		t.Error("SimClock initial time wrong")
+	}
+	c.Advance(time.Hour)
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("Advance failed")
+	}
+	c.Set(start)
+	if !c.Now().Equal(start) {
+		t.Error("Set failed")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+)
+
+// FlowKey derives the per-flow key K_f = H(sfl | K_{S,D} | S | D)
+// (Section 5.2). Knowing K_f reveals neither K_{S,D} nor any other flow
+// key, because H is one way; including S and D ties the key to the
+// directed principal pair.
+func FlowKey(hash cryptolib.HashID, sfl SFL, master [16]byte, src, dst principal.Address) [16]byte {
+	var sflBytes [8]byte
+	binary.BigEndian.PutUint64(sflBytes[:], uint64(sfl))
+	sum := cryptolib.Digest(hash, sflBytes[:], master[:], src.Wire(), dst.Wire())
+	var out [16]byte
+	copy(out[:], sum)
+	return out
+}
+
+// flowCacheKey indexes the transmission and receive flow key caches. Per
+// Section 5.3 the TFKC is indexed by (sfl, D, S) — S is included for
+// multi-homed principals (footnote 7).
+type flowCacheKey struct {
+	SFL SFL
+	Dst principal.Address
+	Src principal.Address
+}
+
+func (k flowCacheKey) hash() uint32 {
+	state := uint32(0xFFFFFFFF)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(k.SFL))
+	state = cryptolib.CRC32Update(state, b[:])
+	state = cryptolib.CRC32Update(state, []byte(k.Dst))
+	state = cryptolib.CRC32Update(state, []byte(k.Src))
+	return state ^ 0xFFFFFFFF
+}
+
+func addrHash(a principal.Address) uint32 { return cryptolib.CRC32([]byte(a)) }
+
+// KeyServiceStats counts keying activity below the flow key caches.
+type KeyServiceStats struct {
+	MasterKeyRequests uint64
+	MasterKeyComputes uint64 // modular exponentiations performed
+	CertFetches       uint64 // directory round trips (PVC misses)
+	CertVerifies      uint64
+	Failures          uint64
+}
+
+// KeyService implements the zero-message keying mechanism below the flow
+// key level: the public value cache (PVC), the master key cache (MKC),
+// certificate fetching and verification, and the Diffie-Hellman master
+// key computation. It is what the master key daemon (MKD) serves upcalls
+// from (Section 5.3, Figure 5).
+type KeyService struct {
+	self     *principal.Identity
+	dir      cert.Directory
+	verifier cert.CertVerifier
+	clock    Clock
+
+	pvc *DirectMapped[principal.Address, *cert.Certificate]
+	mkc *DirectMapped[principal.Address, [16]byte]
+
+	mu    sync.Mutex
+	stats KeyServiceStats
+}
+
+// KeyServiceConfig sizes the key caches.
+type KeyServiceConfig struct {
+	// PVCSize should be at least the expected number of concurrent
+	// correspondent principals — PVC misses cost a network round trip.
+	PVCSize int
+	// MKCSize bounds cached pair-based master keys; an MKC miss costs a
+	// modular exponentiation.
+	MKCSize int
+}
+
+// NewKeyService wires the keying mechanism for one principal.
+func NewKeyService(self *principal.Identity, dir cert.Directory, verifier cert.CertVerifier, clock Clock, cfg KeyServiceConfig) *KeyService {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	if cfg.PVCSize <= 0 {
+		cfg.PVCSize = 64
+	}
+	if cfg.MKCSize <= 0 {
+		cfg.MKCSize = 64
+	}
+	return &KeyService{
+		self:     self,
+		dir:      dir,
+		verifier: verifier,
+		clock:    clock,
+		pvc:      NewDirectMapped[principal.Address, *cert.Certificate](cfg.PVCSize, addrHash),
+		mkc:      NewDirectMapped[principal.Address, [16]byte](cfg.MKCSize, addrHash),
+	}
+}
+
+// Self returns the principal this service keys for.
+func (ks *KeyService) Self() *principal.Identity { return ks.self }
+
+// MasterKey returns the pair-based master key with peer, computing and
+// caching it as needed. The path mirrors Figure 6: MKC hit → done;
+// otherwise PVC (fetching and verifying a certificate on miss), then one
+// modular exponentiation, then install in the MKC.
+func (ks *KeyService) MasterKey(peer principal.Address) ([16]byte, error) {
+	ks.mu.Lock()
+	ks.stats.MasterKeyRequests++
+	ks.mu.Unlock()
+	if k, ok := ks.mkc.Get(peer); ok {
+		return k, nil
+	}
+	c, err := ks.certificate(peer)
+	if err != nil {
+		ks.fail()
+		return [16]byte{}, err
+	}
+	k, err := ks.self.MasterKey(c.Public)
+	if err != nil {
+		ks.fail()
+		return [16]byte{}, fmt.Errorf("core: master key with %q: %w", peer, err)
+	}
+	ks.mu.Lock()
+	ks.stats.MasterKeyComputes++
+	ks.mu.Unlock()
+	ks.mkc.Put(peer, k)
+	return k, nil
+}
+
+// certificate returns a verified certificate for peer, via the PVC. The
+// certificate is verified on every use — the PVC need not be a secure
+// store because of this (Section 5.3).
+func (ks *KeyService) certificate(peer principal.Address) (*cert.Certificate, error) {
+	now := ks.clock.Now()
+	c, ok := ks.pvc.Get(peer)
+	if !ok {
+		var err error
+		ks.mu.Lock()
+		ks.stats.CertFetches++
+		ks.mu.Unlock()
+		c, err = ks.dir.Lookup(peer)
+		if err != nil {
+			return nil, fmt.Errorf("core: fetching certificate for %q: %w", peer, err)
+		}
+		ks.pvc.Put(peer, c)
+	}
+	ks.mu.Lock()
+	ks.stats.CertVerifies++
+	ks.mu.Unlock()
+	if err := ks.verifier.Verify(c, peer, now); err != nil {
+		// A cached certificate may simply have expired; drop it and
+		// refetch once.
+		ks.pvc.Invalidate(peer)
+		fresh, ferr := ks.dir.Lookup(peer)
+		if ferr != nil {
+			return nil, err
+		}
+		ks.mu.Lock()
+		ks.stats.CertFetches++
+		ks.stats.CertVerifies++
+		ks.mu.Unlock()
+		if verr := ks.verifier.Verify(fresh, peer, now); verr != nil {
+			return nil, verr
+		}
+		ks.pvc.Put(peer, fresh)
+		c = fresh
+	}
+	return c, nil
+}
+
+// Pin installs a certificate directly into the PVC ("pin certain
+// certificates in the cache upon initialization", Section 5.3). The
+// certificate is still verified on each use.
+func (ks *KeyService) Pin(c *cert.Certificate) { ks.pvc.Put(c.Subject, c) }
+
+// InvalidatePeer drops cached state for peer (e.g. after learning it
+// rekeyed).
+func (ks *KeyService) InvalidatePeer(peer principal.Address) {
+	ks.pvc.Invalidate(peer)
+	ks.mkc.Invalidate(peer)
+}
+
+// Stats returns a snapshot of keying counters.
+func (ks *KeyService) Stats() KeyServiceStats {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.stats
+}
+
+// PVCStats and MKCStats expose the underlying cache counters.
+func (ks *KeyService) PVCStats() CacheStats { return ks.pvc.Stats() }
+
+// MKCStats exposes the master key cache counters.
+func (ks *KeyService) MKCStats() CacheStats { return ks.mkc.Stats() }
+
+func (ks *KeyService) fail() {
+	ks.mu.Lock()
+	ks.stats.Failures++
+	ks.mu.Unlock()
+}
+
+// now is a helper for tests.
+func (ks *KeyService) now() time.Time { return ks.clock.Now() }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+)
+
+// testWorld is a small universe: a CA, a directory, and identities.
+type testWorld struct {
+	ca    *cert.Authority
+	dir   *cert.StaticDirectory
+	ver   *cert.Verifier
+	clock *SimClock
+	ids   map[principal.Address]*principal.Identity
+}
+
+var (
+	worldOnce sync.Once
+	worldCA   *cert.Authority
+)
+
+func newWorld(t testing.TB) *testWorld {
+	t.Helper()
+	worldOnce.Do(func() {
+		ca, err := cert.NewAuthority("test-root", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worldCA = ca
+	})
+	return &testWorld{
+		ca:    worldCA,
+		dir:   cert.NewStaticDirectory(),
+		ver:   &cert.Verifier{CAKey: worldCA.PublicKey(), CA: "test-root"},
+		clock: NewSimClock(time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)),
+		ids:   make(map[principal.Address]*principal.Identity),
+	}
+}
+
+func (w *testWorld) principal(t testing.TB, addr principal.Address) *principal.Identity {
+	t.Helper()
+	if id, ok := w.ids[addr]; ok {
+		return id
+	}
+	id, err := principal.NewIdentity(addr, cryptolib.TestGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.ca.Issue(id, w.clock.Now().Add(-time.Hour), w.clock.Now().Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.dir.Publish(c)
+	w.ids[addr] = id
+	return id
+}
+
+func (w *testWorld) keyService(t testing.TB, addr principal.Address, cfg KeyServiceConfig) *KeyService {
+	t.Helper()
+	return NewKeyService(w.principal(t, addr), w.dir, w.ver, w.clock, cfg)
+}
+
+func TestKeyServiceMasterKeySymmetric(t *testing.T) {
+	w := newWorld(t)
+	ksA := w.keyService(t, "a", KeyServiceConfig{})
+	ksB := w.keyService(t, "b", KeyServiceConfig{})
+	ka, err := ksA.MasterKey("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := ksB.MasterKey("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatal("the two sides computed different master keys")
+	}
+}
+
+func TestKeyServiceCaching(t *testing.T) {
+	w := newWorld(t)
+	w.principal(t, "peer")
+	ks := w.keyService(t, "self", KeyServiceConfig{})
+	for i := 0; i < 5; i++ {
+		if _, err := ks.MasterKey("peer"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := ks.Stats()
+	if s.MasterKeyComputes != 1 {
+		t.Fatalf("MasterKeyComputes = %d, want 1 (MKC should absorb repeats)", s.MasterKeyComputes)
+	}
+	if s.CertFetches != 1 {
+		t.Fatalf("CertFetches = %d, want 1 (PVC should absorb repeats)", s.CertFetches)
+	}
+	if mkc := ks.MKCStats(); mkc.Hits != 4 {
+		t.Fatalf("MKC hits = %d, want 4", mkc.Hits)
+	}
+}
+
+func TestKeyServiceUnknownPeer(t *testing.T) {
+	w := newWorld(t)
+	ks := w.keyService(t, "self", KeyServiceConfig{})
+	if _, err := ks.MasterKey("ghost"); err == nil {
+		t.Fatal("master key for unpublished peer succeeded")
+	}
+	if ks.Stats().Failures != 1 {
+		t.Fatal("failure not counted")
+	}
+}
+
+func TestKeyServiceExpiredCertRefetch(t *testing.T) {
+	w := newWorld(t)
+	peer := w.principal(t, "peer")
+	ks := w.keyService(t, "self", KeyServiceConfig{})
+	if _, err := ks.MasterKey("peer"); err != nil {
+		t.Fatal(err)
+	}
+	// Jump past expiry; the cached cert fails verification. With a
+	// fresh cert published, the service must refetch transparently.
+	w.clock.Advance(48 * time.Hour)
+	fresh, err := w.ca.Issue(peer, w.clock.Now().Add(-time.Hour), w.clock.Now().Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.dir.Publish(fresh)
+	ks.InvalidatePeer("peer") // drop the MKC entry so the cert path runs
+	if _, err := ks.MasterKey("peer"); err != nil {
+		t.Fatalf("refetch after expiry failed: %v", err)
+	}
+	if ks.Stats().CertFetches < 2 {
+		t.Fatal("no refetch happened")
+	}
+}
+
+func TestKeyServicePinnedCertificate(t *testing.T) {
+	w := newWorld(t)
+	peer := w.principal(t, "peer")
+	// Service with an EMPTY directory: only the pinned cert can work.
+	emptyDir := cert.NewStaticDirectory()
+	ks := NewKeyService(w.principal(t, "self"), emptyDir, w.ver, w.clock, KeyServiceConfig{})
+	c, err := w.ca.Issue(peer, w.clock.Now().Add(-time.Hour), w.clock.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks.Pin(c)
+	if _, err := ks.MasterKey("peer"); err != nil {
+		t.Fatalf("pinned certificate not used: %v", err)
+	}
+	if ks.Stats().CertFetches != 0 {
+		t.Fatal("pinning still hit the directory")
+	}
+}
+
+func TestFlowKeyProperties(t *testing.T) {
+	var master [16]byte
+	copy(master[:], "0123456789abcdef")
+	k1 := FlowKey(cryptolib.HashMD5, 1, master, "s", "d")
+	// Distinct on every input.
+	if k1 == FlowKey(cryptolib.HashMD5, 2, master, "s", "d") {
+		t.Error("flow key ignores sfl")
+	}
+	if k1 == FlowKey(cryptolib.HashMD5, 1, master, "x", "d") {
+		t.Error("flow key ignores source")
+	}
+	if k1 == FlowKey(cryptolib.HashMD5, 1, master, "s", "x") {
+		t.Error("flow key ignores destination")
+	}
+	var otherMaster [16]byte
+	copy(otherMaster[:], "fedcba9876543210")
+	if k1 == FlowKey(cryptolib.HashMD5, 1, otherMaster, "s", "d") {
+		t.Error("flow key ignores master key")
+	}
+	// Deterministic.
+	if k1 != FlowKey(cryptolib.HashMD5, 1, master, "s", "d") {
+		t.Error("flow key not deterministic")
+	}
+	// Directionality: flows are unidirectional (Section 5.2), so the
+	// reverse direction keys differently.
+	if k1 == FlowKey(cryptolib.HashMD5, 1, master, "d", "s") {
+		t.Error("flow key symmetric in direction")
+	}
+}
+
+// Flow key derivation must be unambiguous: the (sfl, S, D) encoding uses
+// length-prefixed addresses, so shifting bytes between S and D changes
+// the key.
+func TestFlowKeyUnambiguousEncoding(t *testing.T) {
+	var master [16]byte
+	a := FlowKey(cryptolib.HashMD5, 7, master, "ab", "c")
+	b := FlowKey(cryptolib.HashMD5, 7, master, "a", "bc")
+	if a == b {
+		t.Fatal("address boundary ambiguity in flow key derivation")
+	}
+}
+
+func TestMKDCoalescesUpcalls(t *testing.T) {
+	w := newWorld(t)
+	w.principal(t, "peer")
+	ks := w.keyService(t, "self", KeyServiceConfig{})
+	mkd := NewMKD(ks)
+	defer mkd.Stop()
+	const n = 16
+	var wg sync.WaitGroup
+	keys := make([][16]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, err := mkd.Upcall("peer")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			keys[i] = k
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if keys[i] != keys[0] {
+			t.Fatal("upcalls returned different keys")
+		}
+	}
+	if got := mkd.Upcalls(); got != n {
+		t.Fatalf("Upcalls = %d, want %d", got, n)
+	}
+	// The whole burst should cost at most a couple of exponentiations
+	// (single-flight may admit a second batch that raced the first).
+	if c := ks.Stats().MasterKeyComputes; c > 2 {
+		t.Fatalf("MasterKeyComputes = %d for %d coalesced upcalls", c, n)
+	}
+}
+
+func TestMKDStop(t *testing.T) {
+	w := newWorld(t)
+	ks := w.keyService(t, "self", KeyServiceConfig{})
+	mkd := NewMKD(ks)
+	mkd.Stop()
+	mkd.Stop() // idempotent
+	if _, err := mkd.Upcall("peer"); err != ErrMKDStopped {
+		t.Fatalf("Upcall after Stop = %v, want ErrMKDStopped", err)
+	}
+}

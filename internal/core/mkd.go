@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"fbs/internal/principal"
+)
+
+// MKD is the master key daemon of Figure 5. In the paper's in-kernel
+// implementation, kernel send/receive processing Upcall()s a user-level
+// daemon on an MKC miss; the daemon fetches certificates over the secure
+// flow bypass, computes the Diffie-Hellman master key, and installs it.
+// Here the daemon is a goroutine serving requests over a channel, with
+// single-flight coalescing so a burst of datagrams to a new peer costs
+// one certificate fetch and one exponentiation — the behaviour the
+// paper's caching design is built around.
+type MKD struct {
+	ks *KeyService
+
+	mu       sync.Mutex
+	inflight map[principal.Address][]chan mkdResult
+	reqs     chan principal.Address
+	done     chan struct{}
+	once     sync.Once
+
+	upcalls uint64
+}
+
+type mkdResult struct {
+	key [16]byte
+	err error
+}
+
+// ErrMKDStopped is returned by Upcall after Stop.
+var ErrMKDStopped = errors.New("core: master key daemon stopped")
+
+// NewMKD starts a master key daemon over the key service.
+func NewMKD(ks *KeyService) *MKD {
+	m := &MKD{
+		ks:       ks,
+		inflight: make(map[principal.Address][]chan mkdResult),
+		reqs:     make(chan principal.Address, 64),
+		done:     make(chan struct{}),
+	}
+	go m.serve()
+	return m
+}
+
+func (m *MKD) serve() {
+	for {
+		select {
+		case peer := <-m.reqs:
+			key, err := m.ks.MasterKey(peer)
+			m.mu.Lock()
+			waiters := m.inflight[peer]
+			delete(m.inflight, peer)
+			m.mu.Unlock()
+			for _, w := range waiters {
+				w <- mkdResult{key: key, err: err}
+			}
+		case <-m.done:
+			m.mu.Lock()
+			for peer, waiters := range m.inflight {
+				for _, w := range waiters {
+					w <- mkdResult{err: ErrMKDStopped}
+				}
+				delete(m.inflight, peer)
+			}
+			m.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Upcall blocks until the daemon has the pair-based master key for peer.
+// Concurrent upcalls for the same peer are coalesced into one
+// computation.
+func (m *MKD) Upcall(peer principal.Address) ([16]byte, error) {
+	ch := make(chan mkdResult, 1)
+	m.mu.Lock()
+	select {
+	case <-m.done:
+		m.mu.Unlock()
+		return [16]byte{}, ErrMKDStopped
+	default:
+	}
+	m.upcalls++
+	first := len(m.inflight[peer]) == 0
+	m.inflight[peer] = append(m.inflight[peer], ch)
+	m.mu.Unlock()
+	if first {
+		select {
+		case m.reqs <- peer:
+		case <-m.done:
+			return [16]byte{}, ErrMKDStopped
+		}
+	}
+	r := <-ch
+	return r.key, r.err
+}
+
+// Upcalls returns how many upcalls were made.
+func (m *MKD) Upcalls() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.upcalls
+}
+
+// Stop terminates the daemon; pending upcalls fail with ErrMKDStopped.
+func (m *MKD) Stop() {
+	m.once.Do(func() { close(m.done) })
+}

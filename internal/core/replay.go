@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// The paper's replay defence is the window-based timestamp check of
+// Section 6.2: stateless, loose-synchronisation-only, and deliberately
+// imperfect — an attacker replaying within the freshness window succeeds,
+// and higher layers (TCP sequencing, application nonces) are expected to
+// finish the job.
+//
+// ReplayCache is an optional extension beyond the paper: it remembers the
+// (sfl, confounder, timestamp) triples accepted within the freshness
+// window and rejects exact duplicates. The memory is still soft state —
+// dropping it merely re-opens the paper's documented in-window replay
+// exposure, it never breaks the protocol — so datagram semantics are
+// preserved. The paper hints at exactly this trade-off when noting that
+// "complete replay protection can only be achieved in high-layer
+// protocols".
+
+// replaySig identifies a datagram within the freshness window.
+type replaySig struct {
+	SFL        SFL
+	Confounder uint32
+	Timestamp  Timestamp
+	MAC        [8]byte // first half of the MAC disambiguates confounder collisions
+}
+
+// ReplayCache suppresses exact duplicates inside the freshness window.
+// It is safe for concurrent use.
+type ReplayCache struct {
+	mu     sync.Mutex
+	window time.Duration
+	seen   map[replaySig]time.Time
+	// sweepEvery bounds how often the map is scanned for expiry.
+	lastSweep time.Time
+}
+
+// NewReplayCache creates a cache whose entries expire after window (use
+// the endpoint's freshness window).
+func NewReplayCache(window time.Duration) *ReplayCache {
+	return &ReplayCache{
+		window: window,
+		seen:   make(map[replaySig]time.Time),
+	}
+}
+
+// Seen records the datagram and reports whether an identical one was
+// already accepted within the window.
+func (r *ReplayCache) Seen(h *Header, now time.Time) bool {
+	var sig replaySig
+	sig.SFL = h.SFL
+	sig.Confounder = h.Confounder
+	sig.Timestamp = h.Timestamp
+	copy(sig.MAC[:], h.MACValue[:8])
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now.Sub(r.lastSweep) > r.window {
+		for k, t := range r.seen {
+			if now.Sub(t) > r.window {
+				delete(r.seen, k)
+			}
+		}
+		r.lastSweep = now
+	}
+	if t, ok := r.seen[sig]; ok && now.Sub(t) <= r.window {
+		return true
+	}
+	r.seen[sig] = now
+	return false
+}
+
+// Len returns the number of remembered datagrams (for tests and
+// monitoring).
+func (r *ReplayCache) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.seen)
+}

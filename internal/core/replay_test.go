@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReplayCacheDetectsDuplicates(t *testing.T) {
+	rc := NewReplayCache(10 * time.Minute)
+	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	h := &Header{SFL: 1, Confounder: 42, Timestamp: TimestampOf(now)}
+	if rc.Seen(h, now) {
+		t.Fatal("first sighting reported as duplicate")
+	}
+	if !rc.Seen(h, now.Add(time.Second)) {
+		t.Fatal("exact duplicate not detected")
+	}
+	// A different confounder is a different datagram.
+	h2 := *h
+	h2.Confounder = 43
+	if rc.Seen(&h2, now) {
+		t.Fatal("distinct datagram flagged as duplicate")
+	}
+	// Different MAC (e.g. different payload, same confounder by chance).
+	h3 := *h
+	h3.MACValue[0] = 0xFF
+	if rc.Seen(&h3, now) {
+		t.Fatal("distinct-MAC datagram flagged as duplicate")
+	}
+}
+
+func TestReplayCacheExpires(t *testing.T) {
+	rc := NewReplayCache(time.Minute)
+	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	h := &Header{SFL: 9, Confounder: 7}
+	rc.Seen(h, now)
+	// Outside the window the entry no longer matters (the freshness
+	// check would reject the datagram anyway).
+	if rc.Seen(h, now.Add(2*time.Minute)) {
+		t.Fatal("expired entry still flagged as duplicate")
+	}
+}
+
+func TestReplayCacheSweeps(t *testing.T) {
+	rc := NewReplayCache(time.Minute)
+	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	for i := uint32(0); i < 100; i++ {
+		rc.Seen(&Header{SFL: 1, Confounder: i}, now)
+	}
+	if rc.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", rc.Len())
+	}
+	// A sighting two minutes later sweeps the expired entries.
+	rc.Seen(&Header{SFL: 2, Confounder: 0}, now.Add(2*time.Minute))
+	if rc.Len() > 2 {
+		t.Fatalf("Len after sweep = %d, want <= 2", rc.Len())
+	}
+}

@@ -1,0 +1,193 @@
+package cryptolib
+
+import (
+	"bytes"
+	stddes "crypto/des"
+	"crypto/rand"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// TestDESKnownAnswer checks the canonical FIPS-46 style vector.
+func TestDESKnownAnswer(t *testing.T) {
+	key, _ := hex.DecodeString("133457799BBCDFF1")
+	pt, _ := hex.DecodeString("0123456789ABCDEF")
+	want, _ := hex.DecodeString("85E813540F0AB405")
+	d, err := NewDES(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	d.EncryptBlock(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("DES(%x, %x) = %x, want %x", key, pt, got, want)
+	}
+	back := make([]byte, 8)
+	d.DecryptBlock(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt: got %x, want %x", back, pt)
+	}
+}
+
+// TestDESAgainstStdlib cross-checks our DES against crypto/des on random
+// keys and blocks.
+func TestDESAgainstStdlib(t *testing.T) {
+	f := func(key [8]byte, block [8]byte) bool {
+		ours, err := NewDES(key[:])
+		if err != nil {
+			return false
+		}
+		std, err := stddes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		a := make([]byte, 8)
+		b := make([]byte, 8)
+		ours.EncryptBlock(a, block[:])
+		std.Encrypt(b, block[:])
+		if !bytes.Equal(a, b) {
+			return false
+		}
+		ours.DecryptBlock(a, a)
+		return bytes.Equal(a, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleDESAgainstStdlib(t *testing.T) {
+	for _, klen := range []int{16, 24} {
+		key := make([]byte, klen)
+		if _, err := rand.Read(key); err != nil {
+			t.Fatal(err)
+		}
+		stdKey := key
+		if klen == 16 {
+			stdKey = append(append([]byte{}, key...), key[:8]...)
+		}
+		ours, err := NewTripleDES(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std, err := stddes.NewTripleDESCipher(stdKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		block := make([]byte, 8)
+		rand.Read(block)
+		a := make([]byte, 8)
+		b := make([]byte, 8)
+		ours.EncryptBlock(a, block)
+		std.Encrypt(b, block)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("3DES keylen %d: got %x, want %x", klen, a, b)
+		}
+		ours.DecryptBlock(a, a)
+		if !bytes.Equal(a, block) {
+			t.Fatalf("3DES keylen %d: roundtrip failed", klen)
+		}
+	}
+}
+
+func TestDESKeyLengthErrors(t *testing.T) {
+	if _, err := NewDES(make([]byte, 7)); err == nil {
+		t.Error("NewDES accepted a 7-byte key")
+	}
+	if _, err := NewDES(make([]byte, 9)); err == nil {
+		t.Error("NewDES accepted a 9-byte key")
+	}
+	if _, err := NewTripleDES(make([]byte, 8)); err == nil {
+		t.Error("NewTripleDES accepted an 8-byte key")
+	}
+}
+
+// TestDESInPlace verifies dst may alias src.
+func TestDESInPlace(t *testing.T) {
+	key := []byte("8bytekey")
+	d, err := NewDES(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("datagram")
+	orig := append([]byte{}, buf...)
+	d.EncryptBlock(buf, buf)
+	if bytes.Equal(buf, orig) {
+		t.Fatal("encryption was a no-op")
+	}
+	d.DecryptBlock(buf, buf)
+	if !bytes.Equal(buf, orig) {
+		t.Fatalf("in-place roundtrip: got %q, want %q", buf, orig)
+	}
+}
+
+// TestDESComplementProperty checks the classic DES complementation
+// property: E(~k, ~p) = ~E(k, p). This exercises every table.
+func TestDESComplementProperty(t *testing.T) {
+	f := func(key [8]byte, block [8]byte) bool {
+		var nkey, nblock [8]byte
+		for i := range key {
+			nkey[i] = ^key[i]
+			nblock[i] = ^block[i]
+		}
+		d1, _ := NewDES(key[:])
+		d2, _ := NewDES(nkey[:])
+		a := make([]byte, 8)
+		b := make([]byte, 8)
+		d1.EncryptBlock(a, block[:])
+		d2.EncryptBlock(b, nblock[:])
+		for i := range a {
+			if a[i] != ^b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The table-accelerated path must agree exactly with the reference
+// implementation (and, transitively, with crypto/des).
+func TestDESFastMatchesReference(t *testing.T) {
+	f := func(key [8]byte, block uint64, decrypt bool) bool {
+		d, err := NewDES(key[:])
+		if err != nil {
+			return false
+		}
+		return d.crypt(block, decrypt) == d.cryptReference(block, decrypt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermTableMatchesPermute(t *testing.T) {
+	tables := []struct {
+		pt     *permTable
+		raw    []byte
+		inBits uint
+	}{
+		{ipTable, initialPermutation[:], 64},
+		{fpTable, finalPermutation[:], 64},
+		{eTable, expansion[:], 32},
+		{pTable, roundPermutation[:], 32},
+	}
+	f := func(x uint64) bool {
+		for _, tb := range tables {
+			in := x
+			if tb.inBits == 32 {
+				in &= 0xFFFFFFFF
+			}
+			if tb.pt.apply(in) != permute(in, tb.raw, tb.inBits) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package cryptolib
+
+// Table-accelerated bit permutations for DES. A FIPS-46 permutation is
+// linear over bitwise OR, so the output can be assembled from
+// per-input-byte contribution tables built once at init: eight 256-entry
+// lookups replace up to 64 single-bit moves. The naive permute() remains
+// as the reference; tests assert equality on random inputs.
+
+// permTable holds per-byte contributions for one permutation.
+type permTable struct {
+	inBytes int
+	tab     [8][256]uint64
+}
+
+// buildPermTable precomputes contributions for a permutation over inBits
+// input bits (inBits must be a multiple of 8).
+func buildPermTable(table []byte, inBits uint) *permTable {
+	p := &permTable{inBytes: int(inBits / 8)}
+	for bytePos := 0; bytePos < p.inBytes; bytePos++ {
+		shift := inBits - 8 - uint(bytePos)*8
+		for v := 0; v < 256; v++ {
+			p.tab[bytePos][v] = permute(uint64(v)<<shift, table, inBits)
+		}
+	}
+	return p
+}
+
+// apply runs the permutation via table lookups.
+func (p *permTable) apply(x uint64) uint64 {
+	var out uint64
+	for bytePos := 0; bytePos < p.inBytes; bytePos++ {
+		shift := uint((p.inBytes - 1 - bytePos) * 8)
+		out |= p.tab[bytePos][byte(x>>shift)]
+	}
+	return out
+}
+
+var (
+	ipTable = buildPermTable(initialPermutation[:], 64)
+	fpTable = buildPermTable(finalPermutation[:], 64)
+	eTable  = buildPermTable(expansion[:], 32)
+	pTable  = buildPermTable(roundPermutation[:], 32)
+)
+
+// feistelFast is feistel() with table-driven expansion and P.
+func feistelFast(r uint32, subkey uint64) uint32 {
+	x := eTable.apply(uint64(r)) ^ subkey
+	var out uint32
+	for i := 0; i < 8; i++ {
+		six := byte(x>>uint(42-6*i)) & 0x3f
+		row := (six>>4)&2 | six&1
+		col := (six >> 1) & 0xf
+		out = out<<4 | uint32(sboxes[i][row][col])
+	}
+	return uint32(pTable.apply(uint64(out)))
+}

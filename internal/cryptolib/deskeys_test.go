@@ -1,0 +1,97 @@
+package cryptolib
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixDESParity(t *testing.T) {
+	// Every output byte must have odd parity and differ from the input
+	// only in bit 0.
+	f := func(key [8]byte) bool {
+		out := FixDESParity(key)
+		for i := range out {
+			if out[i]&0xFE != key[i]&0xFE {
+				return false
+			}
+			ones := 0
+			for x := out[i]; x != 0; x >>= 1 {
+				ones += int(x & 1)
+			}
+			if ones%2 != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The defining property of a weak key: encryption is an involution.
+func TestWeakKeysAreInvolutions(t *testing.T) {
+	for _, w := range desWeakKeys[:4] {
+		d, err := NewDES(w[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		block := []byte("8 bytes!")
+		once := make([]byte, 8)
+		twice := make([]byte, 8)
+		d.EncryptBlock(once, block)
+		d.EncryptBlock(twice, once)
+		if !bytes.Equal(twice, block) {
+			t.Fatalf("weak key %x: E(E(x)) != x", w)
+		}
+	}
+}
+
+// The defining property of a semi-weak pair: E_k1 inverts E_k2.
+func TestSemiWeakPairs(t *testing.T) {
+	for i := 4; i < len(desWeakKeys); i += 2 {
+		k1, k2 := desWeakKeys[i], desWeakKeys[i+1]
+		d1, _ := NewDES(k1[:])
+		d2, _ := NewDES(k2[:])
+		block := []byte("datagram")
+		enc := make([]byte, 8)
+		dec := make([]byte, 8)
+		d1.EncryptBlock(enc, block)
+		d2.EncryptBlock(dec, enc)
+		if !bytes.Equal(dec, block) {
+			t.Fatalf("pair %x/%x: E_k2(E_k1(x)) != x", k1, k2)
+		}
+	}
+}
+
+func TestIsWeakDESKey(t *testing.T) {
+	for _, w := range desWeakKeys {
+		if !IsWeakDESKey(w) {
+			t.Errorf("weak key %x not detected", w)
+		}
+		// Parity bits must not matter.
+		var stripped [8]byte
+		for i := range w {
+			stripped[i] = w[i] & 0xFE
+		}
+		if !IsWeakDESKey(stripped) {
+			t.Errorf("weak key %x with parity stripped not detected", stripped)
+		}
+	}
+	if IsWeakDESKey([8]byte{'n', 'o', 'r', 'm', 'a', 'l', 'k', '!'}) {
+		t.Error("normal key flagged as weak")
+	}
+}
+
+func TestNewSafeDES(t *testing.T) {
+	if _, err := NewSafeDES(desWeakKeys[0][:]); err == nil {
+		t.Fatal("weak key accepted")
+	}
+	if _, err := NewSafeDES([]byte("goodkey!")); err != nil {
+		t.Fatalf("normal key rejected: %v", err)
+	}
+	if _, err := NewSafeDES(make([]byte, 3)); err == nil {
+		t.Fatal("short key accepted")
+	}
+}

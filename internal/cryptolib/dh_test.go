@@ -1,0 +1,90 @@
+package cryptolib
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestDHCommutes(t *testing.T) {
+	g := TestGroup
+	s, err := g.GeneratePrivate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.GeneratePrivate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPub := g.Public(s)
+	dPub := g.Public(d)
+	k1, err := g.Shared(s, dPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := g.Shared(d, sPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Cmp(k2) != 0 {
+		t.Fatal("g^sd != g^ds")
+	}
+	if MasterKey(k1) != MasterKey(k2) {
+		t.Fatal("master keys differ")
+	}
+}
+
+func TestDHRejectsDegenerate(t *testing.T) {
+	g := TestGroup
+	s, _ := g.GeneratePrivate()
+	bad := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(g.P, big.NewInt(1)),
+		new(big.Int).Neg(big.NewInt(5)),
+		new(big.Int).Add(g.P, big.NewInt(2)),
+	}
+	for _, b := range bad {
+		if _, err := g.Shared(s, b); err == nil {
+			t.Errorf("Shared accepted degenerate public value %v", b)
+		}
+	}
+}
+
+func TestOakleyGroups(t *testing.T) {
+	if Oakley1.Bits() != 768 {
+		t.Errorf("Oakley1 is %d bits, want 768", Oakley1.Bits())
+	}
+	if Oakley2.Bits() != 1024 {
+		t.Errorf("Oakley2 is %d bits, want 1024", Oakley2.Bits())
+	}
+	for _, g := range []DHGroup{Oakley1, Oakley2, TestGroup} {
+		if !g.P.ProbablyPrime(16) {
+			t.Error("group modulus is composite")
+		}
+	}
+}
+
+func TestDHDistinctPairsDistinctKeys(t *testing.T) {
+	g := TestGroup
+	a, _ := g.GeneratePrivate()
+	b, _ := g.GeneratePrivate()
+	c, _ := g.GeneratePrivate()
+	kab, _ := g.Shared(a, g.Public(b))
+	kac, _ := g.Shared(a, g.Public(c))
+	if kab.Cmp(kac) == 0 {
+		t.Fatal("different peers produced the same master secret")
+	}
+}
+
+func TestGeneratePrivateInRange(t *testing.T) {
+	g := TestGroup
+	for i := 0; i < 16; i++ {
+		x, err := g.GeneratePrivate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Cmp(big.NewInt(2)) < 0 || x.Cmp(g.P) >= 0 {
+			t.Fatalf("private value %v out of range", x)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package cryptolib
+
+import (
+	"bytes"
+	"crypto/hmac"
+	stdmd5 "crypto/md5"
+	stdsha1 "crypto/sha1"
+	"encoding/hex"
+	stdcrc "hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 1321 appendix A.5 test suite.
+func TestMD5RFC1321Vectors(t *testing.T) {
+	vectors := []struct{ in, want string }{
+		{"", "d41d8cd98f00b204e9800998ecf8427e"},
+		{"a", "0cc175b9c0f1b6a831c399e269772661"},
+		{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+		{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+		{"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+		{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789", "d174ab98d277d9f5a5611c2c9f419d9f"},
+		{"12345678901234567890123456789012345678901234567890123456789012345678901234567890", "57edf4a22be3c955ac49da2e2107b67a"},
+	}
+	for _, v := range vectors {
+		got := MD5Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("MD5(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+// FIPS 180 test vectors.
+func TestSHA1Vectors(t *testing.T) {
+	vectors := []struct{ in, want string }{
+		{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq", "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+		{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+	}
+	for _, v := range vectors {
+		got := SHA1Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			t.Errorf("SHA1(%q) = %x, want %s", v.in, got, v.want)
+		}
+	}
+}
+
+// Property: our digests match the standard library for random inputs and
+// arbitrary write chunking.
+func TestDigestsAgainstStdlib(t *testing.T) {
+	f := func(data []byte, splits []uint8) bool {
+		ours := NewMD5()
+		std := stdmd5.New()
+		rest := data
+		for _, s := range splits {
+			if len(rest) == 0 {
+				break
+			}
+			n := int(s) % (len(rest) + 1)
+			ours.Write(rest[:n])
+			std.Write(rest[:n])
+			rest = rest[n:]
+		}
+		ours.Write(rest)
+		std.Write(rest)
+		if !bytes.Equal(ours.Sum(nil), std.Sum(nil)) {
+			return false
+		}
+		s1 := SHA1Sum(data)
+		s2 := stdsha1.Sum(data)
+		return bytes.Equal(s1[:], s2[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSumDoesNotDisturbState ensures Sum may be called mid-stream.
+func TestSumDoesNotDisturbState(t *testing.T) {
+	m := NewMD5()
+	m.Write([]byte("hello "))
+	_ = m.Sum(nil)
+	m.Write([]byte("world"))
+	got := m.Sum(nil)
+	want := MD5Sum([]byte("hello world"))
+	if !bytes.Equal(got, want[:]) {
+		t.Fatalf("mid-stream Sum disturbed state: got %x want %x", got, want)
+	}
+}
+
+func TestHMACAgainstStdlib(t *testing.T) {
+	f := func(key, msg []byte) bool {
+		got := MACHMACMD5.Compute(key, msg)
+		std := hmac.New(stdmd5.New, key)
+		std.Write(msg)
+		if !bytes.Equal(got, std.Sum(nil)) {
+			return false
+		}
+		got = MACHMACSHA1.Compute(key, msg)
+		std2 := hmac.New(stdsha1.New, key)
+		std2.Write(msg)
+		return bytes.Equal(got, std2.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	key := []byte("flow key")
+	msg := []byte("confounder|timestamp|payload")
+	for _, id := range []MACID{MACPrefixMD5, MACHMACMD5, MACHMACSHA1} {
+		mac := id.Compute(key, msg)
+		if !id.Verify(key, mac, msg) {
+			t.Errorf("%v: correct MAC rejected", id)
+		}
+		if !id.Verify(key, mac[:8], msg) {
+			t.Errorf("%v: truncated MAC rejected", id)
+		}
+		mac[0] ^= 1
+		if id.Verify(key, mac, msg) {
+			t.Errorf("%v: corrupted MAC accepted", id)
+		}
+		if id.Verify(key, mac[:2], msg) {
+			t.Errorf("%v: too-short MAC accepted", id)
+		}
+		if id.Verify([]byte("other key"), id.Compute(key, msg), msg) {
+			t.Errorf("%v: MAC verified under wrong key", id)
+		}
+	}
+}
+
+// The prefix MAC must be split-insensitive: MAC(k, a|b) == MAC(k, ab).
+func TestMACPartsConcatenate(t *testing.T) {
+	key := []byte("k")
+	for _, id := range []MACID{MACPrefixMD5, MACHMACMD5, MACHMACSHA1} {
+		one := id.Compute(key, []byte("abcdef"))
+		two := id.Compute(key, []byte("abc"), []byte("def"))
+		if !bytes.Equal(one, two) {
+			t.Errorf("%v: parts are not concatenated", id)
+		}
+	}
+}
+
+func TestCRC32AgainstStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC32(data) == stdcrc.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32FieldsDistributes(t *testing.T) {
+	// Sequential labels (the paper's worry) must not map to sequential
+	// hash values: check that low-order bits look uniform across a run of
+	// sequential inputs.
+	const n = 4096
+	buckets := make([]int, 64)
+	for i := uint64(0); i < n; i++ {
+		buckets[CRC32Fields(i, 0x0a000001, 0x0a000002)%64]++
+	}
+	for b, c := range buckets {
+		if c == 0 {
+			t.Fatalf("bucket %d empty after %d sequential inputs", b, n)
+		}
+		if c > 4*n/64 {
+			t.Fatalf("bucket %d grossly overloaded: %d", b, c)
+		}
+	}
+}
+
+func TestHashIDProperties(t *testing.T) {
+	if HashMD5.Size() != 16 || HashSHA1.Size() != 20 {
+		t.Fatal("wrong digest sizes")
+	}
+	if HashMD5.String() != "MD5" || HashSHA1.String() != "SHA-1" {
+		t.Fatal("wrong names")
+	}
+	got := Digest(HashSHA1, []byte("ab"), []byte("c"))
+	want := SHA1Sum([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Fatal("Digest does not concatenate parts")
+	}
+}
+
+func TestStreamMACMatchesCompute(t *testing.T) {
+	f := func(key, a, b, c []byte) bool {
+		for _, id := range []MACID{MACPrefixMD5, MACHMACMD5, MACHMACSHA1} {
+			s := id.NewStream(key)
+			s.Write(a)
+			s.Write(b)
+			s.Write(c)
+			if !bytes.Equal(s.Sum(), id.Compute(key, a, b, c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMACSumMidStream(t *testing.T) {
+	for _, id := range []MACID{MACPrefixMD5, MACHMACMD5, MACHMACSHA1} {
+		s := id.NewStream([]byte("k"))
+		s.Write([]byte("ab"))
+		mid := s.Sum()
+		if !bytes.Equal(mid, id.Compute([]byte("k"), []byte("ab"))) {
+			t.Fatalf("%v: mid-stream Sum wrong", id)
+		}
+		s.Write([]byte("cd"))
+		if !bytes.Equal(s.Sum(), id.Compute([]byte("k"), []byte("abcd"))) {
+			t.Fatalf("%v: Sum disturbed the stream", id)
+		}
+	}
+}
+
+func TestMACNull(t *testing.T) {
+	if MACNull.String() != "null (NOP)" || MACNull.Size() != 16 {
+		t.Fatal("MACNull metadata wrong")
+	}
+	out := MACNull.Compute([]byte("key"), []byte("data"))
+	for _, b := range out {
+		if b != 0 {
+			t.Fatal("MACNull computed something")
+		}
+	}
+	if !MACNull.Verify([]byte("k"), make([]byte, 16), []byte("anything")) {
+		t.Fatal("MACNull rejected")
+	}
+	s := MACNull.NewStream([]byte("k"))
+	s.Write([]byte("data"))
+	if !bytes.Equal(s.Sum(), out) {
+		t.Fatal("MACNull stream disagrees")
+	}
+}

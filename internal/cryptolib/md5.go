@@ -1,0 +1,156 @@
+package cryptolib
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// MD5Size is the size of an MD5 digest in bytes.
+const MD5Size = 16
+
+// md5BlockSize is the MD5 compression block size in bytes.
+const md5BlockSize = 64
+
+// md5T is the sine-derived constant table of RFC 1321:
+// T[i] = floor(4294967296 * abs(sin(i+1))).
+var md5T = [64]uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+	0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+	0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+	0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+	0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+	0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+	0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+	0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+	0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+var md5Shift = [4][4]uint{
+	{7, 12, 17, 22},
+	{5, 9, 14, 20},
+	{4, 11, 16, 23},
+	{6, 10, 15, 21},
+}
+
+// MD5 is an incremental MD5 hash (RFC 1321). The zero value is not usable;
+// call NewMD5.
+type MD5 struct {
+	state [4]uint32
+	buf   [md5BlockSize]byte
+	n     int    // bytes buffered in buf
+	len   uint64 // total message length in bytes
+}
+
+// NewMD5 returns a freshly initialised MD5 hash.
+func NewMD5() *MD5 {
+	m := new(MD5)
+	m.Reset()
+	return m
+}
+
+// Reset returns the hash to its initial state.
+func (m *MD5) Reset() {
+	m.state = [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	m.n = 0
+	m.len = 0
+}
+
+// Size returns MD5Size.
+func (m *MD5) Size() int { return MD5Size }
+
+// BlockSize returns the compression block size, 64.
+func (m *MD5) BlockSize() int { return md5BlockSize }
+
+// Write absorbs p into the hash; it never fails.
+func (m *MD5) Write(p []byte) (int, error) {
+	n := len(p)
+	m.len += uint64(n)
+	if m.n > 0 {
+		c := copy(m.buf[m.n:], p)
+		m.n += c
+		p = p[c:]
+		if m.n == md5BlockSize {
+			m.block(m.buf[:])
+			m.n = 0
+		}
+	}
+	for len(p) >= md5BlockSize {
+		m.block(p[:md5BlockSize])
+		p = p[md5BlockSize:]
+	}
+	if len(p) > 0 {
+		m.n = copy(m.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the digest of everything written so far to b and returns the
+// result. The hash state is not modified, so writing may continue.
+func (m *MD5) Sum(b []byte) []byte {
+	// Clone so Sum does not disturb the running state.
+	clone := *m
+	var pad [md5BlockSize + 8]byte
+	pad[0] = 0x80
+	msgLen := clone.len
+	padLen := 56 - int(msgLen%64)
+	if padLen <= 0 {
+		padLen += 64
+	}
+	clone.Write(pad[:padLen])
+	var lenBytes [8]byte
+	binary.LittleEndian.PutUint64(lenBytes[:], msgLen*8)
+	clone.Write(lenBytes[:])
+	var out [MD5Size]byte
+	for i, s := range clone.state {
+		binary.LittleEndian.PutUint32(out[i*4:], s)
+	}
+	return append(b, out[:]...)
+}
+
+func (m *MD5) block(p []byte) {
+	var x [16]uint32
+	for i := range x {
+		x[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+	a, b, c, d := m.state[0], m.state[1], m.state[2], m.state[3]
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & d)
+			g = i
+		case i < 32:
+			f = (d & b) | (^d & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ d
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^d)
+			g = (7 * i) % 16
+		}
+		a = b + bits.RotateLeft32(a+f+md5T[i]+x[g], int(md5Shift[i/16][i%4]))
+		a, b, c, d = d, a, b, c
+	}
+	m.state[0] += a
+	m.state[1] += b
+	m.state[2] += c
+	m.state[3] += d
+}
+
+// MD5Sum is a one-shot convenience wrapper.
+func MD5Sum(data []byte) [MD5Size]byte {
+	m := NewMD5()
+	m.Write(data)
+	var out [MD5Size]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}

@@ -1,0 +1,172 @@
+package cryptolib
+
+import "fmt"
+
+// Mode identifies a FIPS 81 mode of operation for a 64-bit block cipher.
+type Mode int
+
+// Supported modes of operation.
+const (
+	// ECB is electronic codebook mode. Per the paper (Section 5.2), the
+	// confounder is XOR'ed into every plaintext block before encryption
+	// so that identical plaintext blocks do not produce identical
+	// ciphertext blocks.
+	ECB Mode = iota
+	// CBC is cipher block chaining; the confounder is the IV.
+	CBC
+	// CFB is 64-bit cipher feedback; the confounder is the IV.
+	CFB
+	// OFB is 64-bit output feedback; the confounder is the IV.
+	OFB
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ECB:
+		return "ECB"
+	case CBC:
+		return "CBC"
+	case CFB:
+		return "CFB"
+	case OFB:
+		return "OFB"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Pad appends PKCS#7-style padding so len(result) is a multiple of the
+// block size. A full block of padding is added when the input is already
+// aligned, so padding is always removable.
+func Pad(data []byte, blockSize int) []byte {
+	n := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+n)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// Unpad removes padding added by Pad. It returns an error when the padding
+// is malformed, which for FBS means the datagram was corrupted or
+// decrypted under the wrong flow key.
+func Unpad(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		return nil, fmt.Errorf("cryptolib: padded data length %d not a positive multiple of %d", len(data), blockSize)
+	}
+	n := int(data[len(data)-1])
+	if n == 0 || n > blockSize || n > len(data) {
+		return nil, fmt.Errorf("cryptolib: invalid padding length %d", n)
+	}
+	for _, b := range data[len(data)-n:] {
+		if int(b) != n {
+			return nil, fmt.Errorf("cryptolib: inconsistent padding")
+		}
+	}
+	return data[:len(data)-n], nil
+}
+
+// EncryptMode encrypts src (whose length must be a multiple of the block
+// size; use Pad first) under the given mode with the 8-byte IV iv. It
+// writes into dst, which may alias src, and returns dst.
+func EncryptMode(c BlockCipher, mode Mode, iv, dst, src []byte) ([]byte, error) {
+	bs := c.BlockSize()
+	if len(src)%bs != 0 {
+		return nil, fmt.Errorf("cryptolib: plaintext length %d not a multiple of block size %d", len(src), bs)
+	}
+	if len(iv) != bs {
+		return nil, fmt.Errorf("cryptolib: IV length %d != block size %d", len(iv), bs)
+	}
+	if len(dst) < len(src) {
+		return nil, fmt.Errorf("cryptolib: dst too short: %d < %d", len(dst), len(src))
+	}
+	var prev, tmp [BlockSize]byte
+	copy(prev[:], iv)
+	switch mode {
+	case ECB:
+		for i := 0; i < len(src); i += bs {
+			for j := 0; j < bs; j++ {
+				tmp[j] = src[i+j] ^ iv[j]
+			}
+			c.EncryptBlock(dst[i:i+bs], tmp[:bs])
+		}
+	case CBC:
+		for i := 0; i < len(src); i += bs {
+			for j := 0; j < bs; j++ {
+				tmp[j] = src[i+j] ^ prev[j]
+			}
+			c.EncryptBlock(dst[i:i+bs], tmp[:bs])
+			copy(prev[:], dst[i:i+bs])
+		}
+	case CFB:
+		for i := 0; i < len(src); i += bs {
+			c.EncryptBlock(tmp[:bs], prev[:bs])
+			for j := 0; j < bs; j++ {
+				dst[i+j] = src[i+j] ^ tmp[j]
+			}
+			copy(prev[:], dst[i:i+bs])
+		}
+	case OFB:
+		for i := 0; i < len(src); i += bs {
+			c.EncryptBlock(tmp[:bs], prev[:bs])
+			copy(prev[:], tmp[:bs])
+			for j := 0; j < bs; j++ {
+				dst[i+j] = src[i+j] ^ tmp[j]
+			}
+		}
+	default:
+		return nil, fmt.Errorf("cryptolib: unknown mode %v", mode)
+	}
+	return dst[:len(src)], nil
+}
+
+// DecryptMode inverts EncryptMode. dst may alias src.
+func DecryptMode(c BlockCipher, mode Mode, iv, dst, src []byte) ([]byte, error) {
+	bs := c.BlockSize()
+	if len(src)%bs != 0 {
+		return nil, fmt.Errorf("cryptolib: ciphertext length %d not a multiple of block size %d", len(src), bs)
+	}
+	if len(iv) != bs {
+		return nil, fmt.Errorf("cryptolib: IV length %d != block size %d", len(iv), bs)
+	}
+	if len(dst) < len(src) {
+		return nil, fmt.Errorf("cryptolib: dst too short: %d < %d", len(dst), len(src))
+	}
+	var prev, cur, tmp [BlockSize]byte
+	copy(prev[:], iv)
+	switch mode {
+	case ECB:
+		for i := 0; i < len(src); i += bs {
+			c.DecryptBlock(tmp[:bs], src[i:i+bs])
+			for j := 0; j < bs; j++ {
+				dst[i+j] = tmp[j] ^ iv[j]
+			}
+		}
+	case CBC:
+		for i := 0; i < len(src); i += bs {
+			copy(cur[:], src[i:i+bs])
+			c.DecryptBlock(tmp[:bs], src[i:i+bs])
+			for j := 0; j < bs; j++ {
+				dst[i+j] = tmp[j] ^ prev[j]
+			}
+			copy(prev[:], cur[:bs])
+		}
+	case CFB:
+		for i := 0; i < len(src); i += bs {
+			copy(cur[:], src[i:i+bs])
+			c.EncryptBlock(tmp[:bs], prev[:bs])
+			for j := 0; j < bs; j++ {
+				dst[i+j] = src[i+j] ^ tmp[j]
+			}
+			copy(prev[:], cur[:bs])
+		}
+	case OFB:
+		// OFB is symmetric.
+		return EncryptMode(c, OFB, iv, dst, src)
+	default:
+		return nil, fmt.Errorf("cryptolib: unknown mode %v", mode)
+	}
+	return dst[:len(src)], nil
+}

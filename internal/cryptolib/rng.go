@@ -1,0 +1,146 @@
+package cryptolib
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// ConfounderSource produces per-datagram confounder values. The paper
+// (Section 5.3) observes that confounders need only be *statistically*
+// random, so a cheap linear congruential generator suffices; per-datagram
+// *keys* by contrast must be cryptographically random, which is why the
+// per-datagram-keying baseline (Section 2.2) needs the far slower
+// Blum-Blum-Shub generator.
+type ConfounderSource interface {
+	// Uint32 returns the next 32-bit value.
+	Uint32() uint32
+}
+
+// LCG is Knuth's 64-bit linear congruential generator (MMIX constants).
+// It is the recommended confounder source: fast and statistically random.
+// LCG is not safe for concurrent use; wrap it or use one per send path.
+type LCG struct {
+	state uint64
+}
+
+// NewLCG creates an LCG seeded from the operating system entropy source,
+// per the paper's requirement that the seed be randomised at each
+// initialisation of FBS.
+func NewLCG() *LCG {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		// Entropy exhaustion is unrecoverable for a security protocol.
+		panic(fmt.Sprintf("cryptolib: reading LCG seed: %v", err))
+	}
+	return &LCG{state: binary.BigEndian.Uint64(seed[:])}
+}
+
+// NewLCGSeeded creates a deterministically seeded LCG for tests and
+// reproducible simulations.
+func NewLCGSeeded(seed uint64) *LCG { return &LCG{state: seed} }
+
+// Uint64 advances the generator and returns 64 bits.
+func (l *LCG) Uint64() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state
+}
+
+// Uint32 returns the high 32 bits of the next state (the low bits of an
+// LCG are weak).
+func (l *LCG) Uint32() uint32 { return uint32(l.Uint64() >> 32) }
+
+// BBS is the Blum-Blum-Shub quadratic residue generator x_{i+1} = x_i^2
+// mod n, with n a product of two primes congruent to 3 mod 4. Each step
+// yields only the low-order bits of the state; it is cryptographically
+// strong but slow — exactly the performance bottleneck the paper ascribes
+// to per-datagram keying schemes.
+type BBS struct {
+	n     *big.Int
+	state *big.Int
+}
+
+// NewBBS constructs a generator with a fresh random modulus of the given
+// bit size (at least 128) and a random seed.
+func NewBBS(bits int) (*BBS, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("cryptolib: BBS modulus must be at least 128 bits, got %d", bits)
+	}
+	p, err := blumPrime(bits / 2)
+	if err != nil {
+		return nil, err
+	}
+	q, err := blumPrime(bits - bits/2)
+	if err != nil {
+		return nil, err
+	}
+	n := new(big.Int).Mul(p, q)
+	seed, err := rand.Int(rand.Reader, n)
+	if err != nil {
+		return nil, fmt.Errorf("cryptolib: seeding BBS: %w", err)
+	}
+	b := &BBS{n: n, state: seed}
+	// Square once so the state is a quadratic residue.
+	b.step()
+	return b, nil
+}
+
+// blumPrime finds a random prime congruent to 3 mod 4.
+func blumPrime(bits int) (*big.Int, error) {
+	for {
+		p, err := rand.Prime(rand.Reader, bits)
+		if err != nil {
+			return nil, fmt.Errorf("cryptolib: generating Blum prime: %w", err)
+		}
+		if p.Bit(0) == 1 && p.Bit(1) == 1 { // p ≡ 3 (mod 4)
+			return p, nil
+		}
+	}
+}
+
+func (b *BBS) step() {
+	b.state.Mul(b.state, b.state)
+	b.state.Mod(b.state, b.n)
+}
+
+// Byte extracts the next 8 bits, one squaring per bit per the conservative
+// (provably secure) parameterisation.
+func (b *BBS) Byte() byte {
+	var out byte
+	for i := 0; i < 8; i++ {
+		b.step()
+		out = out<<1 | byte(b.state.Bit(0))
+	}
+	return out
+}
+
+// Read fills p with generator output. It never fails; the error is always
+// nil and exists to satisfy io.Reader.
+func (b *BBS) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = b.Byte()
+	}
+	return len(p), nil
+}
+
+// Uint32 returns 32 bits of generator output.
+func (b *BBS) Uint32() uint32 {
+	var buf [4]byte
+	b.Read(buf[:])
+	return binary.BigEndian.Uint32(buf[:])
+}
+
+// SystemRandom is a ConfounderSource backed by the operating system CSPRNG
+// (crypto/rand); it is the "expensive" ablation point for confounder
+// generation.
+type SystemRandom struct{}
+
+// Uint32 reads 32 bits from the OS entropy source.
+func (SystemRandom) Uint32() uint32 {
+	var buf [4]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(fmt.Sprintf("cryptolib: reading system randomness: %v", err))
+	}
+	return binary.BigEndian.Uint32(buf[:])
+}

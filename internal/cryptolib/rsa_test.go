@@ -1,0 +1,68 @@
+package cryptolib
+
+import "testing"
+
+func testRSAKey(t *testing.T) *RSAPrivateKey {
+	t.Helper()
+	k, err := GenerateRSA(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRSASignVerify(t *testing.T) {
+	k := testRSAKey(t)
+	msg := []byte("public value certificate for principal 10.0.0.1")
+	sig, err := k.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.RSAPublicKey.Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if k.RSAPublicKey.Verify(append(msg, 'x'), sig) {
+		t.Fatal("signature verified for different message")
+	}
+	sig[5] ^= 0x40
+	if k.RSAPublicKey.Verify(msg, sig) {
+		t.Fatal("corrupted signature accepted")
+	}
+}
+
+func TestRSAVerifyWrongKey(t *testing.T) {
+	k1 := testRSAKey(t)
+	k2 := testRSAKey(t)
+	msg := []byte("message")
+	sig, err := k1.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.RSAPublicKey.Verify(msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestRSAVerifyMalformedSig(t *testing.T) {
+	k := testRSAKey(t)
+	msg := []byte("message")
+	if k.RSAPublicKey.Verify(msg, nil) {
+		t.Fatal("nil signature accepted")
+	}
+	if k.RSAPublicKey.Verify(msg, make([]byte, 3)) {
+		t.Fatal("short signature accepted")
+	}
+	big := make([]byte, (k.N.BitLen()+7)/8)
+	for i := range big {
+		big[i] = 0xFF
+	}
+	if k.RSAPublicKey.Verify(msg, big) {
+		t.Fatal("oversized signature value accepted")
+	}
+}
+
+func TestGenerateRSARejectsTiny(t *testing.T) {
+	if _, err := GenerateRSA(128); err == nil {
+		t.Fatal("GenerateRSA accepted 128-bit modulus")
+	}
+}

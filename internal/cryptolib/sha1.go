@@ -1,0 +1,128 @@
+package cryptolib
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// SHA1Size is the size of a SHA-1 digest in bytes.
+const SHA1Size = 20
+
+const sha1BlockSize = 64
+
+// SHA1 is an incremental SHA-1 hash (FIPS 180-1, the "SHS" the paper lists
+// as an alternative to MD5). Use NewSHA1.
+type SHA1 struct {
+	state [5]uint32
+	buf   [sha1BlockSize]byte
+	n     int
+	len   uint64
+}
+
+// NewSHA1 returns a freshly initialised SHA-1 hash.
+func NewSHA1() *SHA1 {
+	s := new(SHA1)
+	s.Reset()
+	return s
+}
+
+// Reset returns the hash to its initial state.
+func (s *SHA1) Reset() {
+	s.state = [5]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
+	s.n = 0
+	s.len = 0
+}
+
+// Size returns SHA1Size.
+func (s *SHA1) Size() int { return SHA1Size }
+
+// BlockSize returns 64.
+func (s *SHA1) BlockSize() int { return sha1BlockSize }
+
+// Write absorbs p into the hash; it never fails.
+func (s *SHA1) Write(p []byte) (int, error) {
+	n := len(p)
+	s.len += uint64(n)
+	if s.n > 0 {
+		c := copy(s.buf[s.n:], p)
+		s.n += c
+		p = p[c:]
+		if s.n == sha1BlockSize {
+			s.block(s.buf[:])
+			s.n = 0
+		}
+	}
+	for len(p) >= sha1BlockSize {
+		s.block(p[:sha1BlockSize])
+		p = p[sha1BlockSize:]
+	}
+	if len(p) > 0 {
+		s.n = copy(s.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the digest to b without disturbing the running state.
+func (s *SHA1) Sum(b []byte) []byte {
+	clone := *s
+	var pad [sha1BlockSize + 8]byte
+	pad[0] = 0x80
+	msgLen := clone.len
+	padLen := 56 - int(msgLen%64)
+	if padLen <= 0 {
+		padLen += 64
+	}
+	clone.Write(pad[:padLen])
+	var lenBytes [8]byte
+	binary.BigEndian.PutUint64(lenBytes[:], msgLen*8)
+	clone.Write(lenBytes[:])
+	var out [SHA1Size]byte
+	for i, v := range clone.state {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return append(b, out[:]...)
+}
+
+func (s *SHA1) block(p []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	for i := 16; i < 80; i++ {
+		w[i] = bits.RotateLeft32(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+	}
+	a, b, c, d, e := s.state[0], s.state[1], s.state[2], s.state[3], s.state[4]
+	for i := 0; i < 80; i++ {
+		var f, k uint32
+		switch {
+		case i < 20:
+			f = (b & c) | (^b & d)
+			k = 0x5a827999
+		case i < 40:
+			f = b ^ c ^ d
+			k = 0x6ed9eba1
+		case i < 60:
+			f = (b & c) | (b & d) | (c & d)
+			k = 0x8f1bbcdc
+		default:
+			f = b ^ c ^ d
+			k = 0xca62c1d6
+		}
+		t := bits.RotateLeft32(a, 5) + f + e + k + w[i]
+		e, d, c, b, a = d, c, bits.RotateLeft32(b, 30), a, t
+	}
+	s.state[0] += a
+	s.state[1] += b
+	s.state[2] += c
+	s.state[3] += d
+	s.state[4] += e
+}
+
+// SHA1Sum is a one-shot convenience wrapper.
+func SHA1Sum(data []byte) [SHA1Size]byte {
+	h := NewSHA1()
+	h.Write(data)
+	var out [SHA1Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

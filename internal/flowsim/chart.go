@@ -1,0 +1,127 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII chart rendering for the cmd/flowsim tool: enough to eyeball the
+// figure shapes in a terminal and to paste into EXPERIMENTS.md.
+
+// Series is a named sequence of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// RenderLines renders one or more series as an ASCII scatter/line chart.
+func RenderLines(title, xlabel, ylabel string, width, height int, logX bool, series ...Series) string {
+	if width <= 10 {
+		width = 72
+	}
+	if height <= 4 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x := s.X[i]
+			if logX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return title + ": (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			x := s.X[i]
+			if logX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			cx := int((x - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s\n", ylabel)
+	for i, row := range grid {
+		yv := maxY - (maxY-minY)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%10.3g |%s|\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	xl, xr := minX, maxX
+	suffix := ""
+	if logX {
+		suffix = " (log10)"
+	}
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g\n", "", width/2, xl, width-width/2, xr)
+	fmt.Fprintf(&b, "%10s  %s%s\n", "", xlabel, suffix)
+	for i, s := range series {
+		fmt.Fprintf(&b, "%10s  [%c] %s\n", "", marks[i%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+// RenderTable renders rows of labelled values, aligned.
+func RenderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for i := range headers {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+		_ = i
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,338 @@
+package flowsim
+
+import (
+	"testing"
+	"time"
+
+	"fbs/internal/ip"
+	"fbs/internal/trace"
+)
+
+func campusTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	return trace.Campus(trace.CampusConfig{Seed: 97, Duration: 45 * time.Minute, Desktops: 15})
+}
+
+func mkPacket(at time.Duration, sport uint16, size int) trace.Packet {
+	return trace.Packet{
+		Time: at, Src: ip.Addr{10, 0, 0, 1}, Dst: ip.Addr{10, 0, 0, 2},
+		Proto: ip.ProtoUDP, SrcPort: sport, DstPort: 99, Size: size,
+	}
+}
+
+func TestFlowsThresholdSemantics(t *testing.T) {
+	tr := &trace.Trace{Packets: []trace.Packet{
+		mkPacket(0, 1000, 100),
+		mkPacket(30*time.Second, 1000, 100), // same flow
+		mkPacket(10*time.Minute, 1000, 100), // gap > 5min threshold: new flow
+		mkPacket(10*time.Minute, 2000, 100), // different tuple: own flow
+	}}
+	flows := Flows(tr, 5*time.Minute)
+	if len(flows) != 3 {
+		t.Fatalf("got %d flows, want 3", len(flows))
+	}
+	if flows[0].Packets != 2 || flows[0].Bytes != 200 {
+		t.Fatalf("first flow = %+v", flows[0])
+	}
+	if flows[0].Duration() != 30*time.Second {
+		t.Fatalf("first flow duration = %v", flows[0].Duration())
+	}
+	if RepeatedFlows(flows) != 1 {
+		t.Fatalf("RepeatedFlows = %d, want 1 (the tuple that split)", RepeatedFlows(flows))
+	}
+}
+
+func TestFlowsConservation(t *testing.T) {
+	tr := campusTrace(t)
+	flows := Flows(tr, 10*time.Minute)
+	var pkts int
+	var bytes int64
+	for _, f := range flows {
+		pkts += f.Packets
+		bytes += f.Bytes
+		if f.End < f.Start {
+			t.Fatal("flow ends before it starts")
+		}
+	}
+	if pkts != len(tr.Packets) {
+		t.Fatalf("flows cover %d packets, trace has %d", pkts, len(tr.Packets))
+	}
+	if bytes != tr.Bytes() {
+		t.Fatalf("flows cover %d bytes, trace has %d", bytes, tr.Bytes())
+	}
+}
+
+// Figure 9/10 shape: the majority of flows are short, consist of few
+// packets and transfer little data, while a few long-lived flows carry
+// the bulk of the traffic.
+func TestFigure9And10Shape(t *testing.T) {
+	tr := campusTrace(t)
+	flows := Flows(tr, 10*time.Minute)
+	if len(flows) < 50 {
+		t.Fatalf("only %d flows; trace too small to be meaningful", len(flows))
+	}
+	pkts := SizesInPackets(flows)
+	if med := Quantile(pkts, 0.5); med > 30 {
+		t.Errorf("median flow size = %.0f packets; paper: majority are small", med)
+	}
+	bytes := SizesInBytes(flows)
+	if med := Quantile(bytes, 0.5); med > 20000 {
+		t.Errorf("median flow bytes = %.0f; paper: majority transfer little", med)
+	}
+	durs := Durations(flows)
+	if med := Quantile(durs, 0.5); med > 120 {
+		t.Errorf("median flow duration = %.0fs; paper: majority are short", med)
+	}
+	// Heavy tail: the top 10%% of flows carry most of the bytes.
+	if share := ByteShareOfTop(flows, 0.10); share < 0.5 {
+		t.Errorf("top 10%% of flows carry only %.0f%% of bytes; want the bulk", share*100)
+	}
+	// And the tail is long: the biggest flow dwarfs the median.
+	if max := Quantile(bytes, 1.0); max < 50*Quantile(bytes, 0.5) {
+		t.Errorf("no heavy tail: max %.0f vs median %.0f", max, Quantile(bytes, 0.5))
+	}
+}
+
+// Figure 11 shape: miss rate drops off sharply even with reasonably
+// small cache sizes.
+func TestFigure11Shape(t *testing.T) {
+	tr := campusTrace(t)
+	sizes := []int{2, 8, 32, 128, 512}
+	for _, side := range []CacheSide{SendSide, ReceiveSide} {
+		res := CacheSweep(tr, 10*time.Minute, sizes, side, HashCRC32)
+		for i := 1; i < len(res); i++ {
+			if res[i].MissRate() > res[i-1].MissRate()+0.01 {
+				t.Errorf("side %d: miss rate rose from %.3f to %.3f as size grew %d→%d",
+					side, res[i-1].MissRate(), res[i].MissRate(), res[i-1].Size, res[i].Size)
+			}
+		}
+		small := res[0].MissRate()
+		big := res[len(res)-1].MissRate()
+		if small < 2*big && small > 0.02 {
+			t.Errorf("side %d: no sharp drop: %.3f at size 2 vs %.3f at 512", side, small, big)
+		}
+		// At a large size, almost all misses are compulsory.
+		last := res[len(res)-1]
+		if last.Conflict > last.Cold/2 {
+			t.Errorf("side %d: conflict misses %d still dominate at size 512 (cold %d)",
+				side, last.Conflict, last.Cold)
+		}
+		// Accounting invariant.
+		for _, r := range res {
+			if r.Cold+r.Conflict != r.Misses {
+				t.Fatalf("miss classification does not sum: %+v", r)
+			}
+		}
+	}
+}
+
+// Section 5.3's hash argument: with small caches, CRC-32 indexing incurs
+// no more conflict misses than naive modulo/XOR folding on correlated
+// inputs (and typically fewer).
+func TestCacheHashAblation(t *testing.T) {
+	tr := campusTrace(t)
+	const size = 16
+	crc := CacheSim(tr, 10*time.Minute, size, SendSide, HashCRC32)
+	mod := CacheSim(tr, 10*time.Minute, size, SendSide, HashModulo)
+	xor := CacheSim(tr, 10*time.Minute, size, SendSide, HashXOR)
+	if crc.Conflict > mod.Conflict*11/10+10 {
+		t.Errorf("CRC-32 conflicts (%d) much worse than modulo (%d)", crc.Conflict, mod.Conflict)
+	}
+	if crc.Conflict > xor.Conflict*11/10+10 {
+		t.Errorf("CRC-32 conflicts (%d) much worse than XOR (%d)", crc.Conflict, xor.Conflict)
+	}
+}
+
+// Figure 12 shape: simultaneous active flows stay modest — easily held
+// by a kernel.
+func TestFigure12Shape(t *testing.T) {
+	tr := campusTrace(t)
+	flows := Flows(tr, 10*time.Minute)
+	series := ActiveSeries(flows, 10*time.Minute, time.Minute, tr.Duration())
+	max := MaxActive(series)
+	if max == 0 {
+		t.Fatal("no active flows at all")
+	}
+	if max > 2000 {
+		t.Errorf("peak active flows = %d; paper: not exceedingly high", max)
+	}
+}
+
+// Figure 13 shape: active flows grow with THRESHOLD but the policy
+// becomes insensitive at the high end.
+func TestFigure13Shape(t *testing.T) {
+	tr := campusTrace(t)
+	means := make(map[int]float64)
+	for _, th := range []int{300, 600, 900, 1200} {
+		flows := Flows(tr, time.Duration(th)*time.Second)
+		s := ActiveSeries(flows, time.Duration(th)*time.Second, time.Minute, tr.Duration())
+		means[th] = MeanActive(s)
+	}
+	if !(means[600] >= means[300]) || !(means[900] >= means[600]) {
+		t.Errorf("active flows not increasing with THRESHOLD: %v", means)
+	}
+	lowDelta := means[600] - means[300]
+	highDelta := means[1200] - means[900]
+	if highDelta > lowDelta+1 {
+		t.Errorf("no saturation at high THRESHOLD: Δ(300→600)=%.1f, Δ(900→1200)=%.1f", lowDelta, highDelta)
+	}
+}
+
+// Figure 14 shape: repeated flows drop off quickly as THRESHOLD grows.
+func TestFigure14Shape(t *testing.T) {
+	tr := campusTrace(t)
+	var prev = 1 << 30
+	counts := make([]int, 0, 4)
+	for _, th := range []int{60, 300, 600, 1200} {
+		rep := RepeatedFlows(Flows(tr, time.Duration(th)*time.Second))
+		counts = append(counts, rep)
+		if rep > prev {
+			t.Errorf("repeated flows rose as THRESHOLD grew: %v", counts)
+		}
+		prev = rep
+	}
+	if counts[0] == 0 {
+		t.Error("no repeated flows at 60s; generator should fragment conversations")
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Errorf("repeated flows did not drop: %v", counts)
+	}
+}
+
+func TestActiveSeriesEdges(t *testing.T) {
+	if s := ActiveSeries(nil, time.Minute, time.Minute, time.Hour); MaxActive(s) != 0 {
+		t.Fatal("empty flows produced activity")
+	}
+	if MeanActive(nil) != 0 {
+		t.Fatal("MeanActive(nil) != 0")
+	}
+	// A single flow active [0, last+threshold].
+	flows := []Flow{{Start: 0, End: 2 * time.Minute, Packets: 2}}
+	s := ActiveSeries(flows, 3*time.Minute, time.Minute, 10*time.Minute)
+	if s[0] != 1 || s[4] != 1 {
+		t.Fatalf("series = %v; flow should be active through minute 5", s)
+	}
+	if s[6] != 0 {
+		t.Fatalf("series = %v; flow should have expired by minute 6", s)
+	}
+}
+
+func TestComputeCDF(t *testing.T) {
+	if ComputeCDF(nil, 10) != nil {
+		t.Fatal("CDF of nothing")
+	}
+	vals := []float64{5, 1, 3, 2, 4}
+	cdf := ComputeCDF(vals, 100)
+	if cdf[0].X != 1 || cdf[len(cdf)-1].X != 5 || cdf[len(cdf)-1].F != 1 {
+		t.Fatalf("cdf = %+v", cdf)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].F < cdf[i-1].F {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	out := RenderLines("t", "x", "y", 40, 10, false, Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}})
+	if len(out) == 0 {
+		t.Fatal("empty chart")
+	}
+	if out := RenderLines("t", "x", "y", 40, 10, true, Series{Name: "s"}); out == "" {
+		t.Fatal("empty-series chart should still render a message")
+	}
+	tbl := RenderTable([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if len(tbl) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// Associativity ablation (Section 5.3): a 2- or 4-way cache of the same
+// total size incurs no more conflict misses than direct-mapped, and
+// 1-way set-associative must agree exactly in miss totals with the
+// direct-mapped simulation.
+func TestCacheAssociativityAblation(t *testing.T) {
+	tr := campusTrace(t)
+	const size = 32
+	direct := CacheSim(tr, 10*time.Minute, size, SendSide, HashCRC32)
+	oneWay := CacheSimAssoc(tr, 10*time.Minute, size, 1, SendSide, HashCRC32)
+	if direct.Misses != oneWay.Misses || direct.Conflict != oneWay.Conflict {
+		t.Fatalf("1-way (%+v) disagrees with direct-mapped (%+v)", oneWay, direct)
+	}
+	twoWay := CacheSimAssoc(tr, 10*time.Minute, size, 2, SendSide, HashCRC32)
+	fourWay := CacheSimAssoc(tr, 10*time.Minute, size, 4, SendSide, HashCRC32)
+	if twoWay.Conflict > direct.Conflict {
+		t.Errorf("2-way conflicts (%d) worse than direct-mapped (%d)", twoWay.Conflict, direct.Conflict)
+	}
+	if fourWay.Conflict > twoWay.Conflict*11/10+5 {
+		t.Errorf("4-way conflicts (%d) much worse than 2-way (%d)", fourWay.Conflict, twoWay.Conflict)
+	}
+	t.Logf("conflict misses at %d entries: direct %d, 2-way %d, 4-way %d",
+		size, direct.Conflict, twoWay.Conflict, fourWay.Conflict)
+}
+
+func TestCacheAssocDegenerate(t *testing.T) {
+	tr := campusTrace(t)
+	// assoc > size degenerates to fully associative with one set.
+	full := CacheSimAssoc(tr, 10*time.Minute, 4, 8, SendSide, HashCRC32)
+	if full.Cold+full.Conflict != full.Misses {
+		t.Fatal("miss accounting broken in degenerate config")
+	}
+	// assoc 0 clamps to 1.
+	one := CacheSimAssoc(tr, 10*time.Minute, 8, 0, SendSide, HashCRC32)
+	if one.Lookups == 0 {
+		t.Fatal("clamped assoc did not run")
+	}
+}
+
+// The WWW-server trace (the paper's second capture) must show the same
+// qualitative flow properties.
+func TestWWWTraceShapes(t *testing.T) {
+	tr := trace.WWW(trace.WWWConfig{Seed: 7, Duration: 30 * time.Minute})
+	flows := Flows(tr, 600*time.Second)
+	if len(flows) < 100 {
+		t.Fatalf("only %d flows", len(flows))
+	}
+	// Web hits: short flows, modest byte counts, heavy tail.
+	if med := Quantile(Durations(flows), 0.5); med > 60 {
+		t.Errorf("median WWW flow duration %.1fs; hits should be short", med)
+	}
+	if share := ByteShareOfTop(flows, 0.10); share < 0.4 {
+		t.Errorf("top 10%% of WWW flows carry %.0f%%; want a heavy tail", share*100)
+	}
+	// Server-side RFKC: the server sees every client, so its cache is
+	// the stressed one; miss rate still drops with size.
+	small := CacheSim(tr, 600*time.Second, 4, ReceiveSide, HashCRC32)
+	big := CacheSim(tr, 600*time.Second, 256, ReceiveSide, HashCRC32)
+	if big.MissRate() > small.MissRate() {
+		t.Errorf("server cache miss rate rose with size: %.3f -> %.3f", small.MissRate(), big.MissRate())
+	}
+}
+
+// Figure 12, per host: the paper's claim is that no single host has an
+// unmanageable number of active flows. Servers see the most.
+func TestFigure12PerHost(t *testing.T) {
+	tr := campusTrace(t)
+	flows := Flows(tr, 10*time.Minute)
+	peaks := PerHostPeakActive(flows, 10*time.Minute, time.Minute, tr.Duration(), SendSide)
+	if len(peaks) == 0 {
+		t.Fatal("no hosts")
+	}
+	worst := MaxOverHosts(peaks)
+	if worst == 0 {
+		t.Fatal("no active flows at any host")
+	}
+	if worst > 600 {
+		t.Errorf("per-host peak active flows = %d; paper: easily handled by a kernel", worst)
+	}
+	// The per-host peaks must be bounded by the network-wide count.
+	global := MaxActive(ActiveSeries(flows, 10*time.Minute, time.Minute, tr.Duration()))
+	if worst > global {
+		t.Fatalf("per-host peak %d exceeds global peak %d", worst, global)
+	}
+	// Receive side: the file/DNS servers dominate.
+	rpeaks := PerHostPeakActive(flows, 10*time.Minute, time.Minute, tr.Duration(), ReceiveSide)
+	if MaxOverHosts(rpeaks) == 0 {
+		t.Fatal("no receive-side activity")
+	}
+}

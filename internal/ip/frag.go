@@ -1,0 +1,168 @@
+package ip
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Packet pairs a parsed header with its payload.
+type Packet struct {
+	Header  Header
+	Payload []byte
+}
+
+// ErrNeedsFragmentation is returned when a DF packet exceeds the MTU —
+// exactly the failure mode the paper hit when inserting the FBS header
+// under tcp_output's exact-fit segment sizing.
+var ErrNeedsFragmentation = fmt.Errorf("ip: packet exceeds MTU but DF is set")
+
+// Fragment splits a packet into fragments that fit mtu. Options are
+// carried only in the first fragment (the common, copy-flag-less case).
+func Fragment(p Packet, mtu int) ([]Packet, error) {
+	hl := p.Header.HeaderLen()
+	if hl+len(p.Payload) <= mtu {
+		return []Packet{p}, nil
+	}
+	if p.Header.Flags&FlagDF != 0 {
+		return nil, ErrNeedsFragmentation
+	}
+	if mtu <= hl+8 {
+		return nil, fmt.Errorf("ip: MTU %d too small to make progress", mtu)
+	}
+	// Fragment payload sizes must be multiples of 8 except the last.
+	maxData := (mtu - hl) &^ 7
+	var out []Packet
+	for off := 0; off < len(p.Payload); off += maxData {
+		end := off + maxData
+		last := false
+		if end >= len(p.Payload) {
+			end = len(p.Payload)
+			last = true
+		}
+		fh := p.Header
+		fh.FragOffset = p.Header.FragOffset + uint16(off/8)
+		if !last || p.Header.Flags&FlagMF != 0 {
+			fh.Flags |= FlagMF
+		}
+		if off > 0 {
+			fh.Options = nil
+		}
+		out = append(out, Packet{Header: fh, Payload: p.Payload[off:end]})
+	}
+	return out, nil
+}
+
+// reassemblyKey identifies a fragment train.
+type reassemblyKey struct {
+	Src, Dst Addr
+	ID       uint16
+	Proto    uint8
+}
+
+type fragmentHole struct {
+	data []byte
+	off  int
+	mf   bool
+}
+
+type reassemblyState struct {
+	frags    []fragmentHole
+	deadline time.Time
+	options  []byte
+}
+
+// Reassembler reconstructs original packets from fragments, with a
+// timeout after which incomplete trains are discarded.
+type Reassembler struct {
+	Timeout time.Duration
+	pending map[reassemblyKey]*reassemblyState
+}
+
+// NewReassembler creates a reassembler; timeout 0 means 30 seconds.
+func NewReassembler(timeout time.Duration) *Reassembler {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Reassembler{
+		Timeout: timeout,
+		pending: make(map[reassemblyKey]*reassemblyState),
+	}
+}
+
+// Pending returns the number of incomplete fragment trains.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Add offers a packet (possibly a fragment) at time now. When the packet
+// completes a train (or was never fragmented) the whole packet is
+// returned; otherwise nil.
+func (r *Reassembler) Add(p Packet, now time.Time) (*Packet, error) {
+	r.expire(now)
+	if p.Header.FragOffset == 0 && p.Header.Flags&FlagMF == 0 {
+		return &p, nil
+	}
+	key := reassemblyKey{Src: p.Header.Src, Dst: p.Header.Dst, ID: p.Header.ID, Proto: p.Header.Protocol}
+	st, ok := r.pending[key]
+	if !ok {
+		st = &reassemblyState{deadline: now.Add(r.Timeout)}
+		r.pending[key] = st
+	}
+	if p.Header.FragOffset == 0 {
+		st.options = p.Header.Options
+	}
+	st.frags = append(st.frags, fragmentHole{
+		data: append([]byte(nil), p.Payload...),
+		off:  int(p.Header.FragOffset) * 8,
+		mf:   p.Header.Flags&FlagMF != 0,
+	})
+	whole, done := assemble(st.frags)
+	if !done {
+		return nil, nil
+	}
+	delete(r.pending, key)
+	h := p.Header
+	h.Flags &^= FlagMF
+	h.FragOffset = 0
+	h.Options = st.options
+	return &Packet{Header: h, Payload: whole}, nil
+}
+
+// assemble checks whether the fragments cover a contiguous range ending
+// in a no-MF fragment, and concatenates them if so.
+func assemble(frags []fragmentHole) ([]byte, bool) {
+	sorted := append([]fragmentHole(nil), frags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
+	if sorted[0].off != 0 {
+		return nil, false
+	}
+	end := 0
+	sawLast := false
+	var out []byte
+	for _, f := range sorted {
+		if f.off > end {
+			return nil, false // hole
+		}
+		if f.off+len(f.data) <= end {
+			continue // complete duplicate/overlap
+		}
+		out = append(out, f.data[end-f.off:]...)
+		end = f.off + len(f.data)
+		if !f.mf {
+			sawLast = true
+			break
+		}
+	}
+	if !sawLast {
+		return nil, false
+	}
+	return out, true
+}
+
+// expire drops timed-out trains.
+func (r *Reassembler) expire(now time.Time) {
+	for k, st := range r.pending {
+		if now.After(st.deadline) {
+			delete(r.pending, k)
+		}
+	}
+}

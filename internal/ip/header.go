@@ -1,0 +1,166 @@
+// Package ip is a userspace IPv4 implementation: header codec, internet
+// checksum, fragmentation and reassembly, and a small host stack whose
+// output and input paths follow the three-part structure of the 4.4BSD
+// code described in Section 7.2 of the paper — including the two hook
+// points where FBS send and receive processing are inserted.
+package ip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// String renders dotted-quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// ParseAddr parses a dotted-quad address.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, fmt.Errorf("ip: bad address %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return a, fmt.Errorf("ip: bad address %q", s)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}
+
+// Protocol numbers used by the reproduction.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Header flag bits (in the fragment field's top bits).
+const (
+	// FlagDF is "don't fragment".
+	FlagDF = 0x2
+	// FlagMF is "more fragments".
+	FlagMF = 0x1
+)
+
+// HeaderMinLen is the length of an option-less IPv4 header.
+const HeaderMinLen = 20
+
+// MaxOptionsLen is the IPv4 limit the paper cites when rejecting the
+// IP-option encoding of the FBS header ("the 40 byte maximum is fairly
+// limiting").
+const MaxOptionsLen = 40
+
+// Header is an IPv4 header.
+type Header struct {
+	TOS        uint8
+	ID         uint16
+	Flags      uint8  // FlagDF | FlagMF
+	FragOffset uint16 // in 8-byte units
+	TTL        uint8
+	Protocol   uint8
+	Src, Dst   Addr
+	Options    []byte // padded to a multiple of 4 on marshal
+
+	// TotalLen is filled by Unmarshal; Marshal computes it from the
+	// payload length it is given.
+	TotalLen uint16
+}
+
+// HeaderLen returns the encoded header length including options.
+func (h *Header) HeaderLen() int {
+	opt := (len(h.Options) + 3) &^ 3
+	return HeaderMinLen + opt
+}
+
+// Marshal encodes the header followed by payload into a fresh packet
+// buffer, computing length and checksum fields.
+func (h *Header) Marshal(payload []byte) ([]byte, error) {
+	if len(h.Options) > MaxOptionsLen {
+		return nil, fmt.Errorf("ip: options too long: %d > %d", len(h.Options), MaxOptionsLen)
+	}
+	hl := h.HeaderLen()
+	total := hl + len(payload)
+	if total > 65535 {
+		return nil, fmt.Errorf("ip: packet too large: %d", total)
+	}
+	b := make([]byte, total)
+	b[0] = 4<<4 | uint8(hl/4)
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	binary.BigEndian.PutUint16(b[6:], uint16(h.Flags)<<13|h.FragOffset&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	copy(b[20:hl], h.Options)
+	cs := Checksum(b[:hl])
+	binary.BigEndian.PutUint16(b[10:], cs)
+	copy(b[hl:], payload)
+	return b, nil
+}
+
+// Unmarshal parses packet b, verifying version, lengths and the header
+// checksum. It returns the header and the payload (aliasing b).
+func Unmarshal(b []byte) (*Header, []byte, error) {
+	if len(b) < HeaderMinLen {
+		return nil, nil, fmt.Errorf("ip: packet shorter than minimal header: %d", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, nil, fmt.Errorf("ip: version %d, want 4", v)
+	}
+	hl := int(b[0]&0x0f) * 4
+	if hl < HeaderMinLen || hl > len(b) {
+		return nil, nil, fmt.Errorf("ip: bad header length %d", hl)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < hl || total > len(b) {
+		return nil, nil, fmt.Errorf("ip: bad total length %d (packet %d, header %d)", total, len(b), hl)
+	}
+	if Checksum(b[:hl]) != 0 {
+		return nil, nil, fmt.Errorf("ip: header checksum mismatch")
+	}
+	h := &Header{
+		TOS:      b[1],
+		TotalLen: uint16(total),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: b[9],
+	}
+	ff := binary.BigEndian.Uint16(b[6:])
+	h.Flags = uint8(ff >> 13)
+	h.FragOffset = ff & 0x1fff
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if hl > HeaderMinLen {
+		h.Options = append([]byte(nil), b[HeaderMinLen:hl]...)
+	}
+	return h, b[hl:total], nil
+}
+
+// Checksum computes the internet checksum (RFC 1071) of b. A buffer
+// carrying a correct checksum field sums to zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

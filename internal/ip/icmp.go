@@ -1,0 +1,71 @@
+package ip
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message support: enough of RFC 792 for echo (ping), the
+// canonical "raw IP" traffic of footnote 10 — datagrams without ports,
+// which the security flow policy treats as host-level flows.
+
+// ICMP message types.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+// ICMPEcho is an echo request or reply.
+type ICMPEcho struct {
+	Type    uint8 // ICMPEchoRequest or ICMPEchoReply
+	ID      uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// Marshal encodes the message with its checksum.
+func (m *ICMPEcho) Marshal() []byte {
+	b := make([]byte, 8+len(m.Payload))
+	b[0] = m.Type
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[8:], m.Payload)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// UnmarshalICMPEcho parses and verifies an echo message.
+func UnmarshalICMPEcho(b []byte) (*ICMPEcho, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("ip: ICMP message shorter than header: %d", len(b))
+	}
+	if b[0] != ICMPEchoRequest && b[0] != ICMPEchoReply {
+		return nil, fmt.Errorf("ip: unsupported ICMP type %d", b[0])
+	}
+	if b[1] != 0 {
+		return nil, fmt.Errorf("ip: nonzero ICMP code %d", b[1])
+	}
+	if Checksum(b) != 0 {
+		return nil, fmt.Errorf("ip: ICMP checksum mismatch")
+	}
+	m := &ICMPEcho{
+		Type: b[0],
+		ID:   binary.BigEndian.Uint16(b[4:]),
+		Seq:  binary.BigEndian.Uint16(b[6:]),
+	}
+	m.Payload = append([]byte(nil), b[8:]...)
+	return m, nil
+}
+
+// ServeEcho installs an ICMP echo responder on the stack (the ping
+// server half).
+func (s *Stack) ServeEcho() {
+	s.Handle(ProtoICMP, func(h *Header, payload []byte) {
+		m, err := UnmarshalICMPEcho(payload)
+		if err != nil || m.Type != ICMPEchoRequest {
+			return
+		}
+		reply := ICMPEcho{Type: ICMPEchoReply, ID: m.ID, Seq: m.Seq, Payload: m.Payload}
+		s.Output(ProtoICMP, h.Src, reply.Marshal(), false)
+	})
+}

@@ -1,0 +1,242 @@
+package ip
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustAddr(t testing.TB, s string) Addr {
+	t.Helper()
+	a, err := ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAddrParseString(t *testing.T) {
+	a := mustAddr(t, "10.1.2.3")
+	if a.String() != "10.1.2.3" {
+		t.Fatalf("String = %q", a.String())
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "-1.2.3.4"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestHeaderMarshalUnmarshal(t *testing.T) {
+	f := func(tos uint8, id uint16, ttl uint8, proto uint8, src, dst [4]byte, payload []byte) bool {
+		h := Header{
+			TOS: tos, ID: id, TTL: ttl, Protocol: proto,
+			Src: Addr(src), Dst: Addr(dst),
+		}
+		if len(payload) > 40000 {
+			payload = payload[:40000]
+		}
+		b, err := h.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		back, body, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return back.TOS == tos && back.ID == id && back.TTL == ttl &&
+			back.Protocol == proto && back.Src == Addr(src) && back.Dst == Addr(dst) &&
+			bytes.Equal(body, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderWithOptions(t *testing.T) {
+	h := Header{TTL: 64, Protocol: ProtoUDP, Options: []byte{7, 7, 7}} // padded to 4
+	b, err := h.Marshal([]byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, body, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Options) != 4 || back.Options[0] != 7 {
+		t.Fatalf("options = %v", back.Options)
+	}
+	if !bytes.Equal(body, []byte("data")) {
+		t.Fatal("payload corrupted by options")
+	}
+	h.Options = make([]byte, MaxOptionsLen+1)
+	if _, err := h.Marshal(nil); err == nil {
+		t.Fatal("over-long options accepted")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	h := Header{TTL: 64, Protocol: ProtoTCP, Src: Addr{1, 2, 3, 4}, Dst: Addr{5, 6, 7, 8}}
+	b, _ := h.Marshal([]byte("payload"))
+	// Flip each header bit: every flip must be detected by the checksum
+	// (or the structural validation).
+	for bit := 0; bit < HeaderMinLen*8; bit++ {
+		c := append([]byte(nil), b...)
+		c[bit/8] ^= 1 << (bit % 8)
+		if _, _, err := Unmarshal(c); err == nil {
+			t.Fatalf("header bit flip %d accepted", bit)
+		}
+	}
+	if _, _, err := Unmarshal(b[:10]); err == nil {
+		t.Fatal("truncated packet accepted")
+	}
+}
+
+func TestChecksumRFC1071(t *testing.T) {
+	// Example from RFC 1071 section 3.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %04x, want %04x", got, ^uint16(0xddf2))
+	}
+	// Odd length.
+	odd := []byte{0xFF}
+	if got := Checksum(odd); got != ^uint16(0xFF00) {
+		t.Fatalf("odd checksum = %04x", got)
+	}
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	f := func(size uint16, mtu uint16, seed byte) bool {
+		payloadLen := int(size) % 20000
+		m := 100 + int(mtu)%2900
+		payload := make([]byte, payloadLen)
+		for i := range payload {
+			payload[i] = seed + byte(i)
+		}
+		p := Packet{Header: Header{ID: 42, TTL: 64, Protocol: ProtoUDP, Src: Addr{1, 1, 1, 1}, Dst: Addr{2, 2, 2, 2}}, Payload: payload}
+		frags, err := Fragment(p, m)
+		if err != nil {
+			return false
+		}
+		for _, fr := range frags {
+			if fr.Header.HeaderLen()+len(fr.Payload) > m {
+				return false
+			}
+		}
+		r := NewReassembler(0)
+		now := time.Now()
+		for i, fr := range frags {
+			whole, err := r.Add(fr, now)
+			if err != nil {
+				return false
+			}
+			if i < len(frags)-1 {
+				if whole != nil {
+					return false
+				}
+			} else {
+				if whole == nil {
+					return false
+				}
+				return bytes.Equal(whole.Payload, payload)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentReorderedAndDuplicated(t *testing.T) {
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	p := Packet{Header: Header{ID: 7, TTL: 64, Protocol: ProtoUDP}, Payload: payload}
+	frags, err := Fragment(p, 576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("only %d fragments", len(frags))
+	}
+	r := NewReassembler(0)
+	now := time.Now()
+	// Deliver in reverse with a duplicate in the middle.
+	order := make([]Packet, 0, len(frags)+1)
+	for i := len(frags) - 1; i >= 0; i-- {
+		order = append(order, frags[i])
+	}
+	order = append(order[:2], append([]Packet{order[1]}, order[2:]...)...)
+	var whole *Packet
+	for _, fr := range order {
+		w, err := r.Add(fr, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != nil {
+			whole = w
+		}
+	}
+	if whole == nil {
+		t.Fatal("reassembly never completed")
+	}
+	if !bytes.Equal(whole.Payload, payload) {
+		t.Fatal("reassembled payload mismatch")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("Pending = %d after completion", r.Pending())
+	}
+}
+
+func TestFragmentDFRefused(t *testing.T) {
+	p := Packet{Header: Header{Flags: FlagDF, TTL: 64}, Payload: make([]byte, 3000)}
+	if _, err := Fragment(p, 1500); err != ErrNeedsFragmentation {
+		t.Fatalf("err = %v, want ErrNeedsFragmentation", err)
+	}
+	// Fits: no error even with DF.
+	p.Payload = make([]byte, 1000)
+	frags, err := Fragment(p, 1500)
+	if err != nil || len(frags) != 1 {
+		t.Fatalf("DF packet that fits was rejected: %v", err)
+	}
+}
+
+func TestReassemblerTimeout(t *testing.T) {
+	payload := make([]byte, 4000)
+	p := Packet{Header: Header{ID: 9, TTL: 64, Protocol: ProtoUDP}, Payload: payload}
+	frags, _ := Fragment(p, 576)
+	r := NewReassembler(5 * time.Second)
+	now := time.Now()
+	// First fragment only, then the rest after the timeout.
+	if w, _ := r.Add(frags[0], now); w != nil {
+		t.Fatal("incomplete train completed")
+	}
+	later := now.Add(10 * time.Second)
+	for _, fr := range frags[1:] {
+		if w, _ := r.Add(fr, later); w != nil {
+			t.Fatal("train completed despite timeout discard of first fragment")
+		}
+	}
+}
+
+func TestOptionsOnlyInFirstFragment(t *testing.T) {
+	p := Packet{
+		Header:  Header{ID: 3, TTL: 64, Options: []byte{1, 2, 3, 4}},
+		Payload: make([]byte, 4000),
+	}
+	frags, err := Fragment(p, 576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags[0].Header.Options) == 0 {
+		t.Fatal("first fragment lost options")
+	}
+	for _, fr := range frags[1:] {
+		if len(fr.Header.Options) != 0 {
+			t.Fatal("non-first fragment carries options")
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package ip
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LinkSender is the network interface below the stack: it transmits one
+// marshalled IP packet toward its destination.
+type LinkSender interface {
+	Transmit(frame []byte) error
+}
+
+// LinkFunc adapts a function to LinkSender.
+type LinkFunc func(frame []byte) error
+
+// Transmit implements LinkSender.
+func (f LinkFunc) Transmit(frame []byte) error { return f(frame) }
+
+// ProtocolHandler consumes a reassembled, security-processed packet for
+// one transport protocol.
+type ProtocolHandler func(h *Header, payload []byte)
+
+// SecurityHook is the pair of interposition points the paper added to the
+// 4.4BSD IP code (Section 7.2): output processing → [OutputHook] →
+// fragmentation → transmit, and validation → reassembly → [InputHook] →
+// dispatch. FBS plugs in here; a nil hook reproduces GENERIC (stock IP).
+type SecurityHook interface {
+	// OutputHook may transform the packet (e.g. insert the FBS header)
+	// after route/option processing and before fragmentation.
+	OutputHook(h *Header, payload []byte) ([]byte, error)
+	// InputHook inverts OutputHook after reassembly and before
+	// dispatch. Returning an error drops the packet.
+	InputHook(h *Header, payload []byte) ([]byte, error)
+}
+
+// StackStats counts stack activity.
+type StackStats struct {
+	PacketsOut     uint64
+	FragmentsOut   uint64
+	PacketsIn      uint64
+	Reassembled    uint64
+	Delivered      uint64
+	Forwarded      uint64
+	DroppedTTL     uint64
+	DroppedBadPkt  uint64
+	DroppedNoProto uint64
+	DroppedHook    uint64
+}
+
+// Stack is a minimal IPv4 host stack: one address, one link, a protocol
+// dispatch table, fragmentation/reassembly, and the two security hook
+// points.
+type Stack struct {
+	addr Addr
+	mtu  int
+	link LinkSender
+	hook SecurityHook
+	now  func() time.Time
+
+	// Forwarding enables router behaviour for packets not addressed to
+	// this host.
+	Forwarding bool
+
+	mu       sync.Mutex
+	nextID   uint16
+	reasm    *Reassembler
+	handlers map[uint8]ProtocolHandler
+	stats    StackStats
+}
+
+// StackConfig configures a Stack.
+type StackConfig struct {
+	Addr Addr
+	// MTU of the attached link; default 1500 (Ethernet).
+	MTU int
+	// Link transmits marshalled packets. Required.
+	Link LinkSender
+	// Hook is the optional security hook (FBS).
+	Hook SecurityHook
+	// Now supplies time for reassembly timeouts; default time.Now.
+	Now func() time.Time
+}
+
+// NewStack builds a host stack.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.Link == nil {
+		return nil, fmt.Errorf("ip: StackConfig.Link is required")
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.MTU < HeaderMinLen+8 {
+		return nil, fmt.Errorf("ip: MTU %d too small", cfg.MTU)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Stack{
+		addr:     cfg.Addr,
+		mtu:      cfg.MTU,
+		link:     cfg.Link,
+		hook:     cfg.Hook,
+		now:      cfg.Now,
+		reasm:    NewReassembler(0),
+		handlers: make(map[uint8]ProtocolHandler),
+	}, nil
+}
+
+// Addr returns the stack's address.
+func (s *Stack) Addr() Addr { return s.addr }
+
+// Hook returns the installed security hook (nil for a stock stack).
+func (s *Stack) Hook() SecurityHook { return s.hook }
+
+// MTU returns the link MTU.
+func (s *Stack) MTU() int { return s.mtu }
+
+// Handle registers the handler for an IP protocol number.
+func (s *Stack) Handle(proto uint8, h ProtocolHandler) {
+	s.mu.Lock()
+	s.handlers[proto] = h
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Stack) Stats() StackStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Stack) bump(f func(*StackStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Output sends payload to dst with the given protocol. Setting df sets
+// the Don't Fragment flag. The path follows 4.4BSD ip_output's three
+// parts with the security hook between parts one and two, so FBS
+// processing "receives the benefits of IP fragmentation and reassembly"
+// (Section 7.2).
+func (s *Stack) Output(proto uint8, dst Addr, payload []byte, df bool) error {
+	// Part 1: header construction, option processing, route selection
+	// (single-homed: the one link).
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	h := Header{
+		ID:       id,
+		TTL:      64,
+		Protocol: proto,
+		Src:      s.addr,
+		Dst:      dst,
+	}
+	if df {
+		h.Flags |= FlagDF
+	}
+	// Security hook: FBS send processing.
+	if s.hook != nil {
+		var err error
+		payload, err = s.hook.OutputHook(&h, payload)
+		if err != nil {
+			s.bump(func(st *StackStats) { st.DroppedHook++ })
+			return fmt.Errorf("ip: output hook: %w", err)
+		}
+	}
+	// Part 2: fragmentation.
+	frags, err := Fragment(Packet{Header: h, Payload: payload}, s.mtu)
+	if err != nil {
+		return err
+	}
+	// Part 3: transmit on the chosen interface.
+	for _, f := range frags {
+		frame, err := f.Header.Marshal(f.Payload)
+		if err != nil {
+			return err
+		}
+		if err := s.link.Transmit(frame); err != nil {
+			return err
+		}
+		s.bump(func(st *StackStats) { st.FragmentsOut++ })
+	}
+	s.bump(func(st *StackStats) { st.PacketsOut++ })
+	return nil
+}
+
+// Input accepts one received frame. The path follows 4.4BSD ip_input's
+// three parts with the security hook between reassembly and dispatch.
+func (s *Stack) Input(frame []byte) {
+	s.bump(func(st *StackStats) { st.PacketsIn++ })
+	// Part 1: validation and the forwarding decision.
+	h, payload, err := Unmarshal(frame)
+	if err != nil {
+		s.bump(func(st *StackStats) { st.DroppedBadPkt++ })
+		return
+	}
+	if h.Dst != s.addr {
+		if s.Forwarding {
+			s.forward(h, payload)
+		} else {
+			s.bump(func(st *StackStats) { st.DroppedBadPkt++ })
+		}
+		return
+	}
+	// Part 2: reassembly (local delivery only, as in BSD).
+	s.mu.Lock()
+	whole, err := s.reasm.Add(Packet{Header: *h, Payload: payload}, s.now())
+	s.mu.Unlock()
+	if err != nil || whole == nil {
+		return
+	}
+	if h.FragOffset != 0 || h.Flags&FlagMF != 0 {
+		// The final fragment of a train just completed reassembly.
+		s.bump(func(st *StackStats) { st.Reassembled++ })
+	}
+	// Security hook: FBS receive processing.
+	body := whole.Payload
+	if s.hook != nil {
+		body, err = s.hook.InputHook(&whole.Header, body)
+		if err != nil {
+			s.bump(func(st *StackStats) { st.DroppedHook++ })
+			return
+		}
+	}
+	// Part 3: dispatch to the transport protocol.
+	s.mu.Lock()
+	handler := s.handlers[whole.Header.Protocol]
+	s.mu.Unlock()
+	if handler == nil {
+		s.bump(func(st *StackStats) { st.DroppedNoProto++ })
+		return
+	}
+	handler(&whole.Header, body)
+	s.bump(func(st *StackStats) { st.Delivered++ })
+}
+
+// forward re-emits a transit packet. FBS is end-to-end: "a forwarding
+// router also will not see anything strange about FBS processed IP
+// packets" — the hook is not consulted here.
+func (s *Stack) forward(h *Header, payload []byte) {
+	if h.TTL <= 1 {
+		s.bump(func(st *StackStats) { st.DroppedTTL++ })
+		return
+	}
+	fh := *h
+	fh.TTL--
+	frags, err := Fragment(Packet{Header: fh, Payload: payload}, s.mtu)
+	if err != nil {
+		s.bump(func(st *StackStats) { st.DroppedBadPkt++ })
+		return
+	}
+	for _, f := range frags {
+		frame, err := f.Header.Marshal(f.Payload)
+		if err != nil {
+			return
+		}
+		if s.link.Transmit(frame) != nil {
+			return
+		}
+	}
+	s.bump(func(st *StackStats) { st.Forwarded++ })
+}

@@ -1,0 +1,178 @@
+// Package l4 provides the transport-layer substrate for the IP mapping:
+// UDP and (simplified) TCP header codecs, the tcp_output maximum-segment
+// calculation whose interaction with the FBS header required the paper's
+// one BSD-specific fix (Section 7.2), and a port allocator implementing
+// the optional THRESHOLD reallocation wait that closes the port-reuse
+// replay hole of Section 7.1.
+package l4
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fbs/internal/ip"
+)
+
+// UDPHeaderLen is the UDP header size.
+const UDPHeaderLen = 8
+
+// UDPHeader is an RFC 768 header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload; set by Marshal
+	Checksum         uint16 // optional in IPv4; 0 means unused
+}
+
+// Marshal encodes the header followed by payload. The checksum is
+// computed over the IPv4 pseudo-header when src and dst are supplied;
+// pass zero Addrs to send without a checksum (legal in IPv4).
+func (h *UDPHeader) Marshal(payload []byte, src, dst ip.Addr) ([]byte, error) {
+	total := UDPHeaderLen + len(payload)
+	if total > 65535 {
+		return nil, fmt.Errorf("l4: UDP datagram too large: %d", total)
+	}
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(total))
+	copy(b[8:], payload)
+	if src != (ip.Addr{}) || dst != (ip.Addr{}) {
+		cs := transportChecksum(ip.ProtoUDP, src, dst, b)
+		if cs == 0 {
+			cs = 0xFFFF // RFC 768: transmitted as all ones
+		}
+		binary.BigEndian.PutUint16(b[6:], cs)
+	}
+	return b, nil
+}
+
+// UnmarshalUDP parses a UDP datagram, verifying length and (when present)
+// checksum.
+func UnmarshalUDP(b []byte, src, dst ip.Addr) (*UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, nil, fmt.Errorf("l4: UDP datagram shorter than header: %d", len(b))
+	}
+	h := &UDPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:]),
+		DstPort:  binary.BigEndian.Uint16(b[2:]),
+		Length:   binary.BigEndian.Uint16(b[4:]),
+		Checksum: binary.BigEndian.Uint16(b[6:]),
+	}
+	if int(h.Length) < UDPHeaderLen || int(h.Length) > len(b) {
+		return nil, nil, fmt.Errorf("l4: bad UDP length %d", h.Length)
+	}
+	if h.Checksum != 0 {
+		if transportChecksum(ip.ProtoUDP, src, dst, b[:h.Length]) != 0 {
+			return nil, nil, fmt.Errorf("l4: UDP checksum mismatch")
+		}
+	}
+	return h, b[UDPHeaderLen:h.Length], nil
+}
+
+// TCP header flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// TCPHeaderLen is the option-less TCP header size.
+const TCPHeaderLen = 20
+
+// TCPHeader is a (simplified, option-less) TCP segment header. The
+// reproduction's reliable byte stream (netsim) uses it for framing; it is
+// not a full TCP implementation.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// Marshal encodes the header followed by payload, computing the checksum
+// over the pseudo-header.
+func (h *TCPHeader) Marshal(payload []byte, src, dst ip.Addr) ([]byte, error) {
+	total := TCPHeaderLen + len(payload)
+	if total > 65535 {
+		return nil, fmt.Errorf("l4: TCP segment too large: %d", total)
+	}
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:], h.Seq)
+	binary.BigEndian.PutUint32(b[8:], h.Ack)
+	b[12] = (TCPHeaderLen / 4) << 4
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:], h.Window)
+	copy(b[20:], payload)
+	binary.BigEndian.PutUint16(b[16:], transportChecksum(ip.ProtoTCP, src, dst, b))
+	return b, nil
+}
+
+// UnmarshalTCP parses a TCP segment, verifying the checksum.
+func UnmarshalTCP(b []byte, src, dst ip.Addr) (*TCPHeader, []byte, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, nil, fmt.Errorf("l4: TCP segment shorter than header: %d", len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(b) {
+		return nil, nil, fmt.Errorf("l4: bad TCP data offset %d", off)
+	}
+	if transportChecksum(ip.ProtoTCP, src, dst, b) != 0 {
+		return nil, nil, fmt.Errorf("l4: TCP checksum mismatch")
+	}
+	h := &TCPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:]),
+		DstPort:  binary.BigEndian.Uint16(b[2:]),
+		Seq:      binary.BigEndian.Uint32(b[4:]),
+		Ack:      binary.BigEndian.Uint32(b[8:]),
+		Flags:    b[13],
+		Window:   binary.BigEndian.Uint16(b[14:]),
+		Checksum: binary.BigEndian.Uint16(b[16:]),
+	}
+	return h, b[off:], nil
+}
+
+// transportChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header. A buffer with a correct checksum field sums to zero.
+func transportChecksum(proto uint8, src, dst ip.Addr, seg []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(seg)))
+	var sum uint32
+	add := func(b []byte) {
+		for len(b) >= 2 {
+			sum += uint32(binary.BigEndian.Uint16(b))
+			b = b[2:]
+		}
+		if len(b) == 1 {
+			sum += uint32(b[0]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(seg)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// MaxSegmentData reproduces tcp_output's exact-fit calculation: the
+// largest payload that fits one unfragmented IP packet on a link with the
+// given MTU, accounting for IP options and — the paper's fix — the
+// inserted FBS header. Before the fix (fbsHeaderLen = 0 while FBS is
+// active), tcp_output fills the packet exactly, sets DF, and the FBS
+// header pushes it over the MTU (Section 7.2).
+func MaxSegmentData(mtu, ipOptionsLen, fbsHeaderLen int) int {
+	opt := (ipOptionsLen + 3) &^ 3
+	n := mtu - ip.HeaderMinLen - opt - TCPHeaderLen - fbsHeaderLen
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package principal
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fbs/internal/cryptolib"
+)
+
+func TestMasterKeySymmetric(t *testing.T) {
+	g := cryptolib.TestGroup
+	s, err := NewIdentity("10.0.0.1", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewIdentity("10.0.0.2", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := s.MasterKey(d.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := d.MasterKey(s.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("pair-based master keys differ between the two sides")
+	}
+}
+
+func TestRekeyInvalidatesMasterKey(t *testing.T) {
+	g := cryptolib.TestGroup
+	s, _ := NewIdentity("a", g)
+	d, _ := NewIdentity("b", g)
+	before, _ := s.MasterKey(d.Public)
+	oldPub := new(big.Int).Set(d.Public)
+	if err := d.Rekey(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Public.Cmp(oldPub) == 0 {
+		t.Fatal("Rekey did not change the public value")
+	}
+	after, _ := s.MasterKey(d.Public)
+	if before == after {
+		t.Fatal("master key unchanged after peer rekey")
+	}
+	// The two sides still agree after the rekey.
+	other, _ := d.MasterKey(s.Public)
+	if after != other {
+		t.Fatal("sides disagree after rekey")
+	}
+}
+
+func TestNewIdentityValidation(t *testing.T) {
+	if _, err := NewIdentity("", cryptolib.TestGroup); err == nil {
+		t.Error("empty address accepted")
+	}
+	if _, err := NewIdentityWithPrivate("a", cryptolib.TestGroup, big.NewInt(0)); err == nil {
+		t.Error("zero private value accepted")
+	}
+	if _, err := NewIdentityWithPrivate("a", cryptolib.TestGroup, cryptolib.TestGroup.P); err == nil {
+		t.Error("private value >= P accepted")
+	}
+}
+
+func TestAddressWireRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 65535 {
+			s = s[:65535]
+		}
+		a := Address(s)
+		got, n, err := DecodeAddress(a.Wire())
+		return err == nil && got == a && n == len(a.Wire())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAddressTruncated(t *testing.T) {
+	if _, _, err := DecodeAddress([]byte{0}); err == nil {
+		t.Error("1-byte input accepted")
+	}
+	if _, _, err := DecodeAddress([]byte{0, 10, 'a'}); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestStringDoesNotLeakPrivate(t *testing.T) {
+	id, _ := NewIdentity("host-a", cryptolib.TestGroup)
+	s := id.String()
+	if !strings.Contains(s, "host-a") {
+		t.Errorf("String() = %q, want address included", s)
+	}
+	if strings.Contains(s, id.Public.String()) {
+		t.Errorf("String() should not dump key material")
+	}
+}
+
+func TestDeterministicIdentity(t *testing.T) {
+	g := cryptolib.TestGroup
+	a1, err := NewIdentityWithPrivate("x", g, big.NewInt(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewIdentityWithPrivate("x", g, big.NewInt(12345))
+	if a1.Public.Cmp(a2.Public) != 0 {
+		t.Fatal("same private value produced different public values")
+	}
+}

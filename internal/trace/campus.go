@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"time"
+
+	"fbs/internal/ip"
+)
+
+// CampusConfig parameterises the campus workgroup LAN generator. The
+// defaults approximate the paper's environment: "a number of file and
+// compute servers in addition to individual users' desktops".
+type CampusConfig struct {
+	// Seed drives all randomness; equal seeds give identical traces.
+	Seed uint64
+	// Duration of the capture; default one hour.
+	Duration time.Duration
+	// Desktops is the number of user machines; default 25.
+	Desktops int
+	// EphemeralPorts is the width of each desktop's ephemeral port
+	// range. Small ranges force port reuse across conversations, the
+	// raw material of the repeated-flow experiment (Figure 14).
+	// Default 48.
+	EphemeralPorts int
+}
+
+func (c *CampusConfig) fill() {
+	if c.Duration <= 0 {
+		c.Duration = time.Hour
+	}
+	if c.Desktops <= 0 {
+		c.Desktops = 25
+	}
+	if c.EphemeralPorts <= 0 {
+		c.EphemeralPorts = 48
+	}
+}
+
+// Well-known server addresses in the generated LAN.
+var (
+	campusFileServer    = ip.Addr{10, 1, 0, 1}
+	campusFileServer2   = ip.Addr{10, 1, 0, 2}
+	campusComputeServer = ip.Addr{10, 1, 0, 3}
+	campusWWWServer     = ip.Addr{10, 1, 0, 5}
+	campusMailServer    = ip.Addr{10, 1, 0, 6}
+	campusDNSServer     = ip.Addr{10, 1, 0, 7}
+)
+
+func desktopAddr(i int) ip.Addr {
+	return ip.Addr{10, 1, 1, byte(1 + i)}
+}
+
+// campusGen carries generator state.
+type campusGen struct {
+	cfg  CampusConfig
+	rng  *RNG
+	tr   *Trace
+	port []int // next ephemeral port offset per desktop
+}
+
+// ephemeral allocates the next ephemeral port for desktop d, cycling
+// within the configured range as 4.4BSD's in_pcballoc does.
+func (g *campusGen) ephemeral(d int) uint16 {
+	p := 1024 + g.port[d]%g.cfg.EphemeralPorts
+	g.port[d]++
+	return uint16(p)
+}
+
+// emit records a packet in each direction helper.
+func (g *campusGen) emit(at time.Duration, src, dst ip.Addr, proto uint8, sp, dp uint16, size int) {
+	if at < 0 || at > g.cfg.Duration {
+		return
+	}
+	g.tr.Packets = append(g.tr.Packets, Packet{
+		Time: at, Src: src, Dst: dst, Proto: proto,
+		SrcPort: sp, DstPort: dp, Size: size,
+	})
+}
+
+// Campus generates a campus-LAN trace. The conversation mix:
+//
+//   - NFS (UDP/2049): every desktop works against a file server in
+//     periodic request bursts for the whole capture — the few long-lived,
+//     high-volume flows that carry the bulk of the bytes.
+//   - TELNET (TCP/23): long interactive sessions with small packets and
+//     occasional quiet periods longer than any reasonable THRESHOLD,
+//     which is what splits one connection into several flows.
+//   - FTP data (TCP/20): occasional bulk transfers with heavy-tailed
+//     sizes.
+//   - X11 (TCP/6000): bursty interactive event streams to the compute
+//     server.
+//   - DNS (UDP/53): very numerous two-packet conversations — the short,
+//     small flows that dominate the flow count.
+//   - HTTP (TCP/80) and SMTP (TCP/25): short request/response
+//     conversations.
+func Campus(cfg CampusConfig) *Trace {
+	cfg.fill()
+	g := &campusGen{
+		cfg:  cfg,
+		rng:  NewRNG(cfg.Seed ^ 0xCA3905),
+		tr:   &Trace{},
+		port: make([]int, cfg.Desktops),
+	}
+	for d := 0; d < cfg.Desktops; d++ {
+		g.nfs(d)
+		g.dns(d)
+		g.telnet(d)
+		g.ftp(d)
+		g.x11(d)
+		g.http(d)
+		g.smtp(d)
+	}
+	g.tr.sortByTime()
+	return g.tr
+}
+
+// nfs generates the long-lived file-service flow for desktop d.
+func (g *campusGen) nfs(d int) {
+	src := desktopAddr(d)
+	server := campusFileServer
+	if d%2 == 1 {
+		server = campusFileServer2
+	}
+	sport := uint16(800 + d) // NFS clients use reserved ports
+	t := time.Duration(g.rng.Exp(20) * float64(time.Second))
+	for t < g.cfg.Duration {
+		// A burst: a train of request/response pairs (read-ahead).
+		n := g.rng.Geometric(12)
+		for i := 0; i < n && t < g.cfg.Duration; i++ {
+			g.emit(t, src, server, ip.ProtoUDP, sport, 2049, 120+g.rng.Intn(40))
+			rt := t + time.Duration(2+g.rng.Intn(4))*time.Millisecond
+			// Responses to reads are large (8 KB NFS reads arrive as
+			// MTU-sized IP packets).
+			respPackets := 1 + g.rng.Intn(6)
+			for j := 0; j < respPackets; j++ {
+				g.emit(rt+time.Duration(j)*1200*time.Microsecond,
+					server, src, ip.ProtoUDP, 2049, sport, 1500)
+			}
+			t += time.Duration(10+g.rng.Intn(30)) * time.Millisecond
+		}
+		// Gap to the next burst; usually well inside THRESHOLD so the
+		// flow stays alive.
+		t += time.Duration(g.rng.Exp(25) * float64(time.Second))
+	}
+}
+
+// dns generates frequent two-packet lookups.
+func (g *campusGen) dns(d int) {
+	src := desktopAddr(d)
+	t := time.Duration(g.rng.Exp(15) * float64(time.Second))
+	for t < g.cfg.Duration {
+		sport := g.ephemeral(d)
+		g.emit(t, src, campusDNSServer, ip.ProtoUDP, sport, 53, 60+g.rng.Intn(30))
+		g.emit(t+20*time.Millisecond, campusDNSServer, src, ip.ProtoUDP, 53, sport, 120+g.rng.Intn(200))
+		t += time.Duration(g.rng.Exp(45) * float64(time.Second))
+	}
+}
+
+// telnet generates one or two long interactive sessions per desktop.
+func (g *campusGen) telnet(d int) {
+	if !g.rng.Bool(0.7) {
+		return
+	}
+	src := desktopAddr(d)
+	sessions := 1 + g.rng.Intn(2)
+	for s := 0; s < sessions; s++ {
+		sport := g.ephemeral(d)
+		start := time.Duration(g.rng.Float64() * float64(g.cfg.Duration) * 0.5)
+		length := time.Duration(g.rng.Pareto(600, 1.3) * float64(time.Second))
+		end := start + length
+		t := start
+		for t < end && t < g.cfg.Duration {
+			// Keystroke and echo.
+			g.emit(t, src, campusComputeServer, ip.ProtoTCP, sport, 23, 41+g.rng.Intn(20))
+			g.emit(t+15*time.Millisecond, campusComputeServer, src, ip.ProtoTCP, 23, sport, 41+g.rng.Intn(60))
+			if g.rng.Bool(0.02) {
+				// A long think/coffee pause: often exceeds THRESHOLD,
+				// splitting the connection into multiple flows.
+				t += time.Duration(g.rng.Exp(900) * float64(time.Second))
+			} else {
+				t += time.Duration(g.rng.Exp(1.5) * float64(time.Second))
+			}
+		}
+	}
+}
+
+// ftp generates occasional heavy-tailed bulk transfers.
+func (g *campusGen) ftp(d int) {
+	src := desktopAddr(d)
+	transfers := g.rng.Intn(3)
+	for s := 0; s < transfers; s++ {
+		start := time.Duration(g.rng.Float64() * float64(g.cfg.Duration) * 0.9)
+		// Control conversation.
+		cport := g.ephemeral(d)
+		t := start
+		for i := 0; i < 6; i++ {
+			g.emit(t, src, campusFileServer, ip.ProtoTCP, cport, 21, 60+g.rng.Intn(40))
+			g.emit(t+10*time.Millisecond, campusFileServer, src, ip.ProtoTCP, 21, cport, 60+g.rng.Intn(80))
+			t += 300 * time.Millisecond
+		}
+		// Data transfer: heavy-tailed size in MTU packets.
+		bytes := g.rng.Pareto(50_000, 1.15)
+		if bytes > 50e6 {
+			bytes = 50e6
+		}
+		dport := g.ephemeral(d)
+		packets := int(bytes / 1460)
+		for i := 0; i < packets && t < g.cfg.Duration; i++ {
+			g.emit(t, campusFileServer, src, ip.ProtoTCP, 20, dport, 1500)
+			if i%2 == 1 {
+				g.emit(t+time.Millisecond, src, campusFileServer, ip.ProtoTCP, dport, 20, 40)
+			}
+			t += 1300 * time.Microsecond
+		}
+	}
+}
+
+// x11 generates bursty interactive event traffic.
+func (g *campusGen) x11(d int) {
+	if !g.rng.Bool(0.4) {
+		return
+	}
+	src := desktopAddr(d)
+	sport := g.ephemeral(d)
+	start := time.Duration(g.rng.Float64() * float64(g.cfg.Duration) * 0.3)
+	end := start + time.Duration(g.rng.Pareto(900, 1.4)*float64(time.Second))
+	t := start
+	for t < end && t < g.cfg.Duration {
+		burst := g.rng.Geometric(8)
+		for i := 0; i < burst; i++ {
+			g.emit(t, campusComputeServer, src, ip.ProtoTCP, 6000, sport, 100+g.rng.Intn(900))
+			g.emit(t+5*time.Millisecond, src, campusComputeServer, ip.ProtoTCP, sport, 6000, 40+g.rng.Intn(60))
+			t += time.Duration(20+g.rng.Intn(100)) * time.Millisecond
+		}
+		t += time.Duration(g.rng.Exp(20) * float64(time.Second))
+	}
+}
+
+// http generates short web conversations against the LAN server.
+func (g *campusGen) http(d int) {
+	src := desktopAddr(d)
+	t := time.Duration(g.rng.Exp(120) * float64(time.Second))
+	for t < g.cfg.Duration {
+		sport := g.ephemeral(d)
+		g.emit(t, src, campusWWWServer, ip.ProtoTCP, sport, 80, 44)
+		g.emit(t+5*time.Millisecond, campusWWWServer, src, ip.ProtoTCP, 80, sport, 44)
+		g.emit(t+10*time.Millisecond, src, campusWWWServer, ip.ProtoTCP, sport, 80, 250+g.rng.Intn(200))
+		pkts := 1 + int(g.rng.Pareto(2, 1.3))
+		if pkts > 200 {
+			pkts = 200
+		}
+		rt := t + 30*time.Millisecond
+		for i := 0; i < pkts; i++ {
+			g.emit(rt, campusWWWServer, src, ip.ProtoTCP, 80, sport, 576)
+			rt += 8 * time.Millisecond
+		}
+		g.emit(rt, src, campusWWWServer, ip.ProtoTCP, sport, 80, 40)
+		t += time.Duration(g.rng.Exp(180) * float64(time.Second))
+	}
+}
+
+// smtp generates the odd mail delivery.
+func (g *campusGen) smtp(d int) {
+	src := desktopAddr(d)
+	t := time.Duration(g.rng.Exp(400) * float64(time.Second))
+	for t < g.cfg.Duration {
+		sport := g.ephemeral(d)
+		for i := 0; i < 4; i++ {
+			g.emit(t, src, campusMailServer, ip.ProtoTCP, sport, 25, 80+g.rng.Intn(400))
+			g.emit(t+8*time.Millisecond, campusMailServer, src, ip.ProtoTCP, 25, sport, 60)
+			t += 100 * time.Millisecond
+		}
+		t += time.Duration(g.rng.Exp(900) * float64(time.Second))
+	}
+}

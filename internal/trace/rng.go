@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"math"
+
+	"fbs/internal/cryptolib"
+)
+
+// RNG supplies the distributions the trace generators draw from,
+// deterministically from a seed. Inter-arrival processes are Poisson
+// (exponential gaps); object and transfer sizes are heavy-tailed
+// (Pareto), matching the classic traffic-characterisation literature of
+// the period.
+type RNG struct {
+	lcg *cryptolib.LCG
+}
+
+// NewRNG creates a deterministic generator.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{lcg: cryptolib.NewLCGSeeded(seed)}
+}
+
+// Float64 returns a uniform value in (0, 1).
+func (r *RNG) Float64() float64 {
+	for {
+		v := float64(r.lcg.Uint64()>>11) / float64(1<<53)
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.lcg.Uint64() % uint64(n))
+}
+
+// Exp draws an exponential value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	return -mean * math.Log(r.Float64())
+}
+
+// Pareto draws from a Pareto distribution with minimum xm and shape
+// alpha. Small alpha (1-1.5) gives the heavy tails that make a few flows
+// carry most bytes.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	return xm / math.Pow(r.Float64(), 1/alpha)
+}
+
+// Geometric draws a geometric count with the given mean (>= 1).
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for r.Float64() > p && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }

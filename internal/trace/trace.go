@@ -1,0 +1,185 @@
+// Package trace provides packet traces for the flow-characteristics
+// experiments of Section 7.3 (Figures 9-14).
+//
+// The paper fed tcpdump captures of a Stanford workgroup LAN and of a
+// lightly loaded WWW server (~10,000 hits/day) into "a number of flow
+// simulation programs". Those captures are not available, so this
+// package generates synthetic traces with the qualitative properties the
+// paper reports and that the figures depend on:
+//
+//   - most flows are short, small and numerous (DNS lookups, HTTP hits,
+//     short interactive exchanges);
+//   - a few long-lived flows (NFS traffic to file servers) carry the bulk
+//     of the bytes;
+//   - packets within a conversation arrive in trains (bursts), giving
+//     key caches their locality;
+//   - conversations reuse ports over time, producing the repeated-flow
+//     behaviour of Figure 14.
+//
+// Generation is fully deterministic for a given seed.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"fbs/internal/ip"
+)
+
+// Packet is one trace record: the fields a header-only tcpdump capture
+// provides, which is all the flow experiments need.
+type Packet struct {
+	// Time is the offset from the start of the trace.
+	Time     time.Duration
+	Src, Dst ip.Addr
+	Proto    uint8
+	SrcPort  uint16
+	DstPort  uint16
+	// Size is the IP datagram size in bytes.
+	Size int
+}
+
+// Trace is a time-ordered packet capture.
+type Trace struct {
+	Packets []Packet
+}
+
+// Duration returns the time of the last packet.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Packets) == 0 {
+		return 0
+	}
+	return t.Packets[len(t.Packets)-1].Time
+}
+
+// Bytes returns the total bytes in the trace.
+func (t *Trace) Bytes() int64 {
+	var n int64
+	for _, p := range t.Packets {
+		n += int64(p.Size)
+	}
+	return n
+}
+
+// sortByTime orders packets chronologically (stable, so simultaneous
+// packets keep generation order).
+func (t *Trace) sortByTime() {
+	sort.SliceStable(t.Packets, func(i, j int) bool {
+		return t.Packets[i].Time < t.Packets[j].Time
+	})
+}
+
+// Write emits the trace in a tcpdump-like text format, one packet per
+// line:
+//
+//	<seconds> <proto> <src>:<sport> > <dst>:<dport> <size>
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range t.Packets {
+		proto := "ip"
+		switch p.Proto {
+		case ip.ProtoTCP:
+			proto = "tcp"
+		case ip.ProtoUDP:
+			proto = "udp"
+		case ip.ProtoICMP:
+			proto = "icmp"
+		}
+		_, err := fmt.Fprintf(bw, "%.6f %s %s:%d > %s:%d %d\n",
+			p.Time.Seconds(), proto, p.Src, p.SrcPort, p.Dst, p.DstPort, p.Size)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		var secs float64
+		var proto, src, dst string
+		var sport, dport, size int
+		var gt string
+		n, err := fmt.Sscanf(text, "%f %s %s %s %s %d", &secs, &proto, &src, &gt, &dst, &size)
+		if err != nil || n != 6 || gt != ">" {
+			return nil, fmt.Errorf("trace: line %d: malformed record %q", line, text)
+		}
+		srcAddr, sp, err := splitHostPort(src)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		dstAddr, dp, err := splitHostPort(dst)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		sport, dport = sp, dp
+		var pn uint8
+		switch proto {
+		case "tcp":
+			pn = ip.ProtoTCP
+		case "udp":
+			pn = ip.ProtoUDP
+		case "icmp":
+			pn = ip.ProtoICMP
+		case "ip":
+			pn = 0
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown protocol %q", line, proto)
+		}
+		tr.Packets = append(tr.Packets, Packet{
+			Time:    time.Duration(secs * float64(time.Second)),
+			Src:     srcAddr,
+			Dst:     dstAddr,
+			Proto:   pn,
+			SrcPort: uint16(sport),
+			DstPort: uint16(dport),
+			Size:    size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr.sortByTime()
+	return tr, nil
+}
+
+func splitHostPort(s string) (ip.Addr, int, error) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			a, err := ip.ParseAddr(s[:i])
+			if err != nil {
+				return ip.Addr{}, 0, err
+			}
+			var port int
+			if _, err := fmt.Sscanf(s[i+1:], "%d", &port); err != nil || port < 0 || port > 65535 {
+				return ip.Addr{}, 0, fmt.Errorf("trace: bad port in %q", s)
+			}
+			return a, port, nil
+		}
+	}
+	return ip.Addr{}, 0, fmt.Errorf("trace: missing port in %q", s)
+}
+
+// Merge combines traces into one time-ordered capture (e.g. the campus
+// LAN and WWW server captures for a combined Figure 12 analysis).
+func Merge(traces ...*Trace) *Trace {
+	out := &Trace{}
+	for _, t := range traces {
+		out.Packets = append(out.Packets, t.Packets...)
+	}
+	out.sortByTime()
+	return out
+}

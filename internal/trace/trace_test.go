@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"fbs/internal/ip"
+)
+
+func TestCampusDeterministic(t *testing.T) {
+	cfg := CampusConfig{Seed: 1, Duration: 5 * time.Minute, Desktops: 5}
+	a := Campus(cfg)
+	b := Campus(cfg)
+	if len(a.Packets) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a.Packets), len(b.Packets))
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	c := Campus(CampusConfig{Seed: 2, Duration: 5 * time.Minute, Desktops: 5})
+	if len(c.Packets) == len(a.Packets) {
+		same := true
+		for i := range c.Packets {
+			if c.Packets[i] != a.Packets[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestCampusSortedAndBounded(t *testing.T) {
+	tr := Campus(CampusConfig{Seed: 3, Duration: 10 * time.Minute, Desktops: 8})
+	var last time.Duration
+	for i, p := range tr.Packets {
+		if p.Time < last {
+			t.Fatalf("packet %d out of order", i)
+		}
+		last = p.Time
+		if p.Time > 10*time.Minute {
+			t.Fatalf("packet %d beyond capture window: %v", i, p.Time)
+		}
+		if p.Size <= 0 || p.Size > 65535 {
+			t.Fatalf("packet %d absurd size %d", i, p.Size)
+		}
+		if p.Proto != ip.ProtoTCP && p.Proto != ip.ProtoUDP {
+			t.Fatalf("packet %d unexpected protocol %d", i, p.Proto)
+		}
+	}
+	if tr.Duration() > 10*time.Minute {
+		t.Fatal("Duration exceeds configured capture window")
+	}
+}
+
+func TestCampusTrafficMix(t *testing.T) {
+	tr := Campus(CampusConfig{Seed: 4, Duration: 30 * time.Minute, Desktops: 15})
+	byDstPort := make(map[uint16]int)
+	for _, p := range tr.Packets {
+		byDstPort[p.DstPort]++
+	}
+	for _, port := range []uint16{2049, 53, 23, 80, 25} {
+		if byDstPort[port] == 0 {
+			t.Errorf("no traffic to well-known port %d", port)
+		}
+	}
+	// NFS (long-lived, bulky) should dominate bytes.
+	var nfsBytes, total int64
+	for _, p := range tr.Packets {
+		total += int64(p.Size)
+		if p.SrcPort == 2049 || p.DstPort == 2049 {
+			nfsBytes += int64(p.Size)
+		}
+	}
+	if frac := float64(nfsBytes) / float64(total); frac < 0.3 {
+		t.Errorf("NFS carries only %.0f%% of bytes; want the bulk", frac*100)
+	}
+}
+
+func TestWWWTrace(t *testing.T) {
+	tr := WWW(WWWConfig{Seed: 5, Duration: 30 * time.Minute})
+	if len(tr.Packets) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Arrival rate sanity: ~10k/day = ~208 hits in 30 min; each hit is
+	// at least ~8 packets.
+	syns := 0
+	for _, p := range tr.Packets {
+		if p.Dst == wwwServerAddr && p.Size == 44 && p.DstPort == 80 {
+			syns++
+		}
+	}
+	if syns < 100 || syns > 400 {
+		t.Fatalf("hit count %d outside plausible range for 10k/day over 30min", syns)
+	}
+	// Everything touches the server.
+	for i, p := range tr.Packets {
+		if p.Src != wwwServerAddr && p.Dst != wwwServerAddr {
+			t.Fatalf("packet %d does not involve the server", i)
+		}
+	}
+}
+
+func TestTraceWriteRead(t *testing.T) {
+	tr := Campus(CampusConfig{Seed: 6, Duration: time.Minute, Desktops: 3})
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Packets) != len(tr.Packets) {
+		t.Fatalf("%d packets in, %d out", len(tr.Packets), len(back.Packets))
+	}
+	for i := range tr.Packets {
+		a, b := tr.Packets[i], back.Packets[i]
+		// Time is serialised at microsecond resolution.
+		if d := a.Time - b.Time; d > time.Microsecond || d < -time.Microsecond {
+			t.Fatalf("packet %d time drift %v", i, d)
+		}
+		a.Time, b.Time = 0, 0
+		if a != b {
+			t.Fatalf("packet %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTraceReadRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not a trace",
+		"1.0 tcp 10.0.0.1:80 < 10.0.0.2:90 100",
+		"1.0 quic 10.0.0.1:80 > 10.0.0.2:90 100",
+		"1.0 tcp 10.0.0.1 > 10.0.0.2:90 100",
+	} {
+		if _, err := Read(bytes.NewBufferString(bad + "\n")); err == nil {
+			t.Errorf("Read(%q) succeeded", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	tr, err := Read(bytes.NewBufferString("# comment\n\n1.5 udp 10.0.0.1:53 > 10.0.0.2:1024 60\n"))
+	if err != nil || len(tr.Packets) != 1 {
+		t.Fatalf("comment handling broken: %v", err)
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	r := NewRNG(42)
+	// Exponential mean.
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	if mean := sum / n; mean < 9 || mean > 11 {
+		t.Errorf("Exp mean = %.2f, want ~10", mean)
+	}
+	// Pareto minimum and heavy tail.
+	minSeen, maxSeen := math.Inf(1), 0.0
+	for i := 0; i < n; i++ {
+		v := r.Pareto(5, 1.2)
+		if v < minSeen {
+			minSeen = v
+		}
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if minSeen < 5 {
+		t.Errorf("Pareto produced %v below xm", minSeen)
+	}
+	if maxSeen < 100 {
+		t.Errorf("Pareto tail too light: max %v", maxSeen)
+	}
+	// Geometric mean.
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(8))
+	}
+	if mean := sum / n; mean < 7 || mean > 9 {
+		t.Errorf("Geometric mean = %.2f, want ~8", mean)
+	}
+	if r.Geometric(0.5) != 1 {
+		t.Error("Geometric(<1) should be 1")
+	}
+	if r.Intn(0) != 0 {
+		t.Error("Intn(0) should be 0")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Campus(CampusConfig{Seed: 1, Duration: time.Minute, Desktops: 2})
+	b := WWW(WWWConfig{Seed: 2, Duration: time.Minute})
+	m := Merge(a, b)
+	if len(m.Packets) != len(a.Packets)+len(b.Packets) {
+		t.Fatalf("merge lost packets: %d != %d+%d", len(m.Packets), len(a.Packets), len(b.Packets))
+	}
+	var last time.Duration
+	for i, p := range m.Packets {
+		if p.Time < last {
+			t.Fatalf("merged trace out of order at %d", i)
+		}
+		last = p.Time
+	}
+	if Merge().Packets != nil {
+		t.Fatal("empty merge not empty")
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"time"
+
+	"fbs/internal/ip"
+)
+
+// WWWConfig parameterises the web-server trace generator, modelled on
+// the paper's "lightly hit (about 10,000 hits per day) WWW server".
+type WWWConfig struct {
+	Seed uint64
+	// Duration of the capture; default one hour.
+	Duration time.Duration
+	// HitsPerDay sets the mean request arrival rate; default 10,000.
+	HitsPerDay float64
+	// ClientPool is the number of distinct client addresses; default
+	// 600. Clients revisit with some locality.
+	ClientPool int
+}
+
+func (c *WWWConfig) fill() {
+	if c.Duration <= 0 {
+		c.Duration = time.Hour
+	}
+	if c.HitsPerDay <= 0 {
+		c.HitsPerDay = 10_000
+	}
+	if c.ClientPool <= 0 {
+		c.ClientPool = 600
+	}
+}
+
+// wwwServerAddr is the traced server.
+var wwwServerAddr = ip.Addr{171, 64, 8, 10}
+
+func wwwClientAddr(i int) ip.Addr {
+	return ip.Addr{36, byte(10 + i/250), byte(1 + (i/50)%200), byte(1 + i%250)}
+}
+
+// WWW generates the web server trace: Poisson request arrivals, each hit
+// a short TCP conversation (handshake, request, heavy-tailed response,
+// teardown) from a client pool with revisit locality.
+func WWW(cfg WWWConfig) *Trace {
+	cfg.fill()
+	rng := NewRNG(cfg.Seed ^ 0x3b3b3b)
+	tr := &Trace{}
+	gap := 86400.0 / cfg.HitsPerDay // mean seconds between hits
+	ports := make([]int, cfg.ClientPool)
+	var recent []int
+	t := time.Duration(rng.Exp(gap) * float64(time.Second))
+	for t < cfg.Duration {
+		// Pick a client: 35% a recent one (locality), else uniform.
+		var ci int
+		if len(recent) > 0 && rng.Bool(0.35) {
+			ci = recent[rng.Intn(len(recent))]
+		} else {
+			ci = rng.Intn(cfg.ClientPool)
+		}
+		recent = append(recent, ci)
+		if len(recent) > 32 {
+			recent = recent[1:]
+		}
+		client := wwwClientAddr(ci)
+		// Browsers of the era cycled through a modest ephemeral range.
+		sport := uint16(1024 + ports[ci]%64)
+		ports[ci]++
+		emit := func(at time.Duration, c2s bool, size int) {
+			if at > cfg.Duration {
+				return
+			}
+			p := Packet{Time: at, Proto: ip.ProtoTCP, Size: size}
+			if c2s {
+				p.Src, p.SrcPort, p.Dst, p.DstPort = client, sport, wwwServerAddr, 80
+			} else {
+				p.Src, p.SrcPort, p.Dst, p.DstPort = wwwServerAddr, 80, client, sport
+			}
+			tr.Packets = append(tr.Packets, p)
+		}
+		// Handshake.
+		rtt := time.Duration(20+rng.Intn(180)) * time.Millisecond
+		emit(t, true, 44)
+		emit(t+rtt/2, false, 44)
+		emit(t+rtt, true, 40)
+		// Request.
+		emit(t+rtt+5*time.Millisecond, true, 200+rng.Intn(300))
+		// Response: heavy-tailed object size in 536-byte segments
+		// (1996-era default MSS), ack every other segment.
+		object := rng.Pareto(2000, 1.2)
+		if object > 5e6 {
+			object = 5e6
+		}
+		segs := 1 + int(object/536)
+		st := t + rtt + 15*time.Millisecond
+		for i := 0; i < segs; i++ {
+			emit(st, false, 576)
+			if i%2 == 1 {
+				emit(st+rtt/2, true, 40)
+			}
+			st += time.Duration(5+rng.Intn(20)) * time.Millisecond
+		}
+		// Teardown.
+		emit(st, false, 40)
+		emit(st+rtt/2, true, 40)
+		t += time.Duration(rng.Exp(gap) * float64(time.Second))
+	}
+	tr.sortByTime()
+	return tr
+}

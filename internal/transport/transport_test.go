@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestNetworkDelivery(t *testing.T) {
+	ta, tb, _, err := Pair("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Datagram{Source: "a", Destination: "b", Payload: []byte("hello")}
+	if err := ta.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "a" || got.Destination != "b" || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestNetworkSourceDefaulting(t *testing.T) {
+	ta, tb, _, _ := Pair("a", "b")
+	ta.Send(Datagram{Destination: "b", Payload: []byte("x")})
+	got, _ := tb.Receive()
+	if got.Source != "a" {
+		t.Fatalf("source = %q, want a", got.Source)
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	n := NewNetwork(Impairments{LossProb: 1.0})
+	ta, _ := n.Attach("a", 0)
+	n.Attach("b", 0)
+	for i := 0; i < 10; i++ {
+		ta.Send(Datagram{Destination: "b", Payload: []byte{byte(i)}})
+	}
+	s := n.Stats()
+	if s.Lost != 10 || s.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 10 lost, 0 delivered", s)
+	}
+}
+
+func TestNetworkDuplication(t *testing.T) {
+	n := NewNetwork(Impairments{DupProb: 1.0})
+	ta, _ := n.Attach("a", 0)
+	tb, _ := n.Attach("b", 0)
+	ta.Send(Datagram{Destination: "b", Payload: []byte("dup")})
+	one, _ := tb.Receive()
+	two, _ := tb.Receive()
+	if !bytes.Equal(one.Payload, two.Payload) {
+		t.Fatal("duplicate differs from original")
+	}
+	if n.Stats().Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", n.Stats().Duplicated)
+	}
+}
+
+func TestNetworkCorruption(t *testing.T) {
+	n := NewNetwork(Impairments{CorruptProb: 1.0})
+	ta, _ := n.Attach("a", 0)
+	tb, _ := n.Attach("b", 0)
+	orig := []byte("pristine payload")
+	ta.Send(Datagram{Destination: "b", Payload: orig})
+	got, _ := tb.Receive()
+	if bytes.Equal(got.Payload, orig) {
+		t.Fatal("payload not corrupted")
+	}
+	// Exactly one bit flipped.
+	diff := 0
+	for i := range orig {
+		x := orig[i] ^ got.Payload[i]
+		for x != 0 {
+			diff += int(x & 1)
+			x >>= 1
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want 1", diff)
+	}
+}
+
+func TestNetworkReorder(t *testing.T) {
+	n := NewNetwork(Impairments{ReorderProb: 0.5, Seed: 7})
+	ta, _ := n.Attach("a", 0)
+	tb, _ := n.Attach("b", 0)
+	const count = 50
+	for i := 0; i < count; i++ {
+		ta.Send(Datagram{Destination: "b", Payload: []byte{byte(i)}})
+	}
+	n.Flush()
+	seen := make(map[byte]bool)
+	outOfOrder := false
+	last := -1
+	for i := 0; i < count; i++ {
+		got, err := tb.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := got.Payload[0]
+		if seen[v] {
+			t.Fatalf("datagram %d delivered twice", v)
+		}
+		seen[v] = true
+		if int(v) < last {
+			outOfOrder = true
+		}
+		last = int(v)
+	}
+	if !outOfOrder {
+		t.Fatal("no reordering observed with ReorderProb=0.5")
+	}
+}
+
+func TestNetworkNoRouteAndOverflow(t *testing.T) {
+	n := NewNetwork(Impairments{})
+	ta, _ := n.Attach("a", 1)
+	ta.Send(Datagram{Destination: "nowhere", Payload: nil})
+	if n.Stats().NoRoute != 1 {
+		t.Fatal("NoRoute not counted")
+	}
+	// Queue of length 1 at b: second datagram overflows.
+	n.Attach("b", 1)
+	ta.Send(Datagram{Destination: "b", Payload: []byte{1}})
+	ta.Send(Datagram{Destination: "b", Payload: []byte{2}})
+	if n.Stats().Overflow != 1 {
+		t.Fatalf("Overflow = %d, want 1", n.Stats().Overflow)
+	}
+}
+
+func TestCloseUnblocksReceive(t *testing.T) {
+	n := NewNetwork(Impairments{})
+	ta, _ := n.Attach("a", 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ta.Receive()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	ta.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Receive returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Receive did not unblock on Close")
+	}
+	if err := ta.Send(Datagram{Destination: "b"}); err != ErrClosed {
+		t.Fatalf("Send after Close returned %v, want ErrClosed", err)
+	}
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	n := NewNetwork(Impairments{})
+	n.Attach("a", 0)
+	if _, err := n.Attach("a", 0); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := Datagram{Source: "a", Destination: "b", Payload: []byte{1, 2, 3}}
+	c := d.Clone()
+	c.Payload[0] = 99
+	if d.Payload[0] != 1 {
+		t.Fatal("Clone aliases payload")
+	}
+}
+
+func TestUDPTransportRoundTrip(t *testing.T) {
+	ua, err := NewUDPTransport("alice", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer ua.Close()
+	ub, err := NewUDPTransport("bob", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ub.Close()
+	ua.AddPeer("bob", ub.LocalAddr().String())
+	ub.AddPeer("alice", ua.LocalAddr().String())
+
+	want := []byte("over real UDP")
+	if err := ua.Send(Datagram{Destination: "bob", Payload: want}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ub.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "alice" || got.Destination != "bob" || !bytes.Equal(got.Payload, want) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestUDPTransportNoPeer(t *testing.T) {
+	ua, err := NewUDPTransport("alice", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer ua.Close()
+	if err := ua.Send(Datagram{Destination: "stranger"}); err == nil {
+		t.Fatal("send to unmapped peer succeeded")
+	}
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"fbs/internal/principal"
+)
+
+// UDPTransport runs the FBS datagram abstraction over real UDP sockets,
+// so two processes (or two machines) can speak FBS to each other. Each
+// datagram is framed as the length-prefixed source and destination
+// principal addresses followed by the payload.
+type UDPTransport struct {
+	local principal.Address
+	conn  *net.UDPConn
+
+	mu    sync.RWMutex
+	peers map[principal.Address]*net.UDPAddr
+}
+
+// NewUDPTransport binds a UDP socket on listenAddr (e.g. "127.0.0.1:7001")
+// for the given principal.
+func NewUDPTransport(local principal.Address, listenAddr string) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %q: %w", listenAddr, err)
+	}
+	return &UDPTransport{
+		local: local,
+		conn:  conn,
+		peers: make(map[principal.Address]*net.UDPAddr),
+	}, nil
+}
+
+// LocalAddr returns the bound UDP address (useful with port 0).
+func (u *UDPTransport) LocalAddr() *net.UDPAddr {
+	return u.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// AddPeer maps a principal address to the UDP address where it listens.
+func (u *UDPTransport) AddPeer(peer principal.Address, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolving peer %q: %w", addr, err)
+	}
+	u.mu.Lock()
+	u.peers[peer] = ua
+	u.mu.Unlock()
+	return nil
+}
+
+// Send implements Transport.
+func (u *UDPTransport) Send(dg Datagram) error {
+	if dg.Source == "" {
+		dg.Source = u.local
+	}
+	u.mu.RLock()
+	peer, ok := u.peers[dg.Destination]
+	u.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("transport: no UDP mapping for principal %q", dg.Destination)
+	}
+	frame := make([]byte, 0, 4+len(dg.Source)+len(dg.Destination)+len(dg.Payload))
+	frame = append(frame, dg.Source.Wire()...)
+	frame = append(frame, dg.Destination.Wire()...)
+	frame = append(frame, dg.Payload...)
+	_, err := u.conn.WriteToUDP(frame, peer)
+	return err
+}
+
+// Receive implements Transport.
+func (u *UDPTransport) Receive() (Datagram, error) {
+	buf := make([]byte, 65536)
+	n, _, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		return Datagram{}, ErrClosed
+	}
+	b := buf[:n]
+	src, used, err := principal.DecodeAddress(b)
+	if err != nil {
+		return Datagram{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	b = b[used:]
+	dst, used, err := principal.DecodeAddress(b)
+	if err != nil {
+		return Datagram{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	b = b[used:]
+	payload := make([]byte, len(b))
+	copy(payload, b)
+	return Datagram{Source: src, Destination: dst, Payload: payload}, nil
+}
+
+// Close implements Transport.
+func (u *UDPTransport) Close() error { return u.conn.Close() }

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper's evaluation, plus the
+# ablations. Output goes to ./results/.
+set -e
+mkdir -p results
+
+echo "== tests (the shape assertions live here too)"
+go test ./... | tee results/tests.txt
+
+echo "== §7.2 CryptoLib table"
+go run ./cmd/cryptobench | tee results/cryptolib_table.txt
+
+echo "== Figure 8 (simulated P133 testbed + native full stack)"
+go run ./cmd/fbsbench -native -stack | tee results/figure8.txt
+
+echo "== Figures 9-14 (flow characteristics)"
+go run ./cmd/flowsim -fig all | tee results/figures9-14.txt
+
+echo "== benchmark harness (all tables/figures as benchmarks)"
+go test -bench=. -benchmem -benchtime=1x . | tee results/bench.txt
+
+echo
+echo "done; see results/ and EXPERIMENTS.md"

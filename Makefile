@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the gate for every change:
+# build, vet, the full test suite, and the race detector over the
+# packages with lock-striped/atomic hot paths.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages: striped caches and atomic metrics
+# live in core; transport backs the blocking endpoint loops.
+race:
+	$(GO) test -race ./internal/core/... ./internal/transport/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .

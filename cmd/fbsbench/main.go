@@ -10,10 +10,15 @@
 //
 // Usage:
 //
-//	fbsbench [-bytes N] [-native] [-stack]
+//	fbsbench [-bytes N] [-native] [-stack] [-json]
+//
+// With -json the human-readable tables are suppressed and one JSON
+// document with every measured throughput (in kb/s) is written to
+// stdout, for consumption by scripts and regression harnesses.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,18 +40,45 @@ import (
 	fbs "fbs"
 )
 
+// benchResult is one measured throughput, the unit of the -json output.
+type benchResult struct {
+	// Section is "figure8", "native" or "stack".
+	Section string `json:"section"`
+	// Workload is the figure-8 workload ("ttcp", "rcp"); empty
+	// elsewhere.
+	Workload string `json:"workload,omitempty"`
+	// Config names the protocol configuration measured.
+	Config string `json:"config"`
+	// Kbps is application-payload throughput in kilobits per second.
+	Kbps float64 `json:"kbps"`
+}
+
 func main() {
 	total := flag.Int("bytes", 4<<20, "bytes per simulated transfer")
 	native := flag.Bool("native", false, "also measure native Seal/Open throughput")
 	stack := flag.Bool("stack", false, "also run a ttcp transfer through the real IPv4+TCP-lite stack with FBS")
+	jsonOut := flag.Bool("json", false, "emit one JSON document of kb/s results instead of tables")
 	flag.Parse()
 
-	if err := run(*total, *native); err != nil {
+	var results []benchResult
+	res, err := run(*total, *native, *jsonOut)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbsbench:", err)
 		os.Exit(1)
 	}
+	results = append(results, res...)
 	if *stack {
-		if err := stackRun(*total); err != nil {
+		res, err := stackRun(*total, *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsbench:", err)
+			os.Exit(1)
+		}
+		results = append(results, res...)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
 			fmt.Fprintln(os.Stderr, "fbsbench:", err)
 			os.Exit(1)
 		}
@@ -97,10 +129,10 @@ func (f fbsSealer) Open(dg transport.Datagram) (transport.Datagram, error) {
 	return f.ep.Open(dg)
 }
 
-func run(total int, native bool) error {
+func run(total int, native, quiet bool) ([]benchResult, error) {
 	a, b, err := endpointPair(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer a.Close()
 	defer b.Close()
@@ -108,7 +140,7 @@ func run(total int, native bool) error {
 	// (FAM, keying, caches, header) running for real.
 	nopA, nopB, err := endpointPair(true, func(c *core.Config) { c.MAC = cryptolib.MACNull })
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer nopA.Close()
 	defer nopB.Close()
@@ -129,40 +161,53 @@ func run(total int, native bool) error {
 		},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("Figure 8 — throughput on simulated P133s / dedicated 10 Mb Ethernet (%d MB transfers)\n", total>>20)
-	fmt.Printf("paper reference: ttcp GENERIC ~7700 kb/s, ttcp FBS DES+MD5 ~3400 kb/s\n\n")
-	hdr := []string{"workload", "configuration", "throughput (kb/s)"}
-	var tbl [][]string
+	var results []benchResult
 	for _, r := range rows {
-		tbl = append(tbl, []string{r.Workload, r.Config, fmt.Sprintf("%.0f", r.Kbps)})
+		results = append(results, benchResult{Section: "figure8", Workload: r.Workload, Config: r.Config, Kbps: r.Kbps})
 	}
-	fmt.Println(flowsim.RenderTable(hdr, tbl))
-	fmt.Printf("real protocol work performed inside the simulation: %d datagrams sealed, %d opened\n\n",
-		a.FAMStats().Lookups, b.Metrics().Received)
+	if !quiet {
+		fmt.Printf("Figure 8 — throughput on simulated P133s / dedicated 10 Mb Ethernet (%d MB transfers)\n", total>>20)
+		fmt.Printf("paper reference: ttcp GENERIC ~7700 kb/s, ttcp FBS DES+MD5 ~3400 kb/s\n\n")
+		hdr := []string{"workload", "configuration", "throughput (kb/s)"}
+		var tbl [][]string
+		for _, r := range rows {
+			tbl = append(tbl, []string{r.Workload, r.Config, fmt.Sprintf("%.0f", r.Kbps)})
+		}
+		fmt.Println(flowsim.RenderTable(hdr, tbl))
+		fmt.Printf("real protocol work performed inside the simulation: %d datagrams sealed, %d opened\n\n",
+			a.FAMStats().Lookups, b.Metrics().Received)
+	}
 
 	if native {
-		if err := nativeRun(); err != nil {
-			return err
+		res, err := nativeRun(quiet)
+		if err != nil {
+			return nil, err
 		}
+		results = append(results, res...)
 	}
-	return nil
+	return results, nil
 }
 
-// nativeRun measures raw Seal+Open throughput of the real protocol and
-// the baselines on this machine.
-func nativeRun() error {
-	fmt.Println("Native Seal+Open throughput on this machine (1460-byte datagrams, encrypted):")
+// nativeRun measures raw Seal+Open throughput of the real protocol on
+// this machine, on the allocation-free append path.
+func nativeRun(quiet bool) ([]benchResult, error) {
+	if !quiet {
+		fmt.Println("Native Seal+Open throughput on this machine (1460-byte datagrams, encrypted):")
+	}
 	a, b, err := endpointPair(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer a.Close()
 	defer b.Close()
 	payload := make([]byte, 1460)
 	dg := transport.Datagram{Source: "sim-a", Destination: "sim-b", Payload: payload}
+	sealBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
+	openBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
 
+	var results []benchResult
 	measure := func(name string, fn func() error) error {
 		if err := fn(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -176,39 +221,46 @@ func nativeRun() error {
 			bytes += int64(len(payload))
 		}
 		el := time.Since(start).Seconds()
-		fmt.Printf("  %-24s %10.0f kb/s\n", name, float64(bytes)*8/el/1000)
+		kbps := float64(bytes) * 8 / el / 1000
+		results = append(results, benchResult{Section: "native", Config: name, Kbps: kbps})
+		if !quiet {
+			fmt.Printf("  %-24s %10.0f kb/s\n", name, kbps)
+		}
 		return nil
 	}
-	if err := measure("FBS DES+MD5", func() error {
-		sealed, err := a.Seal(dg, true)
+	sealOpen := func(secret bool) error {
+		sealed, err := a.SealAppend(sealBuf[:0], dg, secret)
 		if err != nil {
 			return err
 		}
-		_, err = b.Open(sealed)
-		return err
-	}); err != nil {
-		return err
-	}
-	if err := measure("FBS NOP (MAC only)", func() error {
-		sealed, err := a.Seal(dg, false)
+		sealBuf = sealed
+		opened, err := b.OpenAppend(openBuf[:0], transport.Datagram{
+			Source: "sim-a", Destination: "sim-b", Payload: sealed,
+		})
 		if err != nil {
 			return err
 		}
-		_, err = b.Open(sealed)
-		return err
-	}); err != nil {
-		return err
+		openBuf = opened
+		return nil
 	}
-	return nil
+	if err := measure("FBS DES+MD5", func() error { return sealOpen(true) }); err != nil {
+		return nil, err
+	}
+	if err := measure("FBS NOP (MAC only)", func() error { return sealOpen(false) }); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // stackRun pushes a ttcp-style transfer through the real IPv4 stack with
 // the FBS hook installed, end to end, at native speed.
-func stackRun(total int) error {
-	fmt.Printf("\nFull-stack native run: %d MB through real IPv4 + TCP-lite + FBS (DES+MD5)\n", total>>20)
+func stackRun(total int, quiet bool) ([]benchResult, error) {
+	if !quiet {
+		fmt.Printf("\nFull-stack native run: %d MB through real IPv4 + TCP-lite + FBS (DES+MD5)\n", total>>20)
+	}
 	ca, err := cert.NewAuthority("fbsbench-stack", 512)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dir := cert.NewStaticDirectory()
 	ver := &cert.Verifier{CAKey: ca.PublicKey(), CA: "fbsbench-stack"}
@@ -259,24 +311,24 @@ func stackRun(total int) error {
 	addrA, addrB := ip.Addr{10, 8, 0, 1}, ip.Addr{10, 8, 0, 2}
 	sa, err := mk(addrA)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sb, err := mk(addrB)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	overhead := core.HeaderSize + cryptolib.BlockSize
 	ssa, err := l4.NewStreamStack(sa, l4.StreamConfig{SecurityHeaderLen: overhead})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ssb, err := l4.NewStreamStack(sb, l4.StreamConfig{SecurityHeaderLen: overhead})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ln, err := ssb.Listen(5001)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	got := make(chan int64, 1)
 	go func() {
@@ -291,20 +343,23 @@ func stackRun(total int) error {
 	start := time.Now()
 	conn, err := ssa.Dial(addrB, 5001)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := conn.Write(make([]byte, total)); err != nil {
-		return err
+		return nil, err
 	}
 	if err := conn.CloseWrite(); err != nil {
-		return err
+		return nil, err
 	}
 	n := <-got
 	elapsed := time.Since(start)
 	if int(n) != total {
-		return fmt.Errorf("received %d of %d bytes", n, total)
+		return nil, fmt.Errorf("received %d of %d bytes", n, total)
 	}
-	fmt.Printf("  %d bytes in %v = %.0f kb/s (every packet MACed and DES-encrypted end to end)\n",
-		total, elapsed.Round(time.Millisecond), float64(total)*8/elapsed.Seconds()/1000)
-	return nil
+	kbps := float64(total) * 8 / elapsed.Seconds() / 1000
+	if !quiet {
+		fmt.Printf("  %d bytes in %v = %.0f kb/s (every packet MACed and DES-encrypted end to end)\n",
+			total, elapsed.Round(time.Millisecond), kbps)
+	}
+	return []benchResult{{Section: "stack", Config: "FBS DES+MD5", Kbps: kbps}}, nil
 }

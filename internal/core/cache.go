@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 )
 
@@ -27,22 +28,73 @@ func (s CacheStats) MissRate() float64 {
 	return float64(s.Misses) / float64(total)
 }
 
+// add accumulates o into s (per-stripe aggregation on Stats()).
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Cold += o.Cold
+	s.Conflict += o.Conflict
+	s.Installs += o.Installs
+	s.Evictions += o.Evictions
+}
+
+// defaultStripeCount picks the lock-stripe count for the hot-path tables:
+// a power of two sized to the machine (≥ 4× GOMAXPROCS so stripes stay
+// mostly uncontended) and clamped so tiny tables don't carry more stripe
+// locks than slots.
+func defaultStripeCount(slots int) int {
+	n := nextPow2(4 * runtime.GOMAXPROCS(0))
+	if n < 8 {
+		n = 8
+	}
+	if n > 128 {
+		n = 128
+	}
+	if s := nextPow2(slots); s < n {
+		n = s
+	}
+	return n
+}
+
+// nextPow2 returns the smallest power of two ≥ v (and ≥ 1).
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// cacheStripe is one lock stripe: a mutex guarding the slots whose index
+// has the stripe's low bits, plus that stripe's share of the counters.
+// Counters are plain integers mutated under the stripe lock; Stats()
+// aggregates across stripes, preserving exact totals. The padding keeps
+// adjacent stripes off the same cache line.
+type cacheStripe[K comparable] struct {
+	mu    sync.Mutex
+	stats CacheStats
+	// seen supports cold-vs-conflict miss classification for the keys of
+	// this stripe. It grows with the number of distinct keys ever
+	// inserted, so it is disabled by default in protocol use and enabled
+	// for experiments.
+	seen map[K]struct{}
+	_    [40]byte // pad to a cache line boundary
+}
+
 // DirectMapped is a direct-mapped software cache, the structure Section
 // 5.3 argues for: O(1) lookup, no associativity, correctness independent
 // of evictions (contents are soft state), with a randomising hash
 // supplied by the caller to spread correlated keys.
 //
-// DirectMapped is safe for concurrent use.
+// DirectMapped is safe for concurrent use. The slot array is partitioned
+// into power-of-two lock stripes (slot index low bits select the stripe),
+// so concurrent lookups for different flows proceed in parallel instead
+// of serialising on one cache-wide mutex.
 type DirectMapped[K comparable, V any] struct {
-	mu    sync.Mutex
-	slots []dmSlot[K, V]
-	hash  func(K) uint32
-	stats CacheStats
-
-	// seen supports cold-vs-conflict miss classification. It grows with
-	// the number of distinct keys ever inserted, so it is disabled by
-	// default in protocol use and enabled for experiments.
-	seen map[K]struct{}
+	slots      []dmSlot[K, V]
+	hash       func(K) uint32
+	stripes    []cacheStripe[K]
+	stripeMask uint32
 }
 
 type dmSlot[K comparable, V any] struct {
@@ -57,40 +109,55 @@ func NewDirectMapped[K comparable, V any](size int, hash func(K) uint32) *Direct
 	if size <= 0 {
 		size = 64
 	}
+	n := defaultStripeCount(size)
 	return &DirectMapped[K, V]{
-		slots: make([]dmSlot[K, V], size),
-		hash:  hash,
+		slots:      make([]dmSlot[K, V], size),
+		hash:       hash,
+		stripes:    make([]cacheStripe[K], n),
+		stripeMask: uint32(n - 1),
 	}
 }
 
 // ClassifyMisses enables cold/conflict miss accounting (costs memory
 // proportional to distinct keys).
 func (c *DirectMapped[K, V]) ClassifyMisses() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.seen == nil {
-		c.seen = make(map[K]struct{})
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		if s.seen == nil {
+			s.seen = make(map[K]struct{})
+		}
+		s.mu.Unlock()
 	}
 }
 
 // Size returns the number of slots.
 func (c *DirectMapped[K, V]) Size() int { return len(c.slots) }
 
+// Stripes returns the number of lock stripes (for monitoring and tests).
+func (c *DirectMapped[K, V]) Stripes() int { return len(c.stripes) }
+
+// slotStripe locates the slot and its stripe for key.
+func (c *DirectMapped[K, V]) slotStripe(key K) (*dmSlot[K, V], *cacheStripe[K]) {
+	i := c.hash(key) % uint32(len(c.slots))
+	return &c.slots[i], &c.stripes[i&c.stripeMask]
+}
+
 // Get looks up key, returning its value and whether it was present.
 func (c *DirectMapped[K, V]) Get(key K) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := &c.slots[c.hash(key)%uint32(len(c.slots))]
+	s, st := c.slotStripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if s.valid && s.key == key {
-		c.stats.Hits++
+		st.stats.Hits++
 		return s.val, true
 	}
-	c.stats.Misses++
-	if c.seen != nil {
-		if _, ok := c.seen[key]; ok {
-			c.stats.Conflict++
+	st.stats.Misses++
+	if st.seen != nil {
+		if _, ok := st.seen[key]; ok {
+			st.stats.Conflict++
 		} else {
-			c.stats.Cold++
+			st.stats.Cold++
 		}
 	}
 	var zero V
@@ -99,26 +166,26 @@ func (c *DirectMapped[K, V]) Get(key K) (V, bool) {
 
 // Put installs key → val, displacing whatever occupied the slot.
 func (c *DirectMapped[K, V]) Put(key K, val V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := &c.slots[c.hash(key)%uint32(len(c.slots))]
+	s, st := c.slotStripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if s.valid && s.key != key {
-		c.stats.Evictions++
+		st.stats.Evictions++
 	}
 	s.valid = true
 	s.key = key
 	s.val = val
-	c.stats.Installs++
-	if c.seen != nil {
-		c.seen[key] = struct{}{}
+	st.stats.Installs++
+	if st.seen != nil {
+		st.seen[key] = struct{}{}
 	}
 }
 
 // Invalidate removes key if present and reports whether it was.
 func (c *DirectMapped[K, V]) Invalidate(key K) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := &c.slots[c.hash(key)%uint32(len(c.slots))]
+	s, st := c.slotStripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if s.valid && s.key == key {
 		s.valid = false
 		return true
@@ -128,16 +195,25 @@ func (c *DirectMapped[K, V]) Invalidate(key K) bool {
 
 // Flush invalidates every slot.
 func (c *DirectMapped[K, V]) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range c.slots {
-		c.slots[i].valid = false
+	n := len(c.stripes)
+	for si := range c.stripes {
+		st := &c.stripes[si]
+		st.mu.Lock()
+		for i := si; i < len(c.slots); i += n {
+			c.slots[i].valid = false
+		}
+		st.mu.Unlock()
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, aggregated across stripes.
 func (c *DirectMapped[K, V]) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out CacheStats
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		out.add(st.stats)
+		st.mu.Unlock()
+	}
+	return out
 }

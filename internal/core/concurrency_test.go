@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// The hot path is lock-striped (FST, TFKC/RFKC, PVC/MKC), metrics are
+// atomics and confounder generation is pooled; none of that may lose a
+// count. This test hammers one sender from many goroutines across many
+// peers and then demands that every counter reconciles exactly:
+//
+//	FAM Lookups == Hits + FlowsCreated         (classification accounting)
+//	TFKC Hits + Misses == FAM Lookups          (one key lookup per seal)
+//	Σ peer Received == seals performed         (no datagram lost or double-counted)
+//
+// Run it under -race: it is as much a data-race detector as a counter
+// check.
+func TestConcurrentSealOpenReconciles(t *testing.T) {
+	const (
+		goroutines = 8
+		peers      = 24
+		rounds     = 50
+	)
+	w := newWorld(t)
+	net := transport.NewNetwork(transport.Impairments{})
+
+	mkCfg := func(name principal.Address, tr transport.Transport) Config {
+		return Config{
+			Identity:  w.principal(t, name),
+			Transport: tr,
+			Directory: w.dir,
+			Verifier:  w.ver,
+			Clock:     w.clock,
+		}
+	}
+	hubTr, err := net.Attach("hub", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewEndpoint(mkCfg("hub", hubTr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hub.Close() })
+
+	eps := make([]*Endpoint, peers)
+	for i := range eps {
+		name := principal.Address(fmt.Sprintf("rc-peer-%02d", i))
+		tr, err := net.Attach(name, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := NewEndpoint(mkCfg(name, tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		eps[i] = ep
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sealBuf := make([]byte, 0, 256)
+			openBuf := make([]byte, 0, 256)
+			payload := []byte{byte(g), 0}
+			for r := 0; r < rounds; r++ {
+				for i, ep := range eps {
+					payload[1] = byte(i)
+					sealed, err := hub.SealAppend(sealBuf[:0], transport.Datagram{
+						Source:      "hub",
+						Destination: ep.Addr(),
+						Payload:     payload,
+					}, false)
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d seal to %s: %w", g, ep.Addr(), err)
+						return
+					}
+					sealBuf = sealed
+					opened, err := ep.OpenAppend(openBuf[:0], transport.Datagram{
+						Source:      "hub",
+						Destination: ep.Addr(),
+						Payload:     sealed,
+					})
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d open at %s: %w", g, ep.Addr(), err)
+						return
+					}
+					openBuf = opened
+					if len(opened) != 2 || opened[0] != byte(g) || opened[1] != byte(i) {
+						errs <- fmt.Errorf("goroutine %d: payload corrupted at %s: %x", g, ep.Addr(), opened)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const seals = goroutines * peers * rounds
+	fam := hub.FAMStats()
+	if fam.Lookups != seals {
+		t.Errorf("FAM Lookups = %d, want %d", fam.Lookups, seals)
+	}
+	if fam.Lookups != fam.Hits+fam.FlowsCreated {
+		t.Errorf("FAM accounting broken: Lookups=%d, Hits=%d + FlowsCreated=%d = %d",
+			fam.Lookups, fam.Hits, fam.FlowsCreated, fam.Hits+fam.FlowsCreated)
+	}
+	if fam.FlowsCreated < peers {
+		t.Errorf("FlowsCreated = %d, want >= %d (one flow per peer)", fam.FlowsCreated, peers)
+	}
+	tfkc := hub.TFKCStats()
+	if tfkc.Hits+tfkc.Misses != fam.Lookups {
+		t.Errorf("TFKC lookups (%d hits + %d misses = %d) != FAM lookups %d",
+			tfkc.Hits, tfkc.Misses, tfkc.Hits+tfkc.Misses, fam.Lookups)
+	}
+	// Seal must not count transmissions; only Send does.
+	if m := hub.Metrics(); m.Sent != 0 {
+		t.Errorf("hub Sent = %d after Seal-only traffic, want 0", m.Sent)
+	}
+	var received, receivedBytes uint64
+	for i, ep := range eps {
+		m := ep.Metrics()
+		if m.Received != goroutines*rounds {
+			t.Errorf("peer %d Received = %d, want %d", i, m.Received, goroutines*rounds)
+		}
+		rfkc := ep.RFKCStats()
+		if rfkc.Hits+rfkc.Misses != m.Received {
+			t.Errorf("peer %d RFKC lookups (%d) != opens (%d)", i, rfkc.Hits+rfkc.Misses, m.Received)
+		}
+		received += m.Received
+		receivedBytes += m.ReceivedBytes
+	}
+	if received != seals {
+		t.Errorf("total Received = %d, want %d", received, seals)
+	}
+	if receivedBytes != seals*2 {
+		t.Errorf("total ReceivedBytes = %d, want %d", receivedBytes, seals*2)
+	}
+}

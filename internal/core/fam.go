@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fbs/internal/cryptolib"
@@ -30,8 +31,8 @@ type FlowID struct {
 // folding would collide systematically.
 func (f FlowID) hash() uint32 {
 	state := uint32(0xFFFFFFFF)
-	state = cryptolib.CRC32Update(state, []byte(f.Src))
-	state = cryptolib.CRC32Update(state, []byte(f.Dst))
+	state = cryptolib.CRC32UpdateString(state, string(f.Src))
+	state = cryptolib.CRC32UpdateString(state, string(f.Dst))
 	var b [13]byte
 	b[0] = f.Proto
 	binary.BigEndian.PutUint16(b[1:], f.SrcPort)
@@ -181,16 +182,31 @@ type FAMStats struct {
 	Expirations uint64
 }
 
+// famStripe is one lock stripe of the flow state table: a mutex guarding
+// the slots whose index has the stripe's low bits, plus that stripe's
+// share of the counters (mutated under the stripe lock; Stats()
+// aggregates, preserving exact totals). Padded so adjacent stripes do not
+// share a cache line.
+type famStripe struct {
+	mu    sync.Mutex
+	stats FAMStats
+	_     [24]byte
+}
+
 // FAM is the flow association mechanism (Figure 1): a flow state table
 // with pluggable mapper and sweeper policy modules. The source principal
 // runs one FAM per outgoing interface; no state is shared with the
 // destination (Section 5.1).
+//
+// The table is partitioned into power-of-two lock stripes (slot index low
+// bits select the stripe) so datagrams of different flows classify in
+// parallel; the sfl counter is a single atomic.
 type FAM struct {
-	mu      sync.Mutex
-	policy  Policy
-	table   []FSTEntry
-	nextSFL uint64
-	stats   FAMStats
+	policy     Policy
+	table      []FSTEntry
+	stripes    []famStripe
+	stripeMask int
+	nextSFL    atomic.Uint64
 }
 
 // DefaultFSTSize is the default flow state table size. The paper observes
@@ -213,11 +229,7 @@ func NewFAM(policy Policy, tableSize int) (*FAM, error) {
 	if _, err := rand.Read(seed[:]); err != nil {
 		return nil, fmt.Errorf("core: randomising sfl counter: %w", err)
 	}
-	return &FAM{
-		policy:  policy,
-		table:   make([]FSTEntry, tableSize),
-		nextSFL: binary.BigEndian.Uint64(seed[:]),
-	}, nil
+	return newFAMWithSeed(policy, tableSize, binary.BigEndian.Uint64(seed[:])), nil
 }
 
 // newFAMWithSeed is the deterministic constructor for tests.
@@ -225,7 +237,15 @@ func newFAMWithSeed(policy Policy, tableSize int, seed uint64) *FAM {
 	if tableSize <= 0 {
 		tableSize = DefaultFSTSize
 	}
-	return &FAM{policy: policy, table: make([]FSTEntry, tableSize), nextSFL: seed}
+	n := defaultStripeCount(tableSize)
+	f := &FAM{
+		policy:     policy,
+		table:      make([]FSTEntry, tableSize),
+		stripes:    make([]famStripe, n),
+		stripeMask: n - 1,
+	}
+	f.nextSFL.Store(seed)
+	return f
 }
 
 // Classify assigns the datagram with attributes id and size bytes to a
@@ -243,23 +263,23 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (SFL, bool, int) {
 	if n, ok := f.policy.(flowNormalizer); ok {
 		id = n.normalize(id)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats.Lookups++
 	i := f.policy.Index(id, len(f.table))
+	st := &f.stripes[i&f.stripeMask]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stats.Lookups++
 	e := &f.table[i]
 	if f.policy.Match(e, id, now) {
 		e.Last = now
 		e.Packets++
 		e.Bytes += uint64(size)
-		f.stats.Hits++
+		st.stats.Hits++
 		return e.SFL, false, i
 	}
 	if e.Valid && e.ID != id {
-		f.stats.Collisions++
+		st.stats.Collisions++
 	}
-	sfl := SFL(f.nextSFL)
-	f.nextSFL++
+	sfl := SFL(f.nextSFL.Add(1) - 1)
 	*e = FSTEntry{
 		Valid:   true,
 		ID:      id,
@@ -269,44 +289,68 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (SFL, bool, int) {
 		Packets: 1,
 		Bytes:   uint64(size),
 	}
-	f.stats.FlowsCreated++
+	st.stats.FlowsCreated++
 	return sfl, true, i
 }
 
 // Sweep runs the sweeper module over the whole table (Figure 7),
-// invalidating expired flows, and returns how many were expired.
+// invalidating expired flows, and returns how many were expired. It locks
+// one stripe at a time, so classification in other stripes proceeds
+// concurrently with the sweep.
 func (f *FAM) Sweep(now time.Time) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n := 0
-	for i := range f.table {
-		if f.policy.Expired(&f.table[i], now) {
-			f.table[i].Valid = false
-			n++
+	total := 0
+	stripes := len(f.stripes)
+	for si := range f.stripes {
+		st := &f.stripes[si]
+		st.mu.Lock()
+		n := 0
+		for i := si; i < len(f.table); i += stripes {
+			if f.policy.Expired(&f.table[i], now) {
+				f.table[i].Valid = false
+				n++
+			}
 		}
+		st.stats.Expirations += uint64(n)
+		st.mu.Unlock()
+		total += n
 	}
-	f.stats.Expirations += uint64(n)
-	return n
+	return total
 }
 
 // ActiveFlows counts currently valid entries.
 func (f *FAM) ActiveFlows() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	n := 0
-	for i := range f.table {
-		if f.table[i].Valid {
-			n++
+	stripes := len(f.stripes)
+	for si := range f.stripes {
+		st := &f.stripes[si]
+		st.mu.Lock()
+		for i := si; i < len(f.table); i += stripes {
+			if f.table[i].Valid {
+				n++
+			}
 		}
+		st.mu.Unlock()
 	}
 	return n
 }
 
-// Stats returns a snapshot of the FAM counters.
+// Stats returns a snapshot of the FAM counters, aggregated across the
+// lock stripes. Because every counter is incremented under its stripe
+// lock, the per-stripe sums reconcile exactly (Lookups == Hits +
+// FlowsCreated, always).
 func (f *FAM) Stats() FAMStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	var out FAMStats
+	for i := range f.stripes {
+		st := &f.stripes[i]
+		st.mu.Lock()
+		out.Lookups += st.stats.Lookups
+		out.Hits += st.stats.Hits
+		out.FlowsCreated += st.stats.FlowsCreated
+		out.Collisions += st.stats.Collisions
+		out.Expirations += st.stats.Expirations
+		st.mu.Unlock()
+	}
+	return out
 }
 
 // FlowInfo is a point-in-time description of one live flow, for
@@ -323,36 +367,45 @@ type FlowInfo struct {
 
 // Snapshot lists the currently valid flows.
 func (f *FAM) Snapshot() []FlowInfo {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	var out []FlowInfo
-	for i := range f.table {
-		e := &f.table[i]
-		if !e.Valid {
-			continue
+	stripes := len(f.stripes)
+	for si := range f.stripes {
+		st := &f.stripes[si]
+		st.mu.Lock()
+		for i := si; i < len(f.table); i += stripes {
+			e := &f.table[i]
+			if !e.Valid {
+				continue
+			}
+			out = append(out, FlowInfo{
+				ID: e.ID, SFL: e.SFL,
+				Created: e.Created, Last: e.Last,
+				Packets: e.Packets, Bytes: e.Bytes,
+			})
 		}
-		out = append(out, FlowInfo{
-			ID: e.ID, SFL: e.SFL,
-			Created: e.Created, Last: e.Last,
-			Packets: e.Packets, Bytes: e.Bytes,
-		})
+		st.mu.Unlock()
 	}
 	return out
 }
 
+// stripe returns the lock stripe covering slot i.
+func (f *FAM) stripe(i int) *famStripe { return &f.stripes[i&f.stripeMask] }
+
 // entry returns a copy of slot i (for the combined FST/TFKC path and
 // tests).
 func (f *FAM) entry(i int) FSTEntry {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	st := f.stripe(i)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return f.table[i]
 }
 
 // setFlowKey caches the flow key in slot i if it still belongs to sfl
 // (combined FST/TFKC optimisation, Section 7.2).
 func (f *FAM) setFlowKey(i int, sfl SFL, key [16]byte) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	st := f.stripe(i)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if f.table[i].Valid && f.table[i].SFL == sfl {
 		f.table[i].flowKey = key
 		f.table[i].flowKeySet = true
@@ -361,8 +414,9 @@ func (f *FAM) setFlowKey(i int, sfl SFL, key [16]byte) {
 
 // getFlowKey fetches a cached flow key from slot i for sfl.
 func (f *FAM) getFlowKey(i int, sfl SFL) ([16]byte, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	st := f.stripe(i)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	e := &f.table[i]
 	if e.Valid && e.SFL == sfl && e.flowKeySet {
 		return e.flowKey, true

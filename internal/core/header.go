@@ -65,6 +65,11 @@ const (
 	// timestamp(4), MAC(16). The paper's 28-byte header plus the
 	// algorithm identification field it prescribes but elides.
 	HeaderSize = 4 + 8 + 4 + 4 + MACLen
+	// macValueOffset is where the MAC value field starts within the
+	// encoded header. The allocation-free seal path encodes the header
+	// with a zero MAC first and patches the real value in at this offset
+	// once the body has been traversed.
+	macValueOffset = HeaderSize - MACLen
 )
 
 // Header flag bits.

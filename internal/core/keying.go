@@ -3,7 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"fbs/internal/cert"
@@ -38,12 +38,14 @@ func (k flowCacheKey) hash() uint32 {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], uint64(k.SFL))
 	state = cryptolib.CRC32Update(state, b[:])
-	state = cryptolib.CRC32Update(state, []byte(k.Dst))
-	state = cryptolib.CRC32Update(state, []byte(k.Src))
+	state = cryptolib.CRC32UpdateString(state, string(k.Dst))
+	state = cryptolib.CRC32UpdateString(state, string(k.Src))
 	return state ^ 0xFFFFFFFF
 }
 
-func addrHash(a principal.Address) uint32 { return cryptolib.CRC32([]byte(a)) }
+func addrHash(a principal.Address) uint32 {
+	return cryptolib.CRC32UpdateString(0xFFFFFFFF, string(a)) ^ 0xFFFFFFFF
+}
 
 // KeyServiceStats counts keying activity below the flow key caches.
 type KeyServiceStats struct {
@@ -52,6 +54,17 @@ type KeyServiceStats struct {
 	CertFetches       uint64 // directory round trips (PVC misses)
 	CertVerifies      uint64
 	Failures          uint64
+}
+
+// keyServiceCounters is the lock-free internal form of KeyServiceStats:
+// keying runs concurrently with the per-packet hot path, so its counters
+// are atomics rather than a shared mutex.
+type keyServiceCounters struct {
+	masterKeyRequests atomic.Uint64
+	masterKeyComputes atomic.Uint64
+	certFetches       atomic.Uint64
+	certVerifies      atomic.Uint64
+	failures          atomic.Uint64
 }
 
 // KeyService implements the zero-message keying mechanism below the flow
@@ -68,8 +81,7 @@ type KeyService struct {
 	pvc *DirectMapped[principal.Address, *cert.Certificate]
 	mkc *DirectMapped[principal.Address, [16]byte]
 
-	mu    sync.Mutex
-	stats KeyServiceStats
+	stats keyServiceCounters
 }
 
 // KeyServiceConfig sizes the key caches.
@@ -111,25 +123,21 @@ func (ks *KeyService) Self() *principal.Identity { return ks.self }
 // otherwise PVC (fetching and verifying a certificate on miss), then one
 // modular exponentiation, then install in the MKC.
 func (ks *KeyService) MasterKey(peer principal.Address) ([16]byte, error) {
-	ks.mu.Lock()
-	ks.stats.MasterKeyRequests++
-	ks.mu.Unlock()
+	ks.stats.masterKeyRequests.Add(1)
 	if k, ok := ks.mkc.Get(peer); ok {
 		return k, nil
 	}
 	c, err := ks.certificate(peer)
 	if err != nil {
-		ks.fail()
+		ks.stats.failures.Add(1)
 		return [16]byte{}, err
 	}
 	k, err := ks.self.MasterKey(c.Public)
 	if err != nil {
-		ks.fail()
+		ks.stats.failures.Add(1)
 		return [16]byte{}, fmt.Errorf("core: master key with %q: %w", peer, err)
 	}
-	ks.mu.Lock()
-	ks.stats.MasterKeyComputes++
-	ks.mu.Unlock()
+	ks.stats.masterKeyComputes.Add(1)
 	ks.mkc.Put(peer, k)
 	return k, nil
 }
@@ -142,18 +150,14 @@ func (ks *KeyService) certificate(peer principal.Address) (*cert.Certificate, er
 	c, ok := ks.pvc.Get(peer)
 	if !ok {
 		var err error
-		ks.mu.Lock()
-		ks.stats.CertFetches++
-		ks.mu.Unlock()
+		ks.stats.certFetches.Add(1)
 		c, err = ks.dir.Lookup(peer)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching certificate for %q: %w", peer, err)
 		}
 		ks.pvc.Put(peer, c)
 	}
-	ks.mu.Lock()
-	ks.stats.CertVerifies++
-	ks.mu.Unlock()
+	ks.stats.certVerifies.Add(1)
 	if err := ks.verifier.Verify(c, peer, now); err != nil {
 		// A cached certificate may simply have expired; drop it and
 		// refetch once.
@@ -162,10 +166,8 @@ func (ks *KeyService) certificate(peer principal.Address) (*cert.Certificate, er
 		if ferr != nil {
 			return nil, err
 		}
-		ks.mu.Lock()
-		ks.stats.CertFetches++
-		ks.stats.CertVerifies++
-		ks.mu.Unlock()
+		ks.stats.certFetches.Add(1)
+		ks.stats.certVerifies.Add(1)
 		if verr := ks.verifier.Verify(fresh, peer, now); verr != nil {
 			return nil, verr
 		}
@@ -189,9 +191,13 @@ func (ks *KeyService) InvalidatePeer(peer principal.Address) {
 
 // Stats returns a snapshot of keying counters.
 func (ks *KeyService) Stats() KeyServiceStats {
-	ks.mu.Lock()
-	defer ks.mu.Unlock()
-	return ks.stats
+	return KeyServiceStats{
+		MasterKeyRequests: ks.stats.masterKeyRequests.Load(),
+		MasterKeyComputes: ks.stats.masterKeyComputes.Load(),
+		CertFetches:       ks.stats.certFetches.Load(),
+		CertVerifies:      ks.stats.certVerifies.Load(),
+		Failures:          ks.stats.failures.Load(),
+	}
 }
 
 // PVCStats and MKCStats expose the underlying cache counters.
@@ -199,12 +205,6 @@ func (ks *KeyService) PVCStats() CacheStats { return ks.pvc.Stats() }
 
 // MKCStats exposes the master key cache counters.
 func (ks *KeyService) MKCStats() CacheStats { return ks.mkc.Stats() }
-
-func (ks *KeyService) fail() {
-	ks.mu.Lock()
-	ks.stats.Failures++
-	ks.mu.Unlock()
-}
 
 // now is a helper for tests.
 func (ks *KeyService) now() time.Time { return ks.clock.Now() }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,23 +29,46 @@ type replaySig struct {
 	MAC        [8]byte // first half of the MAC disambiguates confounder collisions
 }
 
+// stripe picks the lock stripe for this signature. The confounder is
+// already statistically random (it is generator output), so folding in
+// the sfl low bits is enough to spread flows across stripes.
+func (s replaySig) stripe(mask uint32) uint32 {
+	return (s.Confounder ^ uint32(s.SFL)) & mask
+}
+
+// replayStripe is one lock stripe: an independently locked shard of the
+// signature map.
+type replayStripe struct {
+	mu   sync.Mutex
+	seen map[replaySig]time.Time
+	_    [40]byte
+}
+
 // ReplayCache suppresses exact duplicates inside the freshness window.
-// It is safe for concurrent use.
+// It is safe for concurrent use: signatures are partitioned across
+// power-of-two lock stripes so datagrams of different flows are checked
+// in parallel. Expired entries are swept lazily, at most once per
+// window, by whichever Seen call notices the sweep is due.
 type ReplayCache struct {
-	mu     sync.Mutex
-	window time.Duration
-	seen   map[replaySig]time.Time
-	// sweepEvery bounds how often the map is scanned for expiry.
-	lastSweep time.Time
+	window    time.Duration
+	stripes   []replayStripe
+	mask      uint32
+	lastSweep atomic.Int64 // unix nanos of the last full sweep
 }
 
 // NewReplayCache creates a cache whose entries expire after window (use
 // the endpoint's freshness window).
 func NewReplayCache(window time.Duration) *ReplayCache {
-	return &ReplayCache{
-		window: window,
-		seen:   make(map[replaySig]time.Time),
+	n := defaultStripeCount(1 << 30) // uncapped by table size
+	r := &ReplayCache{
+		window:  window,
+		stripes: make([]replayStripe, n),
+		mask:    uint32(n - 1),
 	}
+	for i := range r.stripes {
+		r.stripes[i].seen = make(map[replaySig]time.Time)
+	}
+	return r
 }
 
 // Seen records the datagram and reports whether an identical one was
@@ -56,27 +80,51 @@ func (r *ReplayCache) Seen(h *Header, now time.Time) bool {
 	sig.Timestamp = h.Timestamp
 	copy(sig.MAC[:], h.MACValue[:8])
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if now.Sub(r.lastSweep) > r.window {
-		for k, t := range r.seen {
-			if now.Sub(t) > r.window {
-				delete(r.seen, k)
-			}
-		}
-		r.lastSweep = now
-	}
-	if t, ok := r.seen[sig]; ok && now.Sub(t) <= r.window {
+	r.maybeSweep(now)
+	st := &r.stripes[sig.stripe(r.mask)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if t, ok := st.seen[sig]; ok && now.Sub(t) <= r.window {
 		return true
 	}
-	r.seen[sig] = now
+	st.seen[sig] = now
 	return false
+}
+
+// maybeSweep drops expired entries once the last full sweep is more than
+// a window old. The CAS elects a single sweeper; everyone else proceeds
+// to their stripe immediately, and the sweeper takes one stripe lock at
+// a time so checks on other stripes continue in parallel.
+func (r *ReplayCache) maybeSweep(now time.Time) {
+	last := r.lastSweep.Load()
+	n := now.UnixNano()
+	if n-last <= int64(r.window) {
+		return
+	}
+	if !r.lastSweep.CompareAndSwap(last, n) {
+		return
+	}
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for k, t := range st.seen {
+			if now.Sub(t) > r.window {
+				delete(st.seen, k)
+			}
+		}
+		st.mu.Unlock()
+	}
 }
 
 // Len returns the number of remembered datagrams (for tests and
 // monitoring).
 func (r *ReplayCache) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.seen)
+	n := 0
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		n += len(st.seen)
+		st.mu.Unlock()
+	}
+	return n
 }

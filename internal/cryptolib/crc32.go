@@ -40,6 +40,16 @@ func CRC32Update(state uint32, data []byte) uint32 {
 	return state
 }
 
+// CRC32UpdateString folds a string into a running (pre-inversion) CRC
+// state without converting it to a byte slice. The hot-path cache hashes
+// use it so that a lookup performs no allocation.
+func CRC32UpdateString(state uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		state = crcTable[byte(state)^s[i]] ^ (state >> 8)
+	}
+	return state
+}
+
 // CRC32Fields hashes a sequence of integer fields (ports, addresses,
 // labels) without allocating: each field is folded in big-endian order.
 // It is the cache-index hash used by the FBS key caches and the combined

@@ -40,13 +40,19 @@ func (m Mode) String() string {
 // block size. A full block of padding is added when the input is already
 // aligned, so padding is always removable.
 func Pad(data []byte, blockSize int) []byte {
+	return AppendPadded(nil, data, blockSize)
+}
+
+// AppendPadded appends data plus its PKCS#7-style padding to dst and
+// returns the extended slice. With sufficient capacity in dst it performs
+// no allocation — the steady-state seal path depends on this.
+func AppendPadded(dst, data []byte, blockSize int) []byte {
 	n := blockSize - len(data)%blockSize
-	out := make([]byte, len(data)+n)
-	copy(out, data)
-	for i := len(data); i < len(out); i++ {
-		out[i] = byte(n)
+	dst = append(dst, data...)
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(n))
 	}
-	return out
+	return dst
 }
 
 // Unpad removes padding added by Pad. It returns an error when the padding

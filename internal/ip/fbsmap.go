@@ -90,15 +90,18 @@ func NewFBSHook(cfg core.Config, secret SecretPolicy) (*FBSHook, error) {
 // OutputHook implements SecurityHook: FBSSend between output processing
 // and fragmentation.
 func (f *FBSHook) OutputHook(h *Header, payload []byte) ([]byte, error) {
-	sealed, err := f.Endpoint.SealFlow(transport.Datagram{
+	return f.OutputAppend(nil, h, payload)
+}
+
+// OutputAppend implements AppendSecurityHook: the sealed datagram is
+// appended to the stack-owned dst buffer via the endpoint's
+// allocation-free seal path.
+func (f *FBSHook) OutputAppend(dst []byte, h *Header, payload []byte) ([]byte, error) {
+	return f.Endpoint.SealFlowAppend(dst, transport.Datagram{
 		Source:      Principal(h.Src),
 		Destination: Principal(h.Dst),
 		Payload:     payload,
 	}, FiveTupleSelector(h, payload), f.Secret(h, payload))
-	if err != nil {
-		return nil, err
-	}
-	return sealed.Payload, nil
 }
 
 // InputHook implements SecurityHook: FBSReceive between reassembly and

@@ -8,6 +8,7 @@ package ip
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -85,6 +86,14 @@ func (h *Header) HeaderLen() int {
 // Marshal encodes the header followed by payload into a fresh packet
 // buffer, computing length and checksum fields.
 func (h *Header) Marshal(payload []byte) ([]byte, error) {
+	return h.MarshalAppend(nil, payload)
+}
+
+// MarshalAppend encodes the header followed by payload, appending the
+// packet to dst and returning the extended slice. With sufficient
+// capacity in dst it performs no allocation; the steady-state output
+// path reuses one buffer per packet this way.
+func (h *Header) MarshalAppend(dst, payload []byte) ([]byte, error) {
 	if len(h.Options) > MaxOptionsLen {
 		return nil, fmt.Errorf("ip: options too long: %d > %d", len(h.Options), MaxOptionsLen)
 	}
@@ -93,7 +102,9 @@ func (h *Header) Marshal(payload []byte) ([]byte, error) {
 	if total > 65535 {
 		return nil, fmt.Errorf("ip: packet too large: %d", total)
 	}
-	b := make([]byte, total)
+	off := len(dst)
+	dst = slices.Grow(dst, total)[:off+total]
+	b := dst[off:]
 	b[0] = 4<<4 | uint8(hl/4)
 	b[1] = h.TOS
 	binary.BigEndian.PutUint16(b[2:], uint16(total))
@@ -101,13 +112,17 @@ func (h *Header) Marshal(payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint16(b[6:], uint16(h.Flags)<<13|h.FragOffset&0x1fff)
 	b[8] = h.TTL
 	b[9] = h.Protocol
+	b[10], b[11] = 0, 0 // checksum field is zero while summing
 	copy(b[12:16], h.Src[:])
 	copy(b[16:20], h.Dst[:])
-	copy(b[20:hl], h.Options)
+	n := copy(b[20:hl], h.Options)
+	for i := 20 + n; i < hl; i++ {
+		b[i] = 0 // options pad
+	}
 	cs := Checksum(b[:hl])
 	binary.BigEndian.PutUint16(b[10:], cs)
 	copy(b[hl:], payload)
-	return b, nil
+	return dst, nil
 }
 
 // Unmarshal parses packet b, verifying version, lengths and the header

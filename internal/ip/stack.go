@@ -3,6 +3,7 @@ package ip
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,7 +36,21 @@ type SecurityHook interface {
 	InputHook(h *Header, payload []byte) ([]byte, error)
 }
 
-// StackStats counts stack activity.
+// AppendSecurityHook is an optional extension of SecurityHook for
+// allocation-free output processing. When the installed hook implements
+// it, the stack calls OutputAppend with a pooled buffer instead of
+// OutputHook. Ownership rule: dst belongs to the stack; the hook must
+// only append to it and must not retain the returned slice past the
+// call — the stack recycles the buffer as soon as the packet's
+// fragments have been copied out for transmission.
+type AppendSecurityHook interface {
+	SecurityHook
+	// OutputAppend appends the transformed packet body to dst and
+	// returns the extended slice.
+	OutputAppend(dst []byte, h *Header, payload []byte) ([]byte, error)
+}
+
+// StackStats is a snapshot of stack activity.
 type StackStats struct {
 	PacketsOut     uint64
 	FragmentsOut   uint64
@@ -47,6 +62,22 @@ type StackStats struct {
 	DroppedBadPkt  uint64
 	DroppedNoProto uint64
 	DroppedHook    uint64
+}
+
+// stackCounters is the live form of StackStats: independent atomics so
+// per-packet accounting never serialises concurrent Output and Input
+// calls on the stack mutex.
+type stackCounters struct {
+	packetsOut     atomic.Uint64
+	fragmentsOut   atomic.Uint64
+	packetsIn      atomic.Uint64
+	reassembled    atomic.Uint64
+	delivered      atomic.Uint64
+	forwarded      atomic.Uint64
+	droppedTTL     atomic.Uint64
+	droppedBadPkt  atomic.Uint64
+	droppedNoProto atomic.Uint64
+	droppedHook    atomic.Uint64
 }
 
 // Stack is a minimal IPv4 host stack: one address, one link, a protocol
@@ -63,11 +94,16 @@ type Stack struct {
 	// this host.
 	Forwarding bool
 
+	nextID atomic.Uint32
+	stats  stackCounters
+
+	// outBufs recycles the buffers handed to an AppendSecurityHook on
+	// the output path (see the ownership rule on AppendSecurityHook).
+	outBufs sync.Pool
+
 	mu       sync.Mutex
-	nextID   uint16
 	reasm    *Reassembler
 	handlers map[uint8]ProtocolHandler
-	stats    StackStats
 }
 
 // StackConfig configures a Stack.
@@ -97,7 +133,7 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Stack{
+	s := &Stack{
 		addr:     cfg.Addr,
 		mtu:      cfg.MTU,
 		link:     cfg.Link,
@@ -105,7 +141,9 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		now:      cfg.Now,
 		reasm:    NewReassembler(0),
 		handlers: make(map[uint8]ProtocolHandler),
-	}, nil
+	}
+	s.outBufs.New = func() any { b := make([]byte, 0, 2048); return &b }
+	return s, nil
 }
 
 // Addr returns the stack's address.
@@ -124,17 +162,21 @@ func (s *Stack) Handle(proto uint8, h ProtocolHandler) {
 	s.mu.Unlock()
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, each read atomically.
 func (s *Stack) Stats() StackStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-func (s *Stack) bump(f func(*StackStats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
+	c := &s.stats
+	return StackStats{
+		PacketsOut:     c.packetsOut.Load(),
+		FragmentsOut:   c.fragmentsOut.Load(),
+		PacketsIn:      c.packetsIn.Load(),
+		Reassembled:    c.reassembled.Load(),
+		Delivered:      c.delivered.Load(),
+		Forwarded:      c.forwarded.Load(),
+		DroppedTTL:     c.droppedTTL.Load(),
+		DroppedBadPkt:  c.droppedBadPkt.Load(),
+		DroppedNoProto: c.droppedNoProto.Load(),
+		DroppedHook:    c.droppedHook.Load(),
+	}
 }
 
 // Output sends payload to dst with the given protocol. Setting df sets
@@ -145,12 +187,8 @@ func (s *Stack) bump(f func(*StackStats)) {
 func (s *Stack) Output(proto uint8, dst Addr, payload []byte, df bool) error {
 	// Part 1: header construction, option processing, route selection
 	// (single-homed: the one link).
-	s.mu.Lock()
-	s.nextID++
-	id := s.nextID
-	s.mu.Unlock()
 	h := Header{
-		ID:       id,
+		ID:       uint16(s.nextID.Add(1)),
 		TTL:      64,
 		Protocol: proto,
 		Src:      s.addr,
@@ -159,13 +197,29 @@ func (s *Stack) Output(proto uint8, dst Addr, payload []byte, df bool) error {
 	if df {
 		h.Flags |= FlagDF
 	}
-	// Security hook: FBS send processing.
+	// Security hook: FBS send processing. An append-capable hook seals
+	// into a pooled buffer the stack owns; the buffer is recycled after
+	// the fragments below have been copied into their frames.
+	var hookBuf *[]byte
 	if s.hook != nil {
 		var err error
-		payload, err = s.hook.OutputHook(&h, payload)
-		if err != nil {
-			s.bump(func(st *StackStats) { st.DroppedHook++ })
-			return fmt.Errorf("ip: output hook: %w", err)
+		if ah, ok := s.hook.(AppendSecurityHook); ok {
+			hookBuf = s.outBufs.Get().(*[]byte)
+			sealed, herr := ah.OutputAppend((*hookBuf)[:0], &h, payload)
+			if herr != nil {
+				s.outBufs.Put(hookBuf)
+				s.stats.droppedHook.Add(1)
+				return fmt.Errorf("ip: output hook: %w", herr)
+			}
+			*hookBuf = sealed
+			payload = sealed
+			defer s.outBufs.Put(hookBuf)
+		} else {
+			payload, err = s.hook.OutputHook(&h, payload)
+			if err != nil {
+				s.stats.droppedHook.Add(1)
+				return fmt.Errorf("ip: output hook: %w", err)
+			}
 		}
 	}
 	// Part 2: fragmentation.
@@ -173,36 +227,44 @@ func (s *Stack) Output(proto uint8, dst Addr, payload []byte, df bool) error {
 	if err != nil {
 		return err
 	}
-	// Part 3: transmit on the chosen interface.
+	// Part 3: transmit on the chosen interface. All frames of the packet
+	// are marshalled into one buffer; receivers may retain frames, so
+	// the buffer is fresh per packet, not pooled.
+	wire := 0
 	for _, f := range frags {
-		frame, err := f.Header.Marshal(f.Payload)
+		wire += f.Header.HeaderLen() + len(f.Payload)
+	}
+	frames := make([]byte, 0, wire)
+	for _, f := range frags {
+		off := len(frames)
+		frames, err = f.Header.MarshalAppend(frames, f.Payload)
 		if err != nil {
 			return err
 		}
-		if err := s.link.Transmit(frame); err != nil {
+		if err := s.link.Transmit(frames[off:]); err != nil {
 			return err
 		}
-		s.bump(func(st *StackStats) { st.FragmentsOut++ })
+		s.stats.fragmentsOut.Add(1)
 	}
-	s.bump(func(st *StackStats) { st.PacketsOut++ })
+	s.stats.packetsOut.Add(1)
 	return nil
 }
 
 // Input accepts one received frame. The path follows 4.4BSD ip_input's
 // three parts with the security hook between reassembly and dispatch.
 func (s *Stack) Input(frame []byte) {
-	s.bump(func(st *StackStats) { st.PacketsIn++ })
+	s.stats.packetsIn.Add(1)
 	// Part 1: validation and the forwarding decision.
 	h, payload, err := Unmarshal(frame)
 	if err != nil {
-		s.bump(func(st *StackStats) { st.DroppedBadPkt++ })
+		s.stats.droppedBadPkt.Add(1)
 		return
 	}
 	if h.Dst != s.addr {
 		if s.Forwarding {
 			s.forward(h, payload)
 		} else {
-			s.bump(func(st *StackStats) { st.DroppedBadPkt++ })
+			s.stats.droppedBadPkt.Add(1)
 		}
 		return
 	}
@@ -215,14 +277,14 @@ func (s *Stack) Input(frame []byte) {
 	}
 	if h.FragOffset != 0 || h.Flags&FlagMF != 0 {
 		// The final fragment of a train just completed reassembly.
-		s.bump(func(st *StackStats) { st.Reassembled++ })
+		s.stats.reassembled.Add(1)
 	}
 	// Security hook: FBS receive processing.
 	body := whole.Payload
 	if s.hook != nil {
 		body, err = s.hook.InputHook(&whole.Header, body)
 		if err != nil {
-			s.bump(func(st *StackStats) { st.DroppedHook++ })
+			s.stats.droppedHook.Add(1)
 			return
 		}
 	}
@@ -231,11 +293,11 @@ func (s *Stack) Input(frame []byte) {
 	handler := s.handlers[whole.Header.Protocol]
 	s.mu.Unlock()
 	if handler == nil {
-		s.bump(func(st *StackStats) { st.DroppedNoProto++ })
+		s.stats.droppedNoProto.Add(1)
 		return
 	}
 	handler(&whole.Header, body)
-	s.bump(func(st *StackStats) { st.Delivered++ })
+	s.stats.delivered.Add(1)
 }
 
 // forward re-emits a transit packet. FBS is end-to-end: "a forwarding
@@ -243,14 +305,14 @@ func (s *Stack) Input(frame []byte) {
 // packets" — the hook is not consulted here.
 func (s *Stack) forward(h *Header, payload []byte) {
 	if h.TTL <= 1 {
-		s.bump(func(st *StackStats) { st.DroppedTTL++ })
+		s.stats.droppedTTL.Add(1)
 		return
 	}
 	fh := *h
 	fh.TTL--
 	frags, err := Fragment(Packet{Header: fh, Payload: payload}, s.mtu)
 	if err != nil {
-		s.bump(func(st *StackStats) { st.DroppedBadPkt++ })
+		s.stats.droppedBadPkt.Add(1)
 		return
 	}
 	for _, f := range frags {
@@ -262,5 +324,5 @@ func (s *Stack) forward(h *Header, payload []byte) {
 			return
 		}
 	}
-	s.bump(func(st *StackStats) { st.Forwarded++ })
+	s.stats.forwarded.Add(1)
 }

@@ -9,6 +9,7 @@ package l4
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"fbs/internal/ip"
 )
@@ -95,11 +96,21 @@ type TCPHeader struct {
 // Marshal encodes the header followed by payload, computing the checksum
 // over the pseudo-header.
 func (h *TCPHeader) Marshal(payload []byte, src, dst ip.Addr) ([]byte, error) {
+	return h.MarshalAppend(nil, payload, src, dst)
+}
+
+// MarshalAppend encodes the header followed by payload, appending the
+// segment to dst and returning the extended slice. With sufficient
+// capacity in dst it performs no allocation; the stream sender recycles
+// one buffer per in-flight segment this way.
+func (h *TCPHeader) MarshalAppend(dst, payload []byte, src, dst4 ip.Addr) ([]byte, error) {
 	total := TCPHeaderLen + len(payload)
 	if total > 65535 {
 		return nil, fmt.Errorf("l4: TCP segment too large: %d", total)
 	}
-	b := make([]byte, total)
+	off := len(dst)
+	dst = slices.Grow(dst, total)[:off+total]
+	b := dst[off:]
 	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], h.DstPort)
 	binary.BigEndian.PutUint32(b[4:], h.Seq)
@@ -107,9 +118,11 @@ func (h *TCPHeader) Marshal(payload []byte, src, dst ip.Addr) ([]byte, error) {
 	b[12] = (TCPHeaderLen / 4) << 4
 	b[13] = h.Flags
 	binary.BigEndian.PutUint16(b[14:], h.Window)
+	b[16], b[17] = 0, 0 // checksum field is zero while summing
+	b[18], b[19] = 0, 0 // urgent pointer, unused
 	copy(b[20:], payload)
-	binary.BigEndian.PutUint16(b[16:], transportChecksum(ip.ProtoTCP, src, dst, b))
-	return b, nil
+	binary.BigEndian.PutUint16(b[16:], transportChecksum(ip.ProtoTCP, src, dst4, b))
+	return dst, nil
 }
 
 // UnmarshalTCP parses a TCP segment, verifying the checksum.

@@ -51,6 +51,12 @@ type StreamStack struct {
 	conns     map[connKey]*StreamConn
 	listeners map[uint16]*Listener
 	isn       *cryptolib.LCG
+
+	// segBufs recycles marshalled-segment buffers across sendFlags
+	// calls: the stack's output path copies the segment into frames
+	// before returning, so the buffer is free again as soon as Output
+	// does.
+	segBufs sync.Pool
 }
 
 // NewStreamStack attaches the stream protocol to an IP stack (as its
@@ -235,7 +241,9 @@ func (c *StreamConn) waitWithTimeout(d time.Duration) {
 	timer.Stop()
 }
 
-// sendFlags emits a control/data segment.
+// sendFlags emits a control/data segment. The marshalled segment lives
+// in a pooled buffer: Output copies it into link frames synchronously,
+// so the buffer can be recycled as soon as Output returns.
 func (c *StreamConn) sendFlags(flags uint8, seq, ack uint32, data []byte) error {
 	h := TCPHeader{
 		SrcPort: c.key.localPort,
@@ -245,12 +253,20 @@ func (c *StreamConn) sendFlags(flags uint8, seq, ack uint32, data []byte) error 
 		Flags:   flags,
 		Window:  uint16(c.ss.cfg.Window),
 	}
-	seg, err := h.Marshal(data, c.ss.stack.Addr(), c.key.remoteAddr)
+	bp, _ := c.ss.segBufs.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	seg, err := h.MarshalAppend((*bp)[:0], data, c.ss.stack.Addr(), c.key.remoteAddr)
 	if err != nil {
+		c.ss.segBufs.Put(bp)
 		return err
 	}
+	*bp = seg
 	// DF is set, as tcp_output does: segments are sized to fit exactly.
-	return c.ss.stack.Output(ip.ProtoTCP, c.key.remoteAddr, seg, true)
+	err = c.ss.stack.Output(ip.ProtoTCP, c.key.remoteAddr, seg, true)
+	c.ss.segBufs.Put(bp)
+	return err
 }
 
 // Write queues data for transmission; it blocks while the window's

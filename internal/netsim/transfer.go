@@ -40,6 +40,14 @@ type TransferConfig struct {
 	SealerSrc, SealerDst string
 }
 
+// appendSealer is the allocation-free protocol surface (core.Endpoint
+// implements it); when both ends of a transfer provide it, segments are
+// sealed and opened into reused buffers.
+type appendSealer interface {
+	SealAppend(dst []byte, dg transport.Datagram, secret bool) ([]byte, error)
+	OpenAppend(dst []byte, dg transport.Datagram) ([]byte, error)
+}
+
 // Result reports a finished transfer.
 type Result struct {
 	Name    string
@@ -78,16 +86,42 @@ func BulkTransfer(cfg TransferConfig) (Result, error) {
 		runErr         error
 	)
 
+	// Buffers for running the real protocol code are hoisted out of the
+	// per-segment closure and reused for the whole transfer; with an
+	// append-capable sealer the steady state allocates nothing per
+	// segment.
+	var segBuf, sealBuf, openBuf []byte
+	sealAppender, _ := cfg.Sealer.(appendSealer)
+	openAppender, _ := cfg.Opener.(appendSealer)
 	sealSegment := func(n int) (int, error) {
 		// Run the real protocol code when configured; the sealed size
 		// feeds the wire model.
 		wire := n + cfg.HeaderBytes
 		if cfg.Sealer != nil {
-			payload := make([]byte, n)
+			if cap(segBuf) < n {
+				segBuf = make([]byte, n)
+			}
 			dg := transport.Datagram{
 				Source:      transportAddr(cfg.SealerSrc),
 				Destination: transportAddr(cfg.SealerDst),
-				Payload:     payload,
+				Payload:     segBuf[:n],
+			}
+			if sealAppender != nil && openAppender != nil {
+				sealed, err := sealAppender.SealAppend(sealBuf[:0], dg, true)
+				if err != nil {
+					return 0, err
+				}
+				sealBuf = sealed
+				opened, err := openAppender.OpenAppend(openBuf[:0], transport.Datagram{
+					Source:      dg.Source,
+					Destination: dg.Destination,
+					Payload:     sealed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				openBuf = opened
+				return len(sealed) + cfg.HeaderBytes, nil
 			}
 			sealed, err := cfg.Sealer.Seal(dg, true)
 			if err != nil {

@@ -1,15 +1,26 @@
 # Developer entry points. `make check` is the gate for every change:
-# build, vet, the full test suite, and the race detector over the
-# packages with lock-striped/atomic hot paths.
+# build, lint (gofmt + vet), the full test suite, the race detector over
+# the packages with lock-striped/atomic hot paths, and a bench smoke run
+# that validates fbsbench's JSON contract end to end.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race check bench
+.PHONY: all build lint vet test race check bench bench-smoke
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# lint fails if any file needs reformatting (gofmt -l prints it) and
+# runs go vet.
+lint:
+	@fmtout=$$($(GOFMT) -l .); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -18,11 +29,18 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: striped caches and atomic metrics
-# live in core; transport backs the blocking endpoint loops.
+# live in core; transport backs the blocking endpoint loops; obs holds
+# the wait-free histograms and the sampled recorder.
 race:
-	$(GO) test -race ./internal/core/... ./internal/transport/...
+	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/obs/...
 
-check: build vet test race
+# bench-smoke runs one small fbsbench iteration and validates the JSON
+# shape with fbsstat, so scripted consumers of `fbsbench -json` find out
+# here rather than in their dashboards.
+bench-smoke:
+	$(GO) run ./cmd/fbsbench -bytes 65536 -native -json | $(GO) run ./cmd/fbsstat bench-validate
+
+check: build lint test race bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"fbs/internal/baseline"
@@ -34,11 +36,36 @@ import (
 	"fbs/internal/ip"
 	"fbs/internal/l4"
 	"fbs/internal/netsim"
+	"fbs/internal/obs"
 	"fbs/internal/principal"
 	"fbs/internal/transport"
 
 	fbs "fbs"
 )
+
+// latencyStats summarises one latency histogram for the -json output.
+// Values are nanoseconds; percentiles are log2-bucket upper bounds
+// (over-estimates by at most 2×, the bucketing precision).
+type latencyStats struct {
+	Count  uint64 `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P95Ns  int64  `json:"p95_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+}
+
+func summarize(s obs.HistSnapshot) *latencyStats {
+	if s.Count == 0 {
+		return nil
+	}
+	return &latencyStats{
+		Count:  s.Count,
+		MeanNs: int64(s.Mean()),
+		P50Ns:  int64(s.Quantile(0.50)),
+		P95Ns:  int64(s.Quantile(0.95)),
+		P99Ns:  int64(s.Quantile(0.99)),
+	}
+}
 
 // benchResult is one measured throughput, the unit of the -json output.
 type benchResult struct {
@@ -51,6 +78,12 @@ type benchResult struct {
 	Config string `json:"config"`
 	// Kbps is application-payload throughput in kilobits per second.
 	Kbps float64 `json:"kbps"`
+	// SealLatency/OpenLatency are per-call latency tails where the
+	// section runs real protocol code. In the figure8 section the same
+	// per-config summary (aggregated over both workloads) is attached
+	// to each of that config's rows.
+	SealLatency *latencyStats `json:"seal_latency,omitempty"`
+	OpenLatency *latencyStats `json:"open_latency,omitempty"`
 }
 
 func main() {
@@ -58,17 +91,29 @@ func main() {
 	native := flag.Bool("native", false, "also measure native Seal/Open throughput")
 	stack := flag.Bool("stack", false, "also run a ttcp transfer through the real IPv4+TCP-lite stack with FBS")
 	jsonOut := flag.Bool("json", false, "emit one JSON document of kb/s results instead of tables")
+	adminAddr := flag.String("admin", "", "serve the observability admin plane (/metrics, /flows, /recorder, pprof) on this address and wait after the run")
 	flag.Parse()
 
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin = obs.NewAdmin(nil)
+		bound, _, err := admin.Serve(*adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fbsbench: admin plane at http://%s/\n", bound)
+	}
+
 	var results []benchResult
-	res, err := run(*total, *native, *jsonOut)
+	res, err := run(*total, *native, *jsonOut, admin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbsbench:", err)
 		os.Exit(1)
 	}
 	results = append(results, res...)
 	if *stack {
-		res, err := stackRun(*total, *jsonOut)
+		res, err := stackRun(*total, *jsonOut, admin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fbsbench:", err)
 			os.Exit(1)
@@ -82,6 +127,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fbsbench:", err)
 			os.Exit(1)
 		}
+	}
+	if admin != nil {
+		fmt.Fprintln(os.Stderr, "fbsbench: run complete; admin plane still serving (Ctrl-C to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }
 
@@ -129,7 +180,7 @@ func (f fbsSealer) Open(dg transport.Datagram) (transport.Datagram, error) {
 	return f.ep.Open(dg)
 }
 
-func run(total int, native, quiet bool) ([]benchResult, error) {
+func run(total int, native, quiet bool, admin *obs.Admin) ([]benchResult, error) {
 	a, b, err := endpointPair(true)
 	if err != nil {
 		return nil, err
@@ -144,7 +195,22 @@ func run(total int, native, quiet bool) ([]benchResult, error) {
 	}
 	defer nopA.Close()
 	defer nopB.Close()
+	if admin != nil {
+		obs.RegisterEndpoint(admin.Registry, "figure8-fbs-a", a)
+		obs.RegisterEndpoint(admin.Registry, "figure8-fbs-b", b)
+		obs.RegisterEndpoint(admin.Registry, "figure8-nop-a", nopA)
+		obs.RegisterEndpoint(admin.Registry, "figure8-nop-b", nopB)
+		admin.WatchEndpoint("figure8-fbs-a", a)
+		admin.WatchEndpoint("figure8-nop-a", nopA)
+	}
 
+	configs := []string{"GENERIC", "FBS NOP", "FBS DES+MD5"}
+	sealHists := make(map[string]*obs.Histogram, len(configs))
+	openHists := make(map[string]*obs.Histogram, len(configs))
+	for _, c := range configs {
+		sealHists[c] = &obs.Histogram{}
+		openHists[c] = &obs.Histogram{}
+	}
 	rows, err := netsim.Figure8(netsim.Figure8Config{
 		TotalBytes: total,
 		Sealers: map[string][2]baseline.Sealer{
@@ -159,13 +225,19 @@ func run(total int, native, quiet bool) ([]benchResult, error) {
 				fbsSealer{name: "FBS", ep: b},
 			},
 		},
+		SealHists: sealHists,
+		OpenHists: openHists,
 	})
 	if err != nil {
 		return nil, err
 	}
 	var results []benchResult
 	for _, r := range rows {
-		results = append(results, benchResult{Section: "figure8", Workload: r.Workload, Config: r.Config, Kbps: r.Kbps})
+		results = append(results, benchResult{
+			Section: "figure8", Workload: r.Workload, Config: r.Config, Kbps: r.Kbps,
+			SealLatency: summarize(sealHists[r.Config].Snapshot()),
+			OpenLatency: summarize(openHists[r.Config].Snapshot()),
+		})
 	}
 	if !quiet {
 		fmt.Printf("Figure 8 — throughput on simulated P133s / dedicated 10 Mb Ethernet (%d MB transfers)\n", total>>20)
@@ -178,10 +250,28 @@ func run(total int, native, quiet bool) ([]benchResult, error) {
 		fmt.Println(flowsim.RenderTable(hdr, tbl))
 		fmt.Printf("real protocol work performed inside the simulation: %d datagrams sealed, %d opened\n\n",
 			a.FAMStats().Lookups, b.Metrics().Received)
+		fmt.Println("Per-call latency of the real protocol code inside the simulation (log2-bucket percentiles):")
+		lhdr := []string{"configuration", "path", "count", "mean", "p50", "p95", "p99"}
+		var ltbl [][]string
+		for _, c := range configs {
+			for _, pth := range []struct {
+				name string
+				h    *obs.Histogram
+			}{{"seal", sealHists[c]}, {"open", openHists[c]}} {
+				s := summarize(pth.h.Snapshot())
+				if s == nil {
+					continue
+				}
+				ltbl = append(ltbl, []string{c, pth.name, fmt.Sprint(s.Count),
+					time.Duration(s.MeanNs).String(), time.Duration(s.P50Ns).String(),
+					time.Duration(s.P95Ns).String(), time.Duration(s.P99Ns).String()})
+			}
+		}
+		fmt.Println(flowsim.RenderTable(lhdr, ltbl))
 	}
 
 	if native {
-		res, err := nativeRun(quiet)
+		res, err := nativeRun(quiet, admin)
 		if err != nil {
 			return nil, err
 		}
@@ -191,62 +281,96 @@ func run(total int, native, quiet bool) ([]benchResult, error) {
 }
 
 // nativeRun measures raw Seal+Open throughput of the real protocol on
-// this machine, on the allocation-free append path.
-func nativeRun(quiet bool) ([]benchResult, error) {
+// this machine, on the allocation-free append path. Each configuration
+// gets its own endpoint pair with an observability pipeline attached:
+// throughput is measured with sampling disabled (the production
+// steady state), then sampling is flipped to every-packet for a short
+// latency phase that feeds the p50/p95/p99 columns.
+func nativeRun(quiet bool, admin *obs.Admin) ([]benchResult, error) {
 	if !quiet {
 		fmt.Println("Native Seal+Open throughput on this machine (1460-byte datagrams, encrypted):")
 	}
-	a, b, err := endpointPair(true)
-	if err != nil {
-		return nil, err
-	}
-	defer a.Close()
-	defer b.Close()
 	payload := make([]byte, 1460)
 	dg := transport.Datagram{Source: "sim-a", Destination: "sim-b", Payload: payload}
-	sealBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
-	openBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
 
 	var results []benchResult
-	measure := func(name string, fn func() error) error {
-		if err := fn(); err != nil {
+	measure := func(name string, secret bool, mutate ...func(*core.Config)) error {
+		pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 0})
+		mutate = append(mutate, func(c *core.Config) { c.Observer = pipe })
+		a, b, err := endpointPair(true, mutate...)
+		if err != nil {
+			return err
+		}
+		defer a.Close()
+		defer b.Close()
+		if admin != nil {
+			label := "native-" + name
+			obs.RegisterEndpoint(admin.Registry, label, a)
+			obs.RegisterPipeline(admin.Registry, label, pipe)
+			admin.WatchEndpoint(label, a)
+			admin.WatchRecorder(pipe.Recorder())
+		}
+		sealBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
+		openBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
+		sealOpen := func() error {
+			sealed, err := a.SealAppend(sealBuf[:0], dg, secret)
+			if err != nil {
+				return err
+			}
+			sealBuf = sealed
+			opened, err := b.OpenAppend(openBuf[:0], transport.Datagram{
+				Source: "sim-a", Destination: "sim-b", Payload: sealed,
+			})
+			if err != nil {
+				return err
+			}
+			openBuf = opened
+			return nil
+		}
+		if err := sealOpen(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		start := time.Now()
 		var bytes int64
 		for time.Since(start) < time.Second {
-			if err := fn(); err != nil {
+			if err := sealOpen(); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 			bytes += int64(len(payload))
 		}
 		el := time.Since(start).Seconds()
 		kbps := float64(bytes) * 8 / el / 1000
-		results = append(results, benchResult{Section: "native", Config: name, Kbps: kbps})
-		if !quiet {
-			fmt.Printf("  %-24s %10.0f kb/s\n", name, kbps)
+		// Latency phase: sample every packet briefly; percentiles come
+		// from the whole-call StageTotal histograms.
+		pipe.SetSampleEvery(1)
+		latStart := time.Now()
+		for time.Since(latStart) < 200*time.Millisecond {
+			if err := sealOpen(); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
 		}
-		return nil
-	}
-	sealOpen := func(secret bool) error {
-		sealed, err := a.SealAppend(sealBuf[:0], dg, secret)
-		if err != nil {
-			return err
-		}
-		sealBuf = sealed
-		opened, err := b.OpenAppend(openBuf[:0], transport.Datagram{
-			Source: "sim-a", Destination: "sim-b", Payload: sealed,
+		pipe.SetSampleEvery(0)
+		sealLat := summarize(pipe.StageSnapshot(true, core.StageTotal))
+		openLat := summarize(pipe.StageSnapshot(false, core.StageTotal))
+		results = append(results, benchResult{
+			Section: "native", Config: name, Kbps: kbps,
+			SealLatency: sealLat, OpenLatency: openLat,
 		})
-		if err != nil {
-			return err
+		if !quiet {
+			fmt.Printf("  %-24s %10.0f kb/s", name, kbps)
+			if sealLat != nil && openLat != nil {
+				fmt.Printf("   seal p50/p99 %v/%v, open p50/p99 %v/%v",
+					time.Duration(sealLat.P50Ns), time.Duration(sealLat.P99Ns),
+					time.Duration(openLat.P50Ns), time.Duration(openLat.P99Ns))
+			}
+			fmt.Println()
 		}
-		openBuf = opened
 		return nil
 	}
-	if err := measure("FBS DES+MD5", func() error { return sealOpen(true) }); err != nil {
+	if err := measure("FBS DES+MD5", true); err != nil {
 		return nil, err
 	}
-	if err := measure("FBS NOP (MAC only)", func() error { return sealOpen(false) }); err != nil {
+	if err := measure("FBS NOP (MAC only)", false); err != nil {
 		return nil, err
 	}
 	return results, nil
@@ -254,7 +378,7 @@ func nativeRun(quiet bool) ([]benchResult, error) {
 
 // stackRun pushes a ttcp-style transfer through the real IPv4 stack with
 // the FBS hook installed, end to end, at native speed.
-func stackRun(total int, quiet bool) ([]benchResult, error) {
+func stackRun(total int, quiet bool, admin *obs.Admin) ([]benchResult, error) {
 	if !quiet {
 		fmt.Printf("\nFull-stack native run: %d MB through real IPv4 + TCP-lite + FBS (DES+MD5)\n", total>>20)
 	}
@@ -316,6 +440,10 @@ func stackRun(total int, quiet bool) ([]benchResult, error) {
 	sb, err := mk(addrB)
 	if err != nil {
 		return nil, err
+	}
+	if admin != nil {
+		obs.RegisterStack(admin.Registry, "stack-a", sa)
+		obs.RegisterStack(admin.Registry, "stack-b", sb)
 	}
 	overhead := core.HeaderSize + cryptolib.BlockSize
 	ssa, err := l4.NewStreamStack(sa, l4.StreamConfig{SecurityHeaderLen: overhead})

@@ -1,0 +1,163 @@
+// Command fbsstat is the CLI companion to the FBS admin plane: it
+// queries a running process's introspection endpoints (started with
+// -admin on fbsudp or fbsbench, or wired via internal/obs.Admin) and
+// renders them with the same formatters the plane itself uses.
+//
+// Usage:
+//
+//	fbsstat -addr 127.0.0.1:6060 metrics    # raw Prometheus exposition
+//	fbsstat -addr 127.0.0.1:6060 flows      # netstat-style live flows
+//	fbsstat -addr 127.0.0.1:6060 recorder   # flight-recorder ring
+//	fbsbench -json | fbsstat bench-validate # sanity-check bench output
+//
+// bench-validate reads an fbsbench -json document on stdin and exits
+// non-zero unless it is a non-empty result set with plausible values;
+// `make bench-smoke` uses it to keep the bench harness honest in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"fbs/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6060", "admin plane address (host:port)")
+	limit := flag.Int("n", 0, "recorder: show only the most recent N events")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	// Accept flags after the subcommand too (`fbsstat recorder -n 4`);
+	// flag.Parse stops at the first non-flag argument.
+	if flag.NArg() > 1 {
+		_ = flag.CommandLine.Parse(flag.Args()[1:])
+	}
+	var err error
+	switch cmd {
+	case "metrics":
+		err = metrics(*addr)
+	case "flows":
+		err = flows(*addr)
+	case "recorder":
+		err = recorder(*addr, *limit)
+	case "bench-validate":
+		err = benchValidate(os.Stdin)
+	default:
+		err = fmt.Errorf("need a subcommand: metrics, flows, recorder, or bench-validate")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbsstat:", err)
+		os.Exit(1)
+	}
+}
+
+func get(addr, path string) ([]byte, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func metrics(addr string) error {
+	body, err := get(addr, "/metrics")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+func flows(addr string) error {
+	body, err := get(addr, "/flows?json=1")
+	if err != nil {
+		return err
+	}
+	var rep obs.FlowsReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("decoding /flows: %w", err)
+	}
+	obs.WriteFlowsText(os.Stdout, rep)
+	return nil
+}
+
+func recorder(addr string, limit int) error {
+	path := "/recorder?json=1"
+	if limit > 0 {
+		path = fmt.Sprintf("%s&n=%d", path, limit)
+	}
+	body, err := get(addr, path)
+	if err != nil {
+		return err
+	}
+	var rep obs.RecorderReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("decoding /recorder: %w", err)
+	}
+	obs.WriteRecorderText(os.Stdout, rep)
+	return nil
+}
+
+// benchRow mirrors fbsbench's JSON row; only the fields bench-validate
+// checks are declared.
+type benchRow struct {
+	Section     string  `json:"section"`
+	Config      string  `json:"config"`
+	Kbps        float64 `json:"kbps"`
+	SealLatency *struct {
+		Count uint64 `json:"count"`
+		P50Ns int64  `json:"p50_ns"`
+		P99Ns int64  `json:"p99_ns"`
+	} `json:"seal_latency"`
+}
+
+func benchValidate(r io.Reader) error {
+	var rows []benchRow
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return fmt.Errorf("decoding bench JSON: %w", err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("bench JSON is an empty result set")
+	}
+	sections := make(map[string]int)
+	for i, row := range rows {
+		if row.Section == "" || row.Config == "" {
+			return fmt.Errorf("row %d: missing section or config: %+v", i, row)
+		}
+		if row.Kbps <= 0 {
+			return fmt.Errorf("row %d (%s/%s): non-positive throughput %v kb/s", i, row.Section, row.Config, row.Kbps)
+		}
+		if l := row.SealLatency; l != nil {
+			if l.Count == 0 {
+				return fmt.Errorf("row %d (%s/%s): latency summary with zero samples", i, row.Section, row.Config)
+			}
+			if l.P50Ns <= 0 || l.P99Ns < l.P50Ns {
+				return fmt.Errorf("row %d (%s/%s): implausible latency quantiles p50=%dns p99=%dns",
+					i, row.Section, row.Config, l.P50Ns, l.P99Ns)
+			}
+		}
+		sections[row.Section]++
+	}
+	if sections["figure8"] == 0 {
+		return fmt.Errorf("bench JSON has no figure8 rows (sections: %v)", sections)
+	}
+	fmt.Printf("bench JSON ok: %d rows", len(rows))
+	for _, s := range []string{"figure8", "native", "stack"} {
+		if n := sections[s]; n > 0 {
+			fmt.Printf(" %s=%d", s, n)
+		}
+	}
+	fmt.Println()
+	return nil
+}

@@ -24,10 +24,14 @@ import (
 	"fmt"
 	"math/big"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fbs/internal/cert"
+	"fbs/internal/core"
 	"fbs/internal/cryptolib"
+	"fbs/internal/obs"
 	"fbs/internal/principal"
 	"fbs/internal/transport"
 
@@ -51,14 +55,16 @@ func main() {
 	statePath := flag.String("state", "/tmp/fbsudp.state", "shared provisioning file")
 	msg := flag.String("msg", "hello over real UDP", "message to send")
 	count := flag.Int("count", 3, "datagrams to send/receive")
+	adminAddr := flag.String("admin", "", "serve the observability admin plane (/metrics, /flows, /recorder, pprof) on this address")
+	statsJSON := flag.Bool("stats-json", false, "emit the completion stats summary as JSON on stdout")
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "send":
-		err = send(*listen, *peer, *statePath, *msg, *count)
+		err = send(*listen, *peer, *statePath, *msg, *count, *adminAddr, *statsJSON)
 	case "recv":
-		err = recv(*listen, *statePath, *count)
+		err = recv(*listen, *statePath, *count, *adminAddr, *statsJSON)
 	default:
 		err = fmt.Errorf("need -mode send or -mode recv")
 	}
@@ -68,7 +74,97 @@ func main() {
 	}
 }
 
-func send(listen, peerAddr, statePath, msg string, count int) error {
+// instrument attaches the observability plumbing to one endpoint: a
+// fully-sampled pipeline (fbsudp's packet rates are interactive, so
+// every packet is cheap to record), the optional admin HTTP plane, and
+// a SIGINT/SIGTERM handler that prints the stats summary before exit.
+// The returned function prints the summary; call it once on normal
+// completion.
+func instrument(role string, ep *fbs.Endpoint, pipe *obs.Pipeline, adminAddr string, statsJSON bool) (func(), error) {
+	if adminAddr != "" {
+		admin := obs.NewAdmin(nil)
+		obs.RegisterEndpoint(admin.Registry, role, ep)
+		obs.RegisterPipeline(admin.Registry, role, pipe)
+		admin.WatchEndpoint(role, ep)
+		admin.WatchRecorder(pipe.Recorder())
+		bound, _, err := admin.Serve(adminAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "fbsudp: admin plane at http://%s/\n", bound)
+	}
+	report := func() { printStats(role, ep, statsJSON) }
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		report()
+		os.Exit(130)
+	}()
+	return report, nil
+}
+
+// statsReport is the -stats-json document.
+type statsReport struct {
+	Role        string               `json:"role"`
+	Metrics     core.Metrics         `json:"metrics"`
+	Drops       map[string]uint64    `json:"drops,omitempty"`
+	FAM         core.FAMStats        `json:"fam"`
+	ActiveFlows int                  `json:"active_flows"`
+	Caches      []core.CacheInfo     `json:"caches"`
+	KeyService  core.KeyServiceStats `json:"key_service"`
+	MKDUpcalls  uint64               `json:"mkd_upcalls"`
+}
+
+func printStats(role string, ep *fbs.Endpoint, asJSON bool) {
+	m := ep.Metrics()
+	ks, _, _, upcalls := ep.KeyStats()
+	rep := statsReport{
+		Role:        role,
+		Metrics:     m,
+		Drops:       make(map[string]uint64),
+		FAM:         ep.FAMStats(),
+		ActiveFlows: ep.ActiveFlows(),
+		Caches:      ep.Caches(),
+		KeyService:  ks,
+		MKDUpcalls:  upcalls,
+	}
+	for _, d := range core.DropReasons() {
+		if n := m.Drops[d]; n > 0 {
+			rep.Drops[d.String()] = n
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+		return
+	}
+	fmt.Printf("--- %s endpoint stats ---\n", role)
+	fmt.Printf("sent:     %d datagrams (%d secret), %d bytes\n", m.Sent, m.SentSecret, m.SentBytes)
+	fmt.Printf("received: %d datagrams, %d bytes\n", m.Received, m.ReceivedBytes)
+	if len(rep.Drops) == 0 {
+		fmt.Println("drops:    none")
+	} else {
+		fmt.Print("drops:   ")
+		for _, d := range core.DropReasons() {
+			if n := m.Drops[d]; n > 0 {
+				fmt.Printf(" %s=%d", d, n)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("FAM:      lookups=%d hits=%d created=%d expired=%d active=%d\n",
+		rep.FAM.Lookups, rep.FAM.Hits, rep.FAM.FlowsCreated, rep.FAM.Expirations, rep.ActiveFlows)
+	for _, c := range rep.Caches {
+		fmt.Printf("cache %-5s %d/%d used, hits=%d misses=%d installs=%d evictions=%d\n",
+			c.Name, c.Used, c.Slots, c.Stats.Hits, c.Stats.Misses, c.Stats.Installs, c.Stats.Evictions)
+	}
+	fmt.Printf("keying:   master key requests=%d computes=%d cert fetches=%d verifies=%d failures=%d mkd upcalls=%d\n",
+		ks.MasterKeyRequests, ks.MasterKeyComputes, ks.CertFetches, ks.CertVerifies, ks.Failures, upcalls)
+}
+
+func send(listen, peerAddr, statePath, msg string, count int, adminAddr string, statsJSON bool) error {
 	if peerAddr == "" {
 		return fmt.Errorf("send mode needs -peer")
 	}
@@ -126,11 +222,18 @@ func send(listen, peerAddr, statePath, msg string, count int) error {
 	if err := udp.AddPeer("receiver", peerAddr); err != nil {
 		return err
 	}
-	ep, err := d.NewEndpointOn(sender, udp)
+	pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 1})
+	ep, err := d.NewEndpointOn(sender, udp, func(c *core.Config) {
+		c.Observer = pipe
+	})
 	if err != nil {
 		return err
 	}
 	defer ep.Close()
+	report, err := instrument("sender", ep, pipe, adminAddr, statsJSON)
+	if err != nil {
+		return err
+	}
 	for i := 0; i < count; i++ {
 		payload := fmt.Sprintf("%s [%d]", msg, i)
 		if err := ep.SendTo("receiver", []byte(payload), true); err != nil {
@@ -139,12 +242,11 @@ func send(listen, peerAddr, statePath, msg string, count int) error {
 		fmt.Printf("sent encrypted datagram %d: %q\n", i, payload)
 		time.Sleep(100 * time.Millisecond)
 	}
-	m := ep.Metrics()
-	fmt.Printf("done: %d datagrams, %d bytes\n", m.Sent, m.SentBytes)
+	report()
 	return nil
 }
 
-func recv(listen, statePath string, count int) error {
+func recv(listen, statePath string, count int, adminAddr string, statsJSON bool) error {
 	blob, err := os.ReadFile(statePath)
 	if err != nil {
 		return fmt.Errorf("reading provisioning state (run the sender first): %w", err)
@@ -153,11 +255,16 @@ func recv(listen, statePath string, count int) error {
 	if err := json.Unmarshal(blob, &st); err != nil {
 		return err
 	}
-	ep, err := rebuildEndpoint(st, listen)
+	pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 1})
+	ep, err := rebuildEndpoint(st, listen, pipe)
 	if err != nil {
 		return err
 	}
 	defer ep.Close()
+	report, err := instrument("receiver", ep, pipe, adminAddr, statsJSON)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("listening on %s\n", listen)
 	for i := 0; i < count; i++ {
 		dg, err := ep.ReceiveValid()
@@ -166,9 +273,7 @@ func recv(listen, statePath string, count int) error {
 		}
 		fmt.Printf("verified+decrypted from %s: %q\n", dg.Source, dg.Payload)
 	}
-	m := ep.Metrics()
-	fmt.Printf("done: %d accepted, %d rejected (MAC), %d rejected (stale)\n",
-		m.Received, m.RejectedMAC, m.RejectedStale)
+	report()
 	return nil
 }
 
@@ -187,7 +292,7 @@ func caPublic(d *fbs.Domain) cryptolib.RSAPublicKey { return d.CAKey() }
 
 // rebuildEndpoint reconstructs the receiver endpoint from provisioning
 // state: certificates, CA key, and the receiver's private value.
-func rebuildEndpoint(st state, listen string) (*fbs.Endpoint, error) {
+func rebuildEndpoint(st state, listen string, pipe *obs.Pipeline) (*fbs.Endpoint, error) {
 	dir := cert.NewStaticDirectory()
 	var recvCert *cert.Certificate
 	for _, wire := range st.Certs {
@@ -228,5 +333,6 @@ func rebuildEndpoint(st state, listen string) (*fbs.Endpoint, error) {
 		Transport: udp,
 		Directory: dir,
 		Verifier:  &cert.Verifier{CAKey: cryptolib.RSAPublicKey{N: n, E: e}, CA: "fbsudp"},
+		Observer:  pipe,
 	})
 }

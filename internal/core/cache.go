@@ -206,6 +206,25 @@ func (c *DirectMapped[K, V]) Flush() {
 	}
 }
 
+// Occupancy counts the valid slots. Like Flush, each stripe is scanned
+// under its own lock, so the count is exact per stripe and approximate
+// across concurrent writers.
+func (c *DirectMapped[K, V]) Occupancy() int {
+	n := len(c.stripes)
+	used := 0
+	for si := range c.stripes {
+		st := &c.stripes[si]
+		st.mu.Lock()
+		for i := si; i < len(c.slots); i += n {
+			if c.slots[i].valid {
+				used++
+			}
+		}
+		st.mu.Unlock()
+	}
+	return used
+}
+
 // Stats returns a snapshot of the counters, aggregated across stripes.
 func (c *DirectMapped[K, V]) Stats() CacheStats {
 	var out CacheStats

@@ -1,0 +1,98 @@
+package core
+
+import "errors"
+
+// DropReason classifies why FBS processing refused a datagram. It is the
+// single taxonomy shared by the endpoint reject counters, the IP stack's
+// hook-drop accounting, the flight recorder, and the /metrics label
+// values, so a drop observed at any layer carries the same name
+// everywhere.
+type DropReason uint8
+
+// The drop taxonomy. DropNone means the datagram was accepted.
+const (
+	DropNone DropReason = iota
+	// DropStale: timestamp outside the freshness window (R3-R4).
+	DropStale
+	// DropBadMAC: MAC verification failed (R8-R9), including bad
+	// padding, which is reported as an authentication failure to avoid
+	// a padding oracle.
+	DropBadMAC
+	// DropReplay: exact duplicate within the freshness window (the
+	// optional replay cache extension).
+	DropReplay
+	// DropMalformed: the security flow header could not be parsed.
+	DropMalformed
+	// DropNotForUs: destination is not this principal.
+	DropNotForUs
+	// DropAlgorithm: header named a MAC/cipher this endpoint is
+	// configured not to accept.
+	DropAlgorithm
+	// DropDecrypt: the cipher could not be instantiated or run.
+	DropDecrypt
+	// DropKeying: the flow key could not be derived (certificate fetch,
+	// verification, or master key computation failed).
+	DropKeying
+
+	// NumDropReasons sizes per-reason counter arrays.
+	NumDropReasons = int(iota)
+)
+
+// dropNames are the canonical snake_case labels, used verbatim as the
+// {reason=...} label values in Prometheus exposition.
+var dropNames = [NumDropReasons]string{
+	DropNone:      "none",
+	DropStale:     "stale",
+	DropBadMAC:    "bad_mac",
+	DropReplay:    "replay",
+	DropMalformed: "malformed",
+	DropNotForUs:  "not_for_us",
+	DropAlgorithm: "algorithm",
+	DropDecrypt:   "decrypt",
+	DropKeying:    "keying",
+}
+
+// String returns the canonical label for the reason.
+func (d DropReason) String() string {
+	if int(d) < len(dropNames) {
+		return dropNames[d]
+	}
+	return "unknown"
+}
+
+// DropReasons lists every countable reason, excluding DropNone, in a
+// stable order (the iteration order for per-reason metric registration).
+func DropReasons() []DropReason {
+	out := make([]DropReason, 0, NumDropReasons-1)
+	for d := DropStale; int(d) < NumDropReasons; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+// DropReasonOf maps a receive-path error to its DropReason. Unrecognised
+// errors (and nil) map to DropNone; callers that know the error came from
+// Open can treat that as "other".
+func DropReasonOf(err error) DropReason {
+	switch {
+	case err == nil:
+		return DropNone
+	case errors.Is(err, ErrStale):
+		return DropStale
+	case errors.Is(err, ErrBadMAC):
+		return DropBadMAC
+	case errors.Is(err, ErrReplay):
+		return DropReplay
+	case errors.Is(err, ErrMalformed):
+		return DropMalformed
+	case errors.Is(err, ErrNotForUs):
+		return DropNotForUs
+	case errors.Is(err, ErrAlgorithmRejected):
+		return DropAlgorithm
+	case errors.Is(err, ErrDecrypt):
+		return DropDecrypt
+	case errors.Is(err, ErrKeying):
+		return DropKeying
+	}
+	return DropNone
+}

@@ -97,16 +97,28 @@ type Config struct {
 	// the "secure flow bypass" that certificate fetches use to avoid
 	// circularity (Section 5.3, Figure 5).
 	Bypass func(peer principal.Address) bool
+
+	// Observer receives sampled per-packet telemetry (stage timings,
+	// verdicts) — see Observer and internal/obs. Nil disables sampling
+	// entirely; a non-nil observer whose Sample() returns false costs
+	// the hot path only that call.
+	Observer Observer
 }
 
 // Metrics is a snapshot of endpoint activity. All counters are
-// cumulative.
+// cumulative. The Rejected* fields are views over the per-DropReason
+// counter array (see Drops); they are kept as named fields so existing
+// callers and the paper's experiment scripts read unchanged.
 type Metrics struct {
 	Sent          uint64
 	SentSecret    uint64
 	SentBytes     uint64
 	Received      uint64
 	ReceivedBytes uint64
+
+	// Drops counts refused datagrams by reason, indexed by DropReason.
+	// Drops[DropNone] is always zero.
+	Drops [NumDropReasons]uint64
 
 	RejectedStale     uint64
 	RejectedMAC       uint64
@@ -115,6 +127,9 @@ type Metrics struct {
 	RejectedNotForUs  uint64
 	RejectedAlgorithm uint64
 	DecryptErrors     uint64
+	// KeyingErrors counts datagrams (either direction) whose flow key
+	// could not be derived.
+	KeyingErrors uint64
 
 	BypassedSent     uint64
 	BypassedReceived uint64
@@ -131,17 +146,17 @@ type endpointCounters struct {
 	received      atomic.Uint64
 	receivedBytes atomic.Uint64
 
-	rejectedStale     atomic.Uint64
-	rejectedMAC       atomic.Uint64
-	rejectedReplay    atomic.Uint64
-	rejectedMalformed atomic.Uint64
-	rejectedNotForUs  atomic.Uint64
-	rejectedAlgorithm atomic.Uint64
-	decryptErrors     atomic.Uint64
+	// drops is indexed by DropReason; the old per-field rejected
+	// counters became slots of this array when the DropReason taxonomy
+	// unified endpoint, stack, recorder and exposition naming.
+	drops [NumDropReasons]atomic.Uint64
 
 	bypassedSent     atomic.Uint64
 	bypassedReceived atomic.Uint64
 }
+
+// drop counts one refused datagram.
+func (c *endpointCounters) drop(d DropReason) { c.drops[d].Add(1) }
 
 // confounderWell hands out per-datagram confounders without a shared
 // lock. With no user-supplied source it keeps a pool of independently
@@ -270,23 +285,59 @@ func (e *Endpoint) Close() error {
 // Metrics returns a snapshot of the endpoint counters.
 func (e *Endpoint) Metrics() Metrics {
 	c := &e.metrics
-	return Metrics{
+	m := Metrics{
 		Sent:          c.sent.Load(),
 		SentSecret:    c.sentSecret.Load(),
 		SentBytes:     c.sentBytes.Load(),
 		Received:      c.received.Load(),
 		ReceivedBytes: c.receivedBytes.Load(),
 
-		RejectedStale:     c.rejectedStale.Load(),
-		RejectedMAC:       c.rejectedMAC.Load(),
-		RejectedReplay:    c.rejectedReplay.Load(),
-		RejectedMalformed: c.rejectedMalformed.Load(),
-		RejectedNotForUs:  c.rejectedNotForUs.Load(),
-		RejectedAlgorithm: c.rejectedAlgorithm.Load(),
-		DecryptErrors:     c.decryptErrors.Load(),
-
 		BypassedSent:     c.bypassedSent.Load(),
 		BypassedReceived: c.bypassedReceived.Load(),
+	}
+	for i := range m.Drops {
+		m.Drops[i] = c.drops[i].Load()
+	}
+	m.RejectedStale = m.Drops[DropStale]
+	m.RejectedMAC = m.Drops[DropBadMAC]
+	m.RejectedReplay = m.Drops[DropReplay]
+	m.RejectedMalformed = m.Drops[DropMalformed]
+	m.RejectedNotForUs = m.Drops[DropNotForUs]
+	m.RejectedAlgorithm = m.Drops[DropAlgorithm]
+	m.DecryptErrors = m.Drops[DropDecrypt]
+	m.KeyingErrors = m.Drops[DropKeying]
+	return m
+}
+
+// DropCounts returns the per-reason drop counters, indexed by
+// DropReason (the array behind Metrics' Rejected* fields).
+func (e *Endpoint) DropCounts() [NumDropReasons]uint64 {
+	var out [NumDropReasons]uint64
+	for i := range out {
+		out[i] = e.metrics.drops[i].Load()
+	}
+	return out
+}
+
+// CacheInfo describes one key/certificate cache for monitoring: its
+// name, occupancy, geometry and counters.
+type CacheInfo struct {
+	Name  string
+	Used  int
+	Slots int
+	Stats CacheStats
+}
+
+// Caches reports occupancy and counters for the endpoint's four soft
+// caches (TFKC, RFKC, PVC, MKC), netstat-style. Occupancy is counted
+// under the stripe locks, so it is exact at the instant each stripe is
+// visited.
+func (e *Endpoint) Caches() []CacheInfo {
+	return []CacheInfo{
+		{Name: "tfkc", Used: e.tfkc.Occupancy(), Slots: e.tfkc.Size(), Stats: e.tfkc.Stats()},
+		{Name: "rfkc", Used: e.rfkc.Occupancy(), Slots: e.rfkc.Size(), Stats: e.rfkc.Stats()},
+		{Name: "pvc", Used: e.ks.pvc.Occupancy(), Slots: e.ks.pvc.Size(), Stats: e.ks.pvc.Stats()},
+		{Name: "mkc", Used: e.ks.mkc.Occupancy(), Slots: e.ks.mkc.Size(), Stats: e.ks.mkc.Stats()},
 	}
 }
 
@@ -381,44 +432,46 @@ func (e *Endpoint) StartSweeper(interval time.Duration) (stop func()) {
 
 // transmitFlowKey returns the flow key for an outgoing datagram,
 // consulting the TFKC (Figure 6) or, in combined mode, the flow state
-// table entry itself (Section 7.2).
-func (e *Endpoint) transmitFlowKey(sfl SFL, slot int, src, dst principal.Address) ([16]byte, error) {
+// table entry itself (Section 7.2). hit reports whether the key came
+// from cache (vs. the MKD-miss derivation path) — the instrumentation
+// splits the two, since a miss can cost a modular exponentiation.
+func (e *Endpoint) transmitFlowKey(sfl SFL, slot int, src, dst principal.Address) (k [16]byte, hit bool, err error) {
 	if e.cfg.CombinedFSTTFKC {
 		if k, ok := e.fam.getFlowKey(slot, sfl); ok {
-			return k, nil
+			return k, true, nil
 		}
 	} else {
 		if k, ok := e.tfkc.Get(flowCacheKey{SFL: sfl, Dst: dst, Src: src}); ok {
-			return k, nil
+			return k, true, nil
 		}
 	}
 	master, err := e.mkd.Upcall(dst)
 	if err != nil {
-		return [16]byte{}, err
+		return [16]byte{}, false, err
 	}
-	k := FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
+	k = FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
 	if e.cfg.CombinedFSTTFKC {
 		e.fam.setFlowKey(slot, sfl, k)
 	} else {
 		e.tfkc.Put(flowCacheKey{SFL: sfl, Dst: dst, Src: src}, k)
 	}
-	return k, nil
+	return k, false, nil
 }
 
 // receiveFlowKey returns the flow key for an incoming datagram via the
-// RFKC.
-func (e *Endpoint) receiveFlowKey(sfl SFL, src, dst principal.Address) ([16]byte, error) {
+// RFKC. hit reports whether the RFKC served it.
+func (e *Endpoint) receiveFlowKey(sfl SFL, src, dst principal.Address) (k [16]byte, hit bool, err error) {
 	ck := flowCacheKey{SFL: sfl, Dst: dst, Src: src}
 	if k, ok := e.rfkc.Get(ck); ok {
-		return k, nil
+		return k, true, nil
 	}
 	master, err := e.mkd.Upcall(src)
 	if err != nil {
-		return [16]byte{}, err
+		return [16]byte{}, false, err
 	}
-	k := FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
+	k = FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
 	e.rfkc.Put(ck, k)
-	return k, nil
+	return k, false, nil
 }
 
 // Seal performs FBS send processing (FBSSend, Figure 4): classify into a
@@ -475,13 +528,54 @@ func (e *Endpoint) SealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 		e.metrics.bypassedSent.Add(1)
 		return append(dst, dg.Payload...), nil
 	}
+	// Sampling gate: the un-sampled path pays a nil check (plus one
+	// Sample() call when an observer is installed) and nothing else.
+	if o := e.cfg.Observer; o != nil && o.Sample() {
+		var s PacketSample
+		s.Seal = true
+		s.Flow = id
+		s.Bytes = len(dg.Payload)
+		s.Secret = secret
+		start := time.Now()
+		out, err := e.sealFlowAppend(dst, dg, id, secret, &s)
+		s.Stages[StageTotal] = time.Since(start)
+		if err != nil {
+			s.Drop = DropReasonOf(err)
+		}
+		o.Packet(s)
+		return out, err
+	}
+	return e.sealFlowAppend(dst, dg, id, secret, nil)
+}
+
+// sealFlowAppend is the body of SealFlowAppend. When s is non-nil the
+// packet is being sampled: stage timings and flow identity are recorded
+// into it as the pipeline advances.
+func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, secret bool, s *PacketSample) ([]byte, error) {
 	now := e.cfg.Clock.Now()
+	var t time.Time
+	if s != nil {
+		t = time.Now()
+	}
 	// (S1) classify the datagram into a flow.
 	sfl, _, slot := e.fam.classify(id, now, len(dg.Payload))
+	if s != nil {
+		s.Stages[StageFAM] = time.Since(t)
+		s.SFL = sfl
+		t = time.Now()
+	}
 	// (S2-3) obtain the flow key (cached per Figure 6).
-	kf, err := e.transmitFlowKey(sfl, slot, dg.Source, dg.Destination)
+	kf, keyHit, err := e.transmitFlowKey(sfl, slot, dg.Source, dg.Destination)
+	if s != nil {
+		if keyHit {
+			s.Stages[StageKeyHit] = time.Since(t)
+		} else {
+			s.Stages[StageKeyMiss] = time.Since(t)
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("fbs: keying flow to %q: %w", dg.Destination, err)
+		e.metrics.drop(DropKeying)
+		return nil, fmt.Errorf("%w: flow to %q: %w", ErrKeying, dg.Destination, err)
 	}
 	// (S4-5) confounder and timestamp.
 	h := Header{
@@ -510,9 +604,15 @@ func (e *Endpoint) SealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 			// Copies declared inside the branch so the variadic MAC call
 			// only forces a heap allocation when a MAC is computed; the
 			// NOP configuration stays allocation-free.
+			if s != nil {
+				t = time.Now()
+			}
 			kfc, mic := kf, h.macInput()
 			mac := h.MAC.Compute(kfc[:], mic[:], dg.Payload)
 			copy(dst[hdrOff+macValueOffset:], mac[:MACLen])
+			if s != nil {
+				s.Stages[StageMAC] = time.Since(t)
+			}
 		}
 		return dst, nil
 	}
@@ -529,7 +629,12 @@ func (e *Endpoint) SealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	if e.cfg.SinglePass && h.Mode == cryptolib.CBC {
 		// Section 5.3: roll MAC computation and encryption into one pass
 		// over the data. CBC chaining fused with MAC absorption; other
-		// modes fall back to two passes below.
+		// modes fall back to two passes below. The fused pass is charged
+		// to StageCrypt (StageMAC stays zero — there is no separate MAC
+		// traversal to time).
+		if s != nil {
+			t = time.Now()
+		}
 		mac := h.MAC.NewStream(kfs[:])
 		mac.Write(mis[:])
 		prev := iv
@@ -553,15 +658,30 @@ func (e *Endpoint) SealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 		if h.MAC != cryptolib.MACNull {
 			copy(dst[hdrOff+macValueOffset:], mac.Sum()[:MACLen])
 		}
+		if s != nil {
+			s.Stages[StageCrypt] = time.Since(t)
+		}
 		return dst, nil
 	}
 	// (S6) MAC, then (S8-9) encrypt in place.
 	if h.MAC != cryptolib.MACNull {
+		if s != nil {
+			t = time.Now()
+		}
 		mac := h.MAC.Compute(kfs[:], mis[:], dg.Payload)
 		copy(dst[hdrOff+macValueOffset:], mac[:MACLen])
+		if s != nil {
+			s.Stages[StageMAC] = time.Since(t)
+		}
+	}
+	if s != nil {
+		t = time.Now()
 	}
 	if _, err := cryptolib.EncryptMode(c, h.Mode, iv[:], padded, padded); err != nil {
 		return nil, err
+	}
+	if s != nil {
+		s.Stages[StageCrypt] = time.Since(t)
 	}
 	return dst, nil
 }
@@ -620,41 +740,82 @@ func (e *Endpoint) open(dst []byte, dg transport.Datagram, copyBody bool) ([]byt
 		}
 		return dg.Payload, nil
 	}
+	// Sampling gate — see SealFlowAppend.
+	if o := e.cfg.Observer; o != nil && o.Sample() {
+		var s PacketSample
+		s.Flow = FlowID{Src: dg.Source, Dst: dg.Destination}
+		s.Bytes = len(dg.Payload)
+		start := time.Now()
+		out, err := e.openInner(dst, dg, copyBody, &s)
+		s.Stages[StageTotal] = time.Since(start)
+		if err != nil {
+			s.Drop = DropReasonOf(err)
+		}
+		o.Packet(s)
+		return out, err
+	}
+	return e.openInner(dst, dg, copyBody, nil)
+}
+
+// openInner is the body of open (FBSReceive proper). When s is non-nil
+// the packet is being sampled and stage timings, flow identity and the
+// secret flag are recorded into it.
+func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s *PacketSample) ([]byte, error) {
 	if dg.Destination != e.Addr() {
-		e.metrics.rejectedNotForUs.Add(1)
+		e.metrics.drop(DropNotForUs)
 		return nil, fmt.Errorf("%w: %q", ErrNotForUs, dg.Destination)
 	}
 	// (R2) retrieve the security flow header.
 	var h Header
 	n, err := h.Decode(dg.Payload)
 	if err != nil {
-		e.metrics.rejectedMalformed.Add(1)
+		e.metrics.drop(DropMalformed)
 		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	body := dg.Payload[n:]
+	if s != nil {
+		s.SFL = h.SFL
+		s.Secret = h.Secret()
+		s.Bytes = len(body)
+	}
 	if !e.algAcceptable(&h) {
-		e.metrics.rejectedAlgorithm.Add(1)
+		e.metrics.drop(DropAlgorithm)
 		return nil, fmt.Errorf("%w: MAC %v, cipher %v", ErrAlgorithmRejected, h.MAC, h.Cipher)
 	}
 	now := e.cfg.Clock.Now()
 	// (R3-4) freshness.
 	if !h.Timestamp.Fresh(now, e.cfg.FreshnessWindow) {
-		e.metrics.rejectedStale.Add(1)
+		e.metrics.drop(DropStale)
 		return nil, fmt.Errorf("%w: timestamp %v at %v", ErrStale, h.Timestamp.Time(), now)
 	}
+	var t time.Time
+	if s != nil {
+		t = time.Now()
+	}
 	// (R5-6) recover the flow key.
-	kf, err := e.receiveFlowKey(h.SFL, dg.Source, dg.Destination)
+	kf, keyHit, err := e.receiveFlowKey(h.SFL, dg.Source, dg.Destination)
+	if s != nil {
+		if keyHit {
+			s.Stages[StageKeyHit] = time.Since(t)
+		} else {
+			s.Stages[StageKeyMiss] = time.Since(t)
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("fbs: keying flow from %q: %w", dg.Source, err)
+		e.metrics.drop(DropKeying)
+		return nil, fmt.Errorf("%w: flow from %q: %w", ErrKeying, dg.Source, err)
 	}
 	// (R10-11, hoisted — see package comment) decrypt before verifying,
 	// since the MAC covers the plaintext body.
 	if h.Secret() {
+		if s != nil {
+			t = time.Now()
+		}
 		kfs := kf
 		c, err := h.Cipher.newCipher(kfs[:])
 		if err != nil {
-			e.metrics.decryptErrors.Add(1)
-			return nil, err
+			e.metrics.drop(DropDecrypt)
+			return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
 		}
 		iv := h.iv()
 		// Stage the ciphertext at the end of dst and decrypt in place
@@ -664,18 +825,21 @@ func (e *Endpoint) open(dst []byte, dg transport.Datagram, copyBody bool) ([]byt
 		dst = append(dst, body...)
 		plain := dst[off:]
 		if _, err := cryptolib.DecryptMode(c, h.Mode, iv[:], plain, plain); err != nil {
-			e.metrics.decryptErrors.Add(1)
-			return nil, fmt.Errorf("fbs: decrypting: %w", err)
+			e.metrics.drop(DropDecrypt)
+			return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
 		}
 		unpadded, err := cryptolib.Unpad(plain, c.BlockSize())
 		if err != nil {
 			// Bad padding means corruption or wrong key; report it as
 			// an authentication failure to avoid a padding oracle.
-			e.metrics.rejectedMAC.Add(1)
+			e.metrics.drop(DropBadMAC)
 			return nil, ErrBadMAC
 		}
 		dst = dst[:off+len(unpadded)]
 		body = unpadded
+		if s != nil {
+			s.Stages[StageCrypt] = time.Since(t)
+		}
 	}
 	// (R7-9) verify the MAC, using the construction the header's
 	// algorithm identification names (gated above by AcceptMACs).
@@ -683,15 +847,22 @@ func (e *Endpoint) open(dst []byte, dg transport.Datagram, copyBody bool) ([]byt
 	// skipping the call keeps the variadic arguments from forcing heap
 	// allocations on the NOP path.
 	if h.MAC != cryptolib.MACNull {
+		if s != nil {
+			t = time.Now()
+		}
 		kfc, mic := kf, h.macInput()
-		if !h.MAC.Verify(kfc[:], h.MACValue[:], mic[:], body) {
-			e.metrics.rejectedMAC.Add(1)
+		ok := h.MAC.Verify(kfc[:], h.MACValue[:], mic[:], body)
+		if s != nil {
+			s.Stages[StageMAC] = time.Since(t)
+		}
+		if !ok {
+			e.metrics.drop(DropBadMAC)
 			return nil, ErrBadMAC
 		}
 	}
 	// Optional exact-duplicate suppression (extension).
 	if e.rc != nil && e.rc.Seen(&h, now) {
-		e.metrics.rejectedReplay.Add(1)
+		e.metrics.drop(DropReplay)
 		return nil, ErrReplay
 	}
 	e.metrics.received.Add(1)

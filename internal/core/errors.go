@@ -25,4 +25,11 @@ var (
 	// named a MAC, cipher or mode this endpoint is configured not to
 	// accept (a downgrade-resistance check).
 	ErrAlgorithmRejected = errors.New("fbs: datagram algorithm not acceptable")
+	// ErrDecrypt means the payload cipher could not be instantiated or
+	// run (R10-R11).
+	ErrDecrypt = errors.New("fbs: decryption failed")
+	// ErrKeying means the flow key could not be derived: certificate
+	// fetch, verification, or the master key computation failed (S2-S3 /
+	// R5-R6).
+	ErrKeying = errors.New("fbs: keying failed")
 )

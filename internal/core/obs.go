@@ -1,0 +1,104 @@
+package core
+
+import "time"
+
+// This file defines the endpoint's instrumentation surface. The core
+// package stays free of any observability dependency: it emits
+// PacketSamples through the Observer interface and internal/obs (or any
+// other consumer) turns them into histograms, flight-recorder events and
+// exposition. Everything here is gated behind Observer.Sample() so the
+// un-sampled steady state adds two nil/atomic checks per datagram and no
+// allocations.
+
+// Stage identifies one timed step of seal/open processing. Stage values
+// are shared between the send and receive paths; a stage that does not
+// occur on a path (e.g. StageFAM on open) simply reports zero.
+type Stage uint8
+
+// The timed pipeline stages.
+const (
+	// StageFAM is flow classification in the flow state table (S1).
+	StageFAM Stage = iota
+	// StageKeyHit is flow-key retrieval served from the TFKC/RFKC (or
+	// the combined FST entry) without an MKD upcall.
+	StageKeyHit
+	// StageKeyMiss is flow-key derivation through the MKD-miss path:
+	// master key lookup/computation plus the K_f hash.
+	StageKeyMiss
+	// StageMAC is MAC computation (seal) or verification (open). Under
+	// SinglePass seal, the fused MAC+encrypt pass is charged to
+	// StageCrypt and StageMAC reports zero.
+	StageMAC
+	// StageCrypt is payload encryption (seal) or decryption (open),
+	// including padding handling.
+	StageCrypt
+	// StageTotal is the whole Seal/Open call.
+	StageTotal
+
+	// NumStages sizes per-stage arrays.
+	NumStages = int(iota)
+)
+
+// stageNames are the canonical labels used by metric names.
+var stageNames = [NumStages]string{
+	StageFAM:     "fam_lookup",
+	StageKeyHit:  "flowkey_hit",
+	StageKeyMiss: "flowkey_miss",
+	StageMAC:     "mac",
+	StageCrypt:   "crypt",
+	StageTotal:   "total",
+}
+
+// String returns the canonical label for the stage.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages lists every stage in registration order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// PacketSample describes one sampled datagram's trip through seal or
+// open processing: identity, verdict, and per-stage timings. It is
+// passed by value so emitting a sample never allocates.
+type PacketSample struct {
+	// Seal is true for send-side processing, false for receive-side.
+	Seal bool
+	// SFL is the flow label (zero when processing failed before the
+	// label was known, e.g. a malformed header).
+	SFL SFL
+	// Flow is the flow attribute set: the full selector output on seal,
+	// the principal pair on open.
+	Flow FlowID
+	// Bytes is the application payload length.
+	Bytes int
+	// Secret reports whether the body was (to be) encrypted.
+	Secret bool
+	// Drop is the verdict: DropNone for accepted datagrams.
+	Drop DropReason
+	// Stages holds the per-stage wall-clock timings; unvisited stages
+	// are zero.
+	Stages [NumStages]time.Duration
+}
+
+// Observer receives sampled packet telemetry from an endpoint.
+// Implementations must be safe for concurrent use and should not
+// allocate in Sample(), which runs on every datagram.
+type Observer interface {
+	// Sample decides, per datagram, whether this packet should be timed
+	// and reported. It is the sampling gate: returning false must be
+	// cheap (an atomic load or two), because the hot path consults it
+	// unconditionally.
+	Sample() bool
+	// Packet delivers one sampled datagram's telemetry. Called at most
+	// once per datagram for which Sample returned true.
+	Packet(s PacketSample)
+}

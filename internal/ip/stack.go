@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fbs/internal/core"
 )
 
 // LinkSender is the network interface below the stack: it transmits one
@@ -62,6 +64,11 @@ type StackStats struct {
 	DroppedBadPkt  uint64
 	DroppedNoProto uint64
 	DroppedHook    uint64
+	// HookDrops breaks DroppedHook down by core.DropReason (the shared
+	// drop taxonomy), so a stack-level hook drop carries the same label
+	// the endpoint's own counters use. Hook errors that don't map to a
+	// known reason are counted under DropNone ("other").
+	HookDrops [core.NumDropReasons]uint64
 }
 
 // stackCounters is the live form of StackStats: independent atomics so
@@ -78,6 +85,14 @@ type stackCounters struct {
 	droppedBadPkt  atomic.Uint64
 	droppedNoProto atomic.Uint64
 	droppedHook    atomic.Uint64
+	hookDrops      [core.NumDropReasons]atomic.Uint64
+}
+
+// dropHook counts one security-hook drop, classified by the shared
+// DropReason taxonomy.
+func (c *stackCounters) dropHook(err error) {
+	c.droppedHook.Add(1)
+	c.hookDrops[core.DropReasonOf(err)].Add(1)
 }
 
 // Stack is a minimal IPv4 host stack: one address, one link, a protocol
@@ -165,7 +180,7 @@ func (s *Stack) Handle(proto uint8, h ProtocolHandler) {
 // Stats returns a snapshot of the counters, each read atomically.
 func (s *Stack) Stats() StackStats {
 	c := &s.stats
-	return StackStats{
+	out := StackStats{
 		PacketsOut:     c.packetsOut.Load(),
 		FragmentsOut:   c.fragmentsOut.Load(),
 		PacketsIn:      c.packetsIn.Load(),
@@ -177,6 +192,10 @@ func (s *Stack) Stats() StackStats {
 		DroppedNoProto: c.droppedNoProto.Load(),
 		DroppedHook:    c.droppedHook.Load(),
 	}
+	for i := range out.HookDrops {
+		out.HookDrops[i] = c.hookDrops[i].Load()
+	}
+	return out
 }
 
 // Output sends payload to dst with the given protocol. Setting df sets
@@ -208,7 +227,7 @@ func (s *Stack) Output(proto uint8, dst Addr, payload []byte, df bool) error {
 			sealed, herr := ah.OutputAppend((*hookBuf)[:0], &h, payload)
 			if herr != nil {
 				s.outBufs.Put(hookBuf)
-				s.stats.droppedHook.Add(1)
+				s.stats.dropHook(herr)
 				return fmt.Errorf("ip: output hook: %w", herr)
 			}
 			*hookBuf = sealed
@@ -217,7 +236,7 @@ func (s *Stack) Output(proto uint8, dst Addr, payload []byte, df bool) error {
 		} else {
 			payload, err = s.hook.OutputHook(&h, payload)
 			if err != nil {
-				s.stats.droppedHook.Add(1)
+				s.stats.dropHook(err)
 				return fmt.Errorf("ip: output hook: %w", err)
 			}
 		}
@@ -284,7 +303,7 @@ func (s *Stack) Input(frame []byte) {
 	if s.hook != nil {
 		body, err = s.hook.InputHook(&whole.Header, body)
 		if err != nil {
-			s.stats.droppedHook.Add(1)
+			s.stats.dropHook(err)
 			return
 		}
 	}

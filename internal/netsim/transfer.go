@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fbs/internal/baseline"
+	"fbs/internal/obs"
 	"fbs/internal/principal"
 	"fbs/internal/transport"
 )
@@ -38,6 +39,11 @@ type TransferConfig struct {
 	// SealerSrc/SealerDst are the principal addresses used when running
 	// the real protocol code.
 	SealerSrc, SealerDst string
+	// SealHist/OpenHist optionally record the wall-clock latency of the
+	// real Sealer.Seal and Opener.Open calls, one observation per
+	// segment (requires Sealer/Opener). These feed fbsbench's latency
+	// percentiles and the admin plane's /metrics histograms.
+	SealHist, OpenHist *obs.Histogram
 }
 
 // appendSealer is the allocation-free protocol surface (core.Endpoint
@@ -107,28 +113,44 @@ func BulkTransfer(cfg TransferConfig) (Result, error) {
 				Payload:     segBuf[:n],
 			}
 			if sealAppender != nil && openAppender != nil {
+				t := time.Now()
 				sealed, err := sealAppender.SealAppend(sealBuf[:0], dg, true)
+				if cfg.SealHist != nil {
+					cfg.SealHist.Observe(time.Since(t))
+				}
 				if err != nil {
 					return 0, err
 				}
 				sealBuf = sealed
+				t = time.Now()
 				opened, err := openAppender.OpenAppend(openBuf[:0], transport.Datagram{
 					Source:      dg.Source,
 					Destination: dg.Destination,
 					Payload:     sealed,
 				})
+				if cfg.OpenHist != nil {
+					cfg.OpenHist.Observe(time.Since(t))
+				}
 				if err != nil {
 					return 0, err
 				}
 				openBuf = opened
 				return len(sealed) + cfg.HeaderBytes, nil
 			}
+			t := time.Now()
 			sealed, err := cfg.Sealer.Seal(dg, true)
+			if cfg.SealHist != nil {
+				cfg.SealHist.Observe(time.Since(t))
+			}
 			if err != nil {
 				return 0, err
 			}
+			t = time.Now()
 			if _, err := cfg.Opener.Open(sealed); err != nil {
 				return 0, err
+			}
+			if cfg.OpenHist != nil {
+				cfg.OpenHist.Observe(time.Since(t))
 			}
 			wire = len(sealed.Payload) + cfg.HeaderBytes
 		}
@@ -232,6 +254,10 @@ type Figure8Config struct {
 	// config name ("GENERIC", "FBS NOP", "FBS DES+MD5") as
 	// sender/receiver pairs.
 	Sealers map[string][2]baseline.Sealer
+	// SealHists/OpenHists optionally record per-segment seal/open
+	// latency, keyed by config name. A histogram shared across both
+	// workloads (ttcp, rcp) aggregates their samples.
+	SealHists, OpenHists map[string]*obs.Histogram
 }
 
 // Figure8 runs the six bars of Figure 8: {ttcp, rcp} × {GENERIC, FBS
@@ -271,6 +297,8 @@ func Figure8(cfg Figure8Config) ([]Figure8Row, error) {
 			if pair, ok := cfg.Sealers[m.Name]; ok {
 				tc.Sealer, tc.Opener = pair[0], pair[1]
 				tc.SealerSrc, tc.SealerDst = "sim-a", "sim-b"
+				tc.SealHist = cfg.SealHists[m.Name]
+				tc.OpenHist = cfg.OpenHists[m.Name]
 			}
 			res, err := BulkTransfer(tc)
 			if err != nil {

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fbs/internal/core"
+	"fbs/internal/ip"
+	"fbs/internal/transport"
+)
+
+// This file adapts the snapshot accessors the rest of the repo already
+// exposes (core.Metrics, FAMStats, CacheStats, KeyServiceStats,
+// ip.StackStats, transport.NetworkStats) into metric families. Metric
+// names follow fbs_<subsystem>_<what>_total for counters and
+// fbs_<subsystem>_<what> for gauges; label values reuse the canonical
+// DropReason/Stage/cache names so every layer speaks one taxonomy.
+
+// RegisterEndpoint registers collectors for an endpoint's counters, FAM
+// and cache statistics. The endpoint label distinguishes multiple
+// registered endpoints within one registry.
+func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
+	eplbl := Label{Key: "endpoint", Value: name}
+	r.RegisterFunc(func() []Family {
+		m := ep.Metrics()
+		fams := []Family{
+			CounterFamily("fbs_endpoint_sent_total", "Datagrams sealed and sent.", m.Sent, eplbl),
+			CounterFamily("fbs_endpoint_sent_secret_total", "Sent datagrams with encrypted bodies.", m.SentSecret, eplbl),
+			CounterFamily("fbs_endpoint_sent_bytes_total", "Application bytes sealed.", m.SentBytes, eplbl),
+			CounterFamily("fbs_endpoint_received_total", "Datagrams accepted by open processing.", m.Received, eplbl),
+			CounterFamily("fbs_endpoint_received_bytes_total", "Application bytes recovered.", m.ReceivedBytes, eplbl),
+			CounterFamily("fbs_endpoint_bypassed_sent_total", "Datagrams sent around FBS by bypass policy.", m.BypassedSent, eplbl),
+			CounterFamily("fbs_endpoint_bypassed_received_total", "Datagrams received around FBS by bypass policy.", m.BypassedReceived, eplbl),
+		}
+		drops := Family{Name: "fbs_endpoint_drops_total", Help: "Datagrams refused, by drop reason.", Type: "counter"}
+		for _, d := range core.DropReasons() {
+			drops.Samples = append(drops.Samples, Sample{
+				Labels: []Label{eplbl, {Key: "reason", Value: d.String()}},
+				Value:  float64(m.Drops[d]),
+			})
+		}
+		fams = append(fams, drops)
+
+		fs := ep.FAMStats()
+		fams = append(fams,
+			CounterFamily("fbs_fam_lookups_total", "Flow association map lookups.", fs.Lookups, eplbl),
+			CounterFamily("fbs_fam_hits_total", "FAM lookups that found a live flow.", fs.Hits, eplbl),
+			CounterFamily("fbs_fam_flows_created_total", "Flows instantiated in the FAM.", fs.FlowsCreated, eplbl),
+			CounterFamily("fbs_fam_collisions_total", "FAM slot collisions on create.", fs.Collisions, eplbl),
+			CounterFamily("fbs_fam_expirations_total", "Flows expired by the sweeper policy.", fs.Expirations, eplbl),
+			GaugeFamily("fbs_fam_active_flows", "Live FAM entries.", float64(ep.ActiveFlows()), eplbl),
+		)
+
+		hits := Family{Name: "fbs_cache_hits_total", Help: "Soft-cache hits, by cache.", Type: "counter"}
+		misses := Family{Name: "fbs_cache_misses_total", Help: "Soft-cache misses, by cache.", Type: "counter"}
+		installs := Family{Name: "fbs_cache_installs_total", Help: "Soft-cache installs, by cache.", Type: "counter"}
+		evictions := Family{Name: "fbs_cache_evictions_total", Help: "Soft-cache evictions, by cache.", Type: "counter"}
+		used := Family{Name: "fbs_cache_used", Help: "Occupied soft-cache slots, by cache.", Type: "gauge"}
+		slots := Family{Name: "fbs_cache_slots", Help: "Total soft-cache slots, by cache.", Type: "gauge"}
+		for _, ci := range ep.Caches() {
+			cl := []Label{eplbl, {Key: "cache", Value: ci.Name}}
+			hits.Samples = append(hits.Samples, Sample{Labels: cl, Value: float64(ci.Stats.Hits)})
+			misses.Samples = append(misses.Samples, Sample{Labels: cl, Value: float64(ci.Stats.Misses)})
+			installs.Samples = append(installs.Samples, Sample{Labels: cl, Value: float64(ci.Stats.Installs)})
+			evictions.Samples = append(evictions.Samples, Sample{Labels: cl, Value: float64(ci.Stats.Evictions)})
+			used.Samples = append(used.Samples, Sample{Labels: cl, Value: float64(ci.Used)})
+			slots.Samples = append(slots.Samples, Sample{Labels: cl, Value: float64(ci.Slots)})
+		}
+		fams = append(fams, hits, misses, installs, evictions, used, slots)
+
+		ks, _, _, upcalls := ep.KeyStats()
+		fams = append(fams,
+			CounterFamily("fbs_keyservice_master_key_requests_total", "Master key requests.", ks.MasterKeyRequests, eplbl),
+			CounterFamily("fbs_keyservice_master_key_computes_total", "Master key computations (PVC+MKC miss path).", ks.MasterKeyComputes, eplbl),
+			CounterFamily("fbs_keyservice_cert_fetches_total", "Certificate fetches from the directory.", ks.CertFetches, eplbl),
+			CounterFamily("fbs_keyservice_cert_verifies_total", "Certificate signature verifications.", ks.CertVerifies, eplbl),
+			CounterFamily("fbs_keyservice_failures_total", "Keying failures.", ks.Failures, eplbl),
+			CounterFamily("fbs_mkd_upcalls_total", "Upcalls to the master key daemon.", upcalls, eplbl),
+		)
+		return fams
+	})
+}
+
+// RegisterPipeline registers the per-stage latency histograms.
+func RegisterPipeline(r *Registry, name string, p *Pipeline) {
+	eplbl := Label{Key: "endpoint", Value: name}
+	r.RegisterFunc(func() []Family {
+		f := Family{
+			Name: "fbs_stage_duration_ns",
+			Help: "Sampled per-stage processing time in nanoseconds, by path (seal/open) and stage.",
+			Type: "histogram",
+		}
+		for _, path := range []struct {
+			name string
+			seal bool
+		}{{"seal", true}, {"open", false}} {
+			for _, st := range core.Stages() {
+				s := p.StageSnapshot(path.seal, st)
+				if s.Count == 0 {
+					continue
+				}
+				AppendHistogram(&f, s, eplbl,
+					Label{Key: "path", Value: path.name},
+					Label{Key: "stage", Value: st.String()})
+			}
+		}
+		rec := Family{Name: "fbs_recorder_events_total", Help: "Packets captured by the flight recorder.", Type: "counter"}
+		var total uint64
+		if p.Recorder() != nil {
+			total = p.Recorder().Total()
+		}
+		rec.Samples = append(rec.Samples, Sample{Labels: []Label{eplbl}, Value: float64(total)})
+		return []Family{f, rec}
+	})
+}
+
+// RegisterStack registers collectors for an IP stack's counters,
+// including the per-reason security hook drop breakdown.
+func RegisterStack(r *Registry, name string, st *ip.Stack) {
+	lbl := Label{Key: "stack", Value: name}
+	r.RegisterFunc(func() []Family {
+		s := st.Stats()
+		fams := []Family{
+			CounterFamily("fbs_ip_packets_out_total", "IP packets emitted.", s.PacketsOut, lbl),
+			CounterFamily("fbs_ip_fragments_out_total", "IP fragments transmitted.", s.FragmentsOut, lbl),
+			CounterFamily("fbs_ip_packets_in_total", "IP frames received.", s.PacketsIn, lbl),
+			CounterFamily("fbs_ip_reassembled_total", "Fragment trains reassembled.", s.Reassembled, lbl),
+			CounterFamily("fbs_ip_delivered_total", "Packets delivered to a transport handler.", s.Delivered, lbl),
+			CounterFamily("fbs_ip_forwarded_total", "Transit packets forwarded.", s.Forwarded, lbl),
+			CounterFamily("fbs_ip_dropped_ttl_total", "Transit packets dropped for TTL expiry.", s.DroppedTTL, lbl),
+			CounterFamily("fbs_ip_dropped_bad_packet_total", "Frames dropped as unparsable or misaddressed.", s.DroppedBadPkt, lbl),
+			CounterFamily("fbs_ip_dropped_no_proto_total", "Packets dropped for want of a protocol handler.", s.DroppedNoProto, lbl),
+			CounterFamily("fbs_ip_dropped_hook_total", "Packets dropped by the security hook.", s.DroppedHook, lbl),
+		}
+		hd := Family{Name: "fbs_ip_hook_drops_total", Help: "Security hook drops, by drop reason (none = unclassified).", Type: "counter"}
+		for d := 0; d < core.NumDropReasons; d++ {
+			hd.Samples = append(hd.Samples, Sample{
+				Labels: []Label{lbl, {Key: "reason", Value: core.DropReason(d).String()}},
+				Value:  float64(s.HookDrops[d]),
+			})
+		}
+		return append(fams, hd)
+	})
+}
+
+// RegisterNetwork registers collectors for the in-memory transport
+// network's fault-model counters.
+func RegisterNetwork(r *Registry, name string, n *transport.Network) {
+	lbl := Label{Key: "network", Value: name}
+	r.RegisterFunc(func() []Family {
+		s := n.Stats()
+		return []Family{
+			CounterFamily("fbs_net_sent_total", "Datagrams submitted to the network.", s.Sent, lbl),
+			CounterFamily("fbs_net_delivered_total", "Datagrams delivered.", s.Delivered, lbl),
+			CounterFamily("fbs_net_lost_total", "Datagrams dropped by the loss model.", s.Lost, lbl),
+			CounterFamily("fbs_net_duplicated_total", "Datagrams duplicated.", s.Duplicated, lbl),
+			CounterFamily("fbs_net_reordered_total", "Datagrams delivered out of order.", s.Reordered, lbl),
+			CounterFamily("fbs_net_corrupted_total", "Datagrams corrupted in flight.", s.Corrupted, lbl),
+			CounterFamily("fbs_net_no_route_total", "Datagrams to unbound addresses.", s.NoRoute, lbl),
+			CounterFamily("fbs_net_overflow_total", "Datagrams dropped on full receive queues.", s.Overflow, lbl),
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"fbs/internal/core"
+)
+
+// Admin is the opt-in introspection plane: an HTTP mux serving
+//
+//	/metrics   Prometheus text exposition of the registry
+//	/flows     live FAM entries and cache occupancy, netstat-style
+//	           (?json=1 for machine-readable output)
+//	/recorder  the flight-recorder ring, oldest first (?json=1, ?n=K)
+//	/debug/pprof/...  the standard runtime profiles
+//
+// It binds nothing by itself — callers decide the listen address via
+// Serve, and the docs (docs/OBSERVABILITY.md) spell out why that
+// address should be loopback: the plane is unauthenticated and exposes
+// flow metadata and pprof.
+type Admin struct {
+	Registry *Registry
+
+	mu        sync.Mutex
+	endpoints []adminEndpoint
+	recorders []*Recorder
+}
+
+type adminEndpoint struct {
+	name string
+	ep   *core.Endpoint
+}
+
+// NewAdmin builds an admin plane over a registry (nil allocates a fresh
+// one).
+func NewAdmin(reg *Registry) *Admin {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Admin{Registry: reg}
+}
+
+// WatchEndpoint adds an endpoint to /flows. It does not register
+// metrics collectors — pair with RegisterEndpoint for that.
+func (a *Admin) WatchEndpoint(name string, ep *core.Endpoint) {
+	a.mu.Lock()
+	a.endpoints = append(a.endpoints, adminEndpoint{name: name, ep: ep})
+	a.mu.Unlock()
+}
+
+// WatchRecorder adds a flight recorder to /recorder.
+func (a *Admin) WatchRecorder(rec *Recorder) {
+	if rec == nil {
+		return
+	}
+	a.mu.Lock()
+	a.recorders = append(a.recorders, rec)
+	a.mu.Unlock()
+}
+
+// Handler returns the admin mux.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.serveMetrics)
+	mux.HandleFunc("/flows", a.serveFlows)
+	mux.HandleFunc("/recorder", a.serveRecorder)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and serves the admin plane
+// in a background goroutine. It returns the bound address and a stop
+// function.
+func (a *Admin) Serve(addr string) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: a.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}
+
+func (a *Admin) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.Registry.WriteText(w)
+}
+
+// FlowsReport is the machine-readable /flows payload.
+type FlowsReport struct {
+	Endpoints []EndpointFlows `json:"endpoints"`
+}
+
+// EndpointFlows is one endpoint's slice of the /flows payload.
+type EndpointFlows struct {
+	Name   string            `json:"name"`
+	Flows  []core.FlowInfo   `json:"flows"`
+	Caches []core.CacheInfo  `json:"caches"`
+	Drops  map[string]uint64 `json:"drops"`
+}
+
+func (a *Admin) flowsReport() FlowsReport {
+	a.mu.Lock()
+	eps := make([]adminEndpoint, len(a.endpoints))
+	copy(eps, a.endpoints)
+	a.mu.Unlock()
+
+	var rep FlowsReport
+	for _, ae := range eps {
+		flows := ae.ep.Flows()
+		sort.Slice(flows, func(i, j int) bool { return flows[i].SFL < flows[j].SFL })
+		drops := make(map[string]uint64)
+		dc := ae.ep.DropCounts()
+		for _, d := range core.DropReasons() {
+			if dc[d] > 0 {
+				drops[d.String()] = dc[d]
+			}
+		}
+		rep.Endpoints = append(rep.Endpoints, EndpointFlows{
+			Name:   ae.name,
+			Flows:  flows,
+			Caches: ae.ep.Caches(),
+			Drops:  drops,
+		})
+	}
+	return rep
+}
+
+func (a *Admin) serveFlows(w http.ResponseWriter, r *http.Request) {
+	rep := a.flowsReport()
+	if r.URL.Query().Get("json") != "" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rep)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	WriteFlowsText(w, rep)
+}
+
+// WriteFlowsText renders a FlowsReport netstat-style (shared with
+// cmd/fbsstat).
+func WriteFlowsText(w interface{ Write([]byte) (int, error) }, rep FlowsReport) {
+	for _, ep := range rep.Endpoints {
+		fmt.Fprintf(w, "Endpoint %s: %d active flows\n", ep.Name, len(ep.Flows))
+		if len(ep.Flows) > 0 {
+			fmt.Fprintf(w, "  %-18s %-6s %-42s %-8s %-10s %s\n",
+				"SFL", "PROTO", "SRC->DST", "PACKETS", "BYTES", "IDLE")
+		}
+		for _, f := range ep.Flows {
+			route := fmt.Sprintf("%s:%d->%s:%d", f.ID.Src, f.ID.SrcPort, f.ID.Dst, f.ID.DstPort)
+			idle := time.Duration(0)
+			if !f.Last.IsZero() {
+				idle = time.Since(f.Last).Round(time.Millisecond)
+			}
+			fmt.Fprintf(w, "  %-18x %-6d %-42s %-8d %-10d %s\n",
+				uint64(f.SFL), f.ID.Proto, route, f.Packets, f.Bytes, idle)
+		}
+		for _, c := range ep.Caches {
+			fmt.Fprintf(w, "  cache %-5s %4d/%-4d slots  hits=%d misses=%d installs=%d evictions=%d\n",
+				c.Name, c.Used, c.Slots, c.Stats.Hits, c.Stats.Misses, c.Stats.Installs, c.Stats.Evictions)
+		}
+		if len(ep.Drops) > 0 {
+			keys := make([]string, 0, len(ep.Drops))
+			for k := range ep.Drops {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "  drop %-10s %d\n", k, ep.Drops[k])
+			}
+		}
+	}
+}
+
+// RecorderReport is the machine-readable /recorder payload.
+type RecorderReport struct {
+	Total  uint64  `json:"total"`
+	Events []Event `json:"events"`
+}
+
+func (a *Admin) recorderReport(limit int) RecorderReport {
+	a.mu.Lock()
+	recs := make([]*Recorder, len(a.recorders))
+	copy(recs, a.recorders)
+	a.mu.Unlock()
+
+	var rep RecorderReport
+	for _, rec := range recs {
+		rep.Total += rec.Total()
+		rep.Events = append(rep.Events, rec.Events()...)
+	}
+	sort.Slice(rep.Events, func(i, j int) bool { return rep.Events[i].When.Before(rep.Events[j].When) })
+	if limit > 0 && len(rep.Events) > limit {
+		rep.Events = rep.Events[len(rep.Events)-limit:]
+	}
+	return rep
+}
+
+func (a *Admin) serveRecorder(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			limit = n
+		}
+	}
+	rep := a.recorderReport(limit)
+	if r.URL.Query().Get("json") != "" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rep)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	WriteRecorderText(w, rep)
+}
+
+// WriteRecorderText renders a RecorderReport (shared with cmd/fbsstat).
+func WriteRecorderText(w interface{ Write([]byte) (int, error) }, rep RecorderReport) {
+	fmt.Fprintf(w, "%d events captured, %d retained\n", rep.Total, len(rep.Events))
+	for _, e := range rep.Events {
+		dir := "open"
+		if e.Seal {
+			dir = "seal"
+		}
+		verdict := "ok"
+		if e.Drop != core.DropNone.String() {
+			verdict = "drop:" + e.Drop
+		}
+		fmt.Fprintf(w, "#%-6d %s %-4s sfl=%x %s:%d->%s:%d proto=%d bytes=%d secret=%t %s total=%s\n",
+			e.Seq, e.When.Format("15:04:05.000000"), dir, e.SFL,
+			e.Flow.Src, e.Flow.SrcPort, e.Flow.Dst, e.Flow.DstPort, e.Flow.Proto,
+			e.Bytes, e.Secret, verdict, e.Stages["total"])
+	}
+}

@@ -1,0 +1,193 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fbs"
+	"fbs/internal/core"
+	"fbs/internal/obs"
+)
+
+// adminWorld wires a live endpoint pair, a fully-sampled pipeline, and
+// an admin plane — the end-to-end fixture for the introspection tests.
+func adminWorld(t *testing.T) (*fbs.Endpoint, *fbs.Endpoint, *obs.Pipeline, *obs.Admin) {
+	t.Helper()
+	d, err := fbs.NewDomain("obs-test", fbs.WithGroup(fbs.TestGroup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := fbs.NewNetwork(fbs.Impairments{})
+	pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 1})
+	mk := func(addr fbs.Address) *fbs.Endpoint {
+		ep, err := d.NewEndpoint(addr, net, func(c *fbs.Config) {
+			c.Observer = pipe
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		return ep
+	}
+	alice, bob := mk("alice"), mk("bob")
+
+	reg := obs.NewRegistry()
+	obs.RegisterEndpoint(reg, "alice", alice)
+	obs.RegisterEndpoint(reg, "bob", bob)
+	obs.RegisterPipeline(reg, "pair", pipe)
+	obs.RegisterNetwork(reg, "lan", net)
+	admin := obs.NewAdmin(reg)
+	admin.WatchEndpoint("alice", alice)
+	admin.WatchEndpoint("bob", bob)
+	admin.WatchRecorder(pipe.Recorder())
+	return alice, bob, pipe, admin
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestAdminPlane(t *testing.T) {
+	alice, bob, pipe, admin := adminWorld(t)
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	// Drive some traffic, including one drop (stale reject via a bad
+	// datagram is awkward here; corrupting a MAC is direct).
+	for i := 0; i < 10; i++ {
+		if err := alice.SendTo("bob", []byte("hello flows"), i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bob.ReceiveValid(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed, err := alice.Seal(fbs.Datagram{Destination: "bob", Payload: []byte("x")}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed.Payload[len(sealed.Payload)-1] ^= 0xFF
+	if _, err := bob.Open(sealed); err == nil {
+		t.Fatal("corrupted datagram accepted")
+	}
+
+	metrics := get(t, srv, "/metrics")
+	for _, want := range []string{
+		`fbs_endpoint_sent_total{endpoint="alice"} 10`,
+		`fbs_endpoint_received_total{endpoint="bob"} 10`,
+		`fbs_endpoint_drops_total{endpoint="bob",reason="bad_mac"} 1`,
+		`fbs_cache_hits_total{endpoint="alice",cache="tfkc"}`,
+		`fbs_cache_slots{endpoint="bob",cache="rfkc"}`,
+		`fbs_fam_active_flows{endpoint="alice"} 1`,
+		`fbs_stage_duration_ns_bucket{endpoint="pair",path="seal",stage="total",le="+Inf"}`,
+		`fbs_stage_duration_ns_count{endpoint="pair",path="open",stage="total"}`,
+		`fbs_net_delivered_total{network="lan"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	flowsText := get(t, srv, "/flows")
+	if !strings.Contains(flowsText, "alice") || !strings.Contains(flowsText, "cache tfkc") {
+		t.Errorf("/flows text missing expected content:\n%s", flowsText)
+	}
+	var flows obs.FlowsReport
+	if err := json.Unmarshal([]byte(get(t, srv, "/flows?json=1")), &flows); err != nil {
+		t.Fatalf("/flows?json=1: %v", err)
+	}
+	if len(flows.Endpoints) != 2 {
+		t.Fatalf("flows report has %d endpoints, want 2", len(flows.Endpoints))
+	}
+	if len(flows.Endpoints[0].Flows) != 1 {
+		t.Errorf("alice should have 1 live flow, got %d", len(flows.Endpoints[0].Flows))
+	}
+	if flows.Endpoints[1].Drops["bad_mac"] != 1 {
+		t.Errorf("bob drops = %v, want bad_mac:1", flows.Endpoints[1].Drops)
+	}
+
+	var rec obs.RecorderReport
+	if err := json.Unmarshal([]byte(get(t, srv, "/recorder?json=1")), &rec); err != nil {
+		t.Fatalf("/recorder?json=1: %v", err)
+	}
+	// 11 seals + 10 opens + 1 failed open, all sampled.
+	if rec.Total != 22 {
+		t.Errorf("recorder total = %d, want 22", rec.Total)
+	}
+	drops := 0
+	for _, e := range rec.Events {
+		if e.Drop == "bad_mac" {
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Errorf("recorder shows %d bad_mac drops, want 1", drops)
+	}
+	if !strings.Contains(get(t, srv, "/recorder?n=5"), "retained") {
+		t.Error("/recorder text output malformed")
+	}
+	if !strings.Contains(get(t, srv, "/debug/pprof/cmdline"), "") {
+		t.Error("pprof unreachable")
+	}
+
+	// Latency snapshots must have consistent counts with the traffic.
+	if n := pipe.StageSnapshot(true, core.StageTotal).Count; n != 11 {
+		t.Errorf("seal total count = %d, want 11", n)
+	}
+	if n := pipe.StageSnapshot(false, core.StageTotal).Count; n != 11 {
+		t.Errorf("open total count = %d, want 11", n)
+	}
+}
+
+func TestAdminServe(t *testing.T) {
+	_, _, _, admin := adminWorld(t)
+	addr, stop, err := admin.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestSamplingDisabledObservesNothing(t *testing.T) {
+	pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 0})
+	for i := 0; i < 100; i++ {
+		if pipe.Sample() {
+			t.Fatal("Sample() fired with sampling disabled")
+		}
+	}
+	pipe.SetSampleEvery(3)
+	fired := 0
+	for i := 0; i < 99; i++ {
+		if pipe.Sample() {
+			fired++
+		}
+	}
+	if fired != 33 {
+		t.Fatalf("1-in-3 sampling fired %d/99 times", fired)
+	}
+}

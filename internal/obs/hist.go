@@ -1,0 +1,157 @@
+// Package obs is the observability layer for the FBS pipeline: latency
+// histograms, a metrics registry with Prometheus text exposition, a
+// sampled per-packet flight recorder, and an opt-in admin HTTP plane.
+//
+// The package is dependency-free (standard library only) and is built to
+// preserve the PR 1 concurrency model: histograms are striped over
+// padded cache lines and mutated with atomics only (no locks on the
+// record path), counters are adapted from the snapshot accessors the
+// core/ip/transport packages already expose, and everything per-packet
+// sits behind core.Observer's sampling gate so the un-sampled steady
+// state stays allocation-free.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumHistBuckets is the number of log2 latency buckets. Bucket i holds
+// observations whose nanosecond count has bit length i, i.e. durations
+// in [2^(i-1), 2^i) ns; bucket 0 holds zero-duration observations and
+// the last bucket additionally absorbs any overflow. 40 buckets span
+// 1 ns to ~9.2 minutes, far beyond any per-packet stage.
+const NumHistBuckets = 40
+
+// histStripes is the number of independent stripes a histogram's
+// counters are spread over. Like the PR 1 cache stripes it is a power
+// of two; 8 keeps the footprint small (8×~48 cache lines) while still
+// splitting concurrent recorders across lines.
+const histStripes = 8
+
+// histStripe is one stripe's share of the buckets. The trailing pad
+// keeps the next stripe's first counters off this stripe's last cache
+// line.
+type histStripe struct {
+	counts [NumHistBuckets]atomic.Uint64
+	sum    atomic.Uint64 // total observed nanoseconds
+	_      [56]byte
+}
+
+// Histogram is a lock-free log2-bucketed latency histogram. Observe is
+// wait-free (two atomic adds) and allocation-free; Snapshot merges the
+// stripes into one consistent-enough view (each counter is read
+// atomically; the set is not a global atomic snapshot, matching the
+// repo's counter semantics).
+//
+// The zero value is ready to use.
+type Histogram struct {
+	stripes [histStripes]histStripe
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= NumHistBuckets {
+		b = NumHistBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (its
+// Prometheus `le` value): 2^i - 1 nanoseconds. The last bucket has no
+// finite bound (it absorbs overflow) and reports the same formula;
+// exposition renders it together with +Inf.
+func BucketBound(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Duration(uint64(1)<<uint(i) - 1)
+}
+
+// Observe records one duration. Negative durations (clock steps) are
+// clamped to zero. The stripe is picked by a multiplicative hash of the
+// value, so concurrent recorders of differing durations land on
+// different cache lines without any per-CPU state.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	st := &h.stripes[(uint64(d)*0x9E3779B97F4A7C15)>>(64-3)]
+	st.counts[bucketOf(d)].Add(1)
+	st.sum.Add(uint64(d))
+}
+
+// HistSnapshot is a merged point-in-time view of a Histogram.
+type HistSnapshot struct {
+	Counts [NumHistBuckets]uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// Snapshot merges every stripe's counters.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.counts {
+			n := st.counts[b].Load()
+			s.Counts[b] += n
+			s.Count += n
+		}
+		s.Sum += time.Duration(st.sum.Load())
+	}
+	return s
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 ≤ q ≤ 1) — an over-estimate by at most one bucket width
+// (a factor of two), which is the precision log2 bucketing buys. With no
+// observations it returns 0.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for b, n := range s.Counts {
+		cum += n
+		if rank < cum {
+			return BucketBound(b)
+		}
+	}
+	return BucketBound(NumHistBuckets - 1)
+}
+
+// Mean returns the average observed duration, or 0 with no samples.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// add accumulates o into s (merging seal+open views, for example).
+func (s *HistSnapshot) Add(o HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"fbs/internal/core"
+)
+
+// Event is one flight-recorder entry: a sampled datagram's identity,
+// verdict and stage timings, plus a monotonic sequence number and the
+// capture time.
+type Event struct {
+	Seq    uint64            `json:"seq"`
+	When   time.Time         `json:"when"`
+	Seal   bool              `json:"seal"`
+	SFL    uint64            `json:"sfl"`
+	Flow   core.FlowID       `json:"flow"`
+	Bytes  int               `json:"bytes"`
+	Secret bool              `json:"secret"`
+	Drop   string            `json:"drop"`
+	Stages map[string]string `json:"stages,omitempty"`
+}
+
+// recEvent is the in-ring form: fixed size, no maps, no strings, so
+// recording does not allocate once the ring is warm.
+type recEvent struct {
+	seq    uint64
+	when   time.Time
+	sample core.PacketSample
+}
+
+// Recorder is a fixed-size ring of sampled packet events. Recording
+// takes one short mutex hold and copies the sample by value; the ring
+// never grows, so a long-running process holds a bounded window of the
+// most recent sampled packets (black-box style).
+type Recorder struct {
+	mu   sync.Mutex
+	ring []recEvent
+	next uint64 // total events ever recorded
+}
+
+// DefaultRecorderSize is the ring capacity used when none is given.
+const DefaultRecorderSize = 256
+
+// NewRecorder builds a ring holding the last n events (n ≤ 0 selects
+// DefaultRecorderSize).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRecorderSize
+	}
+	return &Recorder{ring: make([]recEvent, n)}
+}
+
+// Record appends one sampled packet, displacing the oldest entry when
+// the ring is full.
+func (r *Recorder) Record(s core.PacketSample, now time.Time) {
+	r.mu.Lock()
+	e := &r.ring[r.next%uint64(len(r.ring))]
+	e.seq = r.next
+	e.when = now
+	e.sample = s
+	r.next++
+	r.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (≥ len(Events())).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	n := uint64(len(r.ring))
+	start := uint64(0)
+	count := r.next
+	if count > n {
+		start = r.next - n
+		count = n
+	}
+	raw := make([]recEvent, 0, count)
+	for seq := start; seq < r.next; seq++ {
+		raw = append(raw, r.ring[seq%n])
+	}
+	r.mu.Unlock()
+
+	out := make([]Event, len(raw))
+	for i, e := range raw {
+		out[i] = exportEvent(e)
+	}
+	return out
+}
+
+func exportEvent(e recEvent) Event {
+	s := e.sample
+	ev := Event{
+		Seq:    e.seq,
+		When:   e.when,
+		Seal:   s.Seal,
+		SFL:    uint64(s.SFL),
+		Flow:   s.Flow,
+		Bytes:  s.Bytes,
+		Secret: s.Secret,
+		Drop:   s.Drop.String(),
+	}
+	ev.Stages = make(map[string]string, core.NumStages)
+	for i, d := range s.Stages {
+		if d > 0 {
+			ev.Stages[core.Stage(i).String()] = d.String()
+		}
+	}
+	return ev
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text rendered for a
+// fixed set of families: header order, label quoting, cumulative
+// histogram buckets, and cross-collector family merging.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc(func() []Family {
+		return []Family{
+			CounterFamily("fbs_endpoint_sent_total", "Datagrams sealed and sent.", 42,
+				Label{Key: "endpoint", Value: "a"}),
+			GaugeFamily("fbs_fam_active_flows", "Live FAM entries.", 3,
+				Label{Key: "endpoint", Value: "a"}),
+		}
+	})
+	// A second collector contributing to an already-seen family must
+	// merge under the first header.
+	r.RegisterFunc(func() []Family {
+		return []Family{
+			CounterFamily("fbs_endpoint_sent_total", "Datagrams sealed and sent.", 7,
+				Label{Key: "endpoint", Value: "b"}),
+		}
+	})
+	var h Histogram
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(1000)
+	r.RegisterFunc(func() []Family {
+		f := Family{Name: "fbs_stage_duration_ns", Help: "Stage time.", Type: "histogram"}
+		AppendHistogram(&f, h.Snapshot(), Label{Key: "path", Value: "seal"}, Label{Key: "stage", Value: "total"})
+		return []Family{f}
+	})
+
+	const want = `# HELP fbs_endpoint_sent_total Datagrams sealed and sent.
+# TYPE fbs_endpoint_sent_total counter
+fbs_endpoint_sent_total{endpoint="a"} 42
+fbs_endpoint_sent_total{endpoint="b"} 7
+# HELP fbs_fam_active_flows Live FAM entries.
+# TYPE fbs_fam_active_flows gauge
+fbs_fam_active_flows{endpoint="a"} 3
+# HELP fbs_stage_duration_ns Stage time.
+# TYPE fbs_stage_duration_ns histogram
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="0"} 0
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="1"} 1
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="3"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="7"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="15"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="31"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="63"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="127"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="255"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="511"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="1023"} 3
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="+Inf"} 3
+fbs_stage_duration_ns_sum{path="seal",stage="total"} 1004
+fbs_stage_duration_ns_count{path="seal",stage="total"} 3
+`
+	got := r.Text()
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Determinism: a second render must be byte-identical.
+	if again := r.Text(); again != got {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", got, again)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc(func() []Family {
+		return []Family{CounterFamily("x_total", "", 1, Label{Key: "v", Value: "a\"b\\c\nd"})}
+	})
+	const want = "# TYPE x_total counter\nx_total{v=\"a\\\"b\\\\c\\nd\"} 1\n"
+	if got := r.Text(); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for _, c := range []struct {
+		v    float64
+		want string
+	}{{0, "0"}, {42, "42"}, {1.5, "1.5"}, {1e15, "1000000000000000"}} {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

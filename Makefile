@@ -5,8 +5,11 @@
 
 GO ?= go
 GOFMT ?= gofmt
+# FUZZTIME is per fuzz target; CI runs two targets, so the default keeps
+# the whole fuzz-smoke step to ~30 s.
+FUZZTIME ?= 15s
 
-.PHONY: all build lint vet test race check bench bench-smoke
+.PHONY: all build lint vet test race check bench bench-smoke fuzz-smoke chaos ci
 
 all: check
 
@@ -40,7 +43,32 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/fbsbench -bytes 65536 -native -json | $(GO) run ./cmd/fbsstat bench-validate
 
-check: build lint test race bench-smoke
+# fuzz-smoke gives each core fuzz target a short budget on top of the
+# checked-in corpus — enough to catch decoder regressions without
+# turning the gate into a campaign. Targets run one at a time because
+# `go test -fuzz` accepts a single target per invocation.
+fuzz-smoke:
+	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzHeaderDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzOpen$$' -fuzztime=$(FUZZTIME)
+
+# chaos runs the standing fault-injection matrix (see docs/ROBUSTNESS.md)
+# and fails unless every scenario reconciles exactly. Raise -iterations
+# for a longer soak.
+chaos:
+	$(GO) run ./cmd/fbschaos
+
+check: build lint test race bench-smoke fuzz-smoke
+
+# ci is the exact sequence the GitHub Actions workflow runs: a local
+# `make ci` reproduces a CI verdict bit for bit. It differs from `check`
+# in racing the whole module (not just the concurrency-sensitive
+# packages), writing coverage.out, and keeping fbsbench.json on disk so
+# the workflow can upload both as artifacts.
+ci: build lint
+	$(GO) test -race -coverprofile=coverage.out ./...
+	$(MAKE) fuzz-smoke
+	$(GO) run ./cmd/fbsbench -bytes 65536 -native -json | tee fbsbench.json | $(GO) run ./cmd/fbsstat bench-validate
+	$(GO) run ./cmd/fbschaos
 
 bench:
 	$(GO) test -bench=. -benchmem .

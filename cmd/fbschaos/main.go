@@ -1,0 +1,156 @@
+// Command fbschaos runs the fault-injection soak matrix: each scenario
+// pushes a transfer through an impaired LinkModel while an adversary
+// injects forged, replayed, truncated, and bit-flipped datagrams, then
+// reconciles the books — every packet offered to the receiver must be
+// accounted for as accepted or dropped under exactly one DropReason.
+//
+// Usage:
+//
+//	fbschaos [-seed N] [-run regexp] [-iterations N] [-json] [-list]
+//
+// Exit status is nonzero if any scenario fails to reconcile or to
+// complete its transfer. With -iterations N each scenario is run N
+// times with derived seeds, for soak testing; -json emits one JSON
+// report per run to stdout instead of the human summaries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+
+	"fbs/internal/core"
+	"fbs/internal/netsim"
+)
+
+// matrix returns the standing chaos scenarios, seeded from base. It
+// mirrors the netsim chaos test matrix so CI and the soak harness
+// exercise the same fault space.
+func matrix(base uint64) []netsim.ChaosScenario {
+	everyKind := map[netsim.InjectKind]int{}
+	for k := 0; k < netsim.NumInjectKinds; k++ {
+		everyKind[netsim.InjectKind(k)] = 4
+	}
+	return []netsim.ChaosScenario{
+		{
+			Name:         "adversary-clean-link",
+			Seed:         base,
+			Datagrams:    64,
+			PayloadBytes: 96,
+			Secret:       true,
+			Inject:       everyKind,
+			ExactBuckets: true,
+		},
+		{
+			Name: "duplicate-storm",
+			Seed: base + 1,
+			Link: []netsim.Stage{
+				netsim.Duplicate(0.5),
+				netsim.DelayJitter(time.Millisecond, 3*time.Millisecond),
+			},
+			Datagrams:    96,
+			PayloadBytes: 64,
+			Secret:       true,
+			ExactBuckets: true,
+		},
+		{
+			Name: "lossy-burst-full-storm",
+			Seed: base + 2,
+			Link: []netsim.Stage{
+				netsim.GilbertElliott(0.05, 0.4, 0.02, 0.6),
+				netsim.Duplicate(0.1),
+				netsim.CorruptBits(0.05),
+				netsim.DelayJitter(500*time.Microsecond, 2*time.Millisecond),
+				netsim.Reorder(0.2, time.Millisecond),
+			},
+			Datagrams:    128,
+			PayloadBytes: 128,
+			Secret:       true,
+			Inject: map[netsim.InjectKind]int{
+				netsim.InjectReplay:   6,
+				netsim.InjectForgeMAC: 6,
+				netsim.InjectTruncate: 6,
+			},
+		},
+		{
+			Name: "keying-outage",
+			Seed: base + 3,
+			Link: []netsim.Stage{
+				netsim.DelayJitter(200*time.Microsecond, time.Millisecond),
+			},
+			Datagrams:       30,
+			PayloadBytes:    48,
+			Secret:          true,
+			KeyOutage:       true,
+			OutageDatagrams: 12,
+			Retry: core.RetryPolicy{
+				MaxAttempts: 3,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  4 * time.Millisecond,
+				JitterFrac:  0.5,
+			},
+			NegativeTTL: 250 * time.Millisecond,
+		},
+	}
+}
+
+func main() {
+	seed := flag.Uint64("seed", 0xC4A05, "base seed for the scenario matrix")
+	run := flag.String("run", "", "only run scenarios whose name matches this regexp")
+	iters := flag.Int("iterations", 1, "repeat each scenario this many times with derived seeds")
+	asJSON := flag.Bool("json", false, "emit one JSON report per run instead of text summaries")
+	list := flag.Bool("list", false, "list scenario names and exit")
+	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *run != "" {
+		var err error
+		if filter, err = regexp.Compile(*run); err != nil {
+			fmt.Fprintf(os.Stderr, "fbschaos: bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	failed := 0
+	enc := json.NewEncoder(os.Stdout)
+	for iter := 0; iter < *iters; iter++ {
+		// Each iteration shifts the whole matrix to a fresh seed block
+		// so soak runs explore new fault schedules deterministically.
+		for _, sc := range matrix(*seed + uint64(iter)*0x1000) {
+			if filter != nil && !filter.MatchString(sc.Name) {
+				continue
+			}
+			if *list {
+				fmt.Println(sc.Name)
+				continue
+			}
+			rep, err := netsim.RunChaos(sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fbschaos: %s: %v\n", sc.Name, err)
+				failed++
+				continue
+			}
+			if *asJSON {
+				if err := enc.Encode(rep); err != nil {
+					fmt.Fprintf(os.Stderr, "fbschaos: %v\n", err)
+					os.Exit(2)
+				}
+			} else {
+				fmt.Println(rep.Summary())
+			}
+			if len(rep.Violations) > 0 || !rep.Complete {
+				failed++
+			}
+		}
+		if *list {
+			break
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fbschaos: %d scenario run(s) failed reconciliation\n", failed)
+		os.Exit(1)
+	}
+}

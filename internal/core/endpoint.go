@@ -72,6 +72,23 @@ type Config struct {
 	PVCSize  int
 	MKCSize  int
 
+	// KeyRetry bounds directory fetches on the keying path; the zero
+	// value keeps the historic single-attempt behaviour. See
+	// RetryPolicy.
+	KeyRetry RetryPolicy
+	// KeyNegativeTTL remembers failed peer lookups for this long so a
+	// burst of datagrams to an unreachable peer fails fast instead of
+	// queueing a full retry loop each (0 disables).
+	KeyNegativeTTL time.Duration
+	// KeyStaleWindow serves a certificate that expired less than this
+	// long ago while refetching fails (stale-while-revalidate; 0
+	// disables). See KeyServiceConfig.StaleWhileRevalidate.
+	KeyStaleWindow time.Duration
+	// UpcallTimeout bounds how long a seal/open blocks on a master key
+	// daemon upcall; 0 waits forever. A timed-out datagram is dropped
+	// with DropKeying while the daemon finishes in the background.
+	UpcallTimeout time.Duration
+
 	// AcceptMACs restricts which MAC constructions incoming datagrams
 	// may use; empty accepts any construction this library implements.
 	// The header's algorithm identification field is self-describing
@@ -254,12 +271,20 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		return nil, err
 	}
 	ks := NewKeyService(cfg.Identity, cfg.Directory, cfg.Verifier, cfg.Clock,
-		KeyServiceConfig{PVCSize: cfg.PVCSize, MKCSize: cfg.MKCSize})
+		KeyServiceConfig{
+			PVCSize:              cfg.PVCSize,
+			MKCSize:              cfg.MKCSize,
+			Retry:                cfg.KeyRetry,
+			NegativeTTL:          cfg.KeyNegativeTTL,
+			StaleWhileRevalidate: cfg.KeyStaleWindow,
+		})
+	mkd := NewMKD(ks)
+	mkd.SetTimeout(cfg.UpcallTimeout)
 	e := &Endpoint{
 		cfg:  cfg,
 		fam:  fam,
 		ks:   ks,
-		mkd:  NewMKD(ks),
+		mkd:  mkd,
 		tfkc: NewDirectMapped[flowCacheKey, [16]byte](cfg.TFKCSize, flowCacheKey.hash),
 		rfkc: NewDirectMapped[flowCacheKey, [16]byte](cfg.RFKCSize, flowCacheKey.hash),
 		conf: newConfounderWell(cfg.Confounder),
@@ -353,6 +378,12 @@ func (e *Endpoint) RFKCStats() CacheStats { return e.rfkc.Stats() }
 // KeyStats exposes keying (PVC/MKC/daemon) counters.
 func (e *Endpoint) KeyStats() (ks KeyServiceStats, pvc, mkc CacheStats, upcalls uint64) {
 	return e.ks.Stats(), e.ks.PVCStats(), e.ks.MKCStats(), e.mkd.Upcalls()
+}
+
+// MKDStats exposes the master key daemon's upcall and deadline-miss
+// counters.
+func (e *Endpoint) MKDStats() (upcalls, timeouts uint64) {
+	return e.mkd.Upcalls(), e.mkd.Timeouts()
 }
 
 // Sweep runs the sweeper policy module over the flow state table.

@@ -2,7 +2,10 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fbs/internal/principal"
 )
@@ -17,6 +20,12 @@ import (
 // paper's caching design is built around.
 type MKD struct {
 	ks *KeyService
+
+	// timeout bounds how long an Upcall waits for the daemon; 0 waits
+	// forever (the historic behaviour). Set via SetTimeout before
+	// serving traffic.
+	timeout  time.Duration
+	timeouts atomic.Uint64
 
 	mu       sync.Mutex
 	inflight map[principal.Address][]chan mkdResult
@@ -34,6 +43,13 @@ type mkdResult struct {
 
 // ErrMKDStopped is returned by Upcall after Stop.
 var ErrMKDStopped = errors.New("core: master key daemon stopped")
+
+// ErrUpcallTimeout is returned by Upcall when the daemon does not
+// answer within the configured deadline. The daemon keeps computing;
+// the result lands in the MKC, so a later datagram on the same flow
+// succeeds from cache — the caller drops this one datagram (DropKeying)
+// instead of blocking the pipeline on a slow directory.
+var ErrUpcallTimeout = errors.New("core: master key upcall deadline exceeded")
 
 // NewMKD starts a master key daemon over the key service.
 func NewMKD(ks *KeyService) *MKD {
@@ -96,9 +112,26 @@ func (m *MKD) Upcall(peer principal.Address) ([16]byte, error) {
 			return [16]byte{}, ErrMKDStopped
 		}
 	}
+	if m.timeout > 0 {
+		t := time.NewTimer(m.timeout)
+		defer t.Stop()
+		select {
+		case r := <-ch:
+			return r.key, r.err
+		case <-t.C:
+			// The daemon still resolves the request and installs the
+			// key; only this waiter gives up (ch is buffered, so the
+			// daemon's send never blocks on an abandoned waiter).
+			m.timeouts.Add(1)
+			return [16]byte{}, fmt.Errorf("%w: peer %q after %v", ErrUpcallTimeout, peer, m.timeout)
+		}
+	}
 	r := <-ch
 	return r.key, r.err
 }
+
+// SetTimeout bounds future Upcalls; call before serving traffic.
+func (m *MKD) SetTimeout(d time.Duration) { m.timeout = d }
 
 // Upcalls returns how many upcalls were made.
 func (m *MKD) Upcalls() uint64 {
@@ -106,6 +139,9 @@ func (m *MKD) Upcalls() uint64 {
 	defer m.mu.Unlock()
 	return m.upcalls
 }
+
+// Timeouts returns how many upcalls gave up at the deadline.
+func (m *MKD) Timeouts() uint64 { return m.timeouts.Load() }
 
 // Stop terminates the daemon; pending upcalls fail with ErrMKDStopped.
 func (m *MKD) Stop() {

@@ -1,0 +1,491 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// This file is the chaos soak harness: a two-endpoint world (CA,
+// directory, FBS endpoints) over a ChaosNetwork, driven to completion
+// through link faults, a keying-plane outage, and adversary injections,
+// with exact reconciliation of every induced fault against the drop
+// counters the endpoints report. The chaos test matrix and the fbschaos
+// command both run scenarios through RunChaos.
+
+// FlakyDirectory wraps a certificate directory with a switchable
+// outage, modelling the reachable-but-failing directory the keying
+// plane must degrade gracefully against. It counts lookups so the
+// harness can assert retries stayed bounded.
+type FlakyDirectory struct {
+	Inner cert.Directory
+
+	down  atomic.Bool
+	calls atomic.Uint64
+	fails atomic.Uint64
+}
+
+// ErrDirectoryDown is what a downed FlakyDirectory returns.
+var ErrDirectoryDown = errors.New("netsim: certificate directory unavailable")
+
+// Lookup implements cert.Directory.
+func (d *FlakyDirectory) Lookup(addr principal.Address) (*cert.Certificate, error) {
+	d.calls.Add(1)
+	if d.down.Load() {
+		d.fails.Add(1)
+		return nil, ErrDirectoryDown
+	}
+	return d.Inner.Lookup(addr)
+}
+
+// SetDown switches the outage on or off.
+func (d *FlakyDirectory) SetDown(down bool) { d.down.Store(down) }
+
+// Calls returns total lookups; Fails the subset refused while down.
+func (d *FlakyDirectory) Calls() uint64 { return d.calls.Load() }
+
+// Fails returns how many lookups were refused while down.
+func (d *FlakyDirectory) Fails() uint64 { return d.fails.Load() }
+
+// ChaosScenario parameterises one soak run.
+type ChaosScenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Seed drives every random choice (link faults, adversary); the
+	// same scenario and seed reproduce the same run byte for byte on
+	// the fault side.
+	Seed uint64
+	// Link is the impairment pipeline applied to every direction.
+	Link []Stage
+	// Datagrams is how many unique datagrams the sender must get
+	// across; PayloadBytes sizes each (minimum 8: a sequence number
+	// plus filler).
+	Datagrams    int
+	PayloadBytes int
+	// Secret encrypts the payloads (required by the bad-cipher
+	// injection).
+	Secret bool
+	// Inject asks the adversary for this many datagrams of each kind.
+	Inject map[InjectKind]int
+	// ExactBuckets asserts per-DropReason equality between injections
+	// and drops. Valid only when the link itself is clean of corruption
+	// (corrupted copies land in seed-dependent buckets).
+	ExactBuckets bool
+	// KeyOutage takes the directory down for OutageDatagrams sends with
+	// the receiver's key caches flushed, exercising bounded retry,
+	// negative caching, and DropKeying accounting. The keying drop count
+	// is asserted exactly, so outage scenarios must use a link that
+	// neither loses, duplicates, nor corrupts (delay/jitter is fine) —
+	// otherwise an outage datagram can vanish or be double-dropped.
+	KeyOutage       bool
+	OutageDatagrams int
+	// Retry configures the endpoints' keying retry policy.
+	Retry core.RetryPolicy
+	// NegativeTTL configures the endpoints' negative-result cache.
+	NegativeTTL time.Duration
+	// MaxRounds bounds post-heal retransmission rounds (default 10).
+	MaxRounds int
+}
+
+// ChaosReport is the outcome of a soak run plus its reconciliation.
+type ChaosReport struct {
+	Scenario string
+	// Unique is the number of distinct datagrams the transfer needed;
+	// Sent counts transmissions including retransmissions.
+	Unique int
+	Sent   uint64
+	// Accepted is the receiver's count of datagrams that passed every
+	// check.
+	Accepted uint64
+	// SenderDrops and ReceiverDrops are the endpoints' per-reason
+	// counters.
+	SenderDrops   [core.NumDropReasons]uint64
+	ReceiverDrops [core.NumDropReasons]uint64
+	// Port classifies every copy enqueued at the receiver.
+	Port PortStats
+	// Links snapshots each direction's fault stats.
+	Links map[string]LinkStats
+	// Injected counts adversary datagrams actually placed.
+	Injected [NumInjectKinds]uint64
+	// Keying plane counters from the receiver.
+	Keys        core.KeyServiceStats
+	MKDUpcalls  uint64
+	MKDTimeouts uint64
+	// DirectoryCalls and DirectoryFails count certificate lookups (the
+	// bounded-retry evidence).
+	DirectoryCalls uint64
+	DirectoryFails uint64
+	// Rounds is how many retransmission rounds completion took;
+	// Complete reports whether every unique datagram arrived.
+	Rounds   int
+	Complete bool
+	// Violations lists every reconciliation equation that failed; empty
+	// means the run reconciled exactly.
+	Violations []string
+}
+
+// receiverState tracks which sequence numbers have been accepted.
+type receiverState struct {
+	mu   sync.Mutex
+	got  map[uint32]bool
+	want int
+}
+
+func (r *receiverState) mark(seq uint32) {
+	r.mu.Lock()
+	r.got[seq] = true
+	r.mu.Unlock()
+}
+
+func (r *receiverState) missing() []uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []uint32
+	for i := 0; i < r.want; i++ {
+		if !r.got[uint32(i)] {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// RunChaos executes one scenario to completion and reconciles the
+// books. The returned report's Violations field is the verdict: an
+// empty slice means every induced fault was accounted for exactly and
+// the transfer completed.
+func RunChaos(sc ChaosScenario) (*ChaosReport, error) {
+	if sc.Datagrams <= 0 {
+		sc.Datagrams = 64
+	}
+	if sc.PayloadBytes < 8 {
+		sc.PayloadBytes = 256
+	}
+	if sc.MaxRounds <= 0 {
+		sc.MaxRounds = 10
+	}
+	const (
+		sender   principal.Address = "chaos-alice"
+		receiver principal.Address = "chaos-bob"
+	)
+
+	// World: CA, directory (flaky so outages can be injected), identities.
+	ca, err := cert.NewAuthority("chaos-root", 512)
+	if err != nil {
+		return nil, err
+	}
+	static := cert.NewStaticDirectory()
+	dir := &FlakyDirectory{Inner: static}
+	ver := &cert.Verifier{CAKey: ca.PublicKey(), CA: "chaos-root"}
+	now := time.Now()
+	ids := make(map[principal.Address]*principal.Identity)
+	for _, addr := range []principal.Address{sender, receiver} {
+		id, err := principal.NewIdentity(addr, cryptolib.TestGroup)
+		if err != nil {
+			return nil, err
+		}
+		c, err := ca.Issue(id, now.Add(-time.Hour), now.Add(24*time.Hour))
+		if err != nil {
+			return nil, err
+		}
+		static.Publish(c)
+		ids[addr] = id
+	}
+
+	net := NewChaosNetwork(LinkModel{Seed: sc.Seed, Stages: sc.Link})
+	adv := NewAdversary(net, sc.Seed)
+
+	endpoint := func(addr principal.Address) (*core.Endpoint, error) {
+		tr, err := net.Attach(addr, 0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEndpoint(core.Config{
+			Identity:  ids[addr],
+			Transport: tr,
+			Directory: dir,
+			Verifier:  ver,
+			// MD5+DES with a replay cache: every exact duplicate must
+			// surface as DropReplay, which is what makes duplicate
+			// accounting exact.
+			MAC:               cryptolib.MACPrefixMD5,
+			AcceptMACs:        []cryptolib.MACID{cryptolib.MACPrefixMD5},
+			EnableReplayCache: true,
+			KeyRetry:          sc.Retry,
+			KeyNegativeTTL:    sc.NegativeTTL,
+		})
+	}
+	alice, err := endpoint(sender)
+	if err != nil {
+		return nil, err
+	}
+	defer alice.Close()
+	bob, err := endpoint(receiver)
+	if err != nil {
+		return nil, err
+	}
+	defer bob.Close()
+
+	unique := sc.Datagrams
+	if sc.KeyOutage {
+		if sc.OutageDatagrams <= 0 {
+			sc.OutageDatagrams = 16
+		}
+		unique += sc.OutageDatagrams
+	}
+	rs := &receiverState{got: make(map[uint32]bool), want: unique}
+
+	// Receiver loop: open everything; rejections are counted by the
+	// endpoint, accepted datagrams are marked off by sequence number.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			dg, err := bob.Receive()
+			if errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			if err != nil || len(dg.Payload) < 4 {
+				continue
+			}
+			rs.mark(binary.BigEndian.Uint32(dg.Payload))
+		}
+	}()
+
+	var sent uint64
+	payload := func(seq uint32) []byte {
+		p := make([]byte, sc.PayloadBytes)
+		binary.BigEndian.PutUint32(p, seq)
+		for i := 4; i < len(p); i++ {
+			p[i] = byte(seq + uint32(i))
+		}
+		return p
+	}
+	send := func(seq uint32) {
+		// Seal failures (keying) are counted by the sender endpoint;
+		// link loss is silent by design.
+		if alice.SendTo(receiver, payload(seq), sc.Secret) == nil {
+			sent++
+		}
+	}
+	// drain blocks until the receiver has processed every copy the
+	// network enqueued for it.
+	drain := func() bool {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			net.Quiesce(time.Second)
+			ps := net.PortStats(receiver)
+			m := bob.Metrics()
+			var drops uint64
+			for _, d := range m.Drops {
+				drops += d
+			}
+			enq := ps.DeliveredClean + ps.DeliveredDup + ps.DeliveredCorrupt + ps.Injected
+			if m.Received+drops >= enq && net.Pending() == 0 {
+				return true
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	report := &ChaosReport{Scenario: sc.Name, Unique: unique, Links: map[string]LinkStats{}}
+
+	// Phase 1: the transfer, through the impaired link.
+	for seq := 0; seq < sc.Datagrams; seq++ {
+		send(uint32(seq))
+	}
+	drained := drain()
+
+	// Phase 2: keying outage. The directory goes down, the receiver's
+	// key caches are flushed, and fresh datagrams arrive: every one must
+	// be dropped DropKeying after a bounded retry loop, with the
+	// negative cache absorbing the burst.
+	if sc.KeyOutage {
+		dir.SetDown(true)
+		bob.FlushKeys()
+		for seq := sc.Datagrams; seq < unique; seq++ {
+			send(uint32(seq))
+		}
+		drained = drain() && drained
+		dir.SetDown(false)
+		// Let the negative-cache entry age out so recovery can proceed.
+		if sc.NegativeTTL > 0 {
+			time.Sleep(sc.NegativeTTL + 20*time.Millisecond)
+		}
+	}
+
+	// Phase 3: the adversary mutates captured traffic mid-stream.
+	// Kinds are injected in declaration order so the adversary's RNG
+	// draws — and therefore the whole run — stay reproducible.
+	for kind := 0; kind < NumInjectKinds; kind++ {
+		for i := 0; i < sc.Inject[InjectKind(kind)]; i++ {
+			adv.Inject(InjectKind(kind))
+		}
+	}
+	drained = drain() && drained
+
+	// Phase 4: the network heals; retransmission rounds must complete
+	// the transfer on soft state alone.
+	net.Heal()
+	for report.Rounds < sc.MaxRounds {
+		missing := rs.missing()
+		if len(missing) == 0 {
+			break
+		}
+		report.Rounds++
+		for _, seq := range missing {
+			send(seq)
+		}
+		drained = drain() && drained
+	}
+	report.Complete = len(rs.missing()) == 0
+
+	// Collect the books before closing (Close drops the transports).
+	report.Sent = sent
+	am, bm := alice.Metrics(), bob.Metrics()
+	report.Accepted = bm.Received
+	report.SenderDrops = am.Drops
+	report.ReceiverDrops = bm.Drops
+	report.Port = net.PortStats(receiver)
+	report.Links = net.Links()
+	report.Injected = adv.Injected()
+	report.Keys = bobKeyStats(bob)
+	report.MKDUpcalls, report.MKDTimeouts = bob.MKDStats()
+	report.DirectoryCalls = dir.Calls()
+	report.DirectoryFails = dir.Fails()
+
+	bob.Close() // unblocks the receiver loop
+	wg.Wait()
+
+	if !drained {
+		report.Violations = append(report.Violations, "network failed to drain before the books were read")
+	}
+	report.reconcile(&sc)
+	return report, nil
+}
+
+func bobKeyStats(e *core.Endpoint) core.KeyServiceStats {
+	ks, _, _, _ := e.KeyStats()
+	return ks
+}
+
+// reconcile checks the accounting equations and appends a line per
+// violation.
+func (r *ChaosReport) reconcile(sc *ChaosScenario) {
+	fail := func(format string, args ...any) {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+	if !r.Complete {
+		fail("transfer incomplete after %d retransmission rounds", r.Rounds)
+	}
+	if r.Port.Overflow != 0 {
+		fail("receiver queue overflowed %d times; accounting not exact", r.Port.Overflow)
+	}
+
+	var injected uint64
+	for _, n := range r.Injected {
+		injected += n
+	}
+	var rdrops uint64
+	for _, d := range r.ReceiverDrops {
+		rdrops += d
+	}
+	// Conservation: every copy enqueued at the receiver was either
+	// accepted or dropped with exactly one reason.
+	enq := r.Port.DeliveredClean + r.Port.DeliveredDup + r.Port.DeliveredCorrupt + r.Port.Injected
+	if got := r.Accepted + rdrops; got != enq {
+		fail("conservation: accepted(%d)+drops(%d)=%d != enqueued(%d)", r.Accepted, rdrops, got, enq)
+	}
+	if r.Port.Injected != injected {
+		fail("injection accounting: port saw %d, adversary placed %d", r.Port.Injected, injected)
+	}
+
+	// With the replay cache on and a corruption-free link, buckets are
+	// exact: one accepted copy per clean datagram, every extra clean
+	// copy a replay, every injection in its designated bucket.
+	if sc.ExactBuckets {
+		if r.Port.DeliveredCorrupt != 0 {
+			fail("ExactBuckets scenario delivered %d corrupt copies; link must be corruption-free", r.Port.DeliveredCorrupt)
+		}
+		keying := r.ReceiverDrops[core.DropKeying]
+		if got, want := r.Accepted, r.Port.DeliveredClean-keying; got != want {
+			fail("accepted %d, want clean(%d)-keying(%d)=%d", got, r.Port.DeliveredClean, keying, want)
+		}
+		wantByReason := [core.NumDropReasons]uint64{}
+		wantByReason[core.DropReplay] = r.Port.DeliveredDup
+		for kind := 0; kind < NumInjectKinds; kind++ {
+			wantByReason[InjectKind(kind).DropReason()] += r.Injected[kind]
+		}
+		for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
+			if reason == core.DropKeying {
+				continue // asserted separately below for outage scenarios
+			}
+			if got, want := r.ReceiverDrops[reason], wantByReason[reason]; got != want {
+				fail("drops[%s]=%d, want %d", reason, got, want)
+			}
+		}
+	}
+
+	if sc.KeyOutage {
+		outage := uint64(sc.OutageDatagrams)
+		if got := r.ReceiverDrops[core.DropKeying]; got != outage {
+			fail("drops[keying]=%d, want one per outage datagram (%d)", got, outage)
+		}
+		if r.Keys.NegativeHits == 0 {
+			fail("negative cache never hit during the outage")
+		}
+		if r.Keys.Retries == 0 {
+			fail("retry policy never retried during the outage")
+		}
+		// Bounded retry: even if every outage datagram ran a full loop,
+		// failed lookups cannot exceed datagrams × MaxAttempts.
+		max := sc.Retry.MaxAttempts
+		if max < 1 {
+			max = 1
+		}
+		if bound := outage * uint64(max); r.DirectoryFails > bound {
+			fail("%d failed directory calls exceed the retry bound %d", r.DirectoryFails, bound)
+		}
+	} else if r.ReceiverDrops[core.DropKeying] != 0 && sc.ExactBuckets {
+		fail("drops[keying]=%d with no keying fault injected", r.ReceiverDrops[core.DropKeying])
+	}
+}
+
+// Summary renders the report as a compact multi-line string for the
+// fbschaos command.
+func (r *ChaosReport) Summary() string {
+	s := fmt.Sprintf("scenario %s: unique=%d sent=%d accepted=%d rounds=%d complete=%v\n",
+		r.Scenario, r.Unique, r.Sent, r.Accepted, r.Rounds, r.Complete)
+	s += fmt.Sprintf("  port: clean=%d dup=%d corrupt=%d injected=%d overflow=%d\n",
+		r.Port.DeliveredClean, r.Port.DeliveredDup, r.Port.DeliveredCorrupt, r.Port.Injected, r.Port.Overflow)
+	for name, ls := range r.Links {
+		s += fmt.Sprintf("  link %s: offered=%d lost=%d burst=%d dup=%d corrupt=%d reorder=%d\n",
+			name, ls.Offered, ls.Lost, ls.BurstLost, ls.Duplicated, ls.Corrupted, ls.Reordered)
+	}
+	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
+		if n := r.ReceiverDrops[reason]; n > 0 {
+			s += fmt.Sprintf("  drop %s: %d\n", reason, n)
+		}
+	}
+	s += fmt.Sprintf("  keying: retries=%d neghits=%d stale=%d dircalls=%d dirfails=%d upcalls=%d timeouts=%d\n",
+		r.Keys.Retries, r.Keys.NegativeHits, r.Keys.StaleServed, r.DirectoryCalls, r.DirectoryFails, r.MKDUpcalls, r.MKDTimeouts)
+	if len(r.Violations) == 0 {
+		s += "  reconciliation: exact\n"
+	}
+	for _, v := range r.Violations {
+		s += "  VIOLATION: " + v + "\n"
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fbs/internal/core"
+)
+
+// The chaos matrix: each scenario drives a transfer through induced
+// faults and demands exact reconciliation — every datagram offered to
+// the network is accounted for as delivered or as exactly one drop
+// bucket, and the transfer completes once the link heals. Run with
+// -race in CI.
+
+func runScenario(t *testing.T, sc ChaosScenario) *ChaosReport {
+	t.Helper()
+	r, err := RunChaos(sc)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	for _, v := range r.Violations {
+		t.Errorf("reconciliation violation: %s", v)
+	}
+	if t.Failed() {
+		t.Log(r.Summary())
+	}
+	return r
+}
+
+// allInjections asks for every adversary kind, several of each, so each
+// DropReason bucket reachable by injection is exercised.
+func allInjections(n int) map[InjectKind]int {
+	m := make(map[InjectKind]int)
+	for k := 0; k < NumInjectKinds; k++ {
+		m[InjectKind(k)] = n
+	}
+	return m
+}
+
+func TestChaosAdversaryExactBuckets(t *testing.T) {
+	// Clean link, hostile middle: every injected datagram must land in
+	// its designated drop bucket, and only there.
+	r := runScenario(t, ChaosScenario{
+		Name:         "adversary-only",
+		Seed:         1,
+		Datagrams:    60,
+		PayloadBytes: 256,
+		Secret:       true,
+		Inject:       allInjections(4),
+		ExactBuckets: true,
+	})
+	// Satellite guarantee: every link/adversary-reachable DropReason has
+	// a test asserting its counter increments. Keying is exercised by
+	// TestChaosKeyingOutage below.
+	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
+		if reason == core.DropKeying {
+			continue
+		}
+		if r.ReceiverDrops[reason] == 0 {
+			t.Errorf("drop reason %s never incremented by the adversary matrix", reason)
+		}
+	}
+	for k := 0; k < NumInjectKinds; k++ {
+		if r.Injected[k] == 0 {
+			t.Errorf("adversary never managed a %s injection", InjectKind(k))
+		}
+	}
+}
+
+func TestChaosDuplicateStormExact(t *testing.T) {
+	// Heavy duplication with the replay cache on: every extra clean copy
+	// must surface as exactly one DropReplay.
+	r := runScenario(t, ChaosScenario{
+		Name:         "duplicate-storm",
+		Seed:         2,
+		Datagrams:    80,
+		PayloadBytes: 128,
+		Secret:       true,
+		Link:         []Stage{Duplicate(0.5), DelayJitter(0, 2*time.Millisecond)},
+		ExactBuckets: true,
+	})
+	if r.ReceiverDrops[core.DropReplay] == 0 {
+		t.Error("duplicate storm produced no replay drops")
+	}
+	if dup := r.Port.DeliveredDup; dup != r.ReceiverDrops[core.DropReplay] {
+		t.Errorf("delivered %d dups but dropped %d replays", dup, r.ReceiverDrops[core.DropReplay])
+	}
+}
+
+func TestChaosLossyBurstCompletesAfterHeal(t *testing.T) {
+	// The full storm: burst loss, duplication, corruption, jitter,
+	// reordering, plus adversary traffic. Buckets are seed-dependent
+	// (corruption lands where it lands), so the assertion is the
+	// conservation equation plus completion after Heal.
+	r := runScenario(t, ChaosScenario{
+		Name:         "lossy-burst",
+		Seed:         3,
+		Datagrams:    100,
+		PayloadBytes: 256,
+		Secret:       true,
+		Link: []Stage{
+			GilbertElliott(0.05, 0.3, 0.02, 0.7),
+			Duplicate(0.1),
+			CorruptBits(0.1),
+			DelayJitter(time.Millisecond, 3*time.Millisecond),
+			Reorder(0.05, 5*time.Millisecond),
+		},
+		Inject: map[InjectKind]int{InjectReplay: 3, InjectForgeMAC: 3, InjectTruncate: 3},
+	})
+	if !r.Complete {
+		t.Fatal("transfer did not complete after heal")
+	}
+	ls := r.Links["chaos-alice->chaos-bob"]
+	if ls.Lost == 0 || ls.BurstLost == 0 || ls.Corrupted == 0 {
+		t.Errorf("storm link too gentle: %+v", ls)
+	}
+	if r.Rounds == 0 && ls.Lost > 0 {
+		t.Error("datagrams were lost yet no retransmission round ran")
+	}
+	if r.Port.DeliveredCorrupt > 0 && r.Accepted >= r.Port.DeliveredClean+r.Port.DeliveredCorrupt {
+		t.Error("corrupted copies were accepted")
+	}
+}
+
+func TestChaosKeyingOutage(t *testing.T) {
+	// Directory outage with flushed receiver caches: every datagram in
+	// the outage window drops DropKeying after a bounded retry loop, the
+	// negative cache absorbs the burst, and the transfer still completes
+	// once the directory returns.
+	r := runScenario(t, ChaosScenario{
+		Name:            "keying-outage",
+		Seed:            4,
+		Datagrams:       30,
+		OutageDatagrams: 12,
+		PayloadBytes:    128,
+		Secret:          true,
+		Link:            []Stage{DelayJitter(0, time.Millisecond)},
+		KeyOutage:       true,
+		Retry: core.RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond,
+			JitterFrac:  0.5,
+		},
+		NegativeTTL: 250 * time.Millisecond,
+	})
+	if got := r.ReceiverDrops[core.DropKeying]; got != 12 {
+		t.Errorf("drops[keying]=%d, want 12", got)
+	}
+	if r.Keys.Retries == 0 || r.Keys.NegativeHits == 0 {
+		t.Errorf("retry/negative-cache machinery idle: retries=%d neghits=%d", r.Keys.Retries, r.Keys.NegativeHits)
+	}
+}
+
+func TestChaosDeterministicFaults(t *testing.T) {
+	// Same scenario, same seed: the fault side of the run — link stats
+	// and drop buckets — reproduces exactly. (Wall-clock timestamps and
+	// confounders differ; the fault decisions must not.)
+	sc := ChaosScenario{
+		Name:         "determinism",
+		Seed:         5,
+		Datagrams:    50,
+		PayloadBytes: 128,
+		Secret:       true,
+		Link:         []Stage{BernoulliLoss(0.2), Duplicate(0.2)},
+	}
+	a, err := RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase-1 offers are fixed (50 datagrams); retransmission counts
+	// depend on what was lost, which is seeded. Compare the phase-1
+	// prefix implicitly via loss/dup totals over the first 50 offers:
+	// with identical seeds the whole decision sequence matches, so the
+	// totals match as long as both runs offered the same count.
+	la, lb := a.Links["chaos-alice->chaos-bob"], b.Links["chaos-alice->chaos-bob"]
+	if la.Offered != lb.Offered || la.Lost != lb.Lost || la.Duplicated != lb.Duplicated {
+		t.Errorf("seeded runs diverged: %+v vs %+v", la, lb)
+	}
+	if a.ReceiverDrops != b.ReceiverDrops {
+		t.Errorf("drop buckets diverged: %v vs %v", a.ReceiverDrops, b.ReceiverDrops)
+	}
+}

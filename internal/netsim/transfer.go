@@ -10,6 +10,16 @@ import (
 	"fbs/internal/transport"
 )
 
+// Transfer defaults, applied by Validate.
+const (
+	// DefaultWindow is the unacknowledged-segment window when Window is
+	// unset (the paper's ttcp runs).
+	DefaultWindow = 8
+	// DefaultTotalBytes is the Figure 8 transfer size: 4 MiB (4<<20
+	// bytes, the paper's "4 MB file").
+	DefaultTotalBytes = 4 << 20
+)
+
 // TransferConfig describes a windowed bulk transfer (ttcp/rcp style)
 // between two simulated hosts.
 type TransferConfig struct {
@@ -54,6 +64,39 @@ type appendSealer interface {
 	OpenAppend(dst []byte, dg transport.Datagram) ([]byte, error)
 }
 
+// Validate normalises the configuration in place and reports the first
+// inconsistency. It is called by BulkTransfer, so callers only need it
+// when they want the error (or the applied defaults) before running:
+// Window defaults to DefaultWindow, and a zero Link — which would model
+// an infinitely slow wire — defaults to Ethernet10.
+func (cfg *TransferConfig) Validate() error {
+	if cfg.TotalBytes <= 0 {
+		return fmt.Errorf("netsim: TotalBytes must be positive, got %d", cfg.TotalBytes)
+	}
+	if cfg.SegmentBytes <= 0 {
+		return fmt.Errorf("netsim: SegmentBytes must be positive, got %d", cfg.SegmentBytes)
+	}
+	if cfg.HeaderBytes < 0 {
+		return fmt.Errorf("netsim: HeaderBytes must not be negative, got %d", cfg.HeaderBytes)
+	}
+	if cfg.AppPerSegment < 0 {
+		return fmt.Errorf("netsim: AppPerSegment must not be negative, got %v", cfg.AppPerSegment)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Link == (LinkConfig{}) {
+		cfg.Link = Ethernet10
+	}
+	if cfg.Link.RateBps <= 0 {
+		return fmt.Errorf("netsim: Link.RateBps must be positive, got %v", cfg.Link.RateBps)
+	}
+	if (cfg.Sealer == nil) != (cfg.Opener == nil) {
+		return fmt.Errorf("netsim: Sealer and Opener must be set together")
+	}
+	return nil
+}
+
 // Result reports a finished transfer.
 type Result struct {
 	Name    string
@@ -70,14 +113,8 @@ type Result struct {
 // (serialized, propagation) → receiver CPU (serialized); acks (40 bytes
 // + headers) flow back over the same link and release window slots.
 func BulkTransfer(cfg TransferConfig) (Result, error) {
-	if cfg.TotalBytes <= 0 || cfg.SegmentBytes <= 0 {
-		return Result{}, fmt.Errorf("netsim: transfer needs positive sizes")
-	}
-	if cfg.Window <= 0 {
-		cfg.Window = 8
-	}
-	if (cfg.Sealer == nil) != (cfg.Opener == nil) {
-		return Result{}, fmt.Errorf("netsim: Sealer and Opener must be set together")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	segments := (cfg.TotalBytes + cfg.SegmentBytes - 1) / cfg.SegmentBytes
 
@@ -248,7 +285,8 @@ type Figure8Row struct {
 
 // Figure8Config parameterises the Figure 8 run.
 type Figure8Config struct {
-	// TotalBytes per transfer; default 4 MB.
+	// TotalBytes per transfer; default DefaultTotalBytes (4 MiB — the
+	// paper's "4 MB file" is 4<<20 bytes, not 4·10⁶).
 	TotalBytes int
 	// Sealers optionally supplies real protocol instances keyed by
 	// config name ("GENERIC", "FBS NOP", "FBS DES+MD5") as
@@ -265,7 +303,7 @@ type Figure8Config struct {
 // models.
 func Figure8(cfg Figure8Config) ([]Figure8Row, error) {
 	if cfg.TotalBytes <= 0 {
-		cfg.TotalBytes = 4 << 20
+		cfg.TotalBytes = DefaultTotalBytes
 	}
 	models := []CostModel{P133Generic, P133FBSNOP, P133FBSDESMD5}
 	headers := map[string]int{

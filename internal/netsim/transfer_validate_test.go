@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"testing"
+
+	"fbs/internal/transport"
+)
+
+// nopSealer satisfies baseline.Sealer for pairing-rule tests.
+type nopSealer struct{}
+
+func (nopSealer) Name() string { return "nop" }
+func (nopSealer) Seal(dg transport.Datagram, secret bool) (transport.Datagram, error) {
+	return dg, nil
+}
+func (nopSealer) Open(dg transport.Datagram) (transport.Datagram, error) { return dg, nil }
+
+func TestTransferConfigValidateDefaults(t *testing.T) {
+	cfg := TransferConfig{TotalBytes: 1 << 20, SegmentBytes: 1460}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Window != DefaultWindow {
+		t.Errorf("Window = %d, want DefaultWindow (%d)", cfg.Window, DefaultWindow)
+	}
+	if cfg.Link != Ethernet10 {
+		t.Errorf("zero Link should default to Ethernet10, got %+v", cfg.Link)
+	}
+}
+
+func TestTransferConfigValidateRejects(t *testing.T) {
+	bad := []TransferConfig{
+		{},                                   // no sizes
+		{TotalBytes: 1 << 20},                // no segment size
+		{TotalBytes: -1, SegmentBytes: 1460}, // negative total
+		{TotalBytes: 1 << 20, SegmentBytes: 1460, HeaderBytes: -1},
+		{TotalBytes: 1 << 20, SegmentBytes: 1460, AppPerSegment: -1},
+		{TotalBytes: 1 << 20, SegmentBytes: 1460, Link: LinkConfig{RateBps: -5}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	// The Sealer/Opener pairing rule still holds.
+	cfg := TransferConfig{TotalBytes: 1 << 20, SegmentBytes: 1460, Sealer: nopSealer{}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Sealer without Opener accepted")
+	}
+}

@@ -66,13 +66,19 @@ func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
 		fams = append(fams, hits, misses, installs, evictions, used, slots)
 
 		ks, _, _, upcalls := ep.KeyStats()
+		_, mkdTimeouts := ep.MKDStats()
 		fams = append(fams,
 			CounterFamily("fbs_keyservice_master_key_requests_total", "Master key requests.", ks.MasterKeyRequests, eplbl),
 			CounterFamily("fbs_keyservice_master_key_computes_total", "Master key computations (PVC+MKC miss path).", ks.MasterKeyComputes, eplbl),
 			CounterFamily("fbs_keyservice_cert_fetches_total", "Certificate fetches from the directory.", ks.CertFetches, eplbl),
 			CounterFamily("fbs_keyservice_cert_verifies_total", "Certificate signature verifications.", ks.CertVerifies, eplbl),
 			CounterFamily("fbs_keyservice_failures_total", "Keying failures.", ks.Failures, eplbl),
+			CounterFamily("fbs_keyservice_retries_total", "Directory lookups retried after failure (bounded backoff).", ks.Retries, eplbl),
+			CounterFamily("fbs_keyservice_negative_hits_total", "Lookups refused fast by the negative-result cache.", ks.NegativeHits, eplbl),
+			CounterFamily("fbs_keyservice_stale_served_total", "Just-expired certificates served under stale-while-revalidate.", ks.StaleServed, eplbl),
+			CounterFamily("fbs_keyservice_deadline_exceeded_total", "Retry loops abandoned at their deadline.", ks.DeadlineExceeded, eplbl),
 			CounterFamily("fbs_mkd_upcalls_total", "Upcalls to the master key daemon.", upcalls, eplbl),
+			CounterFamily("fbs_mkd_timeouts_total", "Upcalls abandoned at the MKD deadline.", mkdTimeouts, eplbl),
 		)
 		return fams
 	})

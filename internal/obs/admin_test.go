@@ -99,6 +99,11 @@ func TestAdminPlane(t *testing.T) {
 		`fbs_stage_duration_ns_bucket{endpoint="pair",path="seal",stage="total",le="+Inf"}`,
 		`fbs_stage_duration_ns_count{endpoint="pair",path="open",stage="total"}`,
 		`fbs_net_delivered_total{network="lan"}`,
+		`fbs_keyservice_retries_total{endpoint="alice"}`,
+		`fbs_keyservice_negative_hits_total{endpoint="bob"}`,
+		`fbs_keyservice_stale_served_total{endpoint="alice"}`,
+		`fbs_keyservice_deadline_exceeded_total{endpoint="bob"}`,
+		`fbs_mkd_timeouts_total{endpoint="alice"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q\n%s", want, metrics)

@@ -9,7 +9,7 @@ GOFMT ?= gofmt
 # the whole fuzz-smoke step to ~30 s.
 FUZZTIME ?= 15s
 
-.PHONY: all build lint vet test race check bench bench-smoke fuzz-smoke chaos ci
+.PHONY: all build lint vet test race check bench bench-smoke fuzz-smoke chaos flood ci
 
 all: check
 
@@ -57,6 +57,13 @@ fuzz-smoke:
 chaos:
 	$(GO) run ./cmd/fbschaos
 
+# flood soaks the overload matrix: flow-churn and spoofed-source keying
+# floods against a budgeted receiver, plus crash-restart recovery, each
+# iteration on a fresh seed block. FLOOD_ITERATIONS scales the soak.
+FLOOD_ITERATIONS ?= 5
+flood:
+	$(GO) run ./cmd/fbschaos -flood -crash -iterations $(FLOOD_ITERATIONS)
+
 check: build lint test race bench-smoke fuzz-smoke
 
 # ci is the exact sequence the GitHub Actions workflow runs: a local
@@ -69,6 +76,12 @@ ci: build lint
 	$(MAKE) fuzz-smoke
 	$(GO) run ./cmd/fbsbench -bytes 65536 -native -json | tee fbsbench.json | $(GO) run ./cmd/fbsstat bench-validate
 	$(GO) run ./cmd/fbschaos
+	# BENCH_overload.json (JSON lines): a short unattacked fbsbench
+	# baseline followed by one report per overload/crash scenario, so a
+	# regression in goodput-under-flood or budget accounting is visible
+	# from the uploaded artifact alone.
+	$(GO) run ./cmd/fbsbench -bytes 16384 -native -json > BENCH_overload.json
+	$(GO) run ./cmd/fbschaos -flood -crash -json >> BENCH_overload.json
 
 bench:
 	$(GO) test -bench=. -benchmem .

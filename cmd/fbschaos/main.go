@@ -7,6 +7,13 @@
 // Usage:
 //
 //	fbschaos [-seed N] [-run regexp] [-iterations N] [-json] [-list]
+//	         [-flood] [-crash]
+//
+// By default the link-fault chaos matrix runs. -flood switches to the
+// overload matrix (flow-churn and spoofed-source keying floods against
+// a budgeted, admission-controlled receiver); -crash to the
+// crash-restart recovery matrix. The flags compose: -flood -crash runs
+// both.
 //
 // Exit status is nonzero if any scenario fails to reconcile or to
 // complete its transfer. With -iterations N each scenario is run N
@@ -97,12 +104,66 @@ func matrix(base uint64) []netsim.ChaosScenario {
 	}
 }
 
+// floodMatrix returns the standing overload scenarios, seeded from
+// base. It mirrors the netsim flood test matrix.
+func floodMatrix(base uint64) []netsim.FloodScenario {
+	return []netsim.FloodScenario{
+		{
+			Name:             "spoof-10x",
+			Seed:             base,
+			Datagrams:        60,
+			PayloadBytes:     64,
+			Secret:           true,
+			ChurnDatagrams:   120,
+			SpoofDatagrams:   600,
+			SpoofSources:     24,
+			HardBudget:       8192,
+			SenderHardBudget: 16 * core.CostFAMEntry,
+			Admission: core.AdmissionConfig{
+				UpcallRate:  20,
+				UpcallBurst: 5,
+				PrefixQuota: 2,
+				PrefixLen:   14,
+				QuotaWindow: 30 * time.Second,
+			},
+			GoodputFloor: 0.7,
+		},
+		{
+			Name:           "churn-budget",
+			Seed:           base + 1,
+			Datagrams:      40,
+			PayloadBytes:   64,
+			ChurnDatagrams: 200,
+			HardBudget:     4096,
+			GoodputFloor:   0.95,
+		},
+	}
+}
+
+// crashMatrix returns the standing crash-restart scenarios.
+func crashMatrix(base uint64) []netsim.CrashScenario {
+	return []netsim.CrashScenario{
+		{
+			Name:         "crash-mid-transfer",
+			Seed:         base,
+			Datagrams:    80,
+			CrashAfter:   40,
+			PayloadBytes: 64,
+			Secret:       true,
+			HardBudget:   1 << 20,
+			Admission:    core.AdmissionConfig{UpcallRate: 20, UpcallBurst: 4},
+		},
+	}
+}
+
 func main() {
 	seed := flag.Uint64("seed", 0xC4A05, "base seed for the scenario matrix")
 	run := flag.String("run", "", "only run scenarios whose name matches this regexp")
 	iters := flag.Int("iterations", 1, "repeat each scenario this many times with derived seeds")
 	asJSON := flag.Bool("json", false, "emit one JSON report per run instead of text summaries")
 	list := flag.Bool("list", false, "list scenario names and exit")
+	flood := flag.Bool("flood", false, "run the overload (flood) matrix instead of the chaos matrix")
+	crash := flag.Bool("crash", false, "run the crash-restart matrix instead of the chaos matrix")
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -114,22 +175,71 @@ func main() {
 		}
 	}
 
+	// A runnable erases the scenario type: every matrix entry reduces to
+	// a name and an execution that reports its summary, violations, and
+	// completion.
+	type runnable struct {
+		name string
+		run  func() (report any, summary string, violations []string, complete bool, err error)
+	}
+	collect := func(base uint64) []runnable {
+		var rs []runnable
+		if *flood || *crash {
+			if *flood {
+				for _, sc := range floodMatrix(base) {
+					sc := sc
+					rs = append(rs, runnable{sc.Name, func() (any, string, []string, bool, error) {
+						rep, err := netsim.RunFlood(sc)
+						if err != nil {
+							return nil, "", nil, false, err
+						}
+						return rep, rep.Summary(), rep.Violations, rep.Complete, nil
+					}})
+				}
+			}
+			if *crash {
+				for _, sc := range crashMatrix(base) {
+					sc := sc
+					rs = append(rs, runnable{sc.Name, func() (any, string, []string, bool, error) {
+						rep, err := netsim.RunCrashRestart(sc)
+						if err != nil {
+							return nil, "", nil, false, err
+						}
+						return rep, rep.Summary(), rep.Violations, rep.Complete, nil
+					}})
+				}
+			}
+			return rs
+		}
+		for _, sc := range matrix(base) {
+			sc := sc
+			rs = append(rs, runnable{sc.Name, func() (any, string, []string, bool, error) {
+				rep, err := netsim.RunChaos(sc)
+				if err != nil {
+					return nil, "", nil, false, err
+				}
+				return rep, rep.Summary(), rep.Violations, rep.Complete, nil
+			}})
+		}
+		return rs
+	}
+
 	failed := 0
 	enc := json.NewEncoder(os.Stdout)
 	for iter := 0; iter < *iters; iter++ {
 		// Each iteration shifts the whole matrix to a fresh seed block
 		// so soak runs explore new fault schedules deterministically.
-		for _, sc := range matrix(*seed + uint64(iter)*0x1000) {
-			if filter != nil && !filter.MatchString(sc.Name) {
+		for _, r := range collect(*seed + uint64(iter)*0x1000) {
+			if filter != nil && !filter.MatchString(r.name) {
 				continue
 			}
 			if *list {
-				fmt.Println(sc.Name)
+				fmt.Println(r.name)
 				continue
 			}
-			rep, err := netsim.RunChaos(sc)
+			rep, summary, violations, complete, err := r.run()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fbschaos: %s: %v\n", sc.Name, err)
+				fmt.Fprintf(os.Stderr, "fbschaos: %s: %v\n", r.name, err)
 				failed++
 				continue
 			}
@@ -139,9 +249,9 @@ func main() {
 					os.Exit(2)
 				}
 			} else {
-				fmt.Println(rep.Summary())
+				fmt.Println(summary)
 			}
-			if len(rep.Violations) > 0 || !rep.Complete {
+			if len(violations) > 0 || !complete {
 				failed++
 			}
 		}

@@ -95,6 +95,12 @@ type DirectMapped[K comparable, V any] struct {
 	hash       func(K) uint32
 	stripes    []cacheStripe[K]
 	stripeMask uint32
+
+	// budget, when set, is charged entryCost per valid slot. Installs
+	// that would grow occupancy past the hard limit are refused — the
+	// key simply stays uncached, which soft state makes always safe.
+	budget    *Budget
+	entryCost int64
 }
 
 type dmSlot[K comparable, V any] struct {
@@ -116,6 +122,13 @@ func NewDirectMapped[K comparable, V any](size int, hash func(K) uint32) *Direct
 		stripes:    make([]cacheStripe[K], n),
 		stripeMask: uint32(n - 1),
 	}
+}
+
+// SetBudget charges cost bytes per valid slot against b (see Budget).
+// Call before the cache serves traffic.
+func (c *DirectMapped[K, V]) SetBudget(b *Budget, cost int64) {
+	c.budget = b
+	c.entryCost = cost
 }
 
 // ClassifyMisses enables cold/conflict miss accounting (costs memory
@@ -164,11 +177,17 @@ func (c *DirectMapped[K, V]) Get(key K) (V, bool) {
 	return zero, false
 }
 
-// Put installs key → val, displacing whatever occupied the slot.
+// Put installs key → val, displacing whatever occupied the slot. With
+// a budget attached, filling a previously empty slot must fit under the
+// hard limit; if it does not, the install is skipped (overwrites of
+// occupied slots are budget-neutral and always proceed).
 func (c *DirectMapped[K, V]) Put(key K, val V) {
 	s, st := c.slotStripe(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if !s.valid && !c.budget.TryCharge(c.entryCost) {
+		return
+	}
 	if s.valid && s.key != key {
 		st.stats.Evictions++
 	}
@@ -181,6 +200,16 @@ func (c *DirectMapped[K, V]) Put(key K, val V) {
 	}
 }
 
+// Contains reports whether key is cached, without touching the
+// hit/miss counters (a peek for admission decisions, so probing does
+// not distort the miss-rate experiments).
+func (c *DirectMapped[K, V]) Contains(key K) bool {
+	s, st := c.slotStripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return s.valid && s.key == key
+}
+
 // Invalidate removes key if present and reports whether it was.
 func (c *DirectMapped[K, V]) Invalidate(key K) bool {
 	s, st := c.slotStripe(key)
@@ -188,6 +217,7 @@ func (c *DirectMapped[K, V]) Invalidate(key K) bool {
 	defer st.mu.Unlock()
 	if s.valid && s.key == key {
 		s.valid = false
+		c.budget.Release(c.entryCost)
 		return true
 	}
 	return false
@@ -200,7 +230,10 @@ func (c *DirectMapped[K, V]) Flush() {
 		st := &c.stripes[si]
 		st.mu.Lock()
 		for i := si; i < len(c.slots); i += n {
-			c.slots[i].valid = false
+			if c.slots[i].valid {
+				c.slots[i].valid = false
+				c.budget.Release(c.entryCost)
+			}
 		}
 		st.mu.Unlock()
 	}

@@ -33,6 +33,15 @@ const (
 	// DropKeying: the flow key could not be derived (certificate fetch,
 	// verification, or master key computation failed).
 	DropKeying
+	// DropKeyingOverload: the keying admission gate's token bucket shed
+	// the datagram before any keying work for an unknown peer began.
+	DropKeyingOverload
+	// DropPeerQuota: the source prefix exhausted its per-window keying
+	// admission quota.
+	DropPeerQuota
+	// DropStateBudget: the soft-state memory budget is at its hard
+	// limit and the datagram would have required fresh state.
+	DropStateBudget
 
 	// NumDropReasons sizes per-reason counter arrays.
 	NumDropReasons = int(iota)
@@ -41,15 +50,18 @@ const (
 // dropNames are the canonical snake_case labels, used verbatim as the
 // {reason=...} label values in Prometheus exposition.
 var dropNames = [NumDropReasons]string{
-	DropNone:      "none",
-	DropStale:     "stale",
-	DropBadMAC:    "bad_mac",
-	DropReplay:    "replay",
-	DropMalformed: "malformed",
-	DropNotForUs:  "not_for_us",
-	DropAlgorithm: "algorithm",
-	DropDecrypt:   "decrypt",
-	DropKeying:    "keying",
+	DropNone:           "none",
+	DropStale:          "stale",
+	DropBadMAC:         "bad_mac",
+	DropReplay:         "replay",
+	DropMalformed:      "malformed",
+	DropNotForUs:       "not_for_us",
+	DropAlgorithm:      "algorithm",
+	DropDecrypt:        "decrypt",
+	DropKeying:         "keying",
+	DropKeyingOverload: "keying_overload",
+	DropPeerQuota:      "peer_quota",
+	DropStateBudget:    "state_budget",
 }
 
 // String returns the canonical label for the reason.
@@ -91,6 +103,16 @@ func DropReasonOf(err error) DropReason {
 		return DropAlgorithm
 	case errors.Is(err, ErrDecrypt):
 		return DropDecrypt
+	// The overload sheds are checked before the general keying error:
+	// the receive path wraps them in ErrKeying for callers that only
+	// distinguish "could not key", and the more specific reason must
+	// win for accounting.
+	case errors.Is(err, ErrKeyingOverload):
+		return DropKeyingOverload
+	case errors.Is(err, ErrPeerQuota):
+		return DropPeerQuota
+	case errors.Is(err, ErrStateBudget):
+		return DropStateBudget
 	case errors.Is(err, ErrKeying):
 		return DropKeying
 	}

@@ -120,6 +120,18 @@ type Config struct {
 	// entirely; a non-nil observer whose Sample() returns false costs
 	// the hot path only that call.
 	Observer Observer
+
+	// StateBudget, when non-nil, bounds the endpoint's total soft state:
+	// the flow state table, replay windows, and all four cache levels
+	// (PVC/MKC/TFKC/RFKC) charge per-entry costs against it. Crossing
+	// the high-water mark puts sweeps into pressure mode; at the hard
+	// limit new state is refused or displaces old state, and datagrams
+	// that would require fresh expensive state are shed with
+	// DropStateBudget. Nil (the default) disables budgeting.
+	StateBudget *Budget
+	// Admission bounds receive-path keying work for unknown peers (see
+	// AdmissionConfig). The zero value disables the gate.
+	Admission AdmissionConfig
 }
 
 // Metrics is a snapshot of endpoint activity. All counters are
@@ -228,6 +240,14 @@ type Endpoint struct {
 	rc   *ReplayCache
 	conf *confounderWell
 
+	// Overload plane: the keying admission gate (nil when disabled),
+	// the flow-key derivation single-flight, and the rate limiter for
+	// pressure-relief sweeps.
+	gate           *admissionGate
+	flight         flowKeyFlight
+	lastPressure   atomic.Int64 // unix nanos of the last pressure sweep
+	pressureSweeps atomic.Uint64
+
 	metrics endpointCounters
 }
 
@@ -288,9 +308,19 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		tfkc: NewDirectMapped[flowCacheKey, [16]byte](cfg.TFKCSize, flowCacheKey.hash),
 		rfkc: NewDirectMapped[flowCacheKey, [16]byte](cfg.RFKCSize, flowCacheKey.hash),
 		conf: newConfounderWell(cfg.Confounder),
+		gate: newAdmissionGate(cfg.Admission, cfg.Clock),
 	}
 	if cfg.EnableReplayCache {
 		e.rc = NewReplayCache(cfg.FreshnessWindow)
+	}
+	if b := cfg.StateBudget; b != nil {
+		fam.SetBudget(b)
+		ks.SetBudget(b)
+		e.tfkc.SetBudget(b, CostFlowKeyEntry)
+		e.rfkc.SetBudget(b, CostFlowKeyEntry)
+		if e.rc != nil {
+			e.rc.SetBudget(b)
+		}
 	}
 	return e, nil
 }
@@ -344,6 +374,38 @@ func (e *Endpoint) DropCounts() [NumDropReasons]uint64 {
 	return out
 }
 
+// EndpointStats aggregates the endpoint's overload-plane state: budget
+// occupancy, admission gate activity, replay-window occupancy, the
+// flow-key derivation dedup count, and how many pressure-mode sweeps
+// the data path has triggered.
+type EndpointStats struct {
+	Budget         BudgetStats
+	Admission      AdmissionStats
+	Replay         ReplayStats
+	FlowKeyDedups  uint64
+	PressureSweeps uint64
+}
+
+// Stats snapshots the overload plane. All components are nil-safe, so
+// an endpoint with no budget, gate or replay cache reports zeros.
+func (e *Endpoint) Stats() EndpointStats {
+	return EndpointStats{
+		Budget:         e.cfg.StateBudget.Stats(),
+		Admission:      e.gate.Stats(),
+		Replay:         e.rc.Stats(),
+		FlowKeyDedups:  e.flight.Dedups(),
+		PressureSweeps: e.pressureSweeps.Load(),
+	}
+}
+
+// Budget returns the endpoint's state budget (nil when unbudgeted).
+func (e *Endpoint) Budget() *Budget { return e.cfg.StateBudget }
+
+// ReplayPerPeer returns per-peer replay-window occupancy — the
+// first-class budget input that attributes state pressure to the peer
+// creating it. Nil when the replay cache is disabled.
+func (e *Endpoint) ReplayPerPeer() map[principal.Address]int { return e.rc.PerPeer() }
+
 // CacheInfo describes one key/certificate cache for monitoring: its
 // name, occupancy, geometry and counters.
 type CacheInfo struct {
@@ -386,8 +448,44 @@ func (e *Endpoint) MKDStats() (upcalls, timeouts uint64) {
 	return e.mkd.Upcalls(), e.mkd.Timeouts()
 }
 
-// Sweep runs the sweeper policy module over the flow state table.
-func (e *Endpoint) Sweep() int { return e.fam.Sweep(e.cfg.Clock.Now()) }
+// Sweep runs the sweeper policy module over the flow state table. With
+// the state budget above its high-water mark the sweep runs in pressure
+// mode (the policy's tightened threshold) so idle flows are reclaimed
+// sooner.
+func (e *Endpoint) Sweep() int {
+	now := e.cfg.Clock.Now()
+	if e.cfg.StateBudget.UnderPressure() {
+		return e.fam.SweepPressure(now)
+	}
+	return e.fam.Sweep(now)
+}
+
+// pressureSweepInterval rate-limits the inline pressure-relief sweeps
+// that the data path triggers when the budget is hot, so a sustained
+// flood costs at most one table scan per interval rather than one per
+// refused datagram.
+const pressureSweepInterval = 100 * time.Millisecond
+
+// maybeRelievePressure runs one pressure-mode sweep if the budget is at
+// or above high water and none has run within the last interval. The
+// CAS elects a single sweeper; it must never be called while holding a
+// stripe lock (the sweep takes them all, one at a time).
+func (e *Endpoint) maybeRelievePressure(now time.Time) {
+	b := e.cfg.StateBudget
+	if b == nil || b.Level() == BudgetNormal {
+		return
+	}
+	last := e.lastPressure.Load()
+	n := now.UnixNano()
+	if n-last < int64(pressureSweepInterval) {
+		return
+	}
+	if !e.lastPressure.CompareAndSwap(last, n) {
+		return
+	}
+	e.pressureSweeps.Add(1)
+	e.fam.SweepPressure(now)
+}
 
 // FlushKeys drops every cached key and certificate (PVC, MKC, TFKC,
 // RFKC). Because all of it is soft state, this is always safe: the next
@@ -490,19 +588,42 @@ func (e *Endpoint) transmitFlowKey(sfl SFL, slot int, src, dst principal.Address
 }
 
 // receiveFlowKey returns the flow key for an incoming datagram via the
-// RFKC. hit reports whether the RFKC served it.
+// RFKC. hit reports whether the RFKC served it. The miss path is where
+// receive-side overload control lives: concurrent misses for the same
+// flow coalesce into one derivation, and unknown peers (no cached
+// master key) must pass the admission gate and fit under the state
+// budget before any directory or Diffie-Hellman work begins. Known
+// peers bypass both — their keying costs one hash.
 func (e *Endpoint) receiveFlowKey(sfl SFL, src, dst principal.Address) (k [16]byte, hit bool, err error) {
 	ck := flowCacheKey{SFL: sfl, Dst: dst, Src: src}
 	if k, ok := e.rfkc.Get(ck); ok {
 		return k, true, nil
 	}
-	master, err := e.mkd.Upcall(src)
-	if err != nil {
-		return [16]byte{}, false, err
-	}
-	k = FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
-	e.rfkc.Put(ck, k)
-	return k, false, nil
+	k, err = e.flight.do(ck, func() ([16]byte, error) {
+		if e.gate != nil || e.cfg.StateBudget != nil {
+			if !e.ks.KnownPeer(src) {
+				if e.gate != nil {
+					if err := e.gate.Admit(src); err != nil {
+						return [16]byte{}, err
+					}
+				}
+				if e.cfg.StateBudget.Level() == BudgetHard {
+					e.maybeRelievePressure(e.cfg.Clock.Now())
+					return [16]byte{}, fmt.Errorf("%w: keying %q", ErrStateBudget, src)
+				}
+			}
+		}
+		e.gate.enter()
+		master, err := e.mkd.Upcall(src)
+		e.gate.leave()
+		if err != nil {
+			return [16]byte{}, err
+		}
+		k := FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
+		e.rfkc.Put(ck, k)
+		return k, nil
+	})
+	return k, false, err
 }
 
 // Seal performs FBS send processing (FBSSend, Figure 4): classify into a
@@ -588,8 +709,15 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	if s != nil {
 		t = time.Now()
 	}
-	// (S1) classify the datagram into a flow.
-	sfl, _, slot := e.fam.classify(id, now, len(dg.Payload))
+	// (S1) classify the datagram into a flow. At the budget hard limit a
+	// datagram needing a fresh flow entry is shed; existing flows are
+	// untouched.
+	sfl, _, slot, ok := e.fam.classify(id, now, len(dg.Payload))
+	if !ok {
+		e.metrics.drop(DropStateBudget)
+		e.maybeRelievePressure(now)
+		return nil, fmt.Errorf("%w: flow to %q", ErrStateBudget, dg.Destination)
+	}
 	if s != nil {
 		s.Stages[StageFAM] = time.Since(t)
 		s.SFL = sfl
@@ -833,7 +961,13 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 		}
 	}
 	if err != nil {
-		e.metrics.drop(DropKeying)
+		// The overload sheds carry their own reason; everything else on
+		// this path is a keying failure.
+		reason := DropReasonOf(err)
+		if reason == DropNone {
+			reason = DropKeying
+		}
+		e.metrics.drop(reason)
 		return nil, fmt.Errorf("%w: flow from %q: %w", ErrKeying, dg.Source, err)
 	}
 	// (R10-11, hoisted — see package comment) decrypt before verifying,
@@ -892,7 +1026,7 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 		}
 	}
 	// Optional exact-duplicate suppression (extension).
-	if e.rc != nil && e.rc.Seen(&h, now) {
+	if e.rc != nil && e.rc.Seen(dg.Source, &h, now) {
 		e.metrics.drop(DropReplay)
 		return nil, ErrReplay
 	}

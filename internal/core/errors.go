@@ -32,4 +32,17 @@ var (
 	// fetch, verification, or the master key computation failed (S2-S3 /
 	// R5-R6).
 	ErrKeying = errors.New("fbs: keying failed")
+
+	// ErrKeyingOverload means the keying admission gate's token bucket
+	// shed the datagram before any expensive keying work: too many
+	// unknown peers asked to be keyed at once.
+	ErrKeyingOverload = errors.New("fbs: keying admission shed (overload)")
+	// ErrPeerQuota means the datagram's source prefix exhausted its
+	// keying admission quota for the current window.
+	ErrPeerQuota = errors.New("fbs: per-source-prefix keying quota exceeded")
+	// ErrStateBudget means the soft-state memory budget is at its hard
+	// limit and the datagram would have required fresh state. Soft
+	// state makes this always safe to do: a later datagram retries once
+	// pressure sweeps reclaim room.
+	ErrStateBudget = errors.New("fbs: soft-state memory budget exhausted")
 )

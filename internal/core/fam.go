@@ -77,6 +77,19 @@ type Sweeper interface {
 	Expired(e *FSTEntry, now time.Time) bool
 }
 
+// PressureSweeper is an optional Sweeper extension for memory-budgeted
+// endpoints: when the soft-state budget crosses its high-water mark the
+// sweep runs in pressure mode, and policies implementing this interface
+// expire flows under a tightened THRESHOLD. Expiring a still-live flow
+// early is always safe — the next datagram simply starts a fresh flow
+// with a fresh sfl — so pressure trades a little rekeying work for
+// reclaimed state, exactly the soft-state bargain of Section 4.
+type PressureSweeper interface {
+	// ExpiredUnderPressure reports whether e should be invalidated at
+	// time now given that the endpoint is under memory pressure.
+	ExpiredUnderPressure(e *FSTEntry, now time.Time) bool
+}
+
 // Policy bundles the two plug-in modules. Most policies, like the
 // paper's THRESHOLD policy, implement both with shared state.
 type Policy interface {
@@ -104,6 +117,10 @@ type ThresholdPolicy struct {
 	MaxPackets uint64
 	// MaxBytes rekeys a flow after this much payload (0 = no limit).
 	MaxBytes uint64
+	// PressureThreshold is the tightened idle gap used when sweeping
+	// under memory pressure; 0 defaults to Threshold/8. See
+	// PressureSweeper.
+	PressureThreshold time.Duration
 }
 
 // Index implements Mapper.
@@ -129,6 +146,16 @@ func (p ThresholdPolicy) Match(e *FSTEntry, id FlowID, now time.Time) bool {
 // Expired implements Sweeper.
 func (p ThresholdPolicy) Expired(e *FSTEntry, now time.Time) bool {
 	return e.Valid && now.Sub(e.Last) > p.Threshold
+}
+
+// ExpiredUnderPressure implements PressureSweeper with the tightened
+// threshold.
+func (p ThresholdPolicy) ExpiredUnderPressure(e *FSTEntry, now time.Time) bool {
+	t := p.PressureThreshold
+	if t <= 0 {
+		t = p.Threshold / 8
+	}
+	return e.Valid && now.Sub(e.Last) > t
 }
 
 // HostPairPolicy classifies all traffic between a pair of principals into
@@ -207,6 +234,12 @@ type FAM struct {
 	stripes    []famStripe
 	stripeMask int
 	nextSFL    atomic.Uint64
+
+	// budget, when set, is charged CostFAMEntry per valid entry; flow
+	// creation that would fill a fresh slot past the hard limit is
+	// refused (classify reports !ok and the caller sheds the datagram
+	// with DropStateBudget).
+	budget *Budget
 }
 
 // DefaultFSTSize is the default flow state table size. The paper observes
@@ -248,19 +281,24 @@ func newFAMWithSeed(policy Policy, tableSize int, seed uint64) *FAM {
 	return f
 }
 
+// SetBudget attaches the shared soft-state budget; call before the FAM
+// serves traffic.
+func (f *FAM) SetBudget(b *Budget) { f.budget = b }
+
 // Classify assigns the datagram with attributes id and size bytes to a
 // flow, creating a new flow when no valid entry matches (the mapper
 // module of Figure 7). It returns the flow's sfl and whether a new flow
-// was started.
+// was started. With a budget at its hard limit, creation into an empty
+// slot is refused and the zero SFL is returned with ok == false.
 func (f *FAM) Classify(id FlowID, now time.Time, size int) (SFL, bool) {
-	sfl, isNew, _ := f.classify(id, now, size)
+	sfl, isNew, _, _ := f.classify(id, now, size)
 	return sfl, isNew
 }
 
 // classify additionally returns the slot index for the combined FST/TFKC
-// fast path.
-func (f *FAM) classify(id FlowID, now time.Time, size int) (SFL, bool, int) {
-	if n, ok := f.policy.(flowNormalizer); ok {
+// fast path, and ok == false when the state budget refused a creation.
+func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, isNew bool, slot int, ok bool) {
+	if n, nok := f.policy.(flowNormalizer); nok {
 		id = n.normalize(id)
 	}
 	i := f.policy.Index(id, len(f.table))
@@ -274,12 +312,17 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (SFL, bool, int) {
 		e.Packets++
 		e.Bytes += uint64(size)
 		st.stats.Hits++
-		return e.SFL, false, i
+		return e.SFL, false, i, true
 	}
 	if e.Valid && e.ID != id {
 		st.stats.Collisions++
 	}
-	sfl := SFL(f.nextSFL.Add(1) - 1)
+	// Overwriting a valid slot (collision or expired flow) is
+	// budget-neutral; only filling an empty slot grows state.
+	if !e.Valid && !f.budget.TryCharge(CostFAMEntry) {
+		return 0, false, i, false
+	}
+	sfl = SFL(f.nextSFL.Add(1) - 1)
 	*e = FSTEntry{
 		Valid:   true,
 		ID:      id,
@@ -290,14 +333,27 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (SFL, bool, int) {
 		Bytes:   uint64(size),
 	}
 	st.stats.FlowsCreated++
-	return sfl, true, i
+	return sfl, true, i, true
 }
 
 // Sweep runs the sweeper module over the whole table (Figure 7),
 // invalidating expired flows, and returns how many were expired. It locks
 // one stripe at a time, so classification in other stripes proceeds
 // concurrently with the sweep.
-func (f *FAM) Sweep(now time.Time) int {
+func (f *FAM) Sweep(now time.Time) int { return f.sweep(now, false) }
+
+// SweepPressure sweeps in pressure mode: policies implementing
+// PressureSweeper expire under their tightened threshold; others sweep
+// normally.
+func (f *FAM) SweepPressure(now time.Time) int { return f.sweep(now, true) }
+
+func (f *FAM) sweep(now time.Time, pressure bool) int {
+	expired := f.policy.Expired
+	if pressure {
+		if ps, ok := f.policy.(PressureSweeper); ok {
+			expired = ps.ExpiredUnderPressure
+		}
+	}
 	total := 0
 	stripes := len(f.stripes)
 	for si := range f.stripes {
@@ -305,7 +361,7 @@ func (f *FAM) Sweep(now time.Time) int {
 		st.mu.Lock()
 		n := 0
 		for i := si; i < len(f.table); i += stripes {
-			if f.policy.Expired(&f.table[i], now) {
+			if expired(&f.table[i], now) {
 				f.table[i].Valid = false
 				n++
 			}
@@ -313,6 +369,9 @@ func (f *FAM) Sweep(now time.Time) int {
 		st.stats.Expirations += uint64(n)
 		st.mu.Unlock()
 		total += n
+	}
+	if total > 0 {
+		f.budget.Release(int64(total) * CostFAMEntry)
 	}
 	return total
 }

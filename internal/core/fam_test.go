@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -121,7 +122,7 @@ func TestFAMSweeper(t *testing.T) {
 func TestFAMAccounting(t *testing.T) {
 	f := testFAM(time.Hour, 4)
 	id := FlowID{Src: "a", Dst: "b"}
-	_, _, slot := f.classify(id, famEpoch, 100)
+	_, _, slot, _ := f.classify(id, famEpoch, 100)
 	f.classify(id, famEpoch.Add(time.Second), 150)
 	e := f.entry(slot)
 	if e.Packets != 2 || e.Bytes != 250 {
@@ -222,5 +223,99 @@ func TestFAMSnapshot(t *testing.T) {
 				t.Fatalf("flow accounting: %+v", fi)
 			}
 		}
+	}
+}
+
+func TestFAMSweepAtExactThresholdBoundary(t *testing.T) {
+	// The sweeper and the mapper must agree at the boundary: a flow idle
+	// for EXACTLY the threshold is still alive (Match keeps it, Sweep
+	// leaves it), and one nanosecond past it is dead for both.
+	const threshold = 10 * time.Minute
+	f := testFAM(threshold, 64)
+	id := FlowID{Src: "a", Dst: "b", SrcPort: 7}
+	f.Classify(id, famEpoch, 1)
+	if n := f.Sweep(famEpoch.Add(threshold)); n != 0 {
+		t.Fatalf("sweep at exactly the threshold expired %d flows", n)
+	}
+	if _, isNew := f.Classify(id, famEpoch.Add(threshold), 1); isNew {
+		t.Fatal("mapper expired a flow at exactly the threshold")
+	}
+	// The hit refreshed Last; idle it out again and cross the boundary.
+	last := famEpoch.Add(threshold)
+	if n := f.Sweep(last.Add(threshold + time.Nanosecond)); n != 1 {
+		t.Fatalf("sweep just past the threshold expired %d flows, want 1", n)
+	}
+	if _, isNew := f.Classify(id, last.Add(threshold+time.Nanosecond), 1); !isNew {
+		t.Fatal("mapper kept a flow just past the threshold")
+	}
+}
+
+func TestFAMPressureSweepTightensThreshold(t *testing.T) {
+	f := newFAMWithSeed(ThresholdPolicy{
+		Threshold:         10 * time.Minute,
+		PressureThreshold: time.Minute,
+	}, 64, 1000)
+	f.Classify(FlowID{SrcPort: 1}, famEpoch, 1)
+	f.Classify(FlowID{SrcPort: 2}, famEpoch.Add(4*time.Minute), 1)
+	at := famEpoch.Add(5 * time.Minute)
+	// Neither flow is past the normal threshold...
+	if n := f.Sweep(at); n != 0 {
+		t.Fatalf("normal sweep expired %d flows", n)
+	}
+	// ...but under pressure the first (idle 5min > 1min) is reclaimed.
+	if n := f.SweepPressure(at); n != 1 {
+		t.Fatalf("pressure sweep expired %d flows, want 1", n)
+	}
+	if got := f.ActiveFlows(); got != 1 {
+		t.Fatalf("ActiveFlows after pressure sweep = %d, want 1", got)
+	}
+}
+
+func TestFAMPressureThresholdDefault(t *testing.T) {
+	p := ThresholdPolicy{Threshold: 8 * time.Minute}
+	e := &FSTEntry{Valid: true, Last: famEpoch}
+	// Default pressure threshold is Threshold/8 = 1 minute.
+	if p.ExpiredUnderPressure(e, famEpoch.Add(time.Minute)) {
+		t.Fatal("expired at exactly the default pressure threshold")
+	}
+	if !p.ExpiredUnderPressure(e, famEpoch.Add(time.Minute+time.Nanosecond)) {
+		t.Fatal("not expired just past the default pressure threshold")
+	}
+}
+
+func TestFAMSweepRacesConcurrentInserts(t *testing.T) {
+	// Sweep locks one stripe at a time while classification proceeds in
+	// others; under -race this asserts the striping is actually sound,
+	// and the budget invariant (used == live entries x cost) must hold
+	// exactly once the dust settles.
+	b := NewBudget(0, 1<<20)
+	f := testFAM(time.Minute, 256)
+	f.SetBudget(b)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			now := famEpoch
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Classify(FlowID{SrcPort: uint16(i % 512), Aux: uint64(g)}, now, 1)
+				now = now.Add(time.Millisecond)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		f.Sweep(famEpoch.Add(time.Duration(i) * 10 * time.Second))
+	}
+	close(stop)
+	wg.Wait()
+	f.Sweep(famEpoch.Add(24 * time.Hour))
+	if got, want := b.Used(), int64(f.ActiveFlows())*CostFAMEntry; got != want {
+		t.Fatalf("budget used = %d, want %d (%d live flows)", got, want, f.ActiveFlows())
 	}
 }

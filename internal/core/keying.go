@@ -251,6 +251,20 @@ func NewKeyService(self *principal.Identity, dir cert.Directory, verifier cert.C
 // Self returns the principal this service keys for.
 func (ks *KeyService) Self() *principal.Identity { return ks.self }
 
+// SetBudget attaches the shared soft-state budget: the PVC charges
+// CostCertEntry and the MKC CostMasterKeyEntry per valid slot. Call
+// before the service handles traffic.
+func (ks *KeyService) SetBudget(b *Budget) {
+	ks.pvc.SetBudget(b, CostCertEntry)
+	ks.mkc.SetBudget(b, CostMasterKeyEntry)
+}
+
+// KnownPeer reports whether peer's master key is already cached,
+// without touching cache counters. The admission gate uses this peek:
+// keying a known peer costs one hash, not an exponentiation, so known
+// peers bypass admission control entirely.
+func (ks *KeyService) KnownPeer(peer principal.Address) bool { return ks.mkc.Contains(peer) }
+
 // MasterKey returns the pair-based master key with peer, computing and
 // caching it as needed. The path mirrors Figure 6: MKC hit → done;
 // otherwise PVC (fetching and verifying a certificate on miss), then one
@@ -463,3 +477,54 @@ func (ks *KeyService) MKCStats() CacheStats { return ks.mkc.Stats() }
 
 // now is a helper for tests.
 func (ks *KeyService) now() time.Time { return ks.clock.Now() }
+
+// flowKeyResult carries a coalesced derivation's outcome to waiters.
+type flowKeyResult struct {
+	key [16]byte
+	err error
+}
+
+// flowKeyFlight coalesces concurrent derivations of the same flow key,
+// the way MKD.inflight already coalesces master-key upcalls one level
+// down. A datagram burst on a fresh flow would otherwise send every
+// packet through the miss path at once — each charging the admission
+// gate and queueing behind the MKD — when a single derivation serves
+// them all.
+type flowKeyFlight struct {
+	mu      sync.Mutex
+	waiting map[flowCacheKey][]chan flowKeyResult
+	dedups  atomic.Uint64
+}
+
+// do runs fn for ck, unless a derivation for ck is already in flight, in
+// which case it waits for and shares that one's result.
+func (f *flowKeyFlight) do(ck flowCacheKey, fn func() ([16]byte, error)) ([16]byte, error) {
+	f.mu.Lock()
+	if f.waiting == nil {
+		f.waiting = make(map[flowCacheKey][]chan flowKeyResult)
+	}
+	if chans, leader := f.waiting[ck]; leader {
+		ch := make(chan flowKeyResult, 1)
+		f.waiting[ck] = append(chans, ch)
+		f.mu.Unlock()
+		f.dedups.Add(1)
+		r := <-ch
+		return r.key, r.err
+	}
+	f.waiting[ck] = []chan flowKeyResult{}
+	f.mu.Unlock()
+
+	k, err := fn()
+
+	f.mu.Lock()
+	chans := f.waiting[ck]
+	delete(f.waiting, ck)
+	f.mu.Unlock()
+	for _, ch := range chans {
+		ch <- flowKeyResult{key: k, err: err}
+	}
+	return k, err
+}
+
+// Dedups counts derivations satisfied by joining an in-flight one.
+func (f *flowKeyFlight) Dedups() uint64 { return f.dedups.Load() }

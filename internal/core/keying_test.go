@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -244,5 +246,104 @@ func TestMKDStop(t *testing.T) {
 	mkd.Stop() // idempotent
 	if _, err := mkd.Upcall("peer"); err != ErrMKDStopped {
 		t.Fatalf("Upcall after Stop = %v, want ErrMKDStopped", err)
+	}
+}
+
+func TestFlowKeyFlightCoalesces(t *testing.T) {
+	var fl flowKeyFlight
+	var calls atomic.Int32
+	release := make(chan struct{})
+	ck := flowCacheKey{SFL: 1, Dst: "b", Src: "a"}
+	want := [16]byte{0xAB, 0xCD}
+
+	results := make(chan [16]byte, 9)
+	derive := func() ([16]byte, error) {
+		calls.Add(1)
+		<-release
+		return want, nil
+	}
+	// The leader takes the slot and blocks inside the derivation...
+	go func() {
+		k, _ := fl.do(ck, derive)
+		results <- k
+	}()
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...then eight followers pile onto the same key; each must register
+	// as a dedup rather than starting its own derivation.
+	for i := 0; i < 8; i++ {
+		go func() {
+			k, _ := fl.do(ck, derive)
+			results <- k
+		}()
+	}
+	for fl.Dedups() != 8 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 9; i++ {
+		if k := <-results; k != want {
+			t.Fatalf("waiter %d got key %x", i, k)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("derivation ran %d times, want 1", n)
+	}
+}
+
+func TestFlowKeyFlightDistinctKeysIndependent(t *testing.T) {
+	var fl flowKeyFlight
+	a, _ := fl.do(flowCacheKey{SFL: 1, Dst: "b", Src: "a"}, func() ([16]byte, error) {
+		return [16]byte{1}, nil
+	})
+	b, _ := fl.do(flowCacheKey{SFL: 2, Dst: "b", Src: "a"}, func() ([16]byte, error) {
+		return [16]byte{2}, nil
+	})
+	if a == b {
+		t.Fatal("distinct flows shared a derivation")
+	}
+	if fl.Dedups() != 0 {
+		t.Fatalf("sequential distinct derivations counted %d dedups", fl.Dedups())
+	}
+	// The slot is released after completion: a later derivation for the
+	// same key runs again (the RFKC, not the flight, is the cache).
+	var calls int
+	fl.do(flowCacheKey{SFL: 1, Dst: "b", Src: "a"}, func() ([16]byte, error) {
+		calls++
+		return [16]byte{1}, nil
+	})
+	if calls != 1 {
+		t.Fatal("post-completion derivation did not run")
+	}
+}
+
+func TestFlowKeyFlightPropagatesError(t *testing.T) {
+	var fl flowKeyFlight
+	release := make(chan struct{})
+	started := make(chan struct{})
+	ck := flowCacheKey{SFL: 9, Dst: "b", Src: "a"}
+	errc := make(chan error, 2)
+	go func() {
+		_, err := fl.do(ck, func() ([16]byte, error) {
+			close(started)
+			<-release
+			return [16]byte{}, ErrKeyingOverload
+		})
+		errc <- err
+	}()
+	<-started
+	go func() {
+		_, err := fl.do(ck, func() ([16]byte, error) { return [16]byte{}, nil })
+		errc <- err
+	}()
+	for fl.Dedups() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errc; !errors.Is(err, ErrKeyingOverload) {
+			t.Fatalf("waiter %d err = %v, want ErrKeyingOverload", i, err)
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fbs/internal/principal"
 )
 
 // The paper's replay defence is the window-based timestamp check of
@@ -20,6 +22,13 @@ import (
 // preserved. The paper hints at exactly this trade-off when noting that
 // "complete replay protection can only be achieved in high-layer
 // protocols".
+//
+// Because every accepted datagram adds an entry that only the freshness
+// window expires, the replay cache is the softest target for a
+// state-holding attack: an authenticated peer churning flows grows it at
+// line rate. The cache therefore participates in the shared Budget
+// (CostReplayEntry per signature) and tracks per-source occupancy, so
+// overload shows up attributed to the peer causing it.
 
 // replaySig identifies a datagram within the freshness window.
 type replaySig struct {
@@ -36,12 +45,44 @@ func (s replaySig) stripe(mask uint32) uint32 {
 	return (s.Confounder ^ uint32(s.SFL)) & mask
 }
 
+// replayEntry is what the cache remembers per signature: when it was
+// accepted and from whom, so eviction and sweeping can keep the
+// per-peer occupancy counts exact.
+type replayEntry struct {
+	at  time.Time
+	src principal.Address
+}
+
 // replayStripe is one lock stripe: an independently locked shard of the
-// signature map.
+// signature map plus its share of the per-peer occupancy counts.
 type replayStripe struct {
-	mu   sync.Mutex
-	seen map[replaySig]time.Time
-	_    [40]byte
+	mu        sync.Mutex
+	seen      map[replaySig]replayEntry
+	peers     map[principal.Address]int
+	evictions uint64
+	_         [40]byte
+}
+
+// remove deletes sig under the stripe lock, keeping peer counts exact.
+func (st *replayStripe) remove(sig replaySig, e replayEntry) {
+	delete(st.seen, sig)
+	if n := st.peers[e.src] - 1; n > 0 {
+		st.peers[e.src] = n
+	} else {
+		delete(st.peers, e.src)
+	}
+}
+
+// ReplayStats snapshots replay-window occupancy for EndpointStats and
+// /metrics.
+type ReplayStats struct {
+	// Entries is the number of signatures currently remembered.
+	Entries int
+	// Peers is the number of distinct sources holding entries.
+	Peers int
+	// Evictions counts entries displaced at the budget hard limit to
+	// make room for a new signature.
+	Evictions uint64
 }
 
 // ReplayCache suppresses exact duplicates inside the freshness window.
@@ -54,6 +95,7 @@ type ReplayCache struct {
 	stripes   []replayStripe
 	mask      uint32
 	lastSweep atomic.Int64 // unix nanos of the last full sweep
+	budget    *Budget
 }
 
 // NewReplayCache creates a cache whose entries expire after window (use
@@ -66,14 +108,24 @@ func NewReplayCache(window time.Duration) *ReplayCache {
 		mask:    uint32(n - 1),
 	}
 	for i := range r.stripes {
-		r.stripes[i].seen = make(map[replaySig]time.Time)
+		r.stripes[i].seen = make(map[replaySig]replayEntry)
+		r.stripes[i].peers = make(map[principal.Address]int)
 	}
 	return r
 }
 
-// Seen records the datagram and reports whether an identical one was
-// already accepted within the window.
-func (r *ReplayCache) Seen(h *Header, now time.Time) bool {
+// SetBudget charges CostReplayEntry per remembered signature against b.
+// Call before the cache serves traffic.
+func (r *ReplayCache) SetBudget(b *Budget) { r.budget = b }
+
+// Seen records the datagram from src and reports whether an identical
+// one was already accepted within the window. At the budget hard limit
+// a new signature displaces an arbitrary entry of the same stripe
+// (budget-neutral, counted as an eviction) rather than growing state;
+// if the stripe is empty the signature simply goes unrecorded, which
+// soft state makes safe — it re-opens only the paper's documented
+// in-window replay exposure for that one datagram.
+func (r *ReplayCache) Seen(src principal.Address, h *Header, now time.Time) bool {
 	var sig replaySig
 	sig.SFL = h.SFL
 	sig.Confounder = h.Confounder
@@ -84,10 +136,29 @@ func (r *ReplayCache) Seen(h *Header, now time.Time) bool {
 	st := &r.stripes[sig.stripe(r.mask)]
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if t, ok := st.seen[sig]; ok && now.Sub(t) <= r.window {
-		return true
+	if e, ok := st.seen[sig]; ok {
+		if now.Sub(e.at) <= r.window {
+			return true
+		}
+		// Stale entry for the same signature: refresh in place
+		// (budget-neutral).
+		st.remove(sig, e)
 	}
-	st.seen[sig] = now
+	if !r.budget.TryCharge(CostReplayEntry) {
+		// Hard limit: trade an arbitrary same-stripe entry for this one.
+		evicted := false
+		for k, e := range st.seen {
+			st.remove(k, e)
+			st.evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return false
+		}
+	}
+	st.seen[sig] = replayEntry{at: now, src: src}
+	st.peers[src]++
 	return false
 }
 
@@ -104,15 +175,20 @@ func (r *ReplayCache) maybeSweep(now time.Time) {
 	if !r.lastSweep.CompareAndSwap(last, n) {
 		return
 	}
+	swept := 0
 	for i := range r.stripes {
 		st := &r.stripes[i]
 		st.mu.Lock()
-		for k, t := range st.seen {
-			if now.Sub(t) > r.window {
-				delete(st.seen, k)
+		for k, e := range st.seen {
+			if now.Sub(e.at) > r.window {
+				st.remove(k, e)
+				swept++
 			}
 		}
 		st.mu.Unlock()
+	}
+	if swept > 0 {
+		r.budget.Release(int64(swept) * CostReplayEntry)
 	}
 }
 
@@ -127,4 +203,44 @@ func (r *ReplayCache) Len() int {
 		st.mu.Unlock()
 	}
 	return n
+}
+
+// Stats snapshots occupancy. Safe on nil (all zero).
+func (r *ReplayCache) Stats() ReplayStats {
+	if r == nil {
+		return ReplayStats{}
+	}
+	var out ReplayStats
+	distinct := make(map[principal.Address]struct{})
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		out.Entries += len(st.seen)
+		out.Evictions += st.evictions
+		for p := range st.peers {
+			distinct[p] = struct{}{}
+		}
+		st.mu.Unlock()
+	}
+	out.Peers = len(distinct)
+	return out
+}
+
+// PerPeer returns the current replay-window occupancy per source — the
+// first-class budget input the overload plane watches to attribute
+// state pressure to the peer creating it.
+func (r *ReplayCache) PerPeer() map[principal.Address]int {
+	if r == nil {
+		return nil
+	}
+	out := make(map[principal.Address]int)
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		for p, n := range st.peers {
+			out[p] += n
+		}
+		st.mu.Unlock()
+	}
+	return out
 }

@@ -9,22 +9,22 @@ func TestReplayCacheDetectsDuplicates(t *testing.T) {
 	rc := NewReplayCache(10 * time.Minute)
 	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
 	h := &Header{SFL: 1, Confounder: 42, Timestamp: TimestampOf(now)}
-	if rc.Seen(h, now) {
+	if rc.Seen("alice", h, now) {
 		t.Fatal("first sighting reported as duplicate")
 	}
-	if !rc.Seen(h, now.Add(time.Second)) {
+	if !rc.Seen("alice", h, now.Add(time.Second)) {
 		t.Fatal("exact duplicate not detected")
 	}
 	// A different confounder is a different datagram.
 	h2 := *h
 	h2.Confounder = 43
-	if rc.Seen(&h2, now) {
+	if rc.Seen("alice", &h2, now) {
 		t.Fatal("distinct datagram flagged as duplicate")
 	}
 	// Different MAC (e.g. different payload, same confounder by chance).
 	h3 := *h
 	h3.MACValue[0] = 0xFF
-	if rc.Seen(&h3, now) {
+	if rc.Seen("alice", &h3, now) {
 		t.Fatal("distinct-MAC datagram flagged as duplicate")
 	}
 }
@@ -33,10 +33,10 @@ func TestReplayCacheExpires(t *testing.T) {
 	rc := NewReplayCache(time.Minute)
 	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
 	h := &Header{SFL: 9, Confounder: 7}
-	rc.Seen(h, now)
+	rc.Seen("alice", h, now)
 	// Outside the window the entry no longer matters (the freshness
 	// check would reject the datagram anyway).
-	if rc.Seen(h, now.Add(2*time.Minute)) {
+	if rc.Seen("alice", h, now.Add(2*time.Minute)) {
 		t.Fatal("expired entry still flagged as duplicate")
 	}
 }
@@ -45,13 +45,13 @@ func TestReplayCacheSweeps(t *testing.T) {
 	rc := NewReplayCache(time.Minute)
 	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
 	for i := uint32(0); i < 100; i++ {
-		rc.Seen(&Header{SFL: 1, Confounder: i}, now)
+		rc.Seen("alice", &Header{SFL: 1, Confounder: i}, now)
 	}
 	if rc.Len() != 100 {
 		t.Fatalf("Len = %d, want 100", rc.Len())
 	}
 	// A sighting two minutes later sweeps the expired entries.
-	rc.Seen(&Header{SFL: 2, Confounder: 0}, now.Add(2*time.Minute))
+	rc.Seen("bob", &Header{SFL: 2, Confounder: 0}, now.Add(2*time.Minute))
 	if rc.Len() > 2 {
 		t.Fatalf("Len after sweep = %d, want <= 2", rc.Len())
 	}

@@ -52,9 +52,11 @@ func TestChaosAdversaryExactBuckets(t *testing.T) {
 	})
 	// Satellite guarantee: every link/adversary-reachable DropReason has
 	// a test asserting its counter increments. Keying is exercised by
-	// TestChaosKeyingOutage below.
+	// TestChaosKeyingOutage below; the overload sheds (keying_overload,
+	// peer_quota, state_budget) by the flood tests in flood_test.go.
 	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
-		if reason == core.DropKeying {
+		switch reason {
+		case core.DropKeying, core.DropKeyingOverload, core.DropPeerQuota, core.DropStateBudget:
 			continue
 		}
 		if r.ReceiverDrops[reason] == 0 {

@@ -99,6 +99,22 @@ func (n *ChaosNetwork) Attach(addr principal.Address, queueLen int) (transport.T
 	return p, nil
 }
 
+// Detach removes addr's attachment and closes its transport, modelling
+// a host crash: datagrams addressed to addr while detached (including
+// deliveries already scheduled) count as NoRoute, and whatever sat
+// undrained in its queue is gone. A later Attach may reuse the address
+// with a fresh queue and zeroed port counters — the crash-restart
+// harness does exactly that.
+func (n *ChaosNetwork) Detach(addr principal.Address) {
+	n.mu.Lock()
+	p := n.ports[addr]
+	delete(n.ports, addr)
+	n.mu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
 // link returns (creating on first use) the direction's Link, salted by
 // the endpoint pair so each direction draws an independent seeded
 // fault sequence.

@@ -1,0 +1,39 @@
+package netsim
+
+import (
+	"testing"
+
+	"fbs/internal/core"
+)
+
+// TestCrashRestartRecovery kills the receiver mid-transfer and restarts
+// it with cold caches: the transfer must complete with only latency
+// loss, and the restarted incarnation's books must show recomputation
+// (upcalls, exponentiations, certificate fetches) and zero errors —
+// the paper's soft-state argument, demonstrated end to end.
+func TestCrashRestartRecovery(t *testing.T) {
+	rep, err := RunCrashRestart(CrashScenario{
+		Name:         "crash-mid-transfer",
+		Seed:         3,
+		Datagrams:    80,
+		CrashAfter:   40,
+		PayloadBytes: 64,
+		Secret:       true,
+		// The restarted receiver runs with production overload controls:
+		// recovery must work under them.
+		HardBudget: 1 << 20,
+		Admission:  core.AdmissionConfig{UpcallRate: 20, UpcallBurst: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Log(rep.Summary())
+	}
+	if rep.DownSends != 40 {
+		t.Errorf("sends into the void = %d, want 40", rep.DownSends)
+	}
+}

@@ -1,0 +1,516 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// This file is the overload soak harness: a receiver with a hard
+// soft-state memory budget and keying admission control, attacked by the
+// two state-creation floods the FBS design is most exposed to, with
+// RunChaos-style exact reconciliation.
+//
+//   - The flow-churn flooder is an AUTHENTICATED peer that puts every
+//     datagram on a fresh flow (a new 5-tuple/sfl each time), growing
+//     the receiver's replay window and flow-key cache — and its own
+//     flow state table — at line rate. The budget must cap total state
+//     while every offered datagram still lands in exactly one bucket.
+//   - The spoofed-source keying flooder forges datagrams from REGISTERED
+//     principals the receiver has never talked to. Each admitted source
+//     costs the receiver a certificate fetch plus a Diffie-Hellman
+//     exponentiation before the MAC unmasks it — the classic
+//     verification-flooding DoS. The admission gate must shed the storm
+//     before the expensive work, so exponentiations grow with admitted
+//     peers, never with offered packets.
+//
+// Throughout, a legitimate transfer must retain at least the configured
+// fraction of its unattacked goodput.
+
+// FloodScenario parameterises one overload run.
+type FloodScenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Seed drives spoof forging and churn payloads.
+	Seed uint64
+	// Datagrams is the legitimate transfer size; PayloadBytes sizes each
+	// datagram (minimum 8).
+	Datagrams    int
+	PayloadBytes int
+	// Secret encrypts the legitimate payloads.
+	Secret bool
+	// ChurnDatagrams is how many fresh-flow datagrams the authenticated
+	// flooder offers; SpoofDatagrams how many forged-source keying
+	// datagrams arrive, cycling over SpoofSources registered principals.
+	ChurnDatagrams int
+	SpoofDatagrams int
+	SpoofSources   int
+	// HardBudget and HighWater configure the receiver's soft-state
+	// budget (bytes); HardBudget <= 0 disables it. SenderHardBudget, if
+	// positive, budgets the churn flooder's own endpoint so the
+	// sender-side flow-table shed path is exercised too.
+	HardBudget       int64
+	HighWater        int64
+	SenderHardBudget int64
+	// Admission configures the receiver's keying gate.
+	Admission core.AdmissionConfig
+	// GoodputFloor is the minimum fraction of the legitimate datagrams
+	// offered during the attack that must be accepted during the attack
+	// (before any retransmission); default 0.7.
+	GoodputFloor float64
+	// MaxRounds bounds post-attack retransmission rounds (default 10).
+	MaxRounds int
+}
+
+// FloodReport is the outcome of an overload run plus its reconciliation.
+type FloodReport struct {
+	Scenario string
+	// LegitOffered/LegitAccepted count the legitimate transfer during
+	// the attack phase (acceptance measured before retransmission);
+	// Goodput is their ratio.
+	LegitOffered  uint64
+	LegitAccepted uint64
+	Goodput       float64
+	// ChurnAttempts is what the flooder tried to seal; ChurnOffered what
+	// its endpoint let onto the wire (the difference was shed
+	// sender-side under its own budget).
+	ChurnAttempts uint64
+	ChurnOffered  uint64
+	// SpoofOffered counts forged datagrams injected at the receiver.
+	SpoofOffered uint64
+	// Accepted is everything the receiver accepted (legit + churn,
+	// including retransmissions).
+	Accepted      uint64
+	SenderDrops   [core.NumDropReasons]uint64
+	ReceiverDrops [core.NumDropReasons]uint64
+	Port          PortStats
+	// Overload-plane snapshots from the receiver, plus the churn
+	// flooder's own budget.
+	Budget       core.BudgetStats
+	SenderBudget core.BudgetStats
+	Admission    core.AdmissionStats
+	Replay       core.ReplayStats
+	Keys         core.KeyServiceStats
+	// LegitPeers is how many genuine correspondents the receiver keyed
+	// (the allowance on top of Admitted in the exponentiation bound).
+	LegitPeers uint64
+	Rounds     int
+	Complete   bool
+	// Violations lists every reconciliation equation that failed; empty
+	// means the run reconciled exactly.
+	Violations []string
+}
+
+// countBelow reports how many sequence numbers under want are marked.
+func (r *receiverState) countBelow(want int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for seq := range r.got {
+		if int(seq) < want {
+			n++
+		}
+	}
+	return n
+}
+
+// spoofHeader forges a wire datagram from src: a plausible fresh header
+// (random sfl and confounder, current timestamp, garbage MAC) that will
+// survive every cheap check and force the receiver to the keying path.
+func spoofHeader(rng *cryptolib.LCG, src, dst principal.Address, now time.Time) transport.Datagram {
+	h := core.Header{
+		Version:    core.HeaderVersion,
+		MAC:        cryptolib.MACPrefixMD5,
+		SFL:        core.SFL(rng.Uint32()) | core.SFL(rng.Uint32())<<32,
+		Confounder: rng.Uint32(),
+		Timestamp:  core.TimestampOf(now),
+	}
+	for i := 0; i < len(h.MACValue); i += 4 {
+		binary.BigEndian.PutUint32(h.MACValue[i:], rng.Uint32())
+	}
+	payload := h.Encode(make([]byte, 0, core.HeaderSize+32))
+	payload = append(payload, make([]byte, 32)...)
+	return transport.Datagram{Source: src, Destination: dst, Payload: payload}
+}
+
+// RunFlood executes one overload scenario to completion and reconciles
+// the books. An empty Violations slice is the verdict: the state budget
+// held, the sheds were attributed exactly, the exponentiations stayed
+// bounded by admissions, and the legitimate transfer survived.
+func RunFlood(sc FloodScenario) (*FloodReport, error) {
+	if sc.Datagrams <= 0 {
+		sc.Datagrams = 64
+	}
+	if sc.PayloadBytes < 8 {
+		sc.PayloadBytes = 64
+	}
+	if sc.SpoofSources <= 0 {
+		sc.SpoofSources = 16
+	}
+	if sc.GoodputFloor <= 0 {
+		sc.GoodputFloor = 0.7
+	}
+	if sc.MaxRounds <= 0 {
+		sc.MaxRounds = 10
+	}
+	seed := sc.Seed
+	if seed == 0 {
+		seed = 0xF100D
+	}
+	const (
+		sender   principal.Address = "flood-alice"
+		receiver principal.Address = "flood-bob"
+		flooder  principal.Address = "flood-mallory"
+	)
+
+	// World: CA, directory, identities. The spoof sources are REGISTERED
+	// principals — their certificates resolve and verify, so an admitted
+	// spoof costs the receiver real keying work, which is exactly what
+	// the gate must ration.
+	ca, err := cert.NewAuthority("flood-root", 512)
+	if err != nil {
+		return nil, err
+	}
+	dir := cert.NewStaticDirectory()
+	ver := &cert.Verifier{CAKey: ca.PublicKey(), CA: "flood-root"}
+	now := time.Now()
+	ids := make(map[principal.Address]*principal.Identity)
+	register := func(addr principal.Address) error {
+		id, err := principal.NewIdentity(addr, cryptolib.TestGroup)
+		if err != nil {
+			return err
+		}
+		c, err := ca.Issue(id, now.Add(-time.Hour), now.Add(24*time.Hour))
+		if err != nil {
+			return err
+		}
+		dir.Publish(c)
+		ids[addr] = id
+		return nil
+	}
+	spoofs := make([]principal.Address, sc.SpoofSources)
+	for i := range spoofs {
+		spoofs[i] = principal.Address(fmt.Sprintf("flood-spoof-%03d", i))
+	}
+	for _, addr := range append([]principal.Address{sender, receiver, flooder}, spoofs...) {
+		if err := register(addr); err != nil {
+			return nil, err
+		}
+	}
+
+	net := NewChaosNetwork(LinkModel{Seed: seed}) // clean link: the flood is the fault
+	rng := cryptolib.NewLCGSeeded(seed)
+
+	attach := func(addr principal.Address, cfg core.Config) (*core.Endpoint, error) {
+		tr, err := net.Attach(addr, 1<<16)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Identity = ids[addr]
+		cfg.Transport = tr
+		cfg.Directory = dir
+		cfg.Verifier = ver
+		cfg.MAC = cryptolib.MACPrefixMD5
+		cfg.AcceptMACs = []cryptolib.MACID{cryptolib.MACPrefixMD5}
+		return core.NewEndpoint(cfg)
+	}
+	alice, err := attach(sender, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer alice.Close()
+	bob, err := attach(receiver, core.Config{
+		EnableReplayCache: true,
+		StateBudget:       core.NewBudget(sc.HighWater, sc.HardBudget),
+		Admission:         sc.Admission,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer bob.Close()
+	mallory, err := attach(flooder, core.Config{
+		StateBudget: core.NewBudget(0, sc.SenderHardBudget),
+		// Every churn datagram must land on a fresh flow: classify on
+		// the sequence number the churn loop varies.
+		Selector: func(dg transport.Datagram) core.FlowID {
+			return core.FlowID{
+				Src: dg.Source,
+				Dst: dg.Destination,
+				Aux: uint64(binary.BigEndian.Uint32(dg.Payload)),
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer mallory.Close()
+
+	rs := &receiverState{got: make(map[uint32]bool), want: sc.Datagrams}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			dg, err := bob.Receive()
+			if errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			if err != nil || len(dg.Payload) < 4 {
+				continue
+			}
+			rs.mark(binary.BigEndian.Uint32(dg.Payload))
+		}
+	}()
+
+	report := &FloodReport{Scenario: sc.Name}
+	payload := func(seq uint32) []byte {
+		p := make([]byte, sc.PayloadBytes)
+		binary.BigEndian.PutUint32(p, seq)
+		for i := 4; i < len(p); i++ {
+			p[i] = byte(seq + uint32(i))
+		}
+		return p
+	}
+	sendLegit := func(seq uint32) {
+		if alice.SendTo(receiver, payload(seq), sc.Secret) == nil {
+			report.LegitOffered++
+		}
+	}
+	// Churn datagrams carry sequence numbers in the top half of the
+	// space so the receiver loop never confuses them with the transfer.
+	churnSeq := uint32(1 << 31)
+	sendChurn := func() {
+		report.ChurnAttempts++
+		dg := transport.Datagram{
+			Source:      flooder,
+			Destination: receiver,
+			Payload:     payload(churnSeq),
+		}
+		churnSeq++
+		// Seal failures (the flooder's own budget refusing a fresh flow)
+		// are counted by its endpoint; offered means "made it to the
+		// wire".
+		if mallory.Send(dg, false) == nil {
+			report.ChurnOffered++
+		}
+	}
+	sendSpoof := func(i int) {
+		net.Inject(spoofHeader(rng, spoofs[i%len(spoofs)], receiver, time.Now()))
+		report.SpoofOffered++
+	}
+	drain := func() bool {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			net.Quiesce(time.Second)
+			ps := net.PortStats(receiver)
+			m := bob.Metrics()
+			var drops uint64
+			for _, d := range m.Drops {
+				drops += d
+			}
+			enq := ps.DeliveredClean + ps.DeliveredDup + ps.DeliveredCorrupt + ps.Injected
+			if m.Received+drops >= enq && net.Pending() == 0 {
+				return true
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Warm-up: both genuine correspondents key themselves before the
+	// storm, so the gate's token bucket protects the attack phase's
+	// first contacts rather than deciding them.
+	sendLegit(0)
+	sendChurn()
+	drained := drain()
+
+	// Attack phase: legitimate transfer interleaved with both floods.
+	churnPer := sc.ChurnDatagrams / sc.Datagrams
+	spoofPer := sc.SpoofDatagrams / sc.Datagrams
+	for seq := 1; seq < sc.Datagrams; seq++ {
+		sendLegit(uint32(seq))
+		for i := 0; i < churnPer; i++ {
+			sendChurn()
+		}
+		for i := 0; i < spoofPer; i++ {
+			sendSpoof(seq*spoofPer + i)
+		}
+	}
+	for int(report.ChurnAttempts) < sc.ChurnDatagrams+1 {
+		sendChurn()
+	}
+	for int(report.SpoofOffered) < sc.SpoofDatagrams {
+		sendSpoof(int(report.SpoofOffered))
+	}
+	drained = drain() && drained
+
+	// Goodput is measured here — what survived DURING the attack.
+	report.LegitAccepted = uint64(rs.countBelow(sc.Datagrams))
+	if report.LegitOffered > 0 {
+		report.Goodput = float64(report.LegitAccepted) / float64(report.LegitOffered)
+	}
+
+	// Recovery: the attack stops; retransmission rounds must complete
+	// the transfer on soft state alone.
+	for report.Rounds < sc.MaxRounds {
+		missing := rs.missing()
+		if len(missing) == 0 {
+			break
+		}
+		report.Rounds++
+		for _, seq := range missing {
+			sendLegit(seq)
+		}
+		drained = drain() && drained
+	}
+	report.Complete = len(rs.missing()) == 0
+
+	mm, bm := mallory.Metrics(), bob.Metrics()
+	report.Accepted = bm.Received
+	report.SenderDrops = mm.Drops
+	report.ReceiverDrops = bm.Drops
+	report.Port = net.PortStats(receiver)
+	bs := bob.Stats()
+	report.Budget = bs.Budget
+	report.Admission = bs.Admission
+	report.Replay = bs.Replay
+	report.SenderBudget = mallory.Stats().Budget
+	report.Keys = bobKeyStats(bob)
+	report.LegitPeers = 2 // alice and mallory
+
+	bob.Close()
+	wg.Wait()
+
+	if !drained {
+		report.Violations = append(report.Violations, "network failed to drain before the books were read")
+	}
+	report.reconcile(&sc)
+	return report, nil
+}
+
+// reconcile checks the overload accounting equations and appends a line
+// per violation.
+func (r *FloodReport) reconcile(sc *FloodScenario) {
+	fail := func(format string, args ...any) {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+	if !r.Complete {
+		fail("legitimate transfer incomplete after %d retransmission rounds", r.Rounds)
+	}
+	if r.Port.Overflow != 0 {
+		fail("receiver queue overflowed %d times; accounting not exact", r.Port.Overflow)
+	}
+
+	// Conservation: every copy enqueued at the receiver was either
+	// accepted or dropped with exactly one reason.
+	var rdrops uint64
+	for _, d := range r.ReceiverDrops {
+		rdrops += d
+	}
+	enq := r.Port.DeliveredClean + r.Port.DeliveredDup + r.Port.DeliveredCorrupt + r.Port.Injected
+	if got := r.Accepted + rdrops; got != enq {
+		fail("conservation: accepted(%d)+drops(%d)=%d != enqueued(%d)", r.Accepted, rdrops, got, enq)
+	}
+	if r.Port.Injected != r.SpoofOffered {
+		fail("injection accounting: port saw %d, flooder placed %d", r.Port.Injected, r.SpoofOffered)
+	}
+	// The link is clean: every enqueued copy is first-delivery, intact.
+	if r.Port.DeliveredDup != 0 || r.Port.DeliveredCorrupt != 0 {
+		fail("clean link delivered dup=%d corrupt=%d", r.Port.DeliveredDup, r.Port.DeliveredCorrupt)
+	}
+	// Every spoofed datagram lands in exactly one of the keying-path
+	// buckets: shed by the gate or the budget before any expensive work,
+	// or unmasked by the MAC after it. The only other traffic that can
+	// reach those buckets is an authenticated datagram whose sender an
+	// admitted spoof evicted from the master-key cache (a direct-mapped
+	// collision) — a re-admission that itself can shed. On a clean link
+	// that count is exactly the clean deliveries that were not accepted,
+	// so the books still balance to the datagram.
+	spoofDrops := r.ReceiverDrops[core.DropKeyingOverload] +
+		r.ReceiverDrops[core.DropPeerQuota] +
+		r.ReceiverDrops[core.DropStateBudget] +
+		r.ReceiverDrops[core.DropBadMAC] +
+		r.ReceiverDrops[core.DropKeying]
+	cleanShed := r.Port.DeliveredClean - r.Accepted
+	if spoofDrops != r.SpoofOffered+cleanShed {
+		fail("spoof accounting: keying-path drops %d != spoofs(%d)+readmission sheds(%d)",
+			spoofDrops, r.SpoofOffered, cleanShed)
+	}
+	// The churn flooder's books: every attempt was sealed onto the wire
+	// or shed by its own endpoint with a counted reason.
+	var sdrops uint64
+	for _, d := range r.SenderDrops {
+		sdrops += d
+	}
+	if got, want := r.ChurnOffered+sdrops, r.ChurnAttempts; got != want {
+		fail("churn accounting: offered(%d)+sender drops(%d) != attempts(%d)", r.ChurnOffered, sdrops, want)
+	}
+
+	// The hard budget is a ceiling, not a suggestion: peak occupancy
+	// never exceeds it, on either side.
+	if r.Budget.HardLimit > 0 {
+		if r.Budget.Peak > r.Budget.HardLimit {
+			fail("receiver budget peak %d exceeds hard limit %d", r.Budget.Peak, r.Budget.HardLimit)
+		}
+		if sc.ChurnDatagrams > 0 && r.Budget.Denials == 0 {
+			fail("churn flood never drove the receiver budget to a denial")
+		}
+	}
+	if r.SenderBudget.HardLimit > 0 && r.SenderBudget.Peak > r.SenderBudget.HardLimit {
+		fail("flooder budget peak %d exceeds hard limit %d", r.SenderBudget.Peak, r.SenderBudget.HardLimit)
+	}
+
+	// The exponentiation bound: Diffie-Hellman work grows with the peers
+	// the gate admitted (plus the genuine correspondents), never with
+	// the packets the flood offered.
+	if bound := r.LegitPeers + r.Admission.Admitted; r.Keys.MasterKeyComputes > bound {
+		fail("exponentiations %d exceed admitted peers bound %d", r.Keys.MasterKeyComputes, bound)
+	}
+	if sc.Admission.UpcallRate > 0 && sc.SpoofDatagrams > 0 {
+		if r.Admission.ShedOverload+r.Admission.ShedQuota == 0 {
+			fail("spoof flood at 10x never tripped the admission gate")
+		}
+	}
+
+	// The legitimate transfer survived the storm.
+	if r.Goodput < sc.GoodputFloor {
+		fail("legit goodput %.2f below floor %.2f", r.Goodput, sc.GoodputFloor)
+	}
+}
+
+// Summary renders the report as a compact multi-line string for the
+// fbschaos command.
+func (r *FloodReport) Summary() string {
+	s := fmt.Sprintf("flood %s: legit=%d/%d (goodput %.2f) churn=%d/%d spoof=%d rounds=%d complete=%v\n",
+		r.Scenario, r.LegitAccepted, r.LegitOffered, r.Goodput,
+		r.ChurnOffered, r.ChurnAttempts, r.SpoofOffered, r.Rounds, r.Complete)
+	s += fmt.Sprintf("  budget: used=%d peak=%d/%d pressure=%d denials=%d (flooder peak=%d/%d)\n",
+		r.Budget.Used, r.Budget.Peak, r.Budget.HardLimit, r.Budget.PressureEvents, r.Budget.Denials,
+		r.SenderBudget.Peak, r.SenderBudget.HardLimit)
+	s += fmt.Sprintf("  admission: admitted=%d shed_overload=%d shed_quota=%d prefixes=%d\n",
+		r.Admission.Admitted, r.Admission.ShedOverload, r.Admission.ShedQuota, r.Admission.ActivePrefixes)
+	s += fmt.Sprintf("  replay: entries=%d peers=%d evictions=%d; dh computes=%d (admitted+legit bound %d)\n",
+		r.Replay.Entries, r.Replay.Peers, r.Replay.Evictions, r.Keys.MasterKeyComputes, r.LegitPeers+r.Admission.Admitted)
+	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
+		if n := r.ReceiverDrops[reason]; n > 0 {
+			s += fmt.Sprintf("  drop %s: %d\n", reason, n)
+		}
+	}
+	if len(r.Violations) == 0 {
+		s += "  reconciliation: exact\n"
+	}
+	for _, v := range r.Violations {
+		s += "  VIOLATION: " + v + "\n"
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fbs/internal/core"
+)
+
+// TestFloodSpoofedKeyingAt10x is the headline overload run: a spoofed
+// -source keying flood at 10x the legitimate rate plus an authenticated
+// flow-churn flood, against a receiver with a hard soft-state budget and
+// keying admission control. The reconciliation inside RunFlood asserts
+// conservation, the budget ceiling, the exponentiation to admission
+// bound, and the goodput floor; the test additionally pins each of the
+// overload drop reasons to the component that must produce it.
+func TestFloodSpoofedKeyingAt10x(t *testing.T) {
+	rep, err := RunFlood(FloodScenario{
+		Name:         "spoof-10x",
+		Seed:         7,
+		Datagrams:    60,
+		PayloadBytes: 64,
+		Secret:       true,
+		// 10 spoofs and 2 fresh-flow churn datagrams ride along with
+		// every legitimate datagram.
+		ChurnDatagrams: 120,
+		SpoofDatagrams: 600,
+		SpoofSources:   24,
+		HardBudget:     8192,
+		// The flooder's own endpoint gets a budget sized for 16 flows,
+		// so the sender-side shed path is exercised too.
+		SenderHardBudget: 16 * core.CostFAMEntry,
+		Admission: core.AdmissionConfig{
+			UpcallRate:  20,
+			UpcallBurst: 5,
+			// 14 characters group "flood-spoof-NNN" sources by their
+			// first two digits: a handful of prefix quotas, none able
+			// to monopolise the token bucket, with enough quota-passing
+			// attempts between them to empty it.
+			PrefixQuota: 2,
+			PrefixLen:   14,
+			QuotaWindow: 30 * time.Second,
+		},
+		GoodputFloor: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Log(rep.Summary())
+	}
+	// Each overload shed mechanism fired and was attributed:
+	// the token bucket...
+	if rep.ReceiverDrops[core.DropKeyingOverload] == 0 {
+		t.Error("spoof flood never produced DropKeyingOverload at the receiver")
+	}
+	// ...the per-source-prefix quota...
+	if rep.ReceiverDrops[core.DropPeerQuota] == 0 {
+		t.Error("spoof flood never produced DropPeerQuota at the receiver")
+	}
+	// ...and the flooder's own state budget refusing fresh flows.
+	if rep.SenderDrops[core.DropStateBudget] == 0 {
+		t.Error("churn flooder's budget never produced DropStateBudget")
+	}
+	// Admitted spoofs were unmasked by the MAC, not accepted.
+	if rep.ReceiverDrops[core.DropBadMAC] == 0 {
+		t.Error("no admitted spoof reached (and failed) MAC verification")
+	}
+	if rep.Admission.Admitted == 0 {
+		t.Error("gate admitted nobody; the scenario never keyed at all")
+	}
+}
+
+// TestFloodChurnBudgetExact runs the flow-churn flood alone, with no
+// admission gate: the memory budget by itself must cap receiver state
+// (flow-key cache installs skipped, replay entries evicted) while every
+// offered datagram still reconciles to a bucket and the legitimate
+// transfer is untouched.
+func TestFloodChurnBudgetExact(t *testing.T) {
+	rep, err := RunFlood(FloodScenario{
+		Name:           "churn-budget",
+		Seed:           11,
+		Datagrams:      40,
+		PayloadBytes:   64,
+		ChurnDatagrams: 200,
+		HardBudget:     4096,
+		GoodputFloor:   0.95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Log(rep.Summary())
+	}
+	if rep.Budget.Denials == 0 {
+		t.Error("churn never drove the budget to a denial")
+	}
+	if rep.Replay.Evictions == 0 {
+		t.Error("replay cache never evicted under the hard budget")
+	}
+	if rep.Budget.Peak > 4096 {
+		t.Errorf("budget peak %d exceeded the hard limit", rep.Budget.Peak)
+	}
+	// With nobody spoofing and both senders authenticated, the transfer
+	// loses nothing.
+	if !rep.Complete {
+		t.Error("transfer incomplete under churn-only flood")
+	}
+}

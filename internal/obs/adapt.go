@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"sort"
+
 	"fbs/internal/core"
 	"fbs/internal/ip"
+	"fbs/internal/principal"
 	"fbs/internal/transport"
 )
 
@@ -80,6 +83,46 @@ func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
 			CounterFamily("fbs_mkd_upcalls_total", "Upcalls to the master key daemon.", upcalls, eplbl),
 			CounterFamily("fbs_mkd_timeouts_total", "Upcalls abandoned at the MKD deadline.", mkdTimeouts, eplbl),
 		)
+
+		// Overload plane: the soft-state memory budget, the keying
+		// admission gate, replay-window occupancy, and the flow-key
+		// derivation single-flight.
+		es := ep.Stats()
+		fams = append(fams,
+			GaugeFamily("fbs_budget_used_bytes", "Soft-state bytes currently charged to the memory budget.", float64(es.Budget.Used), eplbl),
+			GaugeFamily("fbs_budget_peak_bytes", "High-water mark of charged soft-state bytes.", float64(es.Budget.Peak), eplbl),
+			GaugeFamily("fbs_budget_high_water_bytes", "Pressure threshold of the memory budget.", float64(es.Budget.HighWater), eplbl),
+			GaugeFamily("fbs_budget_hard_limit_bytes", "Hard limit of the memory budget (0 = unbudgeted).", float64(es.Budget.HardLimit), eplbl),
+			CounterFamily("fbs_budget_pressure_events_total", "Transitions into the pressure band.", es.Budget.PressureEvents, eplbl),
+			CounterFamily("fbs_budget_denials_total", "Soft-state installs refused at the hard limit.", es.Budget.Denials, eplbl),
+			CounterFamily("fbs_admission_admitted_total", "New-peer keying attempts admitted by the gate.", es.Admission.Admitted, eplbl),
+			GaugeFamily("fbs_admission_queue_depth", "Admitted keying upcalls currently in flight.", float64(es.Admission.Depth), eplbl),
+			GaugeFamily("fbs_admission_active_prefixes", "Source prefixes tracked by the admission quota.", float64(es.Admission.ActivePrefixes), eplbl),
+			GaugeFamily("fbs_replay_entries", "Live replay-window entries.", float64(es.Replay.Entries), eplbl),
+			GaugeFamily("fbs_replay_peers", "Distinct peers holding replay-window entries.", float64(es.Replay.Peers), eplbl),
+			CounterFamily("fbs_replay_evictions_total", "Replay entries evicted at the budget hard limit.", es.Replay.Evictions, eplbl),
+			CounterFamily("fbs_keying_flowkey_dedup_total", "Concurrent flow-key derivations coalesced into one.", es.FlowKeyDedups, eplbl),
+			CounterFamily("fbs_pressure_sweeps_total", "Tightened-threshold sweeps triggered by budget pressure.", es.PressureSweeps, eplbl),
+		)
+		shed := Family{Name: "fbs_admission_shed_total", Help: "New-peer keying attempts refused by the gate, by cause.", Type: "counter"}
+		shed.Samples = append(shed.Samples,
+			Sample{Labels: []Label{eplbl, {Key: "cause", Value: "overload"}}, Value: float64(es.Admission.ShedOverload)},
+			Sample{Labels: []Label{eplbl, {Key: "cause", Value: "quota"}}, Value: float64(es.Admission.ShedQuota)})
+		fams = append(fams, shed)
+		perPeer := Family{Name: "fbs_replay_peer_entries", Help: "Replay-window entries held per peer (bounded by the budget).", Type: "gauge"}
+		occupancy := ep.ReplayPerPeer()
+		peers := make([]string, 0, len(occupancy))
+		for peer := range occupancy {
+			peers = append(peers, string(peer))
+		}
+		sort.Strings(peers)
+		for _, peer := range peers {
+			perPeer.Samples = append(perPeer.Samples, Sample{
+				Labels: []Label{eplbl, {Key: "peer", Value: peer}},
+				Value:  float64(occupancy[principal.Address(peer)]),
+			})
+		}
+		fams = append(fams, perPeer)
 		return fams
 	})
 }

@@ -104,6 +104,14 @@ func TestAdminPlane(t *testing.T) {
 		`fbs_keyservice_stale_served_total{endpoint="alice"}`,
 		`fbs_keyservice_deadline_exceeded_total{endpoint="bob"}`,
 		`fbs_mkd_timeouts_total{endpoint="alice"}`,
+		`fbs_budget_used_bytes{endpoint="alice"}`,
+		`fbs_budget_denials_total{endpoint="bob"}`,
+		`fbs_admission_admitted_total{endpoint="bob"}`,
+		`fbs_admission_shed_total{endpoint="bob",cause="overload"}`,
+		`fbs_admission_shed_total{endpoint="bob",cause="quota"}`,
+		`fbs_replay_entries{endpoint="bob"}`,
+		`fbs_keying_flowkey_dedup_total{endpoint="bob"}`,
+		`fbs_pressure_sweeps_total{endpoint="alice"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q\n%s", want, metrics)

@@ -5,11 +5,11 @@
 
 GO ?= go
 GOFMT ?= gofmt
-# FUZZTIME is per fuzz target; CI runs two targets, so the default keeps
-# the whole fuzz-smoke step to ~30 s.
+# FUZZTIME is per fuzz target; CI runs three targets, so the default
+# keeps the whole fuzz-smoke step to ~45 s.
 FUZZTIME ?= 15s
 
-.PHONY: all build lint vet test race check bench bench-smoke fuzz-smoke chaos flood ci
+.PHONY: all build lint vet test race check bench bench-smoke fuzz-smoke chaos flood diff ci
 
 all: check
 
@@ -50,6 +50,16 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzHeaderDecode$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzOpen$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/netsim -run='^$$' -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZTIME)
+
+# diff soaks the differential harness: seeded op streams cross-validated
+# between the optimised endpoint and the naive reference model
+# (internal/refmodel), with and without the replay cache. DIFF_OPS
+# scales the stream length; a divergence writes its op stream and both
+# transcripts to FBS_DIFF_ARTIFACT_DIR when set.
+DIFF_OPS ?= 20000
+diff:
+	$(GO) run ./cmd/fbschaos -diff -ops $(DIFF_OPS)
 
 # chaos runs the standing fault-injection matrix (see docs/ROBUSTNESS.md)
 # and fails unless every scenario reconciles exactly. Raise -iterations
@@ -64,7 +74,7 @@ FLOOD_ITERATIONS ?= 5
 flood:
 	$(GO) run ./cmd/fbschaos -flood -crash -iterations $(FLOOD_ITERATIONS)
 
-check: build lint test race bench-smoke fuzz-smoke
+check: build lint test race bench-smoke fuzz-smoke diff
 
 # ci is the exact sequence the GitHub Actions workflow runs: a local
 # `make ci` reproduces a CI verdict bit for bit. It differs from `check`
@@ -72,8 +82,9 @@ check: build lint test race bench-smoke fuzz-smoke
 # packages), writing coverage.out, and keeping fbsbench.json on disk so
 # the workflow can upload both as artifacts.
 ci: build lint
-	$(GO) test -race -coverprofile=coverage.out ./...
+	FBS_DIFF_ARTIFACT_DIR=diff-artifacts $(GO) test -race -coverprofile=coverage.out ./...
 	$(MAKE) fuzz-smoke
+	FBS_DIFF_ARTIFACT_DIR=diff-artifacts $(MAKE) diff
 	$(GO) run ./cmd/fbsbench -bytes 65536 -native -json | tee fbsbench.json | $(GO) run ./cmd/fbsstat bench-validate
 	$(GO) run ./cmd/fbschaos
 	# BENCH_overload.json (JSON lines): a short unattacked fbsbench

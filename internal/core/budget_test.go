@@ -159,48 +159,5 @@ func TestCacheBudgetSkipsInstallAtHardLimit(t *testing.T) {
 	}
 }
 
-func TestReplayCacheBudgetEvictsAtHardLimit(t *testing.T) {
-	b := NewBudget(0, 10*CostReplayEntry)
-	rc := NewReplayCache(10 * time.Minute)
-	rc.SetBudget(b)
-	now := famEpoch
-	for i := uint32(0); i < 50; i++ {
-		rc.Seen("mallory", &Header{SFL: 1, Confounder: i}, now)
-	}
-	if got := rc.Len(); got > 10 {
-		t.Fatalf("entries = %d, exceeds budget for 10", got)
-	}
-	if b.Used() > 10*CostReplayEntry {
-		t.Fatalf("used = %d, exceeds hard limit", b.Used())
-	}
-	s := rc.Stats()
-	if s.Evictions == 0 {
-		t.Fatal("hard-limit inserts did not count evictions")
-	}
-	// Sweeping expired entries returns their budget.
-	rc.Seen("alice", &Header{SFL: 2, Confounder: 0, Timestamp: TimestampOf(now)}, now.Add(21*time.Minute))
-	if b.Used() != CostReplayEntry {
-		t.Fatalf("used after sweep = %d, want %d", b.Used(), CostReplayEntry)
-	}
-}
-
-func TestReplayCachePerPeerOccupancy(t *testing.T) {
-	rc := NewReplayCache(10 * time.Minute)
-	now := famEpoch
-	for i := uint32(0); i < 5; i++ {
-		rc.Seen("alice", &Header{SFL: 1, Confounder: i}, now)
-	}
-	for i := uint32(0); i < 3; i++ {
-		rc.Seen("bob", &Header{SFL: 2, Confounder: i}, now)
-	}
-	// Duplicates do not inflate occupancy.
-	rc.Seen("alice", &Header{SFL: 1, Confounder: 0}, now.Add(time.Second))
-	per := rc.PerPeer()
-	if per["alice"] != 5 || per["bob"] != 3 {
-		t.Fatalf("per-peer occupancy = %v", per)
-	}
-	s := rc.Stats()
-	if s.Entries != 8 || s.Peers != 2 {
-		t.Fatalf("stats = %+v", s)
-	}
-}
+// The replay cache's hard-limit behaviour (refuse-the-newcomer, budget
+// release on sweep, per-peer occupancy) is covered in replay_test.go.

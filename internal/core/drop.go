@@ -42,6 +42,10 @@ const (
 	// DropStateBudget: the soft-state memory budget is at its hard
 	// limit and the datagram would have required fresh state.
 	DropStateBudget
+	// DropReplayBudget: the datagram verified but the budget hard limit
+	// left no room to record its replay signature, so it was refused
+	// rather than accepted unprotected (see ReplayRefused).
+	DropReplayBudget
 
 	// NumDropReasons sizes per-reason counter arrays.
 	NumDropReasons = int(iota)
@@ -62,6 +66,7 @@ var dropNames = [NumDropReasons]string{
 	DropKeyingOverload: "keying_overload",
 	DropPeerQuota:      "peer_quota",
 	DropStateBudget:    "state_budget",
+	DropReplayBudget:   "replay_budget",
 }
 
 // String returns the canonical label for the reason.
@@ -113,6 +118,8 @@ func DropReasonOf(err error) DropReason {
 		return DropPeerQuota
 	case errors.Is(err, ErrStateBudget):
 		return DropStateBudget
+	case errors.Is(err, ErrReplayBudget):
+		return DropReplayBudget
 	case errors.Is(err, ErrKeying):
 		return DropKeying
 	}

@@ -121,6 +121,14 @@ type Config struct {
 	// the hot path only that call.
 	Observer Observer
 
+	// SFLSeed, when nonzero, fixes the starting point of the sfl counter
+	// instead of randomising it. Production endpoints must leave this
+	// zero (a random start is what keeps a subsystem reset from forcing
+	// sfl reuse, Section 5.3); deterministic harnesses — the differential
+	// reference-model comparison in particular — set it so two endpoints
+	// allocate identical label sequences.
+	SFLSeed uint64
+
 	// StateBudget, when non-nil, bounds the endpoint's total soft state:
 	// the flow state table, replay windows, and all four cache levels
 	// (PVC/MKC/TFKC/RFKC) charge per-entry costs against it. Crossing
@@ -286,9 +294,14 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	if cfg.RFKCSize <= 0 {
 		cfg.RFKCSize = 256
 	}
-	fam, err := NewFAM(cfg.Policy, cfg.FSTSize)
-	if err != nil {
-		return nil, err
+	var fam *FAM
+	if cfg.SFLSeed != 0 {
+		fam = newFAMWithSeed(cfg.Policy, cfg.FSTSize, cfg.SFLSeed)
+	} else {
+		var err error
+		if fam, err = NewFAM(cfg.Policy, cfg.FSTSize); err != nil {
+			return nil, err
+		}
 	}
 	ks := NewKeyService(cfg.Identity, cfg.Directory, cfg.Verifier, cfg.Clock,
 		KeyServiceConfig{
@@ -405,6 +418,20 @@ func (e *Endpoint) Budget() *Budget { return e.cfg.StateBudget }
 // first-class budget input that attributes state pressure to the peer
 // creating it. Nil when the replay cache is disabled.
 func (e *Endpoint) ReplayPerPeer() map[principal.Address]int { return e.rc.PerPeer() }
+
+// PeerFlowKey derives the flow key this endpoint would use for sfl on
+// datagrams it sends to peer. It is a diagnostic seam for differential
+// testing: harnesses compare the key material an optimised endpoint
+// derives against an independent reference derivation. It goes through
+// the regular keying path (MKC, upcall), so it can fail with the same
+// keying errors a seal would.
+func (e *Endpoint) PeerFlowKey(sfl SFL, peer principal.Address) ([16]byte, error) {
+	master, err := e.mkd.Upcall(peer)
+	if err != nil {
+		return [16]byte{}, err
+	}
+	return FlowKey(cryptolib.HashMD5, sfl, master, e.Addr(), peer), nil
+}
 
 // CacheInfo describes one key/certificate cache for monitoring: its
 // name, occupancy, geometry and counters.
@@ -1025,10 +1052,20 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 			return nil, ErrBadMAC
 		}
 	}
-	// Optional exact-duplicate suppression (extension).
-	if e.rc != nil && e.rc.Seen(dg.Source, &h, now) {
-		e.metrics.drop(DropReplay)
-		return nil, ErrReplay
+	// Optional exact-duplicate suppression (extension). A datagram is
+	// only accepted with its signature recorded: at the budget hard
+	// limit the newcomer is refused, never admitted unrecorded and never
+	// traded against a resident signature (see ReplayVerdict).
+	if e.rc != nil {
+		switch e.rc.Check(dg.Source, &h, now) {
+		case ReplayDuplicate:
+			e.metrics.drop(DropReplay)
+			return nil, ErrReplay
+		case ReplayRefused:
+			e.metrics.drop(DropReplayBudget)
+			e.maybeRelievePressure(now)
+			return nil, fmt.Errorf("%w: from %q", ErrReplayBudget, dg.Source)
+		}
 	}
 	e.metrics.received.Add(1)
 	e.metrics.receivedBytes.Add(uint64(len(body)))

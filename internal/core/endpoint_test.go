@@ -205,6 +205,53 @@ func TestReplayWithinWindow(t *testing.T) {
 	}
 }
 
+// TestReplayBudgetSurfacesThroughOpen pins the receive-path contract of
+// the refuse-the-newcomer policy: when the state budget leaves no room
+// to record a datagram's replay signature, Open drops it under
+// ErrReplayBudget/DropReplayBudget — it neither accepts the datagram
+// unrecorded (an in-window replay hole) nor displaces a resident
+// signature to make room (the same hole, shifted onto the victim).
+func TestReplayBudgetSurfacesThroughOpen(t *testing.T) {
+	w := newWorld(t)
+	a, b, _ := endpointPair(t, w, func(c *Config) {
+		c.EnableReplayCache = true
+		// Room for keying state (certs, master key, flow key) plus only a
+		// handful of replay signatures.
+		c.StateBudget = NewBudget(0, 2048)
+	})
+	seal := func() transport.Datagram {
+		sealed, err := a.Seal(transport.Datagram{Source: "alice", Destination: "bob", Payload: []byte("x")}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sealed
+	}
+	first := seal()
+	if _, err := b.Open(first); err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	var refused error
+	for i := 0; i < 64 && refused == nil; i++ {
+		if _, err := b.Open(seal()); err != nil {
+			refused = err
+		}
+	}
+	if !errors.Is(refused, ErrReplayBudget) {
+		t.Fatalf("saturated budget returned %v, want ErrReplayBudget", refused)
+	}
+	if b.Metrics().Drops[DropReplayBudget] == 0 {
+		t.Error("DropReplayBudget never counted")
+	}
+	if b.Stats().Replay.Refusals == 0 {
+		t.Error("replay cache reports no refusals")
+	}
+	// The resident entry survived the pressure: replaying the first
+	// (accepted) datagram is still detected as a duplicate.
+	if _, err := b.Open(first); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay of accepted datagram returned %v, want ErrReplay", err)
+	}
+}
+
 // endpointPair2 is endpointPair with distinct principal names, for tests
 // needing two independent pairs in one world.
 func endpointPair2(t testing.TB, w *testWorld, mutate func(*Config)) (*Endpoint, *Endpoint, *transport.Network) {

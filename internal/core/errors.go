@@ -45,4 +45,9 @@ var (
 	// state makes this always safe to do: a later datagram retries once
 	// pressure sweeps reclaim room.
 	ErrStateBudget = errors.New("fbs: soft-state memory budget exhausted")
+	// ErrReplayBudget means the datagram verified but the budget hard
+	// limit left no room to record its replay signature; it is refused
+	// rather than accepted unprotected, because an unrecorded (or
+	// evicted) signature could be replayed within the freshness window.
+	ErrReplayBudget = errors.New("fbs: replay window full, datagram refused unrecorded")
 )

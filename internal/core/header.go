@@ -72,6 +72,14 @@ const (
 	macValueOffset = HeaderSize - MACLen
 )
 
+// SealOverhead is the worst-case growth sealing adds to a payload: the
+// security flow header plus one full cipher block of PKCS#7 padding (an
+// exactly block-aligned plaintext still gains a whole padding block).
+// MTU and MSS sizing must budget this, not just HeaderSize — a segment
+// sized for the header alone can grow past the MTU once encrypted and
+// then fail with ErrNeedsFragmentation under DF.
+const SealOverhead = HeaderSize + cryptolib.BlockSize
+
 // Header flag bits.
 const (
 	// FlagSecret marks an encrypted body (the secret flag of FBSSend).

@@ -106,6 +106,48 @@ func TestTimestampFresh(t *testing.T) {
 	}
 }
 
+// TestTimestampFreshAtWrap is the regression for the uint32 wraparound
+// bug: the 32-bit minute counter wraps after one era (2^32 minutes,
+// ~8000 years), and freshness must compare counters modularly. Under
+// the old linear comparison a sender minutes past the wrap looked an
+// entire era stale to a receiver just before it — and the arithmetic
+// itself overflowed, since 2^32 minutes exceeds time.Duration's
+// ~292-year range.
+func TestTimestampFreshAtWrap(t *testing.T) {
+	window := 10 * time.Minute
+	// The instant the counter wraps, built from Unix seconds: Add() with
+	// a 2^32-minute Duration cannot express it.
+	wrap := time.Unix(timestampEpochUnix+(int64(1)<<32)*60, 0).UTC()
+
+	// A sender 5 minutes past the wrap carries counter 5; a receiver
+	// still 3 minutes before it sits at counter 2^32-3. Modularly they
+	// are 8 minutes apart, not ~8000 years.
+	if !Timestamp(5).Fresh(wrap.Add(-3*time.Minute), window) {
+		t.Error("sender past the wrap judged stale by a receiver just before it")
+	}
+	// The mirror image: sender still before the wrap, receiver past it.
+	if !Timestamp(0xFFFFFFFD).Fresh(wrap.Add(3*time.Minute), window) {
+		t.Error("sender before the wrap judged stale by a receiver just past it")
+	}
+	// Modular distance still enforces the window across the boundary: 15
+	// minutes ahead is 15 minutes ahead.
+	if Timestamp(12).Fresh(wrap.Add(-3*time.Minute), window) {
+		t.Error("cross-wrap distance outside the window accepted as fresh")
+	}
+	// Counters half an era apart are maximally distant, never fresh.
+	if Timestamp(1<<31).Fresh(wrap, window) {
+		t.Error("half-era-distant counter accepted as fresh")
+	}
+	// TimestampOf itself reduces modularly past the wrap...
+	if got := TimestampOf(wrap.Add(5 * time.Minute)); got != 5 {
+		t.Errorf("TimestampOf past the wrap = %d, want 5", got)
+	}
+	// ...and the top of the era round-trips without overflowing.
+	if got := Timestamp(0xFFFFFFFF); TimestampOf(got.Time()) != got {
+		t.Errorf("max timestamp round-trip = %d", TimestampOf(got.Time()))
+	}
+}
+
 func TestCipherIDStringsAndErrors(t *testing.T) {
 	if CipherDES.String() != "DES" || Cipher3DES.String() != "3DES" || CipherNone.String() != "none" {
 		t.Error("bad cipher names")

@@ -46,8 +46,8 @@ func (s replaySig) stripe(mask uint32) uint32 {
 }
 
 // replayEntry is what the cache remembers per signature: when it was
-// accepted and from whom, so eviction and sweeping can keep the
-// per-peer occupancy counts exact.
+// accepted and from whom, so expiry sweeping can keep the per-peer
+// occupancy counts exact.
 type replayEntry struct {
 	at  time.Time
 	src principal.Address
@@ -56,11 +56,11 @@ type replayEntry struct {
 // replayStripe is one lock stripe: an independently locked shard of the
 // signature map plus its share of the per-peer occupancy counts.
 type replayStripe struct {
-	mu        sync.Mutex
-	seen      map[replaySig]replayEntry
-	peers     map[principal.Address]int
-	evictions uint64
-	_         [40]byte
+	mu       sync.Mutex
+	seen     map[replaySig]replayEntry
+	peers    map[principal.Address]int
+	refusals uint64
+	_        [40]byte
 }
 
 // remove deletes sig under the stripe lock, keeping peer counts exact.
@@ -80,16 +80,37 @@ type ReplayStats struct {
 	Entries int
 	// Peers is the number of distinct sources holding entries.
 	Peers int
-	// Evictions counts entries displaced at the budget hard limit to
-	// make room for a new signature.
-	Evictions uint64
+	// Refusals counts datagrams turned away at the budget hard limit
+	// because their signature could not be recorded (ReplayRefused).
+	Refusals uint64
 }
+
+// ReplayVerdict is the outcome of a replay-window check.
+type ReplayVerdict uint8
+
+const (
+	// ReplayFresh: first sighting within the window; the signature was
+	// recorded and the datagram may be accepted.
+	ReplayFresh ReplayVerdict = iota
+	// ReplayDuplicate: an identical datagram was already accepted within
+	// the window.
+	ReplayDuplicate
+	// ReplayRefused: the budget hard limit left no room to record the
+	// signature, so the datagram must be refused. Accepting it
+	// unrecorded — or evicting a resident signature to make room — would
+	// re-open an in-window replay: the unrecorded (or evicted) datagram
+	// could be replayed and accepted again. Refusal keeps the window
+	// sound; the cost is availability, and soft state bounds that cost
+	// to one freshness window (the sweep reclaims room as entries
+	// expire).
+	ReplayRefused
+)
 
 // ReplayCache suppresses exact duplicates inside the freshness window.
 // It is safe for concurrent use: signatures are partitioned across
 // power-of-two lock stripes so datagrams of different flows are checked
 // in parallel. Expired entries are swept lazily, at most once per
-// window, by whichever Seen call notices the sweep is due.
+// window, by whichever Check call notices the sweep is due.
 type ReplayCache struct {
 	window    time.Duration
 	stripes   []replayStripe
@@ -118,14 +139,14 @@ func NewReplayCache(window time.Duration) *ReplayCache {
 // Call before the cache serves traffic.
 func (r *ReplayCache) SetBudget(b *Budget) { r.budget = b }
 
-// Seen records the datagram from src and reports whether an identical
-// one was already accepted within the window. At the budget hard limit
-// a new signature displaces an arbitrary entry of the same stripe
-// (budget-neutral, counted as an eviction) rather than growing state;
-// if the stripe is empty the signature simply goes unrecorded, which
-// soft state makes safe — it re-opens only the paper's documented
-// in-window replay exposure for that one datagram.
-func (r *ReplayCache) Seen(src principal.Address, h *Header, now time.Time) bool {
+// Check records the datagram from src and classifies it. A datagram is
+// only ever accepted with its signature recorded: at the budget hard
+// limit the newcomer is refused (ReplayRefused) rather than displacing a
+// resident signature or passing unrecorded — either of those would let
+// an attacker replay the displaced (or unrecorded) datagram within the
+// window. A refreshed signature whose previous sighting has expired is
+// budget-neutral.
+func (r *ReplayCache) Check(src principal.Address, h *Header, now time.Time) ReplayVerdict {
 	var sig replaySig
 	sig.SFL = h.SFL
 	sig.Confounder = h.Confounder
@@ -138,28 +159,22 @@ func (r *ReplayCache) Seen(src principal.Address, h *Header, now time.Time) bool
 	defer st.mu.Unlock()
 	if e, ok := st.seen[sig]; ok {
 		if now.Sub(e.at) <= r.window {
-			return true
+			return ReplayDuplicate
 		}
 		// Stale entry for the same signature: refresh in place
 		// (budget-neutral).
 		st.remove(sig, e)
+		st.seen[sig] = replayEntry{at: now, src: src}
+		st.peers[src]++
+		return ReplayFresh
 	}
 	if !r.budget.TryCharge(CostReplayEntry) {
-		// Hard limit: trade an arbitrary same-stripe entry for this one.
-		evicted := false
-		for k, e := range st.seen {
-			st.remove(k, e)
-			st.evictions++
-			evicted = true
-			break
-		}
-		if !evicted {
-			return false
-		}
+		st.refusals++
+		return ReplayRefused
 	}
 	st.seen[sig] = replayEntry{at: now, src: src}
 	st.peers[src]++
-	return false
+	return ReplayFresh
 }
 
 // maybeSweep drops expired entries once the last full sweep is more than
@@ -216,7 +231,7 @@ func (r *ReplayCache) Stats() ReplayStats {
 		st := &r.stripes[i]
 		st.mu.Lock()
 		out.Entries += len(st.seen)
-		out.Evictions += st.evictions
+		out.Refusals += st.refusals
 		for p := range st.peers {
 			distinct[p] = struct{}{}
 		}

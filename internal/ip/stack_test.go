@@ -2,6 +2,7 @@ package ip
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -297,6 +298,109 @@ func TestFBSOverIPWithFragmentation(t *testing.T) {
 	}
 	if sa.Stats().FragmentsOut < 4 {
 		t.Fatalf("expected fragmentation, FragmentsOut = %d", sa.Stats().FragmentsOut)
+	}
+}
+
+// TestSealedPacketFragmentsReassemblesOpens drives a sealed datagram
+// through the fragmentation machinery directly: Fragment splits the
+// FBS-header-plus-ciphertext body at a small MTU, the Reassembler puts
+// it back together, and the peer's input hook opens the result byte-
+// for-byte. The MAC doubles as the oracle: any slicing or reassembly
+// error in the sealed bytes fails verification.
+func TestSealedPacketFragmentsReassemblesOpens(t *testing.T) {
+	w := newFBSWorld(t)
+	a, b := mustAddr(t, "10.0.0.1"), mustAddr(t, "10.0.0.2")
+	mkHook := func(addr Addr) *FBSHook {
+		h, err := NewFBSHook(core.Config{
+			Identity:  w.publish(t, addr),
+			Directory: w.dir,
+			Verifier:  w.ver,
+			Clock:     w.clk,
+		}, AlwaysSecret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	hookA, hookB := mkHook(a), mkHook(b)
+
+	payload := make([]byte, 5000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	payload[0], payload[1], payload[2], payload[3] = 0x10, 0x01, 0x00, 0x50 // "ports"
+	h := Header{ID: 99, TTL: 64, Protocol: ProtoUDP, Src: a, Dst: b}
+	sealed, err := hookA.OutputHook(&h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := Fragment(Packet{Header: h, Payload: sealed}, 576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 2 {
+		t.Fatalf("sealed packet produced %d fragments at MTU 576", len(frags))
+	}
+	r := NewReassembler(0)
+	var whole *Packet
+	for _, f := range frags {
+		if whole, err = r.Add(f, w.clk.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if whole == nil {
+		t.Fatal("fragment train did not complete")
+	}
+	opened, err := hookB.InputHook(&whole.Header, whole.Payload)
+	if err != nil {
+		t.Fatalf("open after reassembly: %v", err)
+	}
+	if !bytes.Equal(opened, payload) {
+		t.Fatal("payload mismatch after seal/fragment/reassemble/open")
+	}
+}
+
+// TestFBSSealedDFPaddingGrowth is the satellite regression for DF
+// sizing: sealing grows a packet by the 36-byte header AND up to a
+// cipher block of PKCS#7 padding. A DF payload sized to exactly fit
+// the MTU if only the header were added (the naive accounting) still
+// overflows once padding lands, and must surface ErrNeedsFragmentation
+// rather than an over-MTU frame; sized with core.SealOverhead it fits.
+func TestFBSSealedDFPaddingGrowth(t *testing.T) {
+	w := newFBSWorld(t)
+	wr := &wire{}
+	a, b := mustAddr(t, "10.0.0.1"), mustAddr(t, "10.0.0.2")
+	sa := w.fbsStack(t, wr, a, AlwaysSecret)
+	sb := w.fbsStack(t, wr, b, AlwaysSecret)
+	wr.peers = []*Stack{sa, sb}
+	var delivered int
+	sb.Handle(ProtoUDP, func(_ *Header, _ []byte) { delivered++ })
+	mtu := sa.MTU()
+
+	// Exact fit under header-only accounting, block-aligned so the
+	// cipher pads a full extra block: the sealed packet exceeds the MTU.
+	over := make([]byte, (mtu-HeaderMinLen-core.HeaderSize)&^7)
+	over[0], over[1], over[2], over[3] = 0x10, 0x01, 0x00, 0x50
+	if err := sa.Output(ProtoUDP, b, over, true); err == nil {
+		t.Fatal("DF packet that outgrew the MTU under padding was sent")
+	} else if !errors.Is(err, ErrNeedsFragmentation) {
+		t.Fatalf("err = %v, want ErrNeedsFragmentation", err)
+	}
+	if out := sa.Stats().FragmentsOut; out != 0 {
+		t.Fatalf("over-MTU DF packet put %d frames on the wire", out)
+	}
+	// Sized against the true worst-case overhead, the same DF packet
+	// fits in one fragment.
+	fit := make([]byte, (mtu-HeaderMinLen-core.SealOverhead)&^7)
+	fit[0], fit[1], fit[2], fit[3] = 0x10, 0x01, 0x00, 0x50
+	if err := sa.Output(ProtoUDP, b, fit, true); err != nil {
+		t.Fatal(err)
+	}
+	if out := sa.Stats().FragmentsOut; out != 1 {
+		t.Fatalf("FragmentsOut = %d, want 1 unfragmented frame", out)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
 	}
 }
 

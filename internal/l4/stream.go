@@ -24,10 +24,14 @@ type StreamConfig struct {
 	Window int
 	// RTO is the retransmission timeout; default 50 ms.
 	RTO time.Duration
-	// SecurityHeaderLen is the per-datagram security header size the
-	// segment-size calculation must account for (36 for FBS, 0 for a
-	// stock stack). Getting this wrong with DF set reproduces the
-	// 4.4BSD tcp_output bug.
+	// SecurityHeaderLen is the per-datagram security overhead the
+	// segment-size calculation must account for: 0 for a stock stack,
+	// core.SealOverhead for FBS. Note the header alone (core.HeaderSize)
+	// is NOT enough when the body is encrypted — PKCS#7 padding grows
+	// the sealed body by up to a cipher block, and an exact-fit segment
+	// sized for just the header overflows the MTU on aligned payloads.
+	// Getting this wrong with DF set reproduces the 4.4BSD tcp_output
+	// bug.
 	SecurityHeaderLen int
 	// Ports allocates ephemeral ports; default 1024-65535 with no
 	// reuse quarantine.

@@ -72,8 +72,8 @@ func fbsStreamFixture(t *testing.T) (*StreamStack, *StreamStack, ip.Addr) {
 	sa := mk(a)
 	sb := mk(b)
 	// The encrypted body grows by up to a DES block of padding beyond
-	// the FBS header, so the segment sizing must leave room for both.
-	const secOverhead = core.HeaderSize + cryptolib.BlockSize
+	// the FBS header; SealOverhead is the worst-case sum.
+	const secOverhead = core.SealOverhead
 	ssa, err := NewStreamStack(sa, StreamConfig{RTO: 30 * time.Millisecond, SecurityHeaderLen: secOverhead})
 	if err != nil {
 		t.Fatal(err)

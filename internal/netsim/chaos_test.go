@@ -53,10 +53,13 @@ func TestChaosAdversaryExactBuckets(t *testing.T) {
 	// Satellite guarantee: every link/adversary-reachable DropReason has
 	// a test asserting its counter increments. Keying is exercised by
 	// TestChaosKeyingOutage below; the overload sheds (keying_overload,
-	// peer_quota, state_budget) by the flood tests in flood_test.go.
+	// peer_quota, state_budget, replay_budget) by the flood tests in
+	// flood_test.go — this receiver runs unbudgeted, so its replay
+	// window never refuses a newcomer.
 	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
 		switch reason {
-		case core.DropKeying, core.DropKeyingOverload, core.DropPeerQuota, core.DropStateBudget:
+		case core.DropKeying, core.DropKeyingOverload, core.DropPeerQuota,
+			core.DropStateBudget, core.DropReplayBudget:
 			continue
 		}
 		if r.ReceiverDrops[reason] == 0 {

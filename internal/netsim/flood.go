@@ -24,6 +24,12 @@ import (
 //     the receiver's replay window and flow-key cache — and its own
 //     flow state table — at line rate. The budget must cap total state
 //     while every offered datagram still lands in exactly one bucket.
+//     Replay signatures are never evicted to make room (that would let
+//     an attacker replay the evicted datagram), so a saturated budget
+//     sheds verified datagrams with DropReplayBudget until the
+//     freshness window turns over; the recovery phase advances a
+//     simulated clock one window per retransmission round to model
+//     riding that out.
 //   - The spoofed-source keying flooder forges datagrams from REGISTERED
 //     principals the receiver has never talked to. Each admitted source
 //     costs the receiver a certificate fetch plus a Diffie-Hellman
@@ -208,6 +214,12 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 
 	net := NewChaosNetwork(LinkModel{Seed: seed}) // clean link: the flood is the fault
 	rng := cryptolib.NewLCGSeeded(seed)
+	// A shared simulated clock lets the recovery phase advance time past
+	// the freshness window, expiring replay signatures that the sound
+	// refuse-the-newcomer policy holds until expiry (nothing else frees
+	// them once the budget saturates).
+	clk := core.NewSimClock(now)
+	const freshness = 10 * time.Minute
 
 	attach := func(addr principal.Address, cfg core.Config) (*core.Endpoint, error) {
 		tr, err := net.Attach(addr, 1<<16)
@@ -218,6 +230,8 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 		cfg.Transport = tr
 		cfg.Directory = dir
 		cfg.Verifier = ver
+		cfg.Clock = clk
+		cfg.FreshnessWindow = freshness
 		cfg.MAC = cryptolib.MACPrefixMD5
 		cfg.AcceptMACs = []cryptolib.MACID{cryptolib.MACPrefixMD5}
 		return core.NewEndpoint(cfg)
@@ -303,7 +317,7 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 		}
 	}
 	sendSpoof := func(i int) {
-		net.Inject(spoofHeader(rng, spoofs[i%len(spoofs)], receiver, time.Now()))
+		net.Inject(spoofHeader(rng, spoofs[i%len(spoofs)], receiver, clk.Now()))
 		report.SpoofOffered++
 	}
 	drain := func() bool {
@@ -361,13 +375,19 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 	}
 
 	// Recovery: the attack stops; retransmission rounds must complete
-	// the transfer on soft state alone.
+	// the transfer on soft state alone. Each round first advances the
+	// clock one freshness window: replay signatures pinned by the sound
+	// hard-limit policy expire, the sweep returns their budget, and the
+	// round's retransmissions have room to record themselves. (A
+	// saturated budget smaller than the transfer's replay working set
+	// therefore completes across several windows, a window per round.)
 	for report.Rounds < sc.MaxRounds {
 		missing := rs.missing()
 		if len(missing) == 0 {
 			break
 		}
 		report.Rounds++
+		clk.Advance(freshness + time.Minute)
 		for _, seq := range missing {
 			sendLegit(seq)
 		}
@@ -431,19 +451,23 @@ func (r *FloodReport) reconcile(sc *FloodScenario) {
 	// Every spoofed datagram lands in exactly one of the keying-path
 	// buckets: shed by the gate or the budget before any expensive work,
 	// or unmasked by the MAC after it. The only other traffic that can
-	// reach those buckets is an authenticated datagram whose sender an
-	// admitted spoof evicted from the master-key cache (a direct-mapped
-	// collision) — a re-admission that itself can shed. On a clean link
-	// that count is exactly the clean deliveries that were not accepted,
-	// so the books still balance to the datagram.
+	// reach those buckets — or the replay-budget bucket, which only
+	// verified (hence authenticated) datagrams ever hit — is an
+	// authenticated datagram shed under overload: a re-admission after
+	// an admitted spoof evicted its sender from the master-key cache, or
+	// a verified datagram refused because the budget left no room for
+	// its replay signature. On a clean link that count is exactly the
+	// clean deliveries that were not accepted, so the books still
+	// balance to the datagram.
 	spoofDrops := r.ReceiverDrops[core.DropKeyingOverload] +
 		r.ReceiverDrops[core.DropPeerQuota] +
 		r.ReceiverDrops[core.DropStateBudget] +
+		r.ReceiverDrops[core.DropReplayBudget] +
 		r.ReceiverDrops[core.DropBadMAC] +
 		r.ReceiverDrops[core.DropKeying]
 	cleanShed := r.Port.DeliveredClean - r.Accepted
 	if spoofDrops != r.SpoofOffered+cleanShed {
-		fail("spoof accounting: keying-path drops %d != spoofs(%d)+readmission sheds(%d)",
+		fail("spoof accounting: keying-path drops %d != spoofs(%d)+overload sheds(%d)",
 			spoofDrops, r.SpoofOffered, cleanShed)
 	}
 	// The churn flooder's books: every attempt was sealed onto the wire
@@ -499,8 +523,8 @@ func (r *FloodReport) Summary() string {
 		r.SenderBudget.Peak, r.SenderBudget.HardLimit)
 	s += fmt.Sprintf("  admission: admitted=%d shed_overload=%d shed_quota=%d prefixes=%d\n",
 		r.Admission.Admitted, r.Admission.ShedOverload, r.Admission.ShedQuota, r.Admission.ActivePrefixes)
-	s += fmt.Sprintf("  replay: entries=%d peers=%d evictions=%d; dh computes=%d (admitted+legit bound %d)\n",
-		r.Replay.Entries, r.Replay.Peers, r.Replay.Evictions, r.Keys.MasterKeyComputes, r.LegitPeers+r.Admission.Admitted)
+	s += fmt.Sprintf("  replay: entries=%d peers=%d refusals=%d; dh computes=%d (admitted+legit bound %d)\n",
+		r.Replay.Entries, r.Replay.Peers, r.Replay.Refusals, r.Keys.MasterKeyComputes, r.LegitPeers+r.Admission.Admitted)
 	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
 		if n := r.ReceiverDrops[reason]; n > 0 {
 			s += fmt.Sprintf("  drop %s: %d\n", reason, n)

@@ -100,7 +100,7 @@ func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
 			GaugeFamily("fbs_admission_active_prefixes", "Source prefixes tracked by the admission quota.", float64(es.Admission.ActivePrefixes), eplbl),
 			GaugeFamily("fbs_replay_entries", "Live replay-window entries.", float64(es.Replay.Entries), eplbl),
 			GaugeFamily("fbs_replay_peers", "Distinct peers holding replay-window entries.", float64(es.Replay.Peers), eplbl),
-			CounterFamily("fbs_replay_evictions_total", "Replay entries evicted at the budget hard limit.", es.Replay.Evictions, eplbl),
+			CounterFamily("fbs_replay_refusals_total", "Datagrams refused because the budget hard limit left no room to record their replay signature.", es.Replay.Refusals, eplbl),
 			CounterFamily("fbs_keying_flowkey_dedup_total", "Concurrent flow-key derivations coalesced into one.", es.FlowKeyDedups, eplbl),
 			CounterFamily("fbs_pressure_sweeps_total", "Tightened-threshold sweeps triggered by budget pressure.", es.PressureSweeps, eplbl),
 		)

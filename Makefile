@@ -86,6 +86,12 @@ ci: build lint
 	$(MAKE) fuzz-smoke
 	FBS_DIFF_ARTIFACT_DIR=diff-artifacts $(MAKE) diff
 	$(GO) run ./cmd/fbsbench -bytes 65536 -native -json | tee fbsbench.json | $(GO) run ./cmd/fbsstat bench-validate
+	# BENCH_suites.json: the per-suite throughput matrix — a committed
+	# perf-trajectory file, regenerated here so every CI run re-measures
+	# it. bench-validate enforces completeness and the AES-128-GCM >= 5x
+	# DES-CBC/keyed-MD5 single-pass claim, so a suite regression fails
+	# CI rather than just drifting in the artifact.
+	$(GO) run ./cmd/fbsbench -suites -json | tee BENCH_suites.json | $(GO) run ./cmd/fbsstat bench-validate
 	$(GO) run ./cmd/fbschaos
 	# BENCH_overload.json (JSON lines): a short unattacked fbsbench
 	# baseline followed by one report per overload/crash scenario, so a

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +65,30 @@ func main() {
 	measure("keyed-MD5 MAC", func() { cryptolib.MACPrefixMD5.Compute(key, buf) })
 	measure("HMAC-MD5", func() { cryptolib.MACHMACMD5.Compute(key, buf) })
 	measure("CRC-32", func() { cryptolib.CRC32(buf) })
+
+	// The AEAD suites' sealed boxes: encrypt+authenticate in one pass,
+	// the modern counterpart to the DES-CBC + keyed-MD5 two-pass rows
+	// above (and the primitives behind fbsbench -suites).
+	block, err := aes.NewCipher([]byte("a 16-byte aeskey"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	chacha, err := cryptolib.NewChaCha20Poly1305([]byte("a 32-byte chacha20poly1305 key!!"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nonce := make([]byte, 12)
+	aad := make([]byte, 12)
+	sealed := make([]byte, 0, len(buf)+16)
+	measure("AES-128-GCM seal", func() { sealed = gcm.Seal(sealed[:0], nonce, buf, aad) })
+	measure("ChaCha20-Poly1305 seal", func() { sealed = chacha.Seal(sealed[:0], nonce, buf, aad) })
 
 	// Confounder/key sources: the paper's LCG-vs-CSPRNG argument.
 	lcg := cryptolib.NewLCGSeeded(1)

@@ -8,9 +8,15 @@
 // ttcp-style transfer through the real IPv4 + TCP-lite stack with FBS
 // at the Section 7.2 hook points.
 //
+// With -suites it instead measures the native Seal/Open throughput of
+// every data-carrying suite in the registry (DES, 3DES and the AEAD
+// suites), emitting a standalone "suites" section; make ci freezes that
+// output into BENCH_suites.json and validates it with fbsstat.
+//
 // Usage:
 //
 //	fbsbench [-bytes N] [-native] [-stack] [-json]
+//	fbsbench -suites [-json]
 //
 // With -json the human-readable tables are suppressed and one JSON
 // document with every measured throughput (in kb/s) is written to
@@ -69,7 +75,7 @@ func summarize(s obs.HistSnapshot) *latencyStats {
 
 // benchResult is one measured throughput, the unit of the -json output.
 type benchResult struct {
-	// Section is "figure8", "native" or "stack".
+	// Section is "figure8", "native", "stack" or "suites".
 	Section string `json:"section"`
 	// Workload is the figure-8 workload ("ttcp", "rcp"); empty
 	// elsewhere.
@@ -90,6 +96,7 @@ func main() {
 	total := flag.Int("bytes", 4<<20, "bytes per simulated transfer")
 	native := flag.Bool("native", false, "also measure native Seal/Open throughput")
 	stack := flag.Bool("stack", false, "also run a ttcp transfer through the real IPv4+TCP-lite stack with FBS")
+	suites := flag.Bool("suites", false, "measure every registered suite's native Seal/Open throughput instead of the figure-8 simulation")
 	jsonOut := flag.Bool("json", false, "emit one JSON document of kb/s results instead of tables")
 	adminAddr := flag.String("admin", "", "serve the observability admin plane (/metrics, /flows, /recorder, pprof) on this address and wait after the run")
 	flag.Parse()
@@ -106,19 +113,28 @@ func main() {
 	}
 
 	var results []benchResult
-	res, err := run(*total, *native, *jsonOut, admin)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fbsbench:", err)
-		os.Exit(1)
-	}
-	results = append(results, res...)
-	if *stack {
-		res, err := stackRun(*total, *jsonOut, admin)
+	if *suites {
+		res, err := suitesRun(*jsonOut, admin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fbsbench:", err)
 			os.Exit(1)
 		}
 		results = append(results, res...)
+	} else {
+		res, err := run(*total, *native, *jsonOut, admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsbench:", err)
+			os.Exit(1)
+		}
+		results = append(results, res...)
+		if *stack {
+			res, err := stackRun(*total, *jsonOut, admin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fbsbench:", err)
+				os.Exit(1)
+			}
+			results = append(results, res...)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -290,90 +306,135 @@ func nativeRun(quiet bool, admin *obs.Admin) ([]benchResult, error) {
 	if !quiet {
 		fmt.Println("Native Seal+Open throughput on this machine (1460-byte datagrams, encrypted):")
 	}
+	var results []benchResult
+	for _, m := range []struct {
+		name   string
+		secret bool
+	}{
+		{"FBS DES+MD5", true},
+		{"FBS NOP (MAC only)", false},
+	} {
+		res, err := measureAppend("native", m.name, m.secret, quiet, admin)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// suitesRun measures every data-carrying suite in the registry on the
+// same append path, encrypted, one endpoint pair per suite. The
+// resulting "suites" section is what make ci freezes into
+// BENCH_suites.json and hands to fbsstat bench-validate, which holds
+// the AEAD suites to their single-pass throughput claim against the
+// paper's DES-CBC/keyed-MD5 configuration.
+func suitesRun(quiet bool, admin *obs.Admin) ([]benchResult, error) {
+	if !quiet {
+		fmt.Println("Per-suite Seal+Open throughput on this machine (1460-byte datagrams, encrypted):")
+	}
+	var results []benchResult
+	for _, s := range core.Suites() {
+		if s.ID() == core.CipherNone {
+			continue // cleartext-only: no data-carrying configuration to measure
+		}
+		id := s.ID()
+		name := s.Name()
+		if !s.AEAD() {
+			// Legacy suites are measured in the paper's configuration.
+			name += "-CBC/keyed-MD5"
+		}
+		res, err := measureAppend("suites", name, true, quiet, admin, func(c *core.Config) {
+			c.Cipher = id
+			c.Mode = cryptolib.CBC
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// measureAppend benchmarks one endpoint configuration on the
+// allocation-free append path: a one-second throughput phase with
+// sampling disabled (the production steady state), then a short
+// every-packet phase whose StageTotal histograms feed the latency
+// percentiles.
+func measureAppend(section, name string, secret, quiet bool, admin *obs.Admin, mutate ...func(*core.Config)) (benchResult, error) {
 	payload := make([]byte, 1460)
 	dg := transport.Datagram{Source: "sim-a", Destination: "sim-b", Payload: payload}
-
-	var results []benchResult
-	measure := func(name string, secret bool, mutate ...func(*core.Config)) error {
-		pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 0})
-		mutate = append(mutate, func(c *core.Config) { c.Observer = pipe })
-		a, b, err := endpointPair(true, mutate...)
+	pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 0})
+	mutate = append(mutate, func(c *core.Config) { c.Observer = pipe })
+	a, b, err := endpointPair(true, mutate...)
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer a.Close()
+	defer b.Close()
+	if admin != nil {
+		label := section + "-" + name
+		obs.RegisterEndpoint(admin.Registry, label, a)
+		obs.RegisterPipeline(admin.Registry, label, pipe)
+		admin.WatchEndpoint(label, a)
+		admin.WatchRecorder(pipe.Recorder())
+	}
+	sealBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
+	openBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
+	sealOpen := func() error {
+		sealed, err := a.SealAppend(sealBuf[:0], dg, secret)
 		if err != nil {
 			return err
 		}
-		defer a.Close()
-		defer b.Close()
-		if admin != nil {
-			label := "native-" + name
-			obs.RegisterEndpoint(admin.Registry, label, a)
-			obs.RegisterPipeline(admin.Registry, label, pipe)
-			admin.WatchEndpoint(label, a)
-			admin.WatchRecorder(pipe.Recorder())
-		}
-		sealBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
-		openBuf := make([]byte, 0, core.HeaderSize+len(payload)+cryptolib.BlockSize)
-		sealOpen := func() error {
-			sealed, err := a.SealAppend(sealBuf[:0], dg, secret)
-			if err != nil {
-				return err
-			}
-			sealBuf = sealed
-			opened, err := b.OpenAppend(openBuf[:0], transport.Datagram{
-				Source: "sim-a", Destination: "sim-b", Payload: sealed,
-			})
-			if err != nil {
-				return err
-			}
-			openBuf = opened
-			return nil
-		}
-		if err := sealOpen(); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		start := time.Now()
-		var bytes int64
-		for time.Since(start) < time.Second {
-			if err := sealOpen(); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
-			bytes += int64(len(payload))
-		}
-		el := time.Since(start).Seconds()
-		kbps := float64(bytes) * 8 / el / 1000
-		// Latency phase: sample every packet briefly; percentiles come
-		// from the whole-call StageTotal histograms.
-		pipe.SetSampleEvery(1)
-		latStart := time.Now()
-		for time.Since(latStart) < 200*time.Millisecond {
-			if err := sealOpen(); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
-		}
-		pipe.SetSampleEvery(0)
-		sealLat := summarize(pipe.StageSnapshot(true, core.StageTotal))
-		openLat := summarize(pipe.StageSnapshot(false, core.StageTotal))
-		results = append(results, benchResult{
-			Section: "native", Config: name, Kbps: kbps,
-			SealLatency: sealLat, OpenLatency: openLat,
+		sealBuf = sealed
+		opened, err := b.OpenAppend(openBuf[:0], transport.Datagram{
+			Source: "sim-a", Destination: "sim-b", Payload: sealed,
 		})
-		if !quiet {
-			fmt.Printf("  %-24s %10.0f kb/s", name, kbps)
-			if sealLat != nil && openLat != nil {
-				fmt.Printf("   seal p50/p99 %v/%v, open p50/p99 %v/%v",
-					time.Duration(sealLat.P50Ns), time.Duration(sealLat.P99Ns),
-					time.Duration(openLat.P50Ns), time.Duration(openLat.P99Ns))
-			}
-			fmt.Println()
+		if err != nil {
+			return err
 		}
+		openBuf = opened
 		return nil
 	}
-	if err := measure("FBS DES+MD5", true); err != nil {
-		return nil, err
+	if err := sealOpen(); err != nil {
+		return benchResult{}, fmt.Errorf("%s: %w", name, err)
 	}
-	if err := measure("FBS NOP (MAC only)", false); err != nil {
-		return nil, err
+	start := time.Now()
+	var bytes int64
+	for time.Since(start) < time.Second {
+		if err := sealOpen(); err != nil {
+			return benchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+		bytes += int64(len(payload))
 	}
-	return results, nil
+	el := time.Since(start).Seconds()
+	kbps := float64(bytes) * 8 / el / 1000
+	// Latency phase: sample every packet briefly; percentiles come
+	// from the whole-call StageTotal histograms.
+	pipe.SetSampleEvery(1)
+	latStart := time.Now()
+	for time.Since(latStart) < 200*time.Millisecond {
+		if err := sealOpen(); err != nil {
+			return benchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	pipe.SetSampleEvery(0)
+	sealLat := summarize(pipe.StageSnapshot(true, core.StageTotal))
+	openLat := summarize(pipe.StageSnapshot(false, core.StageTotal))
+	res := benchResult{
+		Section: section, Config: name, Kbps: kbps,
+		SealLatency: sealLat, OpenLatency: openLat,
+	}
+	if !quiet {
+		fmt.Printf("  %-24s %10.0f kb/s", name, kbps)
+		if sealLat != nil && openLat != nil {
+			fmt.Printf("   seal p50/p99 %v/%v, open p50/p99 %v/%v",
+				time.Duration(sealLat.P50Ns), time.Duration(sealLat.P99Ns),
+				time.Duration(openLat.P50Ns), time.Duration(openLat.P99Ns))
+		}
+		fmt.Println()
+	}
+	return res, nil
 }
 
 // stackRun pushes a ttcp-style transfer through the real IPv4 stack with

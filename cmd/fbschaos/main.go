@@ -45,7 +45,7 @@ func matrix(base uint64) []netsim.ChaosScenario {
 	for k := 0; k < netsim.NumInjectKinds; k++ {
 		everyKind[netsim.InjectKind(k)] = 4
 	}
-	return []netsim.ChaosScenario{
+	scenarios := []netsim.ChaosScenario{
 		{
 			Name:         "adversary-clean-link",
 			Seed:         base,
@@ -106,6 +106,25 @@ func matrix(base uint64) []netsim.ChaosScenario {
 			NegativeTTL: 250 * time.Millisecond,
 		},
 	}
+	// One adversary run per data-carrying suite in the registry, so the
+	// exact-bucket reconciliation (including the suite-aware downgrade
+	// and swap injections) holds under every framing, not just DES.
+	for _, s := range core.Suites() {
+		if s.ID() == core.CipherNone {
+			continue
+		}
+		scenarios = append(scenarios, netsim.ChaosScenario{
+			Name:         "adversary-suite-" + s.Name(),
+			Seed:         base + 16 + uint64(s.ID()),
+			Datagrams:    40,
+			PayloadBytes: 192,
+			Secret:       true,
+			Suite:        s.ID(),
+			Inject:       everyKind,
+			ExactBuckets: true,
+		})
+	}
+	return scenarios
 }
 
 // floodMatrix returns the standing overload scenarios, seeded from
@@ -150,13 +169,33 @@ func diffMatrix(base uint64, ops int) []struct {
 	Name string
 	Sc   netsim.DiffScenario
 } {
-	return []struct {
+	runs := []struct {
 		Name string
 		Sc   netsim.DiffScenario
 	}{
 		{"diff-replay", netsim.DiffScenario{Seed: base, Ops: ops, ReplayCache: true}},
 		{"diff-noreplay", netsim.DiffScenario{Seed: base + 1, Ops: ops, ReplayCache: false}},
 	}
+	// Shorter per-suite streams: the long runs above soak the default
+	// (DES) configuration; these cross-validate every other registered
+	// framing against its independent reference implementation.
+	sops := ops / 4
+	if sops < 1000 {
+		sops = 1000
+	}
+	for _, s := range core.Suites() {
+		if s.ID() == core.CipherNone || s.ID() == core.CipherDES {
+			continue
+		}
+		runs = append(runs, struct {
+			Name string
+			Sc   netsim.DiffScenario
+		}{
+			"diff-suite-" + s.Name(),
+			netsim.DiffScenario{Seed: base + 16 + uint64(s.ID()), Ops: sops, ReplayCache: true, Suite: s.ID()},
+		})
+	}
+	return runs
 }
 
 // crashMatrix returns the standing crash-restart scenarios.

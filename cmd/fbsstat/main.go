@@ -13,6 +13,9 @@
 // bench-validate reads an fbsbench -json document on stdin and exits
 // non-zero unless it is a non-empty result set with plausible values;
 // `make bench-smoke` uses it to keep the bench harness honest in CI.
+// When the document carries a "suites" section (fbsbench -suites) it
+// additionally checks the suite matrix is complete and that AES-128-GCM
+// clears 5x the DES-CBC/keyed-MD5 baseline throughput.
 package main
 
 import (
@@ -149,15 +152,45 @@ func benchValidate(r io.Reader) error {
 		}
 		sections[row.Section]++
 	}
-	if sections["figure8"] == 0 {
-		return fmt.Errorf("bench JSON has no figure8 rows (sections: %v)", sections)
+	// A document must carry at least one recognised section: the figure-8
+	// simulation (the default run) or the per-suite matrix (-suites).
+	if sections["figure8"] == 0 && sections["suites"] == 0 {
+		return fmt.Errorf("bench JSON has no figure8 or suites rows (sections: %v)", sections)
+	}
+	if sections["suites"] > 0 {
+		if err := validateSuites(rows); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("bench JSON ok: %d rows", len(rows))
-	for _, s := range []string{"figure8", "native", "stack"} {
+	for _, s := range []string{"figure8", "native", "stack", "suites"} {
 		if n := sections[s]; n > 0 {
 			fmt.Printf(" %s=%d", s, n)
 		}
 	}
 	fmt.Println()
+	return nil
+}
+
+// validateSuites enforces the suite matrix's acceptance claims: the
+// legacy baseline and both AEAD suites must be present, and the
+// single-pass AES-128-GCM sealed box must beat the paper's two-pass
+// DES-CBC/keyed-MD5 configuration by at least 5x.
+func validateSuites(rows []benchRow) error {
+	kbps := make(map[string]float64)
+	for _, row := range rows {
+		if row.Section == "suites" {
+			kbps[row.Config] = row.Kbps
+		}
+	}
+	for _, cfg := range []string{"DES-CBC/keyed-MD5", "AES-128-GCM", "ChaCha20-Poly1305"} {
+		if kbps[cfg] == 0 {
+			return fmt.Errorf("suites section is missing config %q (have: %v)", cfg, kbps)
+		}
+	}
+	des, gcm := kbps["DES-CBC/keyed-MD5"], kbps["AES-128-GCM"]
+	if gcm < 5*des {
+		return fmt.Errorf("AES-128-GCM throughput %.0f kb/s is below 5x DES-CBC/keyed-MD5 (%.0f kb/s)", gcm, des)
+	}
 	return nil
 }

@@ -26,7 +26,8 @@ const (
 	// DropNotForUs: destination is not this principal.
 	DropNotForUs
 	// DropAlgorithm: header named a MAC/cipher this endpoint is
-	// configured not to accept.
+	// configured not to accept, an unregistered cipher suite, or
+	// MAC/mode bytes structurally impossible for the named suite.
 	DropAlgorithm
 	// DropDecrypt: the cipher could not be instantiated or run.
 	DropDecrypt
@@ -105,6 +106,8 @@ func DropReasonOf(err error) DropReason {
 	case errors.Is(err, ErrNotForUs):
 		return DropNotForUs
 	case errors.Is(err, ErrAlgorithmRejected):
+		return DropAlgorithm
+	case errors.Is(err, ErrAlgorithmUnknown):
 		return DropAlgorithm
 	case errors.Is(err, ErrDecrypt):
 		return DropDecrypt

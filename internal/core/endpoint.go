@@ -48,12 +48,22 @@ type Config struct {
 	// Clock drives timestamps; default RealClock.
 	Clock Clock
 	// MAC selects the MAC construction; default MACPrefixMD5 (keyed
-	// MD5, as in the paper's implementation).
+	// MD5, as in the paper's implementation). AEAD suites override it on
+	// the wire with MACAEAD (integrity is intrinsic to the sealed box).
 	MAC cryptolib.MACID
 	// Cipher and Mode select payload encryption; defaults CipherDES and
-	// CBC.
+	// CBC. Cipher must name a registered Suite and, with Mode, fit the
+	// header's 4-bit nibbles — NewEndpoint rejects out-of-range or
+	// unregistered IDs with ErrAlgorithmRange.
 	Cipher CipherID
 	Mode   cryptolib.Mode
+	// SuiteSelector, when non-nil, chooses the cipher suite per flow at
+	// classification time: the returned suite is pinned into the flow
+	// state entry when the flow is created and reused for every later
+	// datagram of that flow (suite negotiation happens at keying time,
+	// never per datagram). Returning an unregistered ID falls back to
+	// Cipher. Nil pins Cipher for every flow.
+	SuiteSelector func(FlowID) CipherID
 	// FreshnessWindow is the replay window half-width; default 10
 	// minutes (Section 6.2 suggests "on the order of minutes" for WANs).
 	FreshnessWindow time.Duration
@@ -94,10 +104,14 @@ type Config struct {
 	// The header's algorithm identification field is self-describing
 	// (Section 5.2 prescribes the field "for generality"); a receiver
 	// policy is what keeps self-description from becoming
-	// attacker-choice.
+	// attacker-choice. AEAD suites are exempt: their integrity is
+	// intrinsic (MACAEAD), so only AcceptCiphers constrains them.
 	AcceptMACs []cryptolib.MACID
-	// AcceptCiphers restricts which payload ciphers incoming encrypted
-	// datagrams may use; empty accepts any.
+	// AcceptCiphers is the accept-set of suite IDs incoming datagrams
+	// may use; empty accepts any registered suite. For AEAD suites the
+	// set is enforced on every datagram (the suite owns integrity); for
+	// legacy suites, as before, only encrypted bodies are constrained
+	// (a cleartext body's cipher nibble is inert).
 	AcceptCiphers []CipherID
 
 	// EnableReplayCache turns on exact-duplicate suppression within the
@@ -187,6 +201,11 @@ type endpointCounters struct {
 	// counters became slots of this array when the DropReason taxonomy
 	// unified endpoint, stack, recorder and exposition naming.
 	drops [NumDropReasons]atomic.Uint64
+
+	// Per-suite activity, indexed by cipher nibble: successful seals and
+	// accepted opens. Unregistered slots stay zero.
+	sealsBySuite [maxAlgNibble + 1]atomic.Uint64
+	opensBySuite [maxAlgNibble + 1]atomic.Uint64
 
 	bypassedSent     atomic.Uint64
 	bypassedReceived atomic.Uint64
@@ -285,6 +304,23 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	if cfg.Cipher == CipherNone {
 		cfg.Cipher = CipherDES
 	}
+	// Satellite of the suite seam: IDs must fit the header's packed
+	// nibbles and name a registered suite before they ever reach
+	// algByte, which would otherwise truncate them silently.
+	if cfg.Cipher > maxAlgNibble {
+		return nil, fmt.Errorf("%w: cipher %d exceeds the 4-bit field", ErrAlgorithmRange, cfg.Cipher)
+	}
+	if cfg.Mode > maxAlgNibble {
+		return nil, fmt.Errorf("%w: mode %d exceeds the 4-bit field", ErrAlgorithmRange, cfg.Mode)
+	}
+	suite := SuiteByID(cfg.Cipher)
+	if suite == nil {
+		return nil, fmt.Errorf("%w: cipher %d has no registered suite", ErrAlgorithmRange, cfg.Cipher)
+	}
+	if !suite.AEAD() && (cfg.MAC > cryptolib.MACNull || cfg.Mode > cryptolib.OFB) {
+		return nil, fmt.Errorf("%w: MAC %d / mode %d not implemented for suite %s",
+			ErrAlgorithmRange, cfg.MAC, cfg.Mode, suite.Name())
+	}
 	if cfg.FreshnessWindow <= 0 {
 		cfg.FreshnessWindow = 10 * time.Minute
 	}
@@ -303,6 +339,18 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 			return nil, err
 		}
 	}
+	// Suite negotiation happens at flow creation: the FAM pins the
+	// selector's (validated) choice into the flow state entry.
+	defaultSuite := cfg.Cipher
+	sel := cfg.SuiteSelector
+	fam.SetSuiteSelector(func(id FlowID) CipherID {
+		if sel != nil {
+			if c := sel(id); c <= maxAlgNibble && SuiteByID(c) != nil {
+				return c
+			}
+		}
+		return defaultSuite
+	})
 	ks := NewKeyService(cfg.Identity, cfg.Directory, cfg.Verifier, cfg.Clock,
 		KeyServiceConfig{
 			PVCSize:              cfg.PVCSize,
@@ -385,6 +433,18 @@ func (e *Endpoint) DropCounts() [NumDropReasons]uint64 {
 		out[i] = e.metrics.drops[i].Load()
 	}
 	return out
+}
+
+// SuiteCounts returns per-suite activity counters, indexed by cipher
+// nibble: successful seals and accepted opens. Slots with no registered
+// suite are always zero. The obs adapter exposes these as the
+// suite-labeled fbs_endpoint_suite_{seals,opens}_total families.
+func (e *Endpoint) SuiteCounts() (seals, opens [maxAlgNibble + 1]uint64) {
+	for i := range seals {
+		seals[i] = e.metrics.sealsBySuite[i].Load()
+		opens[i] = e.metrics.opensBySuite[i].Load()
+	}
+	return seals, opens
 }
 
 // EndpointStats aggregates the endpoint's overload-plane state: budget
@@ -531,34 +591,57 @@ func (e *Endpoint) ActiveFlows() int { return e.fam.ActiveFlows() }
 // Flows returns a snapshot of the live flow state table, for monitoring.
 func (e *Endpoint) Flows() []FlowInfo { return e.fam.Snapshot() }
 
-// algAcceptable enforces the receiver's algorithm policy against the
-// self-describing header.
-func (e *Endpoint) algAcceptable(h *Header) bool {
-	if len(e.cfg.AcceptMACs) > 0 {
-		ok := false
-		for _, m := range e.cfg.AcceptMACs {
-			if h.MAC == m {
-				ok = true
-				break
-			}
+// checkAlg resolves the self-describing header against the suite
+// registry and the receiver's algorithm policy. The order is fixed:
+// first structure (is there such an algorithm at all — unregistered
+// cipher nibbles and MAC/mode bytes the named suite cannot carry fail
+// with ErrAlgorithmUnknown), then policy (a known algorithm this
+// endpoint refuses fails with ErrAlgorithmRejected). Both map to
+// DropAlgorithm. The refmodel mirrors this decision table exactly.
+func (e *Endpoint) checkAlg(h *Header) (Suite, error) {
+	suite := SuiteByID(h.Cipher)
+	if suite == nil {
+		return nil, fmt.Errorf("%w: cipher %v", ErrAlgorithmUnknown, h.Cipher)
+	}
+	if !suite.ValidHeader(*h) {
+		return nil, fmt.Errorf("%w: suite %s cannot carry MAC %v / mode %v",
+			ErrAlgorithmUnknown, suite.Name(), h.MAC, h.Mode)
+	}
+	if suite.AEAD() {
+		// Integrity is intrinsic — the MAC byte is structural (MACAEAD),
+		// so AcceptMACs does not apply; the accept-set of suite IDs is
+		// the whole policy, and it binds secret and cleartext bodies
+		// alike (the suite authenticates both).
+		if len(e.cfg.AcceptCiphers) > 0 && !containsCipher(e.cfg.AcceptCiphers, h.Cipher) {
+			return nil, fmt.Errorf("%w: MAC %v, cipher %v", ErrAlgorithmRejected, h.MAC, h.Cipher)
 		}
-		if !ok {
-			return false
+		return suite, nil
+	}
+	if len(e.cfg.AcceptMACs) > 0 && !containsMAC(e.cfg.AcceptMACs, h.MAC) {
+		return nil, fmt.Errorf("%w: MAC %v, cipher %v", ErrAlgorithmRejected, h.MAC, h.Cipher)
+	}
+	if h.Secret() && len(e.cfg.AcceptCiphers) > 0 && !containsCipher(e.cfg.AcceptCiphers, h.Cipher) {
+		return nil, fmt.Errorf("%w: MAC %v, cipher %v", ErrAlgorithmRejected, h.MAC, h.Cipher)
+	}
+	return suite, nil
+}
+
+func containsMAC(set []cryptolib.MACID, m cryptolib.MACID) bool {
+	for _, v := range set {
+		if v == m {
+			return true
 		}
 	}
-	if h.Secret() && len(e.cfg.AcceptCiphers) > 0 {
-		ok := false
-		for _, c := range e.cfg.AcceptCiphers {
-			if h.Cipher == c {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
+	return false
+}
+
+func containsCipher(set []CipherID, c CipherID) bool {
+	for _, v := range set {
+		if v == c {
+			return true
 		}
 	}
-	return true
+	return false
 }
 
 // StartSweeper runs the sweeper policy module periodically in the
@@ -738,12 +821,20 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	}
 	// (S1) classify the datagram into a flow. At the budget hard limit a
 	// datagram needing a fresh flow entry is shed; existing flows are
-	// untouched.
-	sfl, _, slot, ok := e.fam.classify(id, now, len(dg.Payload))
+	// untouched. The flow entry carries the cipher suite pinned at flow
+	// creation (keying time) — suite choice is per flow, never per
+	// datagram.
+	sfl, suiteID, _, slot, ok := e.fam.classify(id, now, len(dg.Payload))
 	if !ok {
 		e.metrics.drop(DropStateBudget)
 		e.maybeRelievePressure(now)
 		return nil, fmt.Errorf("%w: flow to %q", ErrStateBudget, dg.Destination)
+	}
+	suite := SuiteByID(suiteID)
+	if suite == nil {
+		// Unreachable with a validated config (the FAM selector wrapper
+		// falls back to cfg.Cipher); kept as a typed failure, not a panic.
+		return nil, fmt.Errorf("%w: pinned suite %d unregistered", ErrAlgorithmRange, suiteID)
 	}
 	if s != nil {
 		s.Stages[StageFAM] = time.Since(t)
@@ -763,12 +854,15 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 		e.metrics.drop(DropKeying)
 		return nil, fmt.Errorf("%w: flow to %q: %w", ErrKeying, dg.Destination, err)
 	}
-	// (S4-5) confounder and timestamp.
+	// (S4-5) confounder and timestamp. The wire algorithm bytes are the
+	// suite's mapping of the configured MAC/mode (legacy suites pass
+	// them through; AEAD suites force MACAEAD and a zero mode nibble).
+	wireMAC, wireMode := suite.WireAlg(e.cfg.MAC, e.cfg.Mode)
 	h := Header{
 		Version:    HeaderVersion,
-		MAC:        e.cfg.MAC,
-		Cipher:     e.cfg.Cipher,
-		Mode:       e.cfg.Mode,
+		MAC:        wireMAC,
+		Cipher:     suite.ID(),
+		Mode:       wireMode,
 		SFL:        sfl,
 		Confounder: e.conf.next(),
 		Timestamp:  TimestampOf(now),
@@ -776,100 +870,19 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	if secret {
 		h.Flags |= FlagSecret
 	}
-	// (S7, hoisted) encode the header with a zero MAC value; the MAC is
-	// patched in at macValueOffset once the body has been traversed, so
-	// the body can be MAC'd and encrypted in place after the header
-	// without a staging buffer.
+	// (S7, hoisted) encode the header with a zero MAC value; the MAC —
+	// or AEAD tag — is patched in at macValueOffset once the body has
+	// been traversed, so the body can be protected in place after the
+	// header without a staging buffer.
 	hdrOff := len(dst)
 	dst = h.Encode(dst)
-	if !secret {
-		// (S6) MAC over confounder | timestamp | plaintext body. MACNull
-		// writes all zeros, which the encoded header already holds.
-		dst = append(dst, dg.Payload...)
-		if h.MAC != cryptolib.MACNull {
-			// Copies declared inside the branch so the variadic MAC call
-			// only forces a heap allocation when a MAC is computed; the
-			// NOP configuration stays allocation-free.
-			if s != nil {
-				t = time.Now()
-			}
-			kfc, mic := kf, h.macInput()
-			mac := h.MAC.Compute(kfc[:], mic[:], dg.Payload)
-			copy(dst[hdrOff+macValueOffset:], mac[:MACLen])
-			if s != nil {
-				s.Stages[StageMAC] = time.Since(t)
-			}
-		}
-		return dst, nil
-	}
-	kfs, mis := kf, h.macInput()
-	c, err := h.Cipher.newCipher(kfs[:])
+	// (S6, S8-9) the suite owns the body transform and MAC/tag patch.
+	out, err := suite.SealAppend(dst, hdrOff, h, kf, dg.Payload, e.cfg.SinglePass, s)
 	if err != nil {
 		return nil, err
 	}
-	bs := c.BlockSize()
-	bodyOff := len(dst)
-	dst = cryptolib.AppendPadded(dst, dg.Payload, bs)
-	padded := dst[bodyOff:]
-	iv := h.iv()
-	if e.cfg.SinglePass && h.Mode == cryptolib.CBC {
-		// Section 5.3: roll MAC computation and encryption into one pass
-		// over the data. CBC chaining fused with MAC absorption; other
-		// modes fall back to two passes below. The fused pass is charged
-		// to StageCrypt (StageMAC stays zero — there is no separate MAC
-		// traversal to time).
-		if s != nil {
-			t = time.Now()
-		}
-		mac := h.MAC.NewStream(kfs[:])
-		mac.Write(mis[:])
-		prev := iv
-		bodyLen := len(dg.Payload)
-		for off := 0; off < len(padded); off += bs {
-			block := padded[off : off+bs]
-			// The MAC covers only the original body, not the padding.
-			if off < bodyLen {
-				end := off + bs
-				if end > bodyLen {
-					end = bodyLen
-				}
-				mac.Write(padded[off:end])
-			}
-			for j := 0; j < bs; j++ {
-				block[j] ^= prev[j]
-			}
-			c.EncryptBlock(block, block)
-			copy(prev[:], block)
-		}
-		if h.MAC != cryptolib.MACNull {
-			copy(dst[hdrOff+macValueOffset:], mac.Sum()[:MACLen])
-		}
-		if s != nil {
-			s.Stages[StageCrypt] = time.Since(t)
-		}
-		return dst, nil
-	}
-	// (S6) MAC, then (S8-9) encrypt in place.
-	if h.MAC != cryptolib.MACNull {
-		if s != nil {
-			t = time.Now()
-		}
-		mac := h.MAC.Compute(kfs[:], mis[:], dg.Payload)
-		copy(dst[hdrOff+macValueOffset:], mac[:MACLen])
-		if s != nil {
-			s.Stages[StageMAC] = time.Since(t)
-		}
-	}
-	if s != nil {
-		t = time.Now()
-	}
-	if _, err := cryptolib.EncryptMode(c, h.Mode, iv[:], padded, padded); err != nil {
-		return nil, err
-	}
-	if s != nil {
-		s.Stages[StageCrypt] = time.Since(t)
-	}
-	return dst, nil
+	e.metrics.sealsBySuite[suite.ID()].Add(1)
+	return out, nil
 }
 
 // Send seals and transmits a datagram (FBSSend step S10).
@@ -964,9 +977,13 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 		s.Secret = h.Secret()
 		s.Bytes = len(body)
 	}
-	if !e.algAcceptable(&h) {
+	// (R2b) resolve the algorithm identification against the suite
+	// registry (structure) and the Accept* policy, before any keying or
+	// crypto work.
+	suite, err := e.checkAlg(&h)
+	if err != nil {
 		e.metrics.drop(DropAlgorithm)
-		return nil, fmt.Errorf("%w: MAC %v, cipher %v", ErrAlgorithmRejected, h.MAC, h.Cipher)
+		return nil, err
 	}
 	now := e.cfg.Clock.Now()
 	// (R3-4) freshness.
@@ -997,60 +1014,18 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 		e.metrics.drop(reason)
 		return nil, fmt.Errorf("%w: flow from %q: %w", ErrKeying, dg.Source, err)
 	}
-	// (R10-11, hoisted — see package comment) decrypt before verifying,
-	// since the MAC covers the plaintext body.
-	if h.Secret() {
-		if s != nil {
-			t = time.Now()
+	// (R7-11) the suite owns decryption and authentication: legacy
+	// suites decrypt-then-verify (the MAC covers the plaintext body,
+	// hoisted per the package comment), AEAD suites open the sealed box
+	// in one pass. Sentinel errors map straight onto drop reasons.
+	dst, body, err = suite.OpenAppend(dst, h, kf, body, s)
+	if err != nil {
+		reason := DropReasonOf(err)
+		if reason == DropNone {
+			reason = DropDecrypt
 		}
-		kfs := kf
-		c, err := h.Cipher.newCipher(kfs[:])
-		if err != nil {
-			e.metrics.drop(DropDecrypt)
-			return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
-		}
-		iv := h.iv()
-		// Stage the ciphertext at the end of dst and decrypt in place
-		// (DecryptMode permits aliasing), so the append path needs no
-		// scratch buffer.
-		off := len(dst)
-		dst = append(dst, body...)
-		plain := dst[off:]
-		if _, err := cryptolib.DecryptMode(c, h.Mode, iv[:], plain, plain); err != nil {
-			e.metrics.drop(DropDecrypt)
-			return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
-		}
-		unpadded, err := cryptolib.Unpad(plain, c.BlockSize())
-		if err != nil {
-			// Bad padding means corruption or wrong key; report it as
-			// an authentication failure to avoid a padding oracle.
-			e.metrics.drop(DropBadMAC)
-			return nil, ErrBadMAC
-		}
-		dst = dst[:off+len(unpadded)]
-		body = unpadded
-		if s != nil {
-			s.Stages[StageCrypt] = time.Since(t)
-		}
-	}
-	// (R7-9) verify the MAC, using the construction the header's
-	// algorithm identification names (gated above by AcceptMACs).
-	// MACNull verifies trivially (Verify returns true unconditionally);
-	// skipping the call keeps the variadic arguments from forcing heap
-	// allocations on the NOP path.
-	if h.MAC != cryptolib.MACNull {
-		if s != nil {
-			t = time.Now()
-		}
-		kfc, mic := kf, h.macInput()
-		ok := h.MAC.Verify(kfc[:], h.MACValue[:], mic[:], body)
-		if s != nil {
-			s.Stages[StageMAC] = time.Since(t)
-		}
-		if !ok {
-			e.metrics.drop(DropBadMAC)
-			return nil, ErrBadMAC
-		}
+		e.metrics.drop(reason)
+		return nil, err
 	}
 	// Optional exact-duplicate suppression (extension). A datagram is
 	// only accepted with its signature recorded: at the budget hard
@@ -1069,6 +1044,7 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 	}
 	e.metrics.received.Add(1)
 	e.metrics.receivedBytes.Add(uint64(len(body)))
+	e.metrics.opensBySuite[h.Cipher].Add(1)
 	if copyBody && !h.Secret() {
 		return append(dst, body...), nil
 	}

@@ -25,6 +25,18 @@ var (
 	// named a MAC, cipher or mode this endpoint is configured not to
 	// accept (a downgrade-resistance check).
 	ErrAlgorithmRejected = errors.New("fbs: datagram algorithm not acceptable")
+	// ErrAlgorithmUnknown means the header's algorithm identification
+	// named a cipher with no registered suite, or MAC/mode bytes that
+	// are structurally impossible for the named suite. Distinct from
+	// ErrAlgorithmRejected: this is "no such algorithm", not "known but
+	// refused by policy".
+	ErrAlgorithmUnknown = errors.New("fbs: datagram algorithm unknown")
+	// ErrAlgorithmRange is a configuration-time error: a cipher or mode
+	// ID does not fit its 4-bit nibble in the header's packed algorithm
+	// byte, or names no registered suite. Catching this at NewEndpoint
+	// keeps algByte's nibble packing from silently truncating IDs on the
+	// wire.
+	ErrAlgorithmRange = errors.New("fbs: cipher/mode id out of range for algorithm field")
 	// ErrDecrypt means the payload cipher could not be instantiated or
 	// run (R10-R11).
 	ErrDecrypt = errors.New("fbs: decryption failed")

@@ -53,6 +53,11 @@ type FSTEntry struct {
 	Packets uint64
 	Bytes   uint64
 
+	// Suite is the cipher suite pinned to this flow when it was created
+	// (suite negotiation happens at keying time; every datagram of the
+	// flow seals under the same suite until rekeying starts a new flow).
+	Suite CipherID
+
 	// flowKey caches the flow key alongside the entry when the combined
 	// FST/TFKC optimisation of Section 7.2 is enabled.
 	flowKey    [16]byte
@@ -240,6 +245,11 @@ type FAM struct {
 	// refused (classify reports !ok and the caller sheds the datagram
 	// with DropStateBudget).
 	budget *Budget
+
+	// suiteOf, when set, picks the cipher suite pinned into a freshly
+	// created flow entry (see Config.SuiteSelector). Nil pins CipherNone,
+	// which standalone FAM users (tests, experiments) ignore.
+	suiteOf func(FlowID) CipherID
 }
 
 // DefaultFSTSize is the default flow state table size. The paper observes
@@ -285,19 +295,26 @@ func newFAMWithSeed(policy Policy, tableSize int, seed uint64) *FAM {
 // serves traffic.
 func (f *FAM) SetBudget(b *Budget) { f.budget = b }
 
+// SetSuiteSelector installs the per-flow suite choice; call before the
+// FAM serves traffic. The selector runs once per flow creation, and its
+// result is pinned in the entry for the flow's lifetime.
+func (f *FAM) SetSuiteSelector(sel func(FlowID) CipherID) { f.suiteOf = sel }
+
 // Classify assigns the datagram with attributes id and size bytes to a
 // flow, creating a new flow when no valid entry matches (the mapper
 // module of Figure 7). It returns the flow's sfl and whether a new flow
 // was started. With a budget at its hard limit, creation into an empty
 // slot is refused and the zero SFL is returned with ok == false.
 func (f *FAM) Classify(id FlowID, now time.Time, size int) (SFL, bool) {
-	sfl, isNew, _, _ := f.classify(id, now, size)
+	sfl, _, isNew, _, _ := f.classify(id, now, size)
 	return sfl, isNew
 }
 
-// classify additionally returns the slot index for the combined FST/TFKC
-// fast path, and ok == false when the state budget refused a creation.
-func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, isNew bool, slot int, ok bool) {
+// classify additionally returns the flow's pinned cipher suite and the
+// slot index for the combined FST/TFKC fast path, and ok == false when
+// the state budget refused a creation.
+func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, suite CipherID, isNew bool, slot int, ok bool) {
+	orig := id
 	if n, nok := f.policy.(flowNormalizer); nok {
 		id = n.normalize(id)
 	}
@@ -312,7 +329,7 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, isNew bool,
 		e.Packets++
 		e.Bytes += uint64(size)
 		st.stats.Hits++
-		return e.SFL, false, i, true
+		return e.SFL, e.Suite, false, i, true
 	}
 	if e.Valid && e.ID != id {
 		st.stats.Collisions++
@@ -320,7 +337,14 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, isNew bool,
 	// Overwriting a valid slot (collision or expired flow) is
 	// budget-neutral; only filling an empty slot grows state.
 	if !e.Valid && !f.budget.TryCharge(CostFAMEntry) {
-		return 0, false, i, false
+		return 0, 0, false, i, false
+	}
+	suite = CipherNone
+	if f.suiteOf != nil {
+		// The selector sees the un-normalized attributes: policy
+		// aggregation (e.g. host-pair) must not hide the ports a
+		// selector keys on. Whatever it picks is pinned with the entry.
+		suite = f.suiteOf(orig)
 	}
 	sfl = SFL(f.nextSFL.Add(1) - 1)
 	*e = FSTEntry{
@@ -331,9 +355,10 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, isNew bool,
 		Last:    now,
 		Packets: 1,
 		Bytes:   uint64(size),
+		Suite:   suite,
 	}
 	st.stats.FlowsCreated++
-	return sfl, true, i, true
+	return sfl, suite, true, i, true
 }
 
 // Sweep runs the sweeper module over the whole table (Figure 7),
@@ -422,6 +447,8 @@ type FlowInfo struct {
 	Last    time.Time
 	Packets uint64
 	Bytes   uint64
+	// Suite is the cipher suite pinned to the flow at creation.
+	Suite CipherID
 }
 
 // Snapshot lists the currently valid flows.
@@ -440,6 +467,7 @@ func (f *FAM) Snapshot() []FlowInfo {
 				ID: e.ID, SFL: e.SFL,
 				Created: e.Created, Last: e.Last,
 				Packets: e.Packets, Bytes: e.Bytes,
+				Suite: e.Suite,
 			})
 		}
 		st.mu.Unlock()

@@ -160,6 +160,117 @@ func TestGoldenSealedDatagram(t *testing.T) {
 	}
 }
 
+// TestGoldenSuiteVectors commits the sealed wire bytes of one pinned
+// datagram per registered suite (plus the cleartext-with-tag framing of
+// the AEAD suites). Every input is deterministic — private values, sfl,
+// confounder, clock — so these hex strings freeze each suite's framing,
+// key schedule, IV/nonce discipline and MAC/tag construction; any
+// change that breaks interoperability with previously sealed traffic
+// fails here. The DES vector doubles as the absolute-bytes pin for the
+// construction TestGoldenSealedDatagram builds by hand.
+func TestGoldenSuiteVectors(t *testing.T) {
+	group := cryptolib.TestGroup
+	src, err := principal.NewIdentityWithPrivate("S", group, big.NewInt(0x5EED))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := principal.NewIdentityWithPrivate("D", group, big.NewInt(0xD00D))
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := src.MasterKey(dst.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sfl = SFL(1000)
+	const conf = uint32(0x01020304)
+	clock := NewSimClock(time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC))
+	ts := TimestampOf(clock.Now())
+	payload := []byte("golden payload 123")
+	kf := FlowKey(cryptolib.HashMD5, sfl, master, "S", "D")
+
+	vectors := []struct {
+		cipher CipherID
+		secret bool
+		wire   string
+	}{
+		{CipherDES, true, "0101001100000000000003e80102030400f4d490a9ca299c111e20591612791f1d463ca21ff27f4a8ee1ce8e601b1919cc5525a31a9a611f729cd0ee"},
+		{Cipher3DES, true, "0101002100000000000003e80102030400f4d490f37974cff2eebae914da699f6f51124c3ff60003c4f7329eedb171fcd2b6ced7c130851f379be55b"},
+		{CipherAES128GCM, true, "0101048000000000000003e80102030400f4d4900dcdf5ad280008a00a732f9851f8f2aec1655c3cc06b9804303bfb72f26aba41526f"},
+		{CipherAES128GCM, false, "0100048000000000000003e80102030400f4d490caedadf124753f75e149b77ddb98e1ce676f6c64656e207061796c6f616420313233"},
+		{CipherChaCha20Poly1305, true, "0101049000000000000003e80102030400f4d4902c313ccd17c3b213df039798b5bec0efa267aedb9730830f26973bc4e5caafe3a010"},
+		{CipherChaCha20Poly1305, false, "0100049000000000000003e80102030400f4d490dc07ef1dabbed8a0e8ed18ee5f816e80676f6c64656e207061796c6f616420313233"},
+	}
+
+	// One deterministic receiving endpoint accepts every vector: the
+	// header is self-describing and the default accept policy admits all
+	// registered suites.
+	w := newWorld(t)
+	dstTr, err := transportAttach(t, w, "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := NewEndpoint(Config{
+		Identity:  dst,
+		Transport: dstTr,
+		Directory: w.dir,
+		Verifier:  w.ver,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	cS, err := w.ca.Issue(src, clock.Now().Add(-time.Hour), clock.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.dir.Publish(cS)
+
+	for _, v := range vectors {
+		suite := SuiteByID(v.cipher)
+		if suite == nil {
+			t.Fatalf("suite %v not registered", v.cipher)
+		}
+		name := suite.Name()
+		mac, mode := suite.WireAlg(cryptolib.MACPrefixMD5, cryptolib.CBC)
+		h := Header{
+			Version:    HeaderVersion,
+			MAC:        mac,
+			Cipher:     v.cipher,
+			Mode:       mode,
+			SFL:        sfl,
+			Confounder: conf,
+			Timestamp:  ts,
+		}
+		if v.secret {
+			h.Flags = FlagSecret
+		}
+		wire := h.Encode(nil)
+		wire, err := suite.SealAppend(wire, 0, h, kf, payload, false, nil)
+		if err != nil {
+			t.Fatalf("%s: SealAppend: %v", name, err)
+		}
+		got := hex.EncodeToString(wire)
+		if v.wire == "" {
+			t.Errorf("GENERATE %s secret=%v:\n%s", name, v.secret, got)
+			continue
+		}
+		if got != v.wire {
+			t.Errorf("%s secret=%v wire bytes changed:\n got %s\nwant %s", name, v.secret, got, v.wire)
+			continue
+		}
+		opened, err := ep.Open(transportDatagram("S", "D", wire))
+		if err != nil {
+			t.Errorf("%s secret=%v: golden vector rejected: %v", name, v.secret, err)
+			continue
+		}
+		if !bytes.Equal(opened.Payload, payload) {
+			t.Errorf("%s secret=%v: payload mismatch: %q", name, v.secret, opened.Payload)
+		}
+	}
+}
+
 func transportAttach(t *testing.T, _ *testWorld, name principal.Address) (transport.Transport, error) {
 	t.Helper()
 	net := transport.NewNetwork(transport.Impairments{})

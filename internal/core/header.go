@@ -26,6 +26,14 @@ const (
 	CipherDES
 	// Cipher3DES is EDE triple DES with a two-key schedule.
 	Cipher3DES
+
+	// IDs 3-7 are reserved for future legacy-style suites.
+
+	// CipherAES128GCM is AES-128 in Galois/Counter mode: a modern AEAD
+	// suite whose tag rides in the header's MAC value field.
+	CipherAES128GCM CipherID = 8
+	// CipherChaCha20Poly1305 is the RFC 8439 AEAD suite.
+	CipherChaCha20Poly1305 CipherID = 9
 )
 
 // String returns the conventional cipher name.
@@ -37,6 +45,10 @@ func (c CipherID) String() string {
 		return "DES"
 	case Cipher3DES:
 		return "3DES"
+	case CipherAES128GCM:
+		return "AES-128-GCM"
+	case CipherChaCha20Poly1305:
+		return "ChaCha20-Poly1305"
 	default:
 		return fmt.Sprintf("CipherID(%d)", uint8(c))
 	}
@@ -104,7 +116,12 @@ type Header struct {
 // Secret reports whether the body is encrypted.
 func (h *Header) Secret() bool { return h.Flags&FlagSecret != 0 }
 
-// algByte packs cipher (high nibble) and mode (low nibble).
+// algByte packs cipher (high nibble) and mode (low nibble). Both IDs
+// are validated to fit their nibble at configuration time (NewEndpoint
+// rejects out-of-range IDs with ErrAlgorithmRange), so the masks here
+// never truncate live configuration; on the receive side, checkAlg
+// rejects nibble values with no registered suite with a typed
+// ErrAlgorithmUnknown instead of letting them alias a real suite.
 func (h *Header) algByte() byte { return byte(h.Cipher)<<4 | byte(h.Mode)&0x0f }
 
 // Encode appends the wire encoding of the header to dst and returns the

@@ -1,0 +1,446 @@
+package cryptolib
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ChaCha20-Poly1305 AEAD per RFC 8439, implemented from scratch on the
+// same zero-dependency terms as the rest of cryptolib. The construction
+// collapses the paper's separate encrypt and MAC passes into a single
+// sealed box: a ChaCha20 keystream encrypts the payload and a one-time
+// Poly1305 key (derived from block counter zero) authenticates the AAD
+// and ciphertext together. The data-plane suites use it for the modern
+// non-NIST cipher option; the refmodel shares only this primitive and
+// reassembles nonce/AAD framing independently.
+
+// ChaCha20Poly1305 sizes.
+const (
+	ChaChaKeySize   = 32
+	ChaChaNonceSize = 12
+	Poly1305TagSize = 16
+)
+
+// ErrAEADOpen is returned when AEAD authentication fails.
+var ErrAEADOpen = errors.New("cryptolib: chacha20poly1305 authentication failed")
+
+// ChaCha20Poly1305 is an AEAD instance bound to one 256-bit key. Its
+// Seal/Open follow crypto/cipher.AEAD append semantics, including the
+// documented in-place forms Seal(pt[:0], ...) and Open(ct[:0], ...).
+type ChaCha20Poly1305 struct {
+	key [8]uint32
+}
+
+// NewChaCha20Poly1305 builds an AEAD from a 32-byte key.
+func NewChaCha20Poly1305(key []byte) (*ChaCha20Poly1305, error) {
+	if len(key) != ChaChaKeySize {
+		return nil, fmt.Errorf("cryptolib: chacha20poly1305 key must be %d bytes, got %d", ChaChaKeySize, len(key))
+	}
+	a := &ChaCha20Poly1305{}
+	for i := range a.key {
+		a.key[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	return a, nil
+}
+
+// NonceSize returns the RFC 8439 nonce length.
+func (*ChaCha20Poly1305) NonceSize() int { return ChaChaNonceSize }
+
+// Overhead returns the tag length appended by Seal.
+func (*ChaCha20Poly1305) Overhead() int { return Poly1305TagSize }
+
+// Seal encrypts and authenticates plaintext with additionalData bound
+// into the tag, appending ciphertext||tag to dst. The nonce must be
+// unique per key. plaintext and the appended region may overlap exactly
+// (dst = plaintext[:0]).
+func (a *ChaCha20Poly1305) Seal(dst, nonce, plaintext, additionalData []byte) []byte {
+	if len(nonce) != ChaChaNonceSize {
+		panic("cryptolib: chacha20poly1305 nonce must be 12 bytes")
+	}
+	var n [3]uint32
+	n[0] = binary.LittleEndian.Uint32(nonce[0:])
+	n[1] = binary.LittleEndian.Uint32(nonce[4:])
+	n[2] = binary.LittleEndian.Uint32(nonce[8:])
+
+	ret, out := aeadSliceForAppend(dst, len(plaintext)+Poly1305TagSize)
+	ct := out[:len(plaintext)]
+	chachaXORStream(&a.key, &n, 1, ct, plaintext)
+
+	var otk [32]byte
+	polyOneTimeKey(&a.key, &n, &otk)
+	tag := polyAEADTag(&otk, additionalData, ct)
+	copy(out[len(plaintext):], tag[:])
+	return ret
+}
+
+// Open authenticates ciphertext (which must end in the 16-byte tag) and
+// additionalData, then decrypts, appending the plaintext to dst. The
+// ciphertext and the appended region may overlap exactly (dst = ct[:0]).
+func (a *ChaCha20Poly1305) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error) {
+	if len(nonce) != ChaChaNonceSize {
+		panic("cryptolib: chacha20poly1305 nonce must be 12 bytes")
+	}
+	if len(ciphertext) < Poly1305TagSize {
+		return nil, ErrAEADOpen
+	}
+	var n [3]uint32
+	n[0] = binary.LittleEndian.Uint32(nonce[0:])
+	n[1] = binary.LittleEndian.Uint32(nonce[4:])
+	n[2] = binary.LittleEndian.Uint32(nonce[8:])
+
+	body := ciphertext[:len(ciphertext)-Poly1305TagSize]
+	got := ciphertext[len(ciphertext)-Poly1305TagSize:]
+
+	var otk [32]byte
+	polyOneTimeKey(&a.key, &n, &otk)
+	want := polyAEADTag(&otk, additionalData, body)
+	if subtle.ConstantTimeCompare(want[:], got) != 1 {
+		return nil, ErrAEADOpen
+	}
+
+	ret, out := aeadSliceForAppend(dst, len(body))
+	chachaXORStream(&a.key, &n, 1, out, body)
+	return ret, nil
+}
+
+// aeadSliceForAppend grows in (reusing capacity where possible) and
+// returns the extended slice plus the freshly appended region — the
+// standard crypto/cipher helper shape that makes in-place use work.
+func aeadSliceForAppend(in []byte, n int) (head, tail []byte) {
+	total := len(in) + n
+	if cap(in) >= total {
+		head = in[:total]
+	} else {
+		head = make([]byte, total)
+		copy(head, in)
+	}
+	tail = head[len(in):]
+	return
+}
+
+// --- ChaCha20 block function (RFC 8439 section 2.3) ---
+
+const (
+	chachaC0 = 0x61707865 // "expa"
+	chachaC1 = 0x3320646e // "nd 3"
+	chachaC2 = 0x79622d32 // "2-by"
+	chachaC3 = 0x6b206574 // "te k"
+)
+
+func rotl32(v uint32, n uint) uint32 { return v<<n | v>>(32-n) }
+
+// chachaBlock computes one 64-byte keystream block into out.
+func chachaBlock(key *[8]uint32, nonce *[3]uint32, counter uint32, out *[64]byte) {
+	s0, s1, s2, s3 := uint32(chachaC0), uint32(chachaC1), uint32(chachaC2), uint32(chachaC3)
+	s4, s5, s6, s7 := key[0], key[1], key[2], key[3]
+	s8, s9, s10, s11 := key[4], key[5], key[6], key[7]
+	s12, s13, s14, s15 := counter, nonce[0], nonce[1], nonce[2]
+
+	x0, x1, x2, x3 := s0, s1, s2, s3
+	x4, x5, x6, x7 := s4, s5, s6, s7
+	x8, x9, x10, x11 := s8, s9, s10, s11
+	x12, x13, x14, x15 := s12, s13, s14, s15
+
+	for i := 0; i < 10; i++ {
+		// column rounds
+		x0 += x4
+		x12 = rotl32(x12^x0, 16)
+		x8 += x12
+		x4 = rotl32(x4^x8, 12)
+		x0 += x4
+		x12 = rotl32(x12^x0, 8)
+		x8 += x12
+		x4 = rotl32(x4^x8, 7)
+
+		x1 += x5
+		x13 = rotl32(x13^x1, 16)
+		x9 += x13
+		x5 = rotl32(x5^x9, 12)
+		x1 += x5
+		x13 = rotl32(x13^x1, 8)
+		x9 += x13
+		x5 = rotl32(x5^x9, 7)
+
+		x2 += x6
+		x14 = rotl32(x14^x2, 16)
+		x10 += x14
+		x6 = rotl32(x6^x10, 12)
+		x2 += x6
+		x14 = rotl32(x14^x2, 8)
+		x10 += x14
+		x6 = rotl32(x6^x10, 7)
+
+		x3 += x7
+		x15 = rotl32(x15^x3, 16)
+		x11 += x15
+		x7 = rotl32(x7^x11, 12)
+		x3 += x7
+		x15 = rotl32(x15^x3, 8)
+		x11 += x15
+		x7 = rotl32(x7^x11, 7)
+
+		// diagonal rounds
+		x0 += x5
+		x15 = rotl32(x15^x0, 16)
+		x10 += x15
+		x5 = rotl32(x5^x10, 12)
+		x0 += x5
+		x15 = rotl32(x15^x0, 8)
+		x10 += x15
+		x5 = rotl32(x5^x10, 7)
+
+		x1 += x6
+		x12 = rotl32(x12^x1, 16)
+		x11 += x12
+		x6 = rotl32(x6^x11, 12)
+		x1 += x6
+		x12 = rotl32(x12^x1, 8)
+		x11 += x12
+		x6 = rotl32(x6^x11, 7)
+
+		x2 += x7
+		x13 = rotl32(x13^x2, 16)
+		x8 += x13
+		x7 = rotl32(x7^x8, 12)
+		x2 += x7
+		x13 = rotl32(x13^x2, 8)
+		x8 += x13
+		x7 = rotl32(x7^x8, 7)
+
+		x3 += x4
+		x14 = rotl32(x14^x3, 16)
+		x9 += x14
+		x4 = rotl32(x4^x9, 12)
+		x3 += x4
+		x14 = rotl32(x14^x3, 8)
+		x9 += x14
+		x4 = rotl32(x4^x9, 7)
+	}
+
+	binary.LittleEndian.PutUint32(out[0:], x0+s0)
+	binary.LittleEndian.PutUint32(out[4:], x1+s1)
+	binary.LittleEndian.PutUint32(out[8:], x2+s2)
+	binary.LittleEndian.PutUint32(out[12:], x3+s3)
+	binary.LittleEndian.PutUint32(out[16:], x4+s4)
+	binary.LittleEndian.PutUint32(out[20:], x5+s5)
+	binary.LittleEndian.PutUint32(out[24:], x6+s6)
+	binary.LittleEndian.PutUint32(out[28:], x7+s7)
+	binary.LittleEndian.PutUint32(out[32:], x8+s8)
+	binary.LittleEndian.PutUint32(out[36:], x9+s9)
+	binary.LittleEndian.PutUint32(out[40:], x10+s10)
+	binary.LittleEndian.PutUint32(out[44:], x11+s11)
+	binary.LittleEndian.PutUint32(out[48:], x12+s12)
+	binary.LittleEndian.PutUint32(out[52:], x13+s13)
+	binary.LittleEndian.PutUint32(out[56:], x14+s14)
+	binary.LittleEndian.PutUint32(out[60:], x15+s15)
+}
+
+// chachaXORStream XORs src with the keystream starting at the given
+// block counter, writing into dst (dst and src may be the same slice).
+func chachaXORStream(key *[8]uint32, nonce *[3]uint32, counter uint32, dst, src []byte) {
+	var block [64]byte
+	for len(src) > 0 {
+		chachaBlock(key, nonce, counter, &block)
+		counter++
+		n := len(src)
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = src[i] ^ block[i]
+		}
+		src = src[n:]
+		dst = dst[n:]
+	}
+}
+
+// polyOneTimeKey derives the Poly1305 one-time key from ChaCha20 block
+// counter zero (RFC 8439 section 2.6).
+func polyOneTimeKey(key *[8]uint32, nonce *[3]uint32, otk *[32]byte) {
+	var block [64]byte
+	chachaBlock(key, nonce, 0, &block)
+	copy(otk[:], block[:32])
+}
+
+// --- Poly1305 (RFC 8439 section 2.5), 26-bit limb implementation ---
+
+type poly1305 struct {
+	r    [5]uint32 // clamped key limbs
+	h    [5]uint32 // accumulator
+	pad  [4]uint32 // final addition, little-endian s
+	buf  [16]byte
+	bufn int
+}
+
+func newPoly1305(key *[32]byte) *poly1305 {
+	p := &poly1305{}
+	p.r[0] = binary.LittleEndian.Uint32(key[0:]) & 0x3ffffff
+	p.r[1] = (binary.LittleEndian.Uint32(key[3:]) >> 2) & 0x3ffff03
+	p.r[2] = (binary.LittleEndian.Uint32(key[6:]) >> 4) & 0x3ffc0ff
+	p.r[3] = (binary.LittleEndian.Uint32(key[9:]) >> 6) & 0x3f03fff
+	p.r[4] = (binary.LittleEndian.Uint32(key[12:]) >> 8) & 0x00fffff
+	p.pad[0] = binary.LittleEndian.Uint32(key[16:])
+	p.pad[1] = binary.LittleEndian.Uint32(key[20:])
+	p.pad[2] = binary.LittleEndian.Uint32(key[24:])
+	p.pad[3] = binary.LittleEndian.Uint32(key[28:])
+	return p
+}
+
+// blocks absorbs full 16-byte blocks; final marks the 1-bit as beyond a
+// short trailing block instead of bit 128.
+func (p *poly1305) blocks(m []byte, partialHibit bool) {
+	r0, r1, r2, r3, r4 := uint64(p.r[0]), uint64(p.r[1]), uint64(p.r[2]), uint64(p.r[3]), uint64(p.r[4])
+	s1, s2, s3, s4 := r1*5, r2*5, r3*5, r4*5
+	h0, h1, h2, h3, h4 := p.h[0], p.h[1], p.h[2], p.h[3], p.h[4]
+
+	for len(m) >= 16 {
+		h0 += binary.LittleEndian.Uint32(m[0:]) & 0x3ffffff
+		h1 += (binary.LittleEndian.Uint32(m[3:]) >> 2) & 0x3ffffff
+		h2 += (binary.LittleEndian.Uint32(m[6:]) >> 4) & 0x3ffffff
+		h3 += (binary.LittleEndian.Uint32(m[9:]) >> 6) & 0x3ffffff
+		hi := binary.LittleEndian.Uint32(m[12:]) >> 8
+		if !partialHibit {
+			hi |= 1 << 24
+		}
+		h4 += hi
+
+		d0 := uint64(h0)*r0 + uint64(h1)*s4 + uint64(h2)*s3 + uint64(h3)*s2 + uint64(h4)*s1
+		d1 := uint64(h0)*r1 + uint64(h1)*r0 + uint64(h2)*s4 + uint64(h3)*s3 + uint64(h4)*s2
+		d2 := uint64(h0)*r2 + uint64(h1)*r1 + uint64(h2)*r0 + uint64(h3)*s4 + uint64(h4)*s3
+		d3 := uint64(h0)*r3 + uint64(h1)*r2 + uint64(h2)*r1 + uint64(h3)*r0 + uint64(h4)*s4
+		d4 := uint64(h0)*r4 + uint64(h1)*r3 + uint64(h2)*r2 + uint64(h3)*r1 + uint64(h4)*r0
+
+		d1 += d0 >> 26
+		d2 += d1 >> 26
+		d3 += d2 >> 26
+		d4 += d3 >> 26
+		h0 = uint32(d0) & 0x3ffffff
+		h1 = uint32(d1) & 0x3ffffff
+		h2 = uint32(d2) & 0x3ffffff
+		h3 = uint32(d3) & 0x3ffffff
+		h4 = uint32(d4) & 0x3ffffff
+		h0 += uint32(d4>>26) * 5
+		h1 += h0 >> 26
+		h0 &= 0x3ffffff
+
+		m = m[16:]
+	}
+
+	p.h[0], p.h[1], p.h[2], p.h[3], p.h[4] = h0, h1, h2, h3, h4
+}
+
+func (p *poly1305) update(m []byte) {
+	if p.bufn > 0 {
+		n := copy(p.buf[p.bufn:], m)
+		p.bufn += n
+		m = m[n:]
+		if p.bufn < 16 {
+			return
+		}
+		p.blocks(p.buf[:], false)
+		p.bufn = 0
+	}
+	if full := len(m) &^ 15; full > 0 {
+		p.blocks(m[:full], false)
+		m = m[full:]
+	}
+	if len(m) > 0 {
+		p.bufn = copy(p.buf[:], m)
+	}
+}
+
+func (p *poly1305) sum(tag *[16]byte) {
+	if p.bufn > 0 {
+		var last [16]byte
+		copy(last[:], p.buf[:p.bufn])
+		last[p.bufn] = 1
+		p.blocks(last[:], true)
+		p.bufn = 0
+	}
+
+	h0, h1, h2, h3, h4 := p.h[0], p.h[1], p.h[2], p.h[3], p.h[4]
+
+	// full carry propagation
+	h1 += h0 >> 26
+	h0 &= 0x3ffffff
+	h2 += h1 >> 26
+	h1 &= 0x3ffffff
+	h3 += h2 >> 26
+	h2 &= 0x3ffffff
+	h4 += h3 >> 26
+	h3 &= 0x3ffffff
+	h0 += (h4 >> 26) * 5
+	h4 &= 0x3ffffff
+	h1 += h0 >> 26
+	h0 &= 0x3ffffff
+
+	// compute h + -p = h - (2^130 - 5)
+	g0 := h0 + 5
+	g1 := h1 + g0>>26
+	g0 &= 0x3ffffff
+	g2 := h2 + g1>>26
+	g1 &= 0x3ffffff
+	g3 := h3 + g2>>26
+	g2 &= 0x3ffffff
+	g4 := h4 + g3>>26 - (1 << 26)
+	g3 &= 0x3ffffff
+
+	// select h if h < p, g otherwise (constant time)
+	mask := (g4 >> 31) - 1 // all-ones if g4 >= 0 (h >= p)
+	h0 = h0&^mask | g0&mask
+	h1 = h1&^mask | g1&mask
+	h2 = h2&^mask | g2&mask
+	h3 = h3&^mask | g3&mask
+	h4 = h4&^mask | g4&mask
+
+	// h %= 2^128, then h += pad with carry
+	t0 := uint64(h0 | h1<<26)
+	t1 := uint64(h1>>6 | h2<<20)
+	t2 := uint64(h2>>12 | h3<<14)
+	t3 := uint64(h3>>18 | h4<<8)
+
+	t0 = (t0 & 0xffffffff) + uint64(p.pad[0])
+	t1 = (t1 & 0xffffffff) + uint64(p.pad[1]) + t0>>32
+	t2 = (t2 & 0xffffffff) + uint64(p.pad[2]) + t1>>32
+	t3 = (t3 & 0xffffffff) + uint64(p.pad[3]) + t2>>32
+
+	binary.LittleEndian.PutUint32(tag[0:], uint32(t0))
+	binary.LittleEndian.PutUint32(tag[4:], uint32(t1))
+	binary.LittleEndian.PutUint32(tag[8:], uint32(t2))
+	binary.LittleEndian.PutUint32(tag[12:], uint32(t3))
+}
+
+// Poly1305Tag computes the one-shot Poly1305 MAC of msg under key.
+// Exposed for vector tests; the AEAD path uses polyAEADTag.
+func Poly1305Tag(key *[32]byte, msg []byte) [16]byte {
+	p := newPoly1305(key)
+	p.update(msg)
+	var tag [16]byte
+	p.sum(&tag)
+	return tag
+}
+
+var polyZeroPad [16]byte
+
+// polyAEADTag evaluates the RFC 8439 AEAD MAC layout:
+// aad || pad16 || ct || pad16 || le64(len aad) || le64(len ct).
+func polyAEADTag(otk *[32]byte, aad, ct []byte) [16]byte {
+	p := newPoly1305(otk)
+	p.update(aad)
+	if rem := len(aad) % 16; rem != 0 {
+		p.update(polyZeroPad[:16-rem])
+	}
+	p.update(ct)
+	if rem := len(ct) % 16; rem != 0 {
+		p.update(polyZeroPad[:16-rem])
+	}
+	var lens [16]byte
+	binary.LittleEndian.PutUint64(lens[0:], uint64(len(aad)))
+	binary.LittleEndian.PutUint64(lens[8:], uint64(len(ct)))
+	p.update(lens[:])
+	var tag [16]byte
+	p.sum(&tag)
+	return tag
+}

@@ -30,6 +30,11 @@ const (
 	// protocol's non-cryptographic overhead. It provides no security
 	// whatsoever.
 	MACNull
+	// MACAEAD marks a datagram whose integrity is intrinsic to an AEAD
+	// cipher suite: the MAC value field carries the AEAD tag, and no
+	// separate MAC construction runs. Compute/Verify/NewStream refuse it
+	// — the suite's sealed-box path owns authentication.
+	MACAEAD
 )
 
 // String returns the conventional construction name.
@@ -43,6 +48,8 @@ func (m MACID) String() string {
 		return "HMAC-SHA1"
 	case MACNull:
 		return "null (NOP)"
+	case MACAEAD:
+		return "AEAD (intrinsic)"
 	default:
 		return "MAC(?)"
 	}
@@ -57,8 +64,16 @@ func (m MACID) Size() int {
 }
 
 // Compute evaluates the MAC over the concatenation of parts under key.
+// Unknown constructions (and MACAEAD, whose authentication lives in the
+// suite's AEAD) return nil rather than silently falling back to a
+// construction the caller did not ask for.
 func (m MACID) Compute(key []byte, parts ...[]byte) []byte {
 	switch m {
+	case MACPrefixMD5:
+		all := make([][]byte, 0, len(parts)+1)
+		all = append(all, key)
+		all = append(all, parts...)
+		return Digest(HashMD5, all...)
 	case MACHMACMD5:
 		return hmacCompute(HashMD5, key, parts)
 	case MACHMACSHA1:
@@ -66,16 +81,14 @@ func (m MACID) Compute(key []byte, parts ...[]byte) []byte {
 	case MACNull:
 		return make([]byte, MD5Size)
 	default:
-		all := make([][]byte, 0, len(parts)+1)
-		all = append(all, key)
-		all = append(all, parts...)
-		return Digest(HashMD5, all...)
+		return nil
 	}
 }
 
 // Verify recomputes the MAC and compares it against got in constant time.
 // got may be a truncated MAC (the paper permits truncation to save header
 // space); any prefix of at least 4 bytes is accepted for comparison.
+// Unknown constructions never verify.
 func (m MACID) Verify(key, got []byte, parts ...[]byte) bool {
 	if m == MACNull {
 		return true // NOP configuration: no authentication at all
@@ -84,6 +97,9 @@ func (m MACID) Verify(key, got []byte, parts ...[]byte) bool {
 		return false
 	}
 	want := m.Compute(key, parts...)
+	if want == nil {
+		return false
+	}
 	return subtle.ConstantTimeCompare(want[:len(got)], got) == 1
 }
 
@@ -97,12 +113,12 @@ type StreamMAC struct {
 	outer hash.Hash // nil for prefix MACs
 }
 
-// NewStream begins an incremental MAC under key.
+// NewStream begins an incremental MAC under key. Unknown constructions
+// (and MACAEAD) get the null stream, whose Sum never matches a real MAC.
 func (m MACID) NewStream(key []byte) *StreamMAC {
-	if m == MACNull {
-		return &StreamMAC{}
-	}
 	switch m {
+	case MACNull:
+		return &StreamMAC{}
 	case MACHMACMD5, MACHMACSHA1:
 		id := HashMD5
 		if m == MACHMACSHA1 {

@@ -71,9 +71,14 @@ type ChaosScenario struct {
 	// plus filler).
 	Datagrams    int
 	PayloadBytes int
-	// Secret encrypts the payloads (required by the bad-cipher
+	// Secret encrypts the payloads (required by the no-cipher
 	// injection).
 	Secret bool
+	// Suite selects the cipher suite both endpoints run
+	// (core.CipherNone selects core's default, DES). The adversary
+	// matrix and the reconciliation equations hold for every
+	// registered suite.
+	Suite core.CipherID
 	// Inject asks the adversary for this many datagrams of each kind.
 	Inject map[InjectKind]int
 	// ExactBuckets asserts per-DropReason equality between injections
@@ -213,11 +218,12 @@ func RunChaos(sc ChaosScenario) (*ChaosReport, error) {
 			Transport: tr,
 			Directory: dir,
 			Verifier:  ver,
-			// MD5+DES with a replay cache: every exact duplicate must
-			// surface as DropReplay, which is what makes duplicate
-			// accounting exact.
+			// Keyed-MD5 (or the AEAD's intrinsic MAC) with a replay
+			// cache: every exact duplicate must surface as DropReplay,
+			// which is what makes duplicate accounting exact.
 			MAC:               cryptolib.MACPrefixMD5,
 			AcceptMACs:        []cryptolib.MACID{cryptolib.MACPrefixMD5},
+			Cipher:            sc.Suite,
 			EnableReplayCache: true,
 			KeyRetry:          sc.Retry,
 			KeyNegativeTTL:    sc.NegativeTTL,

@@ -73,6 +73,38 @@ func TestChaosAdversaryExactBuckets(t *testing.T) {
 	}
 }
 
+func TestChaosAdversarySuiteMatrix(t *testing.T) {
+	// The full adversary matrix must reconcile exactly under every
+	// registered suite, not just the paper's DES default: the injection
+	// kinds are suite-aware (bad-alg, bad-cipher, no-cipher and
+	// suite-swap mutate relative to whatever framing the samples carry),
+	// so each kind must still land in its one designated bucket.
+	for _, s := range core.Suites() {
+		if s.ID() == core.CipherNone {
+			continue // cannot carry Secret traffic
+		}
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			r := runScenario(t, ChaosScenario{
+				Name:         "adversary-" + s.Name(),
+				Seed:         6 + uint64(s.ID()),
+				Datagrams:    40,
+				PayloadBytes: 192,
+				Secret:       true,
+				Suite:        s.ID(),
+				Inject:       allInjections(3),
+				ExactBuckets: true,
+			})
+			for k := 0; k < NumInjectKinds; k++ {
+				if r.Injected[k] == 0 {
+					t.Errorf("suite %s: adversary never managed a %s injection", s.Name(), InjectKind(k))
+				}
+			}
+		})
+	}
+}
+
 func TestChaosDuplicateStormExact(t *testing.T) {
 	// Heavy duplication with the replay cache on: every extra clean copy
 	// must surface as exactly one DropReplay.

@@ -343,15 +343,30 @@ const (
 	// InjectStale rewrites the timestamp to the 1996 epoch →
 	// DropStale (freshness is checked before the MAC).
 	InjectStale
-	// InjectBadAlg rewrites the MAC algorithm id to MACNull, which the
-	// chaos receivers are configured to reject → DropAlgorithm.
+	// InjectBadAlg rewrites the MAC algorithm id to MACNull. Legacy
+	// receivers are configured to reject it by policy; AEAD receivers
+	// reject it structurally (an AEAD cipher nibble admits only the
+	// intrinsic MAC id) → DropAlgorithm either way.
 	InjectBadAlg
-	// InjectBadCipher rewrites the cipher id to an unassigned value on
-	// an encrypted datagram → DropDecrypt.
+	// InjectBadCipher rewrites the cipher id to one with no registered
+	// suite, drawn from the full complement of the suite registry →
+	// DropAlgorithm ("no such algorithm" is decided before any key or
+	// cipher work).
 	InjectBadCipher
 	// InjectMisroute delivers a datagram whose Destination names
 	// another principal → DropNotForUs.
 	InjectMisroute
+	// InjectNoCipher downgrades an encrypted datagram to cipher "none"
+	// (legacy prefix-MD5 framing). The suite is registered and the
+	// header structurally valid, but "none" cannot decrypt →
+	// DropDecrypt.
+	InjectNoCipher
+	// InjectSuiteSwap rewrites the header to a different *registered*
+	// suite with structurally valid MAC/mode bytes — the classic
+	// cross-suite substitution attack. The algorithm prefix is
+	// authenticated (legacy: MACed; AEAD: bound as AAD), so the swap
+	// must fail authentication → DropBadMAC.
+	InjectSuiteSwap
 
 	// NumInjectKinds sizes per-kind arrays.
 	NumInjectKinds = int(iota)
@@ -376,6 +391,10 @@ func (k InjectKind) String() string {
 		return "bad_cipher"
 	case InjectMisroute:
 		return "misroute"
+	case InjectNoCipher:
+		return "no_cipher"
+	case InjectSuiteSwap:
+		return "suite_swap"
 	}
 	return "unknown"
 }
@@ -387,13 +406,13 @@ func (k InjectKind) DropReason() core.DropReason {
 		return core.DropReplay
 	case InjectTruncate:
 		return core.DropMalformed
-	case InjectBitflip, InjectForgeMAC:
+	case InjectBitflip, InjectForgeMAC, InjectSuiteSwap:
 		return core.DropBadMAC
 	case InjectStale:
 		return core.DropStale
-	case InjectBadAlg:
+	case InjectBadAlg, InjectBadCipher:
 		return core.DropAlgorithm
-	case InjectBadCipher:
+	case InjectNoCipher:
 		return core.DropDecrypt
 	case InjectMisroute:
 		return core.DropNotForUs
@@ -436,6 +455,19 @@ const (
 	offMACValue   = 20
 )
 
+// unregisteredCiphers is InjectBadCipher's draw pool: every cipher
+// nibble with no registered suite, computed once (the registry is
+// frozen after package init).
+var unregisteredCiphers = func() []core.CipherID {
+	var out []core.CipherID
+	for id := core.CipherID(0); id <= 0x0F; id++ {
+		if core.SuiteByID(id) == nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}()
+
 // Inject crafts one datagram of the given kind from a captured sample
 // and places it in the victim's queue. It reports false when no
 // suitable sample has been captured yet (e.g. the stream has not
@@ -474,10 +506,43 @@ func (a *Adversary) Inject(kind InjectKind) bool {
 	case InjectBadAlg:
 		dg.Payload[offMACAlg] = byte(cryptolib.MACNull)
 	case InjectBadCipher:
+		bad := unregisteredCiphers[int(r)%len(unregisteredCiphers)]
+		dg.Payload[offCipherMode] = byte(bad)<<4 | (dg.Payload[offCipherMode] & 0x0F)
+	case InjectNoCipher:
 		if dg.Payload[1]&core.FlagSecret == 0 {
-			return false // needs an encrypted sample
+			return false // only a downgrade when there is ciphertext
 		}
-		dg.Payload[offCipherMode] = 0xE0 | (dg.Payload[offCipherMode] & 0x0F)
+		dg.Payload[offMACAlg] = byte(cryptolib.MACPrefixMD5)
+		dg.Payload[offCipherMode] &= 0x0F // cipher → none, mode preserved
+	case InjectSuiteSwap:
+		cur := core.CipherID(dg.Payload[offCipherMode] >> 4)
+		secret := dg.Payload[1]&core.FlagSecret != 0
+		body := len(dg.Payload) - core.HeaderSize
+		var targets []core.Suite
+		for _, s := range core.Suites() {
+			if s.ID() == cur || s.ID() == core.CipherNone {
+				continue
+			}
+			// Legacy suites decrypt in 8-byte blocks; a ragged AEAD
+			// ciphertext swapped onto one would fail in the cipher, not
+			// the authenticator. Keep such swaps inside the AEAD family
+			// so the failure is always DropBadMAC.
+			if secret && body%cryptolib.BlockSize != 0 && !s.AEAD() {
+				continue
+			}
+			targets = append(targets, s)
+		}
+		if len(targets) == 0 {
+			return false
+		}
+		tgt := targets[int(r)%len(targets)]
+		if tgt.AEAD() {
+			dg.Payload[offMACAlg] = byte(cryptolib.MACAEAD)
+			dg.Payload[offCipherMode] = byte(tgt.ID()) << 4
+		} else {
+			dg.Payload[offMACAlg] = byte(cryptolib.MACPrefixMD5)
+			dg.Payload[offCipherMode] = byte(tgt.ID())<<4 | byte(cryptolib.CBC)
+		}
 	case InjectMisroute:
 		victim := dg.Destination
 		dg.Destination = "chaos-nobody"

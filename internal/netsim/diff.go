@@ -38,6 +38,11 @@ type DiffScenario struct {
 	// ReplayCache enables exact-duplicate suppression on both sides
 	// (the default for Ops > 0 scenarios built by callers here).
 	ReplayCache bool
+	// Suite selects the cipher suite on both sides (core.CipherNone
+	// selects the default, DES), so the differential harness
+	// cross-validates every registered suite's framing, key schedule
+	// and drop classification against the reference model.
+	Suite core.CipherID
 }
 
 // DiffReport is the outcome of a differential run.
@@ -173,6 +178,7 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 			Clock:             clk,
 			Confounder:        cryptolib.NewLCGSeeded(confSeed),
 			SFLSeed:           sflSeed,
+			Cipher:            sc.Suite,
 			EnableReplayCache: sc.ReplayCache,
 		})
 		if err != nil {
@@ -185,6 +191,7 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 			Clock:             clk,
 			Confounder:        cryptolib.NewLCGSeeded(confSeed),
 			SFLSeed:           sflSeed,
+			Cipher:            sc.Suite,
 			EnableReplayCache: sc.ReplayCache,
 		})
 		if err != nil {

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fbs/internal/core"
 )
 
 // failDiff reports a divergence, writing the full artifact (op stream
@@ -64,6 +66,35 @@ func TestDifferentialSeeds(t *testing.T) {
 	}
 }
 
+// TestDifferentialSuites cross-validates every registered suite against
+// the reference model: wire bytes, verdicts, drop classification and
+// the final ledgers must agree per suite, including the AEAD framings
+// whose reference implementation shares no code with core's.
+func TestDifferentialSuites(t *testing.T) {
+	for _, s := range core.Suites() {
+		if s.ID() == core.CipherNone {
+			continue // cleartext-only; the DES run covers non-secret framing
+		}
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunDiff(DiffScenario{
+				Seed:        0x5817E000 + uint64(s.ID()),
+				Ops:         2000,
+				ReplayCache: true,
+				Suite:       s.ID(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Divergence != "" {
+				failDiff(t, "suite-"+s.Name(), rep)
+			}
+			t.Log(rep.Summary())
+		})
+	}
+}
+
 // TestDifferentialMatrixRace runs independent differential pairs
 // concurrently. Each run is self-contained; under -race this doubles as
 // a data-race probe of the optimised endpoint's striped machinery while
@@ -92,10 +123,14 @@ func FuzzDifferential(f *testing.F) {
 	f.Add(uint64(0xDEADBEEF), uint16(1024))
 	f.Add(uint64(314159), uint16(200))
 	f.Fuzz(func(t *testing.T, seed uint64, ops uint16) {
+		// The seed also picks the suite, so the fuzzer roams the whole
+		// registry (AEAD framings included) hunting for disagreements.
+		suites := core.Suites()
 		rep, err := RunDiff(DiffScenario{
 			Seed:        seed,
 			Ops:         int(ops)%1024 + 32,
 			ReplayCache: seed%5 != 0, // occasionally cross-validate the replay-free path
+			Suite:       suites[int(seed/7)%len(suites)].ID(),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -41,6 +41,19 @@ func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
 		}
 		fams = append(fams, drops)
 
+		// Per-suite data-plane traffic, labelled by the registry's
+		// canonical suite names. Only registered suites are emitted —
+		// unassigned nibbles can never seal or open a datagram.
+		seals, opens := ep.SuiteCounts()
+		sealFam := Family{Name: "fbs_endpoint_suite_seals_total", Help: "Datagrams sealed, by cipher suite.", Type: "counter"}
+		openFam := Family{Name: "fbs_endpoint_suite_opens_total", Help: "Datagrams opened and accepted, by cipher suite.", Type: "counter"}
+		for _, s := range core.Suites() {
+			sl := []Label{eplbl, {Key: "suite", Value: s.Name()}}
+			sealFam.Samples = append(sealFam.Samples, Sample{Labels: sl, Value: float64(seals[s.ID()])})
+			openFam.Samples = append(openFam.Samples, Sample{Labels: sl, Value: float64(opens[s.ID()])})
+		}
+		fams = append(fams, sealFam, openFam)
+
 		fs := ep.FAMStats()
 		fams = append(fams,
 			CounterFamily("fbs_fam_lookups_total", "Flow association map lookups.", fs.Lookups, eplbl),

@@ -93,6 +93,9 @@ func TestAdminPlane(t *testing.T) {
 		`fbs_endpoint_sent_total{endpoint="alice"} 10`,
 		`fbs_endpoint_received_total{endpoint="bob"} 10`,
 		`fbs_endpoint_drops_total{endpoint="bob",reason="bad_mac"} 1`,
+		`fbs_endpoint_suite_seals_total{endpoint="alice",suite="DES"} 11`,
+		`fbs_endpoint_suite_opens_total{endpoint="bob",suite="DES"} 10`,
+		`fbs_endpoint_suite_seals_total{endpoint="alice",suite="AES-128-GCM"} 0`,
 		`fbs_cache_hits_total{endpoint="alice",cache="tfkc"}`,
 		`fbs_cache_slots{endpoint="bob",cache="rfkc"}`,
 		`fbs_fam_active_flows{endpoint="alice"} 1`,

@@ -13,17 +13,22 @@
 // freshness, MAC, encryption, and exact-duplicate suppression.
 //
 // The wire format and check order are reimplemented independently —
-// header encoding, MAC input assembly, IV derivation, timestamp
-// freshness and K_f derivation are all written out again here rather
-// than calling core's helpers — so that a bug in either implementation
-// surfaces as a divergence in the netsim differential harness rather
-// than cancelling out. Only true primitives (DES, MD5, CRC-32, cipher
-// modes) and the principal/certificate encodings are shared, plus
-// core's error sentinels so both sides classify failures identically
-// through core.DropReasonOf.
+// header encoding, MAC input assembly, IV derivation, AEAD nonce/AAD
+// framing, timestamp freshness and K_f derivation are all written out
+// again here rather than calling core's helpers — so that a bug in
+// either implementation surfaces as a divergence in the netsim
+// differential harness rather than cancelling out. Only true primitives
+// (DES, MD5, CRC-32, cipher modes, AES-GCM, the ChaCha20-Poly1305 box)
+// and the principal/certificate encodings are shared, plus core's error
+// sentinels so both sides classify failures identically through
+// core.DropReasonOf. The cipher-suite decision table — which cipher
+// nibbles exist, which MAC/mode bytes each can carry — is restated here
+// as plain switches, mirroring core's registry-driven checkAlg.
 package refmodel
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -144,6 +149,22 @@ func New(cfg Config) (*Endpoint, error) {
 	}
 	if cfg.Cipher == core.CipherNone {
 		cfg.Cipher = core.CipherDES
+	}
+	// Mirror core.NewEndpoint's nibble/suite validation: IDs must fit
+	// the packed algorithm byte and name a suite this model implements.
+	if cfg.Cipher > 0x0f || cfg.Mode > 0x0f {
+		return nil, fmt.Errorf("%w: cipher %d / mode %d", core.ErrAlgorithmRange, cfg.Cipher, cfg.Mode)
+	}
+	switch cfg.Cipher {
+	case core.CipherDES, core.Cipher3DES:
+		if cfg.MAC > cryptolib.MACNull || cfg.Mode > cryptolib.OFB {
+			return nil, fmt.Errorf("%w: MAC %d / mode %d", core.ErrAlgorithmRange, cfg.MAC, cfg.Mode)
+		}
+	case core.CipherAES128GCM, core.CipherChaCha20Poly1305:
+		// AEAD suites ignore MAC/Mode; the wire carries MACAEAD and a
+		// zero mode nibble.
+	default:
+		return nil, fmt.Errorf("%w: cipher %d has no reference implementation", core.ErrAlgorithmRange, cfg.Cipher)
 	}
 	if cfg.FreshnessWindow <= 0 {
 		cfg.FreshnessWindow = 10 * time.Minute
@@ -323,11 +344,38 @@ func (e *Endpoint) Seal(dst principal.Address, id core.FlowID, payload []byte, s
 	if secret {
 		hdr[1] = flagSecret
 	}
-	hdr[2] = byte(e.cfg.MAC)
-	hdr[3] = byte(e.cfg.Cipher)<<4 | byte(e.cfg.Mode)&0x0f
+	if isAEAD(e.cfg.Cipher) {
+		// AEAD wire algorithm: the MAC byte names the intrinsic tag and
+		// the mode nibble is zero.
+		hdr[2] = byte(cryptolib.MACAEAD)
+		hdr[3] = byte(e.cfg.Cipher) << 4
+	} else {
+		hdr[2] = byte(e.cfg.MAC)
+		hdr[3] = byte(e.cfg.Cipher)<<4 | byte(e.cfg.Mode)&0x0f
+	}
 	binary.BigEndian.PutUint64(hdr[4:], sfl)
 	binary.BigEndian.PutUint32(hdr[12:], e.cfg.Confounder.Uint32())
 	binary.BigEndian.PutUint32(hdr[16:], timestampOf(now))
+
+	if isAEAD(e.cfg.Cipher) {
+		box, err := newAEAD(e.cfg.Cipher, kf)
+		if err != nil {
+			return nil, err
+		}
+		if !secret {
+			// Cleartext body: the tag seals an empty plaintext over
+			// header-fields | body as AAD and lands in the MAC field.
+			aad := append(macInput(hdr), payload...)
+			tag := box.Seal(nil, nonceOf(hdr), nil, aad)
+			copy(hdr[macOffset:], tag[:macLen])
+			e.sealed++
+			return append(hdr, payload...), nil
+		}
+		sealed := box.Seal(nil, nonceOf(hdr), payload, macInput(hdr))
+		copy(hdr[macOffset:], sealed[len(payload):])
+		e.sealed++
+		return append(hdr, sealed[:len(payload)]...), nil
+	}
 
 	// The MAC covers the non-MAC header fields that name the datagram
 	// (everything but the sfl, which K_f already binds) and the
@@ -373,6 +421,30 @@ func (e *Endpoint) Open(src, dst principal.Address, wire []byte) ([]byte, error)
 		return nil, fmt.Errorf("%w: version %d", core.ErrMalformed, wire[0])
 	}
 	hdr, body := wire[:headerSize], wire[headerSize:]
+	// Mirror of core's checkAlg decision table, restated as plain
+	// switches: first structure (does the cipher nibble name a suite at
+	// all, and can that suite carry these MAC/mode bytes), then — were
+	// policy configured — acceptance. Both failures are DropAlgorithm.
+	// Positioned exactly where core runs it: after the version check,
+	// before freshness.
+	cid := core.CipherID(hdr[3] >> 4)
+	mid := cryptolib.MACID(hdr[2])
+	mode := cryptolib.Mode(hdr[3] & 0x0f)
+	switch cid {
+	case core.CipherNone, core.CipherDES, core.Cipher3DES:
+		if mid > cryptolib.MACNull || mode > cryptolib.OFB {
+			e.drops[core.DropAlgorithm]++
+			return nil, fmt.Errorf("%w: MAC %d / mode %d for cipher %d", core.ErrAlgorithmUnknown, mid, mode, cid)
+		}
+	case core.CipherAES128GCM, core.CipherChaCha20Poly1305:
+		if mid != cryptolib.MACAEAD || mode != 0 {
+			e.drops[core.DropAlgorithm]++
+			return nil, fmt.Errorf("%w: MAC %d / mode %d for AEAD cipher %d", core.ErrAlgorithmUnknown, mid, mode, cid)
+		}
+	default:
+		e.drops[core.DropAlgorithm]++
+		return nil, fmt.Errorf("%w: cipher %d", core.ErrAlgorithmUnknown, cid)
+	}
 	sfl := binary.BigEndian.Uint64(hdr[4:])
 	ts := binary.BigEndian.Uint32(hdr[16:])
 	now := e.cfg.Clock.Now()
@@ -385,30 +457,57 @@ func (e *Endpoint) Open(src, dst principal.Address, wire []byte) ([]byte, error)
 		e.drops[core.DropKeying]++
 		return nil, fmt.Errorf("%w: flow from %q: %w", core.ErrKeying, src, err)
 	}
-	if hdr[1]&flagSecret != 0 {
-		c, err := newCipher(core.CipherID(hdr[3]>>4), kf)
+	if isAEAD(cid) {
+		box, err := newAEAD(cid, kf)
 		if err != nil {
 			e.drops[core.DropDecrypt]++
 			return nil, fmt.Errorf("%w: %v", core.ErrDecrypt, err)
 		}
-		plain := make([]byte, len(body))
-		if _, err := cryptolib.DecryptMode(c, cryptolib.Mode(hdr[3]&0x0f), ivOf(hdr), plain, body); err != nil {
-			e.drops[core.DropDecrypt]++
-			return nil, fmt.Errorf("%w: %v", core.ErrDecrypt, err)
+		if hdr[1]&flagSecret != 0 {
+			// The body is exact-length ciphertext; the tag rides in the
+			// header's MAC field. Reassemble ciphertext | tag and open.
+			ct := make([]byte, 0, len(body)+macLen)
+			ct = append(ct, body...)
+			ct = append(ct, hdr[macOffset:headerSize]...)
+			plain, err := box.Open(nil, nonceOf(hdr), ct, macInput(hdr))
+			if err != nil {
+				e.drops[core.DropBadMAC]++
+				return nil, core.ErrBadMAC
+			}
+			body = plain
+		} else {
+			aad := append(macInput(hdr), body...)
+			if _, err := box.Open(nil, nonceOf(hdr), hdr[macOffset:headerSize], aad); err != nil {
+				e.drops[core.DropBadMAC]++
+				return nil, core.ErrBadMAC
+			}
 		}
-		unpadded, err := cryptolib.Unpad(plain, c.BlockSize())
-		if err != nil {
-			// Bad padding reports as an authentication failure, same
-			// as core, to avoid a padding oracle.
-			e.drops[core.DropBadMAC]++
-			return nil, core.ErrBadMAC
+	} else {
+		if hdr[1]&flagSecret != 0 {
+			c, err := newCipher(cid, kf)
+			if err != nil {
+				e.drops[core.DropDecrypt]++
+				return nil, fmt.Errorf("%w: %v", core.ErrDecrypt, err)
+			}
+			plain := make([]byte, len(body))
+			if _, err := cryptolib.DecryptMode(c, mode, ivOf(hdr), plain, body); err != nil {
+				e.drops[core.DropDecrypt]++
+				return nil, fmt.Errorf("%w: %v", core.ErrDecrypt, err)
+			}
+			unpadded, err := cryptolib.Unpad(plain, c.BlockSize())
+			if err != nil {
+				// Bad padding reports as an authentication failure, same
+				// as core, to avoid a padding oracle.
+				e.drops[core.DropBadMAC]++
+				return nil, core.ErrBadMAC
+			}
+			body = unpadded
 		}
-		body = unpadded
-	}
-	if mid := cryptolib.MACID(hdr[2]); mid != cryptolib.MACNull {
-		if !mid.Verify(kf[:], hdr[macOffset:headerSize], macInput(hdr), body) {
-			e.drops[core.DropBadMAC]++
-			return nil, core.ErrBadMAC
+		if mid != cryptolib.MACNull {
+			if !mid.Verify(kf[:], hdr[macOffset:headerSize], macInput(hdr), body) {
+				e.drops[core.DropBadMAC]++
+				return nil, core.ErrBadMAC
+			}
 		}
 	}
 	if e.cfg.EnableReplayCache {
@@ -463,6 +562,53 @@ func newCipher(id core.CipherID, kf [16]byte) (cryptolib.BlockCipher, error) {
 	default:
 		return nil, fmt.Errorf("refmodel: cipher %v cannot encrypt", id)
 	}
+}
+
+// isAEAD restates which cipher nibbles carry sealed-box suites.
+func isAEAD(id core.CipherID) bool {
+	return id == core.CipherAES128GCM || id == core.CipherChaCha20Poly1305
+}
+
+// sealedBox is the append-style AEAD shape both shared primitives
+// (crypto/cipher's GCM, cryptolib's ChaCha20-Poly1305) satisfy.
+type sealedBox interface {
+	Seal(dst, nonce, plaintext, additionalData []byte) []byte
+	Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error)
+}
+
+// newAEAD builds the sealed box for a flow key. The key schedule is
+// reassembled independently of core: AES-128-GCM keys on K_f directly;
+// ChaCha20 expands the 16-byte K_f to 32 bytes as K_f | MD5(K_f |
+// label), with the label string restated here.
+func newAEAD(id core.CipherID, kf [16]byte) (sealedBox, error) {
+	switch id {
+	case core.CipherAES128GCM:
+		blk, err := aes.NewCipher(kf[:])
+		if err != nil {
+			return nil, err
+		}
+		return cipher.NewGCM(blk)
+	case core.CipherChaCha20Poly1305:
+		key := make([]byte, 0, 32)
+		key = append(key, kf[:]...)
+		expand := make([]byte, 0, 16+34)
+		expand = append(expand, kf[:]...)
+		expand = append(expand, []byte("fbs chacha20poly1305 key expand v1")...)
+		sum := cryptolib.MD5Sum(expand)
+		key = append(key, sum[:]...)
+		return cryptolib.NewChaCha20Poly1305(key)
+	default:
+		return nil, fmt.Errorf("refmodel: cipher %v is not an AEAD suite", id)
+	}
+}
+
+// nonceOf assembles the 96-bit AEAD nonce straight from the encoded
+// header: confounder, timestamp, then the low 32 bits of the sfl.
+func nonceOf(hdr []byte) []byte {
+	n := make([]byte, 12)
+	copy(n[0:8], hdr[12:20])
+	copy(n[8:12], hdr[8:12])
+	return n
 }
 
 // pad applies PKCS#7: always at least one byte, a full block when the

@@ -67,12 +67,15 @@ type Config struct {
 	// FreshnessWindow is the replay window half-width; default 10
 	// minutes (Section 6.2 suggests "on the order of minutes" for WANs).
 	FreshnessWindow time.Duration
-	// Confounder generates per-datagram confounders. When nil the
-	// endpoint maintains a pool of independently seeded LCGs so that
-	// concurrent senders never serialise on one generator. Supplying a
-	// source here (e.g. a seeded LCG for reproducible tests, or
-	// SystemRandom for the expensive ablation) forces all senders
-	// through that single source, serialised by a mutex.
+	// Confounder generates per-datagram confounders for legacy-suite
+	// flows. When nil the endpoint maintains a pool of independently
+	// seeded LCGs so that concurrent senders never serialise on one
+	// generator. Supplying a source here (e.g. a seeded LCG for
+	// reproducible tests, or SystemRandom for the expensive ablation)
+	// forces all senders through that single source, serialised by a
+	// mutex. AEAD-suite flows never consume from it: their confounder
+	// field carries the flow's datagram counter, because an AEAD nonce
+	// must be unique under the flow key, not merely statistically random.
 	Confounder cryptolib.ConfounderSource
 
 	// Cache geometry; zero picks reasonable defaults.
@@ -104,8 +107,11 @@ type Config struct {
 	// The header's algorithm identification field is self-describing
 	// (Section 5.2 prescribes the field "for generality"); a receiver
 	// policy is what keeps self-description from becoming
-	// attacker-choice. AEAD suites are exempt: their integrity is
-	// intrinsic (MACAEAD), so only AcceptCiphers constrains them.
+	// attacker-choice. A non-empty set also gates the AEAD suites: their
+	// integrity is intrinsic (MACAEAD), so a strict config admits them
+	// only by listing MACAEAD here or by naming the suite in
+	// AcceptCiphers — pinning legacy MACs never silently widens to the
+	// AEAD tier.
 	AcceptMACs []cryptolib.MACID
 	// AcceptCiphers is the accept-set of suite IDs incoming datagrams
 	// may use; empty accepts any registered suite. For AEAD suites the
@@ -608,11 +614,19 @@ func (e *Endpoint) checkAlg(h *Header) (Suite, error) {
 			ErrAlgorithmUnknown, suite.Name(), h.MAC, h.Mode)
 	}
 	if suite.AEAD() {
-		// Integrity is intrinsic — the MAC byte is structural (MACAEAD),
-		// so AcceptMACs does not apply; the accept-set of suite IDs is
-		// the whole policy, and it binds secret and cleartext bodies
-		// alike (the suite authenticates both).
-		if len(e.cfg.AcceptCiphers) > 0 && !containsCipher(e.cfg.AcceptCiphers, h.Cipher) {
+		// Integrity is intrinsic — the MAC byte is structurally MACAEAD —
+		// but that must not widen a strict legacy config's accept set: an
+		// endpoint that pinned AcceptMACs before the AEAD suites existed
+		// keeps exactly its pre-AEAD policy until it opts in. An AEAD
+		// suite is admitted when policy is fully open, when AcceptMACs
+		// names MACAEAD, or when AcceptCiphers names the suite explicitly.
+		// The cipher accept-set binds secret and cleartext bodies alike
+		// (the suite authenticates both).
+		explicit := containsCipher(e.cfg.AcceptCiphers, h.Cipher)
+		if len(e.cfg.AcceptCiphers) > 0 && !explicit {
+			return nil, fmt.Errorf("%w: MAC %v, cipher %v", ErrAlgorithmRejected, h.MAC, h.Cipher)
+		}
+		if len(e.cfg.AcceptMACs) > 0 && !explicit && !containsMAC(e.cfg.AcceptMACs, cryptolib.MACAEAD) {
 			return nil, fmt.Errorf("%w: MAC %v, cipher %v", ErrAlgorithmRejected, h.MAC, h.Cipher)
 		}
 		return suite, nil
@@ -823,8 +837,9 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	// datagram needing a fresh flow entry is shed; existing flows are
 	// untouched. The flow entry carries the cipher suite pinned at flow
 	// creation (keying time) — suite choice is per flow, never per
-	// datagram.
-	sfl, suiteID, _, slot, ok := e.fam.classify(id, now, len(dg.Payload))
+	// datagram — and hands back this datagram's sequence number within
+	// the flow, the AEAD nonce counter.
+	sfl, suiteID, seq, _, slot, ok := e.fam.classify(id, now, len(dg.Payload))
 	if !ok {
 		e.metrics.drop(DropStateBudget)
 		e.maybeRelievePressure(now)
@@ -857,14 +872,30 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	// (S4-5) confounder and timestamp. The wire algorithm bytes are the
 	// suite's mapping of the configured MAC/mode (legacy suites pass
 	// them through; AEAD suites force MACAEAD and a zero mode nibble).
+	//
+	// Legacy suites draw a statistically random confounder (the paper's
+	// per-datagram freshness material and IV seed). AEAD suites must NOT:
+	// their confounder field feeds the nonce, and an AEAD nonce has to be
+	// unique under the flow key, not merely random — 32 random bits
+	// birthday-collide around 2^16 datagrams, well inside a bulk flow's
+	// minute. The flow's datagram counter is unique by construction:
+	// under one K_f (one sfl) the nonce counter|timestamp|sfl can only
+	// repeat if 2^32 datagrams are sealed within a single timestamp
+	// minute. Rekeying (a new sfl, so a new K_f) restarts the counter
+	// safely, and a restarted endpoint randomises its sfl seed, so a
+	// crash never resumes an old (key, counter) pair.
 	wireMAC, wireMode := suite.WireAlg(e.cfg.MAC, e.cfg.Mode)
+	conf := uint32(seq)
+	if !suite.AEAD() {
+		conf = e.conf.next()
+	}
 	h := Header{
 		Version:    HeaderVersion,
 		MAC:        wireMAC,
 		Cipher:     suite.ID(),
 		Mode:       wireMode,
 		SFL:        sfl,
-		Confounder: e.conf.next(),
+		Confounder: conf,
 		Timestamp:  TimestampOf(now),
 	}
 	if secret {

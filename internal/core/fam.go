@@ -306,14 +306,17 @@ func (f *FAM) SetSuiteSelector(sel func(FlowID) CipherID) { f.suiteOf = sel }
 // was started. With a budget at its hard limit, creation into an empty
 // slot is refused and the zero SFL is returned with ok == false.
 func (f *FAM) Classify(id FlowID, now time.Time, size int) (SFL, bool) {
-	sfl, _, isNew, _, _ := f.classify(id, now, size)
+	sfl, _, _, isNew, _, _ := f.classify(id, now, size)
 	return sfl, isNew
 }
 
-// classify additionally returns the flow's pinned cipher suite and the
-// slot index for the combined FST/TFKC fast path, and ok == false when
-// the state budget refused a creation.
-func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, suite CipherID, isNew bool, slot int, ok bool) {
+// classify additionally returns the flow's pinned cipher suite, the
+// datagram's 1-based sequence number within the flow (the entry's packet
+// count after this datagram — monotonic under the stripe lock, so AEAD
+// suites can use it as nonce material), and the slot index for the
+// combined FST/TFKC fast path. ok == false when the state budget refused
+// a creation.
+func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, suite CipherID, seq uint64, isNew bool, slot int, ok bool) {
 	orig := id
 	if n, nok := f.policy.(flowNormalizer); nok {
 		id = n.normalize(id)
@@ -329,7 +332,7 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, suite Ciphe
 		e.Packets++
 		e.Bytes += uint64(size)
 		st.stats.Hits++
-		return e.SFL, e.Suite, false, i, true
+		return e.SFL, e.Suite, e.Packets, false, i, true
 	}
 	if e.Valid && e.ID != id {
 		st.stats.Collisions++
@@ -337,7 +340,7 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, suite Ciphe
 	// Overwriting a valid slot (collision or expired flow) is
 	// budget-neutral; only filling an empty slot grows state.
 	if !e.Valid && !f.budget.TryCharge(CostFAMEntry) {
-		return 0, 0, false, i, false
+		return 0, 0, 0, false, i, false
 	}
 	suite = CipherNone
 	if f.suiteOf != nil {
@@ -358,7 +361,7 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, suite Ciphe
 		Suite:   suite,
 	}
 	st.stats.FlowsCreated++
-	return sfl, suite, true, i, true
+	return sfl, suite, 1, true, i, true
 }
 
 // Sweep runs the sweeper module over the whole table (Figure 7),

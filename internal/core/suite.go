@@ -313,6 +313,15 @@ func newGCM(kf [16]byte) (sealedBox, error) {
 // chachaKeyLabel expands the 16-byte flow key to the 32 bytes ChaCha20
 // requires: K_f followed by MD5(K_f | label). The refmodel reassembles
 // the same expansion independently from the shared MD5 primitive.
+//
+// Effective strength note: the upper 16 bytes are a public function of
+// the lower, so the 256-bit ChaCha20 key carries only the 128 bits of
+// entropy in K_f — the suite's effective strength is capped at 128 bits
+// by the flow key, exactly like AES-128-GCM. The expansion exists only
+// to fill the cipher's key size, not to add strength, and an attacker
+// who learns K_f learns the whole key regardless of the expansion
+// function, so the MD5 here is a width adapter, not a security
+// boundary.
 var chachaKeyLabel = []byte("fbs chacha20poly1305 key expand v1")
 
 func newChaCha(kf [16]byte) (sealedBox, error) {
@@ -327,12 +336,25 @@ func newChaCha(kf [16]byte) (sealedBox, error) {
 // header: the MAC byte is MACAEAD, the mode nibble is zero, the MAC
 // value field holds the 16-byte tag, and the body is exact-length
 // ciphertext (no padding — Overhead is just the header). The nonce is
-// confounder(4) | timestamp(4) | low 32 bits of sfl(4), all big-endian;
-// confounder and timestamp are already the paper's per-datagram
-// freshness material, and the sfl low bits separate concurrent flows
-// that could share both. The 12-byte macInput prefix rides as AAD, so
-// flipping any algorithm byte breaks the tag exactly as it breaks the
-// legacy MAC.
+// confounder(4) | timestamp(4) | low 32 bits of sfl(4), all big-endian.
+//
+// Nonce discipline: an AEAD nonce must be UNIQUE under the key, not
+// merely statistically random — 32 random bits birthday-collide around
+// 2^16 datagrams, and nonce reuse under GCM forfeits both
+// confidentiality and the authentication key. So for AEAD flows the
+// sender does not draw a random confounder: the confounder field
+// carries the flow's monotonic datagram counter (maintained in the flow
+// state entry, incremented under the stripe lock; see sealFlowAppend).
+// Under one K_f (one sfl) the nonce can then only repeat if 2^32
+// datagrams are sealed within a single timestamp minute; rekeying
+// allocates a fresh sfl and thus a fresh K_f, and a restarted endpoint
+// randomises its sfl seed, so no (key, counter) pair ever resumes. The
+// receiver reassembles the nonce from the header alone and needs no
+// counter state. The sfl low bits separate concurrent flows that could
+// share counter and timestamp.
+//
+// The 12-byte macInput prefix rides as AAD, so flipping any algorithm
+// byte breaks the tag exactly as it breaks the legacy MAC.
 type aeadSuite struct {
 	id   CipherID
 	name string

@@ -336,6 +336,156 @@ func TestSuiteDowngradeTamperMatrix(t *testing.T) {
 	}
 }
 
+// TestAEADConfounderCounter: AEAD flows must fill the confounder field
+// with the flow's monotonic datagram counter — an AEAD nonce has to be
+// unique under the flow key, and 32 random bits birthday-collide around
+// 2^16 datagrams. Legacy flows keep drawing from the configured random
+// source.
+func TestAEADConfounderCounter(t *testing.T) {
+	w := newWorld(t)
+	a, b, _ := endpointPair(t, w, func(c *Config) { c.Cipher = CipherAES128GCM })
+	flow := func(dstPort uint16) FlowID {
+		return FlowID{Src: "alice", Dst: "bob", Proto: 17, SrcPort: 1234, DstPort: dstPort}
+	}
+	seal := func(id FlowID) Header {
+		t.Helper()
+		dg, err := a.SealFlow(transport.Datagram{
+			Source: "alice", Destination: "bob", Payload: []byte("counter"),
+		}, id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Header
+		if _, err := h.Decode(dg.Payload); err != nil {
+			t.Fatal(err)
+		}
+		// The receiver reassembles the nonce from the header alone — no
+		// counter state — so every sealed datagram must still open.
+		if _, err := b.Open(dg); err != nil {
+			t.Fatalf("counter-confounder datagram rejected: %v", err)
+		}
+		return h
+	}
+	for i := 1; i <= 5; i++ {
+		if h := seal(flow(80)); h.Confounder != uint32(i) {
+			t.Fatalf("flow A datagram %d: confounder %d, want the flow counter %d", i, h.Confounder, i)
+		}
+	}
+	// A second flow is a new key (new sfl), so its counter restarts at 1
+	// without any nonce reuse.
+	if h := seal(flow(443)); h.Confounder != 1 {
+		t.Errorf("flow B first datagram: confounder %d, want 1", h.Confounder)
+	}
+	// The first flow resumes where it left off.
+	if h := seal(flow(80)); h.Confounder != 6 {
+		t.Errorf("flow A datagram 6: confounder %d, want 6", h.Confounder)
+	}
+
+	// Legacy suites still draw random confounders: three DES datagrams on
+	// one flow must not carry the counter sequence 1,2,3.
+	w2 := newWorld(t)
+	da, db, _ := endpointPair(t, w2, func(c *Config) { c.Cipher = CipherDES })
+	var confs [3]uint32
+	for i := range confs {
+		dg, err := da.SealFlow(transport.Datagram{
+			Source: "alice", Destination: "bob", Payload: []byte("legacy-rand"),
+		}, flow(80), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Header
+		if _, err := h.Decode(dg.Payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Open(dg); err != nil {
+			t.Fatal(err)
+		}
+		confs[i] = h.Confounder
+	}
+	if confs == [3]uint32{1, 2, 3} {
+		t.Errorf("legacy DES confounders %v look like the AEAD counter, want random draws", confs)
+	}
+}
+
+// TestAEADAcceptMACsOptIn: a pinned AcceptMACs set must not silently
+// widen to the AEAD tier — AEAD suites are admitted only when policy is
+// fully open, when AcceptMACs names MACAEAD, or when AcceptCiphers
+// names the suite explicitly.
+func TestAEADAcceptMACsOptIn(t *testing.T) {
+	w := newWorld(t)
+	net := transport.NewNetwork(transport.Impairments{})
+	mk := func(addr principal.Address, mutate func(*Config)) *Endpoint {
+		tr, err := net.Attach(addr, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Identity:  w.principal(t, addr),
+			Transport: tr,
+			Directory: w.dir,
+			Verifier:  w.ver,
+			Clock:     w.clock,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		ep, err := NewEndpoint(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		return ep
+	}
+	sender := mk("optin-sender", func(c *Config) { c.Cipher = CipherAES128GCM })
+	cases := []struct {
+		addr   principal.Address
+		mutate func(*Config)
+		accept bool
+	}{
+		// Pre-AEAD strict config: legacy MACs pinned, no cipher policy.
+		// The pre-PR accept set must hold — no silent widening.
+		{"pinned-legacy", func(c *Config) {
+			c.AcceptMACs = []cryptolib.MACID{cryptolib.MACPrefixMD5, cryptolib.MACHMACSHA1}
+		}, false},
+		// MACAEAD in AcceptMACs is the explicit opt-in for the tier.
+		{"optin-mac", func(c *Config) {
+			c.AcceptMACs = []cryptolib.MACID{cryptolib.MACPrefixMD5, cryptolib.MACAEAD}
+		}, true},
+		// Naming the suite in AcceptCiphers also opts in, even with a
+		// legacy-only MAC pin.
+		{"optin-cipher", func(c *Config) {
+			c.AcceptMACs = []cryptolib.MACID{cryptolib.MACPrefixMD5}
+			c.AcceptCiphers = []CipherID{CipherAES128GCM}
+		}, true},
+		// AcceptCiphers still binds on its own: MACAEAD in AcceptMACs
+		// does not override a cipher set that excludes the suite.
+		{"cipher-excludes", func(c *Config) {
+			c.AcceptMACs = []cryptolib.MACID{cryptolib.MACAEAD}
+			c.AcceptCiphers = []CipherID{CipherDES}
+		}, false},
+		// Fully open policy admits every registered suite.
+		{"open", nil, true},
+	}
+	for _, tc := range cases {
+		rx := mk(tc.addr, tc.mutate)
+		sealed, err := sender.Seal(transport.Datagram{
+			Source: "optin-sender", Destination: tc.addr, Payload: []byte("optin"),
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = rx.Open(sealed)
+		if tc.accept && err != nil {
+			t.Errorf("%s: rejected, want accept: %v", tc.addr, err)
+		}
+		if !tc.accept {
+			if !errors.Is(err, ErrAlgorithmRejected) || DropReasonOf(err) != DropAlgorithm {
+				t.Errorf("%s: err=%v reason=%v, want ErrAlgorithmRejected/DropAlgorithm", tc.addr, err, DropReasonOf(err))
+			}
+		}
+	}
+}
+
 // TestSuitePolicyRejection: a receiver whose accept-set excludes the
 // sender's suite refuses by policy — for AEAD suites on both secret and
 // cleartext datagrams, since the suite is the whole construction.

@@ -221,8 +221,13 @@ func RunChaos(sc ChaosScenario) (*ChaosReport, error) {
 			// Keyed-MD5 (or the AEAD's intrinsic MAC) with a replay
 			// cache: every exact duplicate must surface as DropReplay,
 			// which is what makes duplicate accounting exact.
-			MAC:               cryptolib.MACPrefixMD5,
-			AcceptMACs:        []cryptolib.MACID{cryptolib.MACPrefixMD5},
+			MAC: cryptolib.MACPrefixMD5,
+			// MACAEAD is the explicit opt-in for the AEAD tier: a
+			// pinned AcceptMACs no longer admits AEAD suites for free,
+			// and the chaos ledger needs AEAD scenarios (and suite-swap
+			// injections into AEAD targets) to keep landing in their
+			// predicted DropBadMAC buckets rather than DropAlgorithm.
+			AcceptMACs:        []cryptolib.MACID{cryptolib.MACPrefixMD5, cryptolib.MACAEAD},
 			Cipher:            sc.Suite,
 			EnableReplayCache: true,
 			KeyRetry:          sc.Retry,

@@ -282,8 +282,10 @@ func slotIndex(id core.FlowID, tableSize int) int {
 
 // classify maps the datagram to a flow: reuse the slot's sfl when the
 // attributes match within the threshold and under the wear-out limits,
-// otherwise start a new flow (and thereby a new key) in that slot.
-func (e *Endpoint) classify(id core.FlowID, now time.Time, size int) uint64 {
+// otherwise start a new flow (and thereby a new key) in that slot. The
+// second return is the datagram's 1-based sequence number within the
+// flow — AEAD seals restate core's counter-filled confounder from it.
+func (e *Endpoint) classify(id core.FlowID, now time.Time, size int) (uint64, uint64) {
 	s := &e.table[slotIndex(id, len(e.table))]
 	if s.valid && s.id == id && now.Sub(s.last) <= e.cfg.Threshold &&
 		(e.cfg.MaxPackets == 0 || s.packets < e.cfg.MaxPackets) &&
@@ -291,12 +293,12 @@ func (e *Endpoint) classify(id core.FlowID, now time.Time, size int) uint64 {
 		s.last = now
 		s.packets++
 		s.size += uint64(size)
-		return s.sfl
+		return s.sfl, s.packets
 	}
 	sfl := e.nextSFL
 	e.nextSFL++
 	*s = flowSlot{valid: true, id: id, sfl: sfl, last: now, packets: 1, size: uint64(size)}
-	return sfl
+	return sfl, 1
 }
 
 // timestampOf converts wall-clock time to header minutes, reducing
@@ -332,7 +334,7 @@ func (e *Endpoint) Seal(dst principal.Address, id core.FlowID, payload []byte, s
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	now := e.cfg.Clock.Now()
-	sfl := e.classify(id, now, len(payload))
+	sfl, seq := e.classify(id, now, len(payload))
 	kf, err := e.flowKey(sfl, e.cfg.Identity.Addr, dst, dst)
 	if err != nil {
 		e.drops[core.DropKeying]++
@@ -354,7 +356,14 @@ func (e *Endpoint) Seal(dst principal.Address, id core.FlowID, payload []byte, s
 		hdr[3] = byte(e.cfg.Cipher)<<4 | byte(e.cfg.Mode)&0x0f
 	}
 	binary.BigEndian.PutUint64(hdr[4:], sfl)
-	binary.BigEndian.PutUint32(hdr[12:], e.cfg.Confounder.Uint32())
+	// AEAD flows fill the confounder with the flow's datagram counter
+	// (the nonce must be unique under K_f, not merely random); legacy
+	// flows draw from the configured source, restating core's split.
+	if isAEAD(e.cfg.Cipher) {
+		binary.BigEndian.PutUint32(hdr[12:], uint32(seq))
+	} else {
+		binary.BigEndian.PutUint32(hdr[12:], e.cfg.Confounder.Uint32())
+	}
 	binary.BigEndian.PutUint32(hdr[16:], timestampOf(now))
 
 	if isAEAD(e.cfg.Cipher) {
@@ -579,7 +588,9 @@ type sealedBox interface {
 // newAEAD builds the sealed box for a flow key. The key schedule is
 // reassembled independently of core: AES-128-GCM keys on K_f directly;
 // ChaCha20 expands the 16-byte K_f to 32 bytes as K_f | MD5(K_f |
-// label), with the label string restated here.
+// label), with the label string restated here. The expansion adds no
+// entropy — the suite's effective strength is capped at 128 bits by
+// the flow key, matching AES-128-GCM.
 func newAEAD(id core.CipherID, kf [16]byte) (sealedBox, error) {
 	switch id {
 	case core.CipherAES128GCM:

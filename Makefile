@@ -82,7 +82,7 @@ check: build lint test race bench-smoke fuzz-smoke diff
 # packages), writing coverage.out, and keeping fbsbench.json on disk so
 # the workflow can upload both as artifacts.
 ci: build lint
-	FBS_DIFF_ARTIFACT_DIR=diff-artifacts $(GO) test -race -coverprofile=coverage.out ./...
+	FBS_DIFF_ARTIFACT_DIR=diff-artifacts FBS_TRACE_ARTIFACT_DIR=trace-artifacts $(GO) test -race -coverprofile=coverage.out ./...
 	$(MAKE) fuzz-smoke
 	FBS_DIFF_ARTIFACT_DIR=diff-artifacts $(MAKE) diff
 	$(GO) run ./cmd/fbsbench -bytes 65536 -native -json | tee fbsbench.json | $(GO) run ./cmd/fbsstat bench-validate
@@ -92,7 +92,16 @@ ci: build lint
 	# DES-CBC/keyed-MD5 single-pass claim, so a suite regression fails
 	# CI rather than just drifting in the artifact.
 	$(GO) run ./cmd/fbsbench -suites -json | tee BENCH_suites.json | $(GO) run ./cmd/fbsstat bench-validate
-	$(GO) run ./cmd/fbschaos
+	# BENCH_trajectory.json: the committed perf trajectory. bench-compare
+	# gates each fresh run against the last committed measurement of the
+	# same row (>20% throughput drop or a doubled seal p99 fails CI) and
+	# appends passing runs so the baseline tracks the codebase.
+	$(GO) run ./cmd/fbsstat bench-compare -append < fbsbench.json
+	$(GO) run ./cmd/fbsstat bench-compare -append < BENCH_suites.json
+	# The chaos soak runs traced: a scenario that fails reconciliation
+	# dumps its per-datagram trace report to trace-artifacts/ for the
+	# workflow to upload (render with `fbsstat trace -f <file>`).
+	FBS_TRACE_ARTIFACT_DIR=trace-artifacts $(GO) run ./cmd/fbschaos -trace
 	# BENCH_overload.json (JSON lines): a short unattacked fbsbench
 	# baseline followed by one report per overload/crash scenario, so a
 	# regression in goodput-under-flood or budget accounting is visible

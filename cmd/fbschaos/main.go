@@ -7,7 +7,12 @@
 // Usage:
 //
 //	fbschaos [-seed N] [-run regexp] [-iterations N] [-json] [-list]
-//	         [-flood] [-crash] [-diff [-ops N]]
+//	         [-flood] [-crash] [-diff [-ops N]] [-trace]
+//
+// With -trace the chaos matrix runs with every-datagram tracing
+// (internal/obs/trace); a scenario that fails reconciliation dumps its
+// assembled trace report to $FBS_TRACE_ARTIFACT_DIR for offline
+// rendering with `fbsstat trace -f <file>`.
 //
 // By default the link-fault chaos matrix runs. -flood switches to the
 // overload matrix (flow-churn and spoofed-source keying floods against
@@ -214,6 +219,35 @@ func crashMatrix(base uint64) []netsim.CrashScenario {
 	}
 }
 
+// dumpTraces writes a failing scenario's assembled per-datagram traces
+// and its flight-recorder window to $FBS_TRACE_ARTIFACT_DIR (when set,
+// and when the scenario ran with -trace), so CI uploads the
+// datagram-level story of the failure alongside the reconciliation
+// books. Render the traces with `fbsstat trace -f <file>`.
+func dumpTraces(name string, rep *netsim.ChaosReport) {
+	dir := os.Getenv("FBS_TRACE_ARTIFACT_DIR")
+	if dir == "" || rep == nil || rep.TraceReport == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	write := func(suffix string, doc any) {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return
+		}
+		path := filepath.Join(dir, name+suffix)
+		if os.WriteFile(path, data, 0o644) == nil {
+			fmt.Fprintf(os.Stderr, "fbschaos: %s: artifact written to %s\n", name, path)
+		}
+	}
+	write("-traces.json", rep.TraceReport)
+	if len(rep.RecorderDump) > 0 {
+		write("-recorder.json", rep.RecorderDump)
+	}
+}
+
 func main() {
 	seed := flag.Uint64("seed", 0xC4A05, "base seed for the scenario matrix")
 	run := flag.String("run", "", "only run scenarios whose name matches this regexp")
@@ -224,6 +258,7 @@ func main() {
 	crash := flag.Bool("crash", false, "run the crash-restart matrix instead of the chaos matrix")
 	diff := flag.Bool("diff", false, "run the differential matrix (optimised endpoint vs reference model) instead of the chaos matrix")
 	diffOps := flag.Int("ops", 20000, "op-stream length per differential scenario (with -diff)")
+	trace := flag.Bool("trace", false, "run chaos scenarios with every-datagram tracing; failing scenarios dump their trace report to $FBS_TRACE_ARTIFACT_DIR")
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -297,10 +332,14 @@ func main() {
 		}
 		for _, sc := range matrix(base) {
 			sc := sc
+			sc.Trace = *trace
 			rs = append(rs, runnable{sc.Name, func() (any, string, []string, bool, error) {
 				rep, err := netsim.RunChaos(sc)
 				if err != nil {
 					return nil, "", nil, false, err
+				}
+				if len(rep.Violations) > 0 || !rep.Complete {
+					dumpTraces(sc.Name, rep)
 				}
 				return rep, rep.Summary(), rep.Violations, rep.Complete, nil
 			}})

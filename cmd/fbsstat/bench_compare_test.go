@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runJSON(t *testing.T, kbps float64, p99 int64) string {
+	t.Helper()
+	rows := []benchRow{{
+		Section: "native", Config: "FBS DES+MD5", Kbps: kbps,
+		SealLatency: &benchLatency{Count: 100, MeanNs: p99 / 2, P50Ns: p99 / 2, P95Ns: p99, P99Ns: p99},
+	}}
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestBenchCompareGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.json")
+
+	// First run: no baseline, must pass and (with append) seed the file.
+	if err := benchCompare(strings.NewReader(runJSON(t, 10000, 50000)), path, true); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	var entries []trajectoryEntry
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || len(entries[0].Rows) != 1 || entries[0].When == "" {
+		t.Fatalf("trajectory after first append: %+v", entries)
+	}
+
+	// A run inside the envelope passes and appends.
+	if err := benchCompare(strings.NewReader(runJSON(t, 8500, 90000)), path, true); err != nil {
+		t.Fatalf("in-envelope run: %v", err)
+	}
+
+	// >20% throughput drop vs the latest committed run trips the gate,
+	// and a failing run must NOT become the new baseline.
+	err = benchCompare(strings.NewReader(runJSON(t, 6000, 90000)), path, true)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("throughput regression not gated: %v", err)
+	}
+	// p99 more than doubling trips it too.
+	err = benchCompare(strings.NewReader(runJSON(t, 8500, 200000)), path, true)
+	if err == nil {
+		t.Fatal("p99 regression not gated")
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries = nil
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("failing runs were appended: %d entries", len(entries))
+	}
+
+	// A different fbsbench mode (suites section) has no baseline yet, so
+	// it passes even though the latest entry is a native run.
+	suites, err := json.Marshal([]benchRow{{Section: "suites", Config: "AES-128-GCM", Kbps: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := benchCompare(strings.NewReader(string(suites)), path, false); err != nil {
+		t.Fatalf("new-key run: %v", err)
+	}
+}
+
+func TestBenchCompareMissingTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	if err := benchCompare(strings.NewReader(runJSON(t, 1000, 1000)), path, false); err != nil {
+		t.Fatalf("missing trajectory without -append should pass: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("trajectory file created without -append")
+	}
+}
+
+func TestValidateLatency(t *testing.T) {
+	good := &benchLatency{Count: 10, MeanNs: 900, P50Ns: 800, P95Ns: 1000, P99Ns: 1200}
+	if err := validateLatency(good); err != nil {
+		t.Fatalf("good latency rejected: %v", err)
+	}
+	for name, l := range map[string]*benchLatency{
+		"zero-count":   {Count: 0, MeanNs: 900, P50Ns: 800, P95Ns: 1000, P99Ns: 1200},
+		"unordered":    {Count: 10, MeanNs: 900, P50Ns: 800, P95Ns: 700, P99Ns: 1200},
+		"p99-below":    {Count: 10, MeanNs: 900, P50Ns: 800, P95Ns: 1000, P99Ns: 900},
+		"zero-mean":    {Count: 10, MeanNs: 0, P50Ns: 800, P95Ns: 1000, P99Ns: 1200},
+		"mean-oforder": {Count: 10, MeanNs: 1 << 50, P50Ns: 800, P95Ns: 1000, P99Ns: 1200},
+	} {
+		if err := validateLatency(l); err == nil {
+			t.Errorf("%s latency accepted", name)
+		}
+	}
+}

@@ -8,7 +8,10 @@
 //	fbsstat -addr 127.0.0.1:6060 metrics    # raw Prometheus exposition
 //	fbsstat -addr 127.0.0.1:6060 flows      # netstat-style live flows
 //	fbsstat -addr 127.0.0.1:6060 recorder   # flight-recorder ring
+//	fbsstat -addr 127.0.0.1:6060 trace      # per-datagram trace waterfalls
+//	fbsstat trace -f traces.json            # render a dumped trace artifact
 //	fbsbench -json | fbsstat bench-validate # sanity-check bench output
+//	fbsstat bench-compare -append < fbsbench.json  # gate vs BENCH_trajectory.json
 //
 // bench-validate reads an fbsbench -json document on stdin and exits
 // non-zero unless it is a non-empty result set with plausible values;
@@ -16,6 +19,13 @@
 // When the document carries a "suites" section (fbsbench -suites) it
 // additionally checks the suite matrix is complete and that AES-128-GCM
 // clears 5x the DES-CBC/keyed-MD5 baseline throughput.
+//
+// bench-compare reads the same document and gates it against the
+// committed perf trajectory (BENCH_trajectory.json): a row that lost
+// more than 20% throughput, or whose seal p99 more than doubled, versus
+// its last committed measurement fails the run. With -append a passing
+// run is recorded as the next baseline; `make ci` runs it after every
+// fbsbench invocation.
 package main
 
 import (
@@ -28,11 +38,15 @@ import (
 	"time"
 
 	"fbs/internal/obs"
+	obstrace "fbs/internal/obs/trace"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6060", "admin plane address (host:port)")
-	limit := flag.Int("n", 0, "recorder: show only the most recent N events")
+	limit := flag.Int("n", 0, "recorder/trace: show only the most recent N entries")
+	file := flag.String("f", "", "trace: render this JSON artifact instead of querying the admin plane (\"-\" for stdin)")
+	trajectory := flag.String("trajectory", "BENCH_trajectory.json", "bench-compare: committed perf-trajectory file")
+	appendRun := flag.Bool("append", false, "bench-compare: append a passing run to the trajectory file")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -49,10 +63,14 @@ func main() {
 		err = flows(*addr)
 	case "recorder":
 		err = recorder(*addr, *limit)
+	case "trace":
+		err = traces(*addr, *file, *limit)
 	case "bench-validate":
 		err = benchValidate(os.Stdin)
+	case "bench-compare":
+		err = benchCompare(os.Stdin, *trajectory, *appendRun)
 	default:
-		err = fmt.Errorf("need a subcommand: metrics, flows, recorder, or bench-validate")
+		err = fmt.Errorf("need a subcommand: metrics, flows, recorder, trace, bench-validate, or bench-compare")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbsstat:", err)
@@ -112,17 +130,56 @@ func recorder(addr string, limit int) error {
 	return nil
 }
 
+// traces renders per-datagram trace waterfalls, either live from the
+// admin plane's /traces endpoint or from a dumped JSON artifact (the
+// chaos harness and CI write those on failure).
+func traces(addr, file string, limit int) error {
+	var body []byte
+	var err error
+	switch {
+	case file == "-":
+		body, err = io.ReadAll(os.Stdin)
+	case file != "":
+		body, err = os.ReadFile(file)
+	default:
+		path := "/traces?json=1"
+		if limit > 0 {
+			path = fmt.Sprintf("%s&n=%d", path, limit)
+		}
+		body, err = get(addr, path)
+	}
+	if err != nil {
+		return err
+	}
+	var rep obstrace.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("decoding traces: %w", err)
+	}
+	if file != "" && limit > 0 && len(rep.Traces) > limit {
+		rep.Traces = rep.Traces[len(rep.Traces)-limit:]
+	}
+	obs.WriteTracesText(os.Stdout, rep)
+	return nil
+}
+
+// benchLatency mirrors fbsbench's latency summary.
+type benchLatency struct {
+	Count  uint64 `json:"count"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P95Ns  int64  `json:"p95_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+}
+
 // benchRow mirrors fbsbench's JSON row; only the fields bench-validate
-// checks are declared.
+// and bench-compare check are declared.
 type benchRow struct {
-	Section     string  `json:"section"`
-	Config      string  `json:"config"`
-	Kbps        float64 `json:"kbps"`
-	SealLatency *struct {
-		Count uint64 `json:"count"`
-		P50Ns int64  `json:"p50_ns"`
-		P99Ns int64  `json:"p99_ns"`
-	} `json:"seal_latency"`
+	Section     string        `json:"section"`
+	Workload    string        `json:"workload,omitempty"`
+	Config      string        `json:"config"`
+	Kbps        float64       `json:"kbps"`
+	SealLatency *benchLatency `json:"seal_latency,omitempty"`
+	OpenLatency *benchLatency `json:"open_latency,omitempty"`
 }
 
 func benchValidate(r io.Reader) error {
@@ -141,13 +198,15 @@ func benchValidate(r io.Reader) error {
 		if row.Kbps <= 0 {
 			return fmt.Errorf("row %d (%s/%s): non-positive throughput %v kb/s", i, row.Section, row.Config, row.Kbps)
 		}
-		if l := row.SealLatency; l != nil {
-			if l.Count == 0 {
-				return fmt.Errorf("row %d (%s/%s): latency summary with zero samples", i, row.Section, row.Config)
+		for _, lat := range []struct {
+			path string
+			l    *benchLatency
+		}{{"seal", row.SealLatency}, {"open", row.OpenLatency}} {
+			if lat.l == nil {
+				continue
 			}
-			if l.P50Ns <= 0 || l.P99Ns < l.P50Ns {
-				return fmt.Errorf("row %d (%s/%s): implausible latency quantiles p50=%dns p99=%dns",
-					i, row.Section, row.Config, l.P50Ns, l.P99Ns)
+			if err := validateLatency(lat.l); err != nil {
+				return fmt.Errorf("row %d (%s/%s) %s latency: %w", i, row.Section, row.Config, lat.path, err)
 			}
 		}
 		sections[row.Section]++
@@ -169,6 +228,24 @@ func benchValidate(r io.Reader) error {
 		}
 	}
 	fmt.Println()
+	return nil
+}
+
+// validateLatency sanity-checks one latency summary: it must carry
+// samples, its quantiles must be ordered (0 < p50 <= p95 <= p99), and
+// its mean must land inside the histogram's representable range — a
+// mean past the top finite bucket bound means the summary was computed
+// from garbage, not from observations.
+func validateLatency(l *benchLatency) error {
+	if l.Count == 0 {
+		return fmt.Errorf("summary with zero samples")
+	}
+	if l.P50Ns <= 0 || l.P95Ns < l.P50Ns || l.P99Ns < l.P95Ns {
+		return fmt.Errorf("implausible quantiles p50=%dns p95=%dns p99=%dns", l.P50Ns, l.P95Ns, l.P99Ns)
+	}
+	if max := int64(obs.BucketBound(obs.NumHistBuckets - 1)); l.MeanNs <= 0 || l.MeanNs > max {
+		return fmt.Errorf("mean %dns outside histogram range (0, %dns]", l.MeanNs, max)
+	}
 	return nil
 }
 

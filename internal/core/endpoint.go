@@ -141,6 +141,15 @@ type Config struct {
 	// the hot path only that call.
 	Observer Observer
 
+	// Tracer receives per-datagram spans for sampled traces — see
+	// Tracer and internal/obs/trace. Nil disables tracing; a non-nil
+	// tracer whose StartTrace() returns 0 costs the hot path only that
+	// call. Incoming datagrams whose metadata carries a trace ID are
+	// always traced (continuing the sender's trace); otherwise the
+	// receive path asks StartTrace for a local sample, which is what
+	// catches injected or forged datagrams that no sender traced.
+	Tracer Tracer
+
 	// SFLSeed, when nonzero, fixes the starting point of the sfl counter
 	// instead of randomising it. Production endpoints must leave this
 	// zero (a random start is what keeps a subsystem reset from forcing
@@ -687,20 +696,23 @@ func (e *Endpoint) StartSweeper(interval time.Duration) (stop func()) {
 // consulting the TFKC (Figure 6) or, in combined mode, the flow state
 // table entry itself (Section 7.2). hit reports whether the key came
 // from cache (vs. the MKD-miss derivation path) — the instrumentation
-// splits the two, since a miss can cost a modular exponentiation.
-func (e *Endpoint) transmitFlowKey(sfl SFL, slot int, src, dst principal.Address) (k [16]byte, hit bool, err error) {
+// splits the two, since a miss can cost a modular exponentiation. The
+// note carries the miss path's keying annotations for tracing; a hit
+// returns it empty.
+func (e *Endpoint) transmitFlowKey(sfl SFL, slot int, src, dst principal.Address) (k [16]byte, hit bool, note KeyNote, err error) {
 	if e.cfg.CombinedFSTTFKC {
 		if k, ok := e.fam.getFlowKey(slot, sfl); ok {
-			return k, true, nil
+			return k, true, note, nil
 		}
 	} else {
 		if k, ok := e.tfkc.Get(flowCacheKey{SFL: sfl, Dst: dst, Src: src}); ok {
-			return k, true, nil
+			return k, true, note, nil
 		}
 	}
-	master, err := e.mkd.Upcall(dst)
+	master, mnote, err := e.mkd.UpcallNoted(dst)
+	note.merge(mnote)
 	if err != nil {
-		return [16]byte{}, false, err
+		return [16]byte{}, false, note, err
 	}
 	k = FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
 	if e.cfg.CombinedFSTTFKC {
@@ -708,7 +720,7 @@ func (e *Endpoint) transmitFlowKey(sfl SFL, slot int, src, dst principal.Address
 	} else {
 		e.tfkc.Put(flowCacheKey{SFL: sfl, Dst: dst, Src: src}, k)
 	}
-	return k, false, nil
+	return k, false, note, nil
 }
 
 // receiveFlowKey returns the flow key for an incoming datagram via the
@@ -718,36 +730,46 @@ func (e *Endpoint) transmitFlowKey(sfl SFL, slot int, src, dst principal.Address
 // master key) must pass the admission gate and fit under the state
 // budget before any directory or Diffie-Hellman work begins. Known
 // peers bypass both — their keying costs one hash.
-func (e *Endpoint) receiveFlowKey(sfl SFL, src, dst principal.Address) (k [16]byte, hit bool, err error) {
+func (e *Endpoint) receiveFlowKey(sfl SFL, src, dst principal.Address) (k [16]byte, hit bool, note KeyNote, err error) {
 	ck := flowCacheKey{SFL: sfl, Dst: dst, Src: src}
 	if k, ok := e.rfkc.Get(ck); ok {
-		return k, true, nil
+		return k, true, note, nil
 	}
-	k, err = e.flight.do(ck, func() ([16]byte, error) {
+	k, note, joined, err := e.flight.do(ck, func() ([16]byte, KeyNote, error) {
+		var n KeyNote
 		if e.gate != nil || e.cfg.StateBudget != nil {
 			if !e.ks.KnownPeer(src) {
 				if e.gate != nil {
 					if err := e.gate.Admit(src); err != nil {
-						return [16]byte{}, err
+						n.AdmitRefused = true
+						return [16]byte{}, n, err
 					}
+					n.Admitted = true
 				}
 				if e.cfg.StateBudget.Level() == BudgetHard {
+					n.BudgetRefused = true
 					e.maybeRelievePressure(e.cfg.Clock.Now())
-					return [16]byte{}, fmt.Errorf("%w: keying %q", ErrStateBudget, src)
+					return [16]byte{}, n, fmt.Errorf("%w: keying %q", ErrStateBudget, src)
 				}
 			}
 		}
 		e.gate.enter()
-		master, err := e.mkd.Upcall(src)
+		master, mnote, err := e.mkd.UpcallNoted(src)
 		e.gate.leave()
+		n.merge(mnote)
 		if err != nil {
-			return [16]byte{}, err
+			return [16]byte{}, n, err
 		}
 		k := FlowKey(cryptolib.HashMD5, sfl, master, src, dst)
 		e.rfkc.Put(ck, k)
-		return k, nil
+		return k, n, nil
 	})
-	return k, false, err
+	if joined {
+		// A follower shares the leader's result and note, plus the
+		// coalescing mark itself.
+		note.Coalesced = true
+	}
+	return k, false, note, err
 }
 
 // Seal performs FBS send processing (FBSSend, Figure 4): classify into a
@@ -783,11 +805,11 @@ func (e *Endpoint) SealFlow(dg transport.Datagram, id FlowID, secret bool) (tran
 		dg.Source = e.Addr()
 	}
 	buf := make([]byte, 0, HeaderSize+len(dg.Payload)+cryptolib.BlockSize)
-	out, err := e.SealFlowAppend(buf, dg, id, secret)
+	out, tid, err := e.sealFlowGate(buf, dg, id, secret)
 	if err != nil {
 		return transport.Datagram{}, err
 	}
-	return transport.Datagram{Source: dg.Source, Destination: dg.Destination, Payload: out}, nil
+	return transport.Datagram{Source: dg.Source, Destination: dg.Destination, Payload: out, Trace: tid}, nil
 }
 
 // SealFlowAppend is the allocation-free form of SealFlow. The sealed
@@ -797,40 +819,83 @@ func (e *Endpoint) SealFlow(dg transport.Datagram, id FlowID, secret bool) (tran
 // block is padding headroom when encrypting); give dst that much and the
 // steady-state path allocates nothing. dst must not alias dg.Payload.
 func (e *Endpoint) SealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, secret bool) ([]byte, error) {
+	out, _, err := e.sealFlowGate(dst, dg, id, secret)
+	return out, err
+}
+
+// sealFlowGate applies the two observation gates — the Observer's
+// sampling decision and the Tracer's trace-sampling decision — around
+// sealFlowAppend, and reports the trace ID it allocated (0 when the
+// datagram is untraced) so Datagram-returning callers can stamp it
+// into the metadata. The un-sampled, un-traced path pays the two gate
+// calls and nothing else.
+func (e *Endpoint) sealFlowGate(dst []byte, dg transport.Datagram, id FlowID, secret bool) ([]byte, TraceID, error) {
 	if dg.Source == "" {
 		dg.Source = e.Addr()
 	}
 	if e.cfg.Bypass != nil && e.cfg.Bypass(dg.Destination) {
 		e.metrics.bypassedSent.Add(1)
-		return append(dst, dg.Payload...), nil
+		out := append(dst, dg.Payload...)
+		return out, 0, nil
 	}
-	// Sampling gate: the un-sampled path pays a nil check (plus one
-	// Sample() call when an observer is installed) and nothing else.
-	if o := e.cfg.Observer; o != nil && o.Sample() {
-		var s PacketSample
+	var tc *traceCtx
+	if tr := e.cfg.Tracer; tr != nil {
+		if tid := tr.StartTrace(); tid != 0 {
+			tc = &traceCtx{tr: tr, id: tid}
+		}
+	}
+	o := e.cfg.Observer
+	sampled := o != nil && o.Sample()
+	if !sampled && !tc.active() {
+		out, err := e.sealFlowAppend(dst, dg, id, secret, nil, nil)
+		return out, 0, err
+	}
+	var s PacketSample
+	var sp *PacketSample
+	if sampled {
+		sp = &s
 		s.Seal = true
 		s.Flow = id
 		s.Bytes = len(dg.Payload)
 		s.Secret = secret
-		start := time.Now()
-		out, err := e.sealFlowAppend(dst, dg, id, secret, &s)
-		s.Stages[StageTotal] = time.Since(start)
-		if err != nil {
-			s.Drop = DropReasonOf(err)
+		if tc.active() {
+			s.Trace = tc.id
 		}
-		o.Packet(s)
-		return out, err
 	}
-	return e.sealFlowAppend(dst, dg, id, secret, nil)
+	start := time.Now()
+	out, err := e.sealFlowAppend(dst, dg, id, secret, sp, tc)
+	total := time.Since(start)
+	drop := DropNone
+	if err != nil {
+		drop = DropReasonOf(err)
+	}
+	if sampled {
+		s.Stages[StageTotal] = total
+		s.Drop = drop
+		o.Packet(s)
+	}
+	var tid TraceID
+	if tc.active() {
+		tid = tc.id
+		flags := SpanFlags(0)
+		if secret {
+			flags |= FlagSecretBody
+		}
+		tc.span(Span{Kind: SpanSeal, Seal: true, Drop: drop, Flags: flags,
+			SFL: s.SFL, Start: start, Dur: total, Attr: uint64(len(dg.Payload))})
+	}
+	return out, tid, err
 }
 
 // sealFlowAppend is the body of SealFlowAppend. When s is non-nil the
 // packet is being sampled: stage timings and flow identity are recorded
-// into it as the pipeline advances.
-func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, secret bool, s *PacketSample) ([]byte, error) {
+// into it as the pipeline advances. When tc is active the packet is
+// being traced and each stage emits a span.
+func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, secret bool, s *PacketSample, tc *traceCtx) ([]byte, error) {
 	now := e.cfg.Clock.Now()
+	instr := s != nil || tc.active()
 	var t time.Time
-	if s != nil {
+	if instr {
 		t = time.Now()
 	}
 	// (S1) classify the datagram into a flow. At the budget hard limit a
@@ -843,6 +908,10 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	if !ok {
 		e.metrics.drop(DropStateBudget)
 		e.maybeRelievePressure(now)
+		if tc.active() {
+			tc.span(Span{Kind: SpanClassify, Seal: true, Drop: DropStateBudget,
+				Flags: FlagBudgetRefused, Start: t, Dur: time.Since(t)})
+		}
 		return nil, fmt.Errorf("%w: flow to %q", ErrStateBudget, dg.Destination)
 	}
 	suite := SuiteByID(suiteID)
@@ -851,18 +920,38 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 		// falls back to cfg.Cipher); kept as a typed failure, not a panic.
 		return nil, fmt.Errorf("%w: pinned suite %d unregistered", ErrAlgorithmRange, suiteID)
 	}
-	if s != nil {
-		s.Stages[StageFAM] = time.Since(t)
-		s.SFL = sfl
+	if instr {
+		d := time.Since(t)
+		if s != nil {
+			s.Stages[StageFAM] = d
+			s.SFL = sfl
+		}
+		if tc.active() {
+			tc.span(Span{Kind: SpanClassify, Seal: true, SFL: sfl, Start: t, Dur: d})
+		}
 		t = time.Now()
 	}
 	// (S2-3) obtain the flow key (cached per Figure 6).
-	kf, keyHit, err := e.transmitFlowKey(sfl, slot, dg.Source, dg.Destination)
-	if s != nil {
-		if keyHit {
-			s.Stages[StageKeyHit] = time.Since(t)
-		} else {
-			s.Stages[StageKeyMiss] = time.Since(t)
+	kf, keyHit, note, err := e.transmitFlowKey(sfl, slot, dg.Source, dg.Destination)
+	if instr {
+		d := time.Since(t)
+		if s != nil {
+			if keyHit {
+				s.Stages[StageKeyHit] = d
+			} else {
+				s.Stages[StageKeyMiss] = d
+			}
+		}
+		if tc.active() {
+			sp := Span{Kind: SpanFlowKey, Seal: true, SFL: sfl, Start: t, Dur: d,
+				Flags: note.flags(), Attr: uint64(note.Attempts)}
+			if keyHit {
+				sp.Flags |= FlagKeyHit
+			}
+			if err != nil {
+				sp.Drop = DropKeying
+			}
+			tc.span(sp)
 		}
 	}
 	if err != nil {
@@ -908,7 +997,21 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	hdrOff := len(dst)
 	dst = h.Encode(dst)
 	// (S6, S8-9) the suite owns the body transform and MAC/tag patch.
+	if tc.active() {
+		t = time.Now()
+	}
 	out, err := suite.SealAppend(dst, hdrOff, h, kf, dg.Payload, e.cfg.SinglePass, s)
+	if tc.active() {
+		sp := Span{Kind: SpanCrypto, Seal: true, SFL: sfl, Start: t, Dur: time.Since(t),
+			Attr: uint64(len(dg.Payload))}
+		if secret {
+			sp.Flags |= FlagSecretBody
+		}
+		if err != nil {
+			sp.Drop = DropReasonOf(err)
+		}
+		tc.span(sp)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -916,13 +1019,28 @@ func (e *Endpoint) sealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 	return out, nil
 }
 
-// Send seals and transmits a datagram (FBSSend step S10).
+// Send seals and transmits a datagram (FBSSend step S10). A traced
+// datagram (see Config.Tracer) carries its trace ID in the sealed
+// Datagram's metadata, and the transport handoff is timed as its own
+// span.
 func (e *Endpoint) Send(dg transport.Datagram, secret bool) error {
 	sealed, err := e.Seal(dg, secret)
 	if err != nil {
 		return err
 	}
-	if err := e.cfg.Transport.Send(sealed); err != nil {
+	if tr := e.cfg.Tracer; tr != nil && sealed.Trace != 0 {
+		t := time.Now()
+		err = e.cfg.Transport.Send(sealed)
+		sp := Span{Trace: sealed.Trace, Kind: SpanTransportSend, Seal: true,
+			Start: t, Dur: time.Since(t), Attr: uint64(len(sealed.Payload))}
+		if err != nil {
+			sp.Drop = DropReasonOf(err)
+		}
+		tr.Span(sp)
+	} else {
+		err = e.cfg.Transport.Send(sealed)
+	}
+	if err != nil {
 		return err
 	}
 	e.metrics.sent.Add(1)
@@ -970,29 +1088,75 @@ func (e *Endpoint) open(dst []byte, dg transport.Datagram, copyBody bool) ([]byt
 		}
 		return dg.Payload, nil
 	}
-	// Sampling gate — see SealFlowAppend.
-	if o := e.cfg.Observer; o != nil && o.Sample() {
-		var s PacketSample
+	// Observation gates — see sealFlowGate. An incoming trace ID (set
+	// by a tracing sender over a metadata-preserving transport) is
+	// always continued so one trace spans both endpoints; otherwise the
+	// tracer may start a local trace, which is how datagrams no sender
+	// traced — adversary injections in particular — still get a
+	// receive-side trace ending in their DropReason.
+	var tc *traceCtx
+	if tr := e.cfg.Tracer; tr != nil {
+		if dg.Trace != 0 {
+			tc = &traceCtx{tr: tr, id: dg.Trace}
+		} else if tid := tr.StartTrace(); tid != 0 {
+			tc = &traceCtx{tr: tr, id: tid}
+		}
+	}
+	o := e.cfg.Observer
+	sampled := o != nil && o.Sample()
+	if !sampled && !tc.active() {
+		return e.openInner(dst, dg, copyBody, nil, nil)
+	}
+	var s PacketSample
+	var sp *PacketSample
+	if sampled {
+		sp = &s
 		s.Flow = FlowID{Src: dg.Source, Dst: dg.Destination}
 		s.Bytes = len(dg.Payload)
-		start := time.Now()
-		out, err := e.openInner(dst, dg, copyBody, &s)
-		s.Stages[StageTotal] = time.Since(start)
-		if err != nil {
-			s.Drop = DropReasonOf(err)
+		if tc.active() {
+			s.Trace = tc.id
 		}
-		o.Packet(s)
-		return out, err
 	}
-	return e.openInner(dst, dg, copyBody, nil)
+	start := time.Now()
+	out, err := e.openInner(dst, dg, copyBody, sp, tc)
+	total := time.Since(start)
+	drop := DropNone
+	if err != nil {
+		drop = DropReasonOf(err)
+	}
+	if sampled {
+		s.Stages[StageTotal] = total
+		s.Drop = drop
+		o.Packet(s)
+	}
+	if tc.active() {
+		tc.span(Span{Kind: SpanOpen, Drop: drop, SFL: s.SFL, Start: start, Dur: total,
+			Attr: uint64(len(dg.Payload))})
+	}
+	return out, err
 }
 
 // openInner is the body of open (FBSReceive proper). When s is non-nil
 // the packet is being sampled and stage timings, flow identity and the
-// secret flag are recorded into it.
-func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s *PacketSample) ([]byte, error) {
+// secret flag are recorded into it. When tc is active the packet is
+// being traced and each stage emits a span.
+func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s *PacketSample, tc *traceCtx) ([]byte, error) {
+	instr := s != nil || tc.active()
+	var t time.Time
+	if instr {
+		t = time.Now()
+	}
+	// parseFail emits the parse span for a datagram refused before
+	// keying (addressing, header structure, algorithm policy,
+	// freshness).
+	parseFail := func(reason DropReason) {
+		if tc.active() {
+			tc.span(Span{Kind: SpanParse, Drop: reason, Start: t, Dur: time.Since(t)})
+		}
+	}
 	if dg.Destination != e.Addr() {
 		e.metrics.drop(DropNotForUs)
+		parseFail(DropNotForUs)
 		return nil, fmt.Errorf("%w: %q", ErrNotForUs, dg.Destination)
 	}
 	// (R2) retrieve the security flow header.
@@ -1000,6 +1164,7 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 	n, err := h.Decode(dg.Payload)
 	if err != nil {
 		e.metrics.drop(DropMalformed)
+		parseFail(DropMalformed)
 		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	body := dg.Payload[n:]
@@ -1014,25 +1179,54 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 	suite, err := e.checkAlg(&h)
 	if err != nil {
 		e.metrics.drop(DropAlgorithm)
+		if tc.active() {
+			tc.span(Span{Kind: SpanParse, Drop: DropAlgorithm, SFL: h.SFL, Start: t, Dur: time.Since(t)})
+		}
 		return nil, err
 	}
 	now := e.cfg.Clock.Now()
 	// (R3-4) freshness.
 	if !h.Timestamp.Fresh(now, e.cfg.FreshnessWindow) {
 		e.metrics.drop(DropStale)
+		if tc.active() {
+			tc.span(Span{Kind: SpanParse, Drop: DropStale, SFL: h.SFL, Start: t, Dur: time.Since(t)})
+		}
 		return nil, fmt.Errorf("%w: timestamp %v at %v", ErrStale, h.Timestamp.Time(), now)
 	}
-	var t time.Time
-	if s != nil {
+	if instr {
+		if tc.active() {
+			sp := Span{Kind: SpanParse, SFL: h.SFL, Start: t, Dur: time.Since(t)}
+			if h.Secret() {
+				sp.Flags |= FlagSecretBody
+			}
+			tc.span(sp)
+		}
 		t = time.Now()
 	}
 	// (R5-6) recover the flow key.
-	kf, keyHit, err := e.receiveFlowKey(h.SFL, dg.Source, dg.Destination)
-	if s != nil {
-		if keyHit {
-			s.Stages[StageKeyHit] = time.Since(t)
-		} else {
-			s.Stages[StageKeyMiss] = time.Since(t)
+	kf, keyHit, note, err := e.receiveFlowKey(h.SFL, dg.Source, dg.Destination)
+	if instr {
+		d := time.Since(t)
+		if s != nil {
+			if keyHit {
+				s.Stages[StageKeyHit] = d
+			} else {
+				s.Stages[StageKeyMiss] = d
+			}
+		}
+		if tc.active() {
+			sp := Span{Kind: SpanFlowKey, SFL: h.SFL, Start: t, Dur: d,
+				Flags: note.flags(), Attr: uint64(note.Attempts)}
+			if keyHit {
+				sp.Flags |= FlagKeyHit
+			}
+			if err != nil {
+				sp.Drop = DropReasonOf(err)
+				if sp.Drop == DropNone {
+					sp.Drop = DropKeying
+				}
+			}
+			tc.span(sp)
 		}
 	}
 	if err != nil {
@@ -1049,7 +1243,24 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 	// suites decrypt-then-verify (the MAC covers the plaintext body,
 	// hoisted per the package comment), AEAD suites open the sealed box
 	// in one pass. Sentinel errors map straight onto drop reasons.
+	if tc.active() {
+		t = time.Now()
+	}
 	dst, body, err = suite.OpenAppend(dst, h, kf, body, s)
+	if tc.active() {
+		sp := Span{Kind: SpanCrypto, SFL: h.SFL, Start: t, Dur: time.Since(t),
+			Attr: uint64(len(body))}
+		if h.Secret() {
+			sp.Flags |= FlagSecretBody
+		}
+		if err != nil {
+			sp.Drop = DropReasonOf(err)
+			if sp.Drop == DropNone {
+				sp.Drop = DropDecrypt
+			}
+		}
+		tc.span(sp)
+	}
 	if err != nil {
 		reason := DropReasonOf(err)
 		if reason == DropNone {
@@ -1063,7 +1274,22 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 	// limit the newcomer is refused, never admitted unrecorded and never
 	// traded against a resident signature (see ReplayVerdict).
 	if e.rc != nil {
-		switch e.rc.Check(dg.Source, &h, now) {
+		if tc.active() {
+			t = time.Now()
+		}
+		verdict := e.rc.Check(dg.Source, &h, now)
+		if tc.active() {
+			sp := Span{Kind: SpanReplay, SFL: h.SFL, Start: t, Dur: time.Since(t)}
+			switch verdict {
+			case ReplayDuplicate:
+				sp.Drop = DropReplay
+			case ReplayRefused:
+				sp.Drop = DropReplayBudget
+				sp.Flags |= FlagBudgetRefused
+			}
+			tc.span(sp)
+		}
+		switch verdict {
 		case ReplayDuplicate:
 			e.metrics.drop(DropReplay)
 			return nil, ErrReplay

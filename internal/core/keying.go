@@ -270,11 +270,22 @@ func (ks *KeyService) KnownPeer(peer principal.Address) bool { return ks.mkc.Con
 // otherwise PVC (fetching and verifying a certificate on miss), then one
 // modular exponentiation, then install in the MKC.
 func (ks *KeyService) MasterKey(peer principal.Address) ([16]byte, error) {
+	return ks.masterKeyNoted(peer, nil)
+}
+
+// masterKeyNoted is MasterKey, annotating note (nil-safe) with which
+// tier answered and how the fetch path degraded — the per-request
+// counterpart of the aggregate KeyServiceStats counters, consumed by
+// the tracing plane.
+func (ks *KeyService) masterKeyNoted(peer principal.Address, note *KeyNote) ([16]byte, error) {
 	ks.stats.masterKeyRequests.Add(1)
 	if k, ok := ks.mkc.Get(peer); ok {
+		if note != nil {
+			note.MKCHit = true
+		}
 		return k, nil
 	}
-	c, err := ks.certificate(peer)
+	c, err := ks.certificateNoted(peer, note)
 	if err != nil {
 		ks.stats.failures.Add(1)
 		return [16]byte{}, err
@@ -285,6 +296,9 @@ func (ks *KeyService) MasterKey(peer principal.Address) ([16]byte, error) {
 		return [16]byte{}, fmt.Errorf("core: master key with %q: %w", peer, err)
 	}
 	ks.stats.masterKeyComputes.Add(1)
+	if note != nil {
+		note.Computed = true
+	}
 	ks.mkc.Put(peer, k)
 	return k, nil
 }
@@ -351,14 +365,20 @@ func (ks *KeyService) jitterUnit() float64 {
 // Failures are remembered in the negative cache so the next burst of
 // datagrams to the same unreachable peer fails fast instead of queueing
 // behind a full retry loop each.
-func (ks *KeyService) lookup(peer principal.Address) (*cert.Certificate, error) {
+func (ks *KeyService) lookup(peer principal.Address, note *KeyNote) (*cert.Certificate, error) {
 	start := ks.clock.Now()
 	if ks.negCached(peer, start) {
 		ks.stats.negativeHits.Add(1)
+		if note != nil {
+			note.NegativeHit = true
+		}
 		return nil, fmt.Errorf("%w: %q", ErrPeerUnavailable, peer)
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		if note != nil && uint32(attempt) > note.Attempts {
+			note.Attempts = uint32(attempt)
+		}
 		c, err := ks.dir.Lookup(peer)
 		if err == nil {
 			ks.negForget(peer)
@@ -401,12 +421,19 @@ func (ks *KeyService) staleUsable(c *cert.Certificate, peer principal.Address, n
 // misses, and (if enabled) stale-while-revalidate lets a just-expired
 // certificate keep the flow alive while each use retries the refetch.
 func (ks *KeyService) certificate(peer principal.Address) (*cert.Certificate, error) {
+	return ks.certificateNoted(peer, nil)
+}
+
+// certificateNoted is certificate, annotating note (nil-safe) with the
+// degradation verdicts (negative-cache refusals, retry attempts, stale
+// serves) for the tracing plane.
+func (ks *KeyService) certificateNoted(peer principal.Address, note *KeyNote) (*cert.Certificate, error) {
 	now := ks.clock.Now()
 	c, ok := ks.pvc.Get(peer)
 	if !ok {
 		var err error
 		ks.stats.certFetches.Add(1)
-		c, err = ks.lookup(peer)
+		c, err = ks.lookup(peer, note)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetching certificate for %q: %w", peer, err)
 		}
@@ -418,10 +445,13 @@ func (ks *KeyService) certificate(peer principal.Address) (*cert.Certificate, er
 		// refetch (bounded by the retry policy).
 		ks.pvc.Invalidate(peer)
 		ks.stats.certFetches.Add(1)
-		fresh, ferr := ks.lookup(peer)
+		fresh, ferr := ks.lookup(peer, note)
 		if ferr != nil {
 			if ks.staleUsable(c, peer, now) {
 				ks.stats.staleServed.Add(1)
+				if note != nil {
+					note.StaleServed = true
+				}
 				ks.pvc.Put(peer, c) // keep revalidating on later uses
 				return c, nil
 			}
@@ -431,6 +461,9 @@ func (ks *KeyService) certificate(peer principal.Address) (*cert.Certificate, er
 		if verr := ks.verifier.Verify(fresh, peer, now); verr != nil {
 			if ks.staleUsable(c, peer, now) {
 				ks.stats.staleServed.Add(1)
+				if note != nil {
+					note.StaleServed = true
+				}
 				ks.pvc.Put(peer, c)
 				return c, nil
 			}
@@ -478,10 +511,13 @@ func (ks *KeyService) MKCStats() CacheStats { return ks.mkc.Stats() }
 // now is a helper for tests.
 func (ks *KeyService) now() time.Time { return ks.clock.Now() }
 
-// flowKeyResult carries a coalesced derivation's outcome to waiters.
+// flowKeyResult carries a coalesced derivation's outcome to waiters,
+// including the leader's keying annotations so a follower's trace span
+// still reports what the shared derivation actually did.
 type flowKeyResult struct {
-	key [16]byte
-	err error
+	key  [16]byte
+	note KeyNote
+	err  error
 }
 
 // flowKeyFlight coalesces concurrent derivations of the same flow key,
@@ -497,8 +533,9 @@ type flowKeyFlight struct {
 }
 
 // do runs fn for ck, unless a derivation for ck is already in flight, in
-// which case it waits for and shares that one's result.
-func (f *flowKeyFlight) do(ck flowCacheKey, fn func() ([16]byte, error)) ([16]byte, error) {
+// which case it waits for and shares that one's result. joined reports
+// whether this call was such a follower.
+func (f *flowKeyFlight) do(ck flowCacheKey, fn func() ([16]byte, KeyNote, error)) (key [16]byte, note KeyNote, joined bool, err error) {
 	f.mu.Lock()
 	if f.waiting == nil {
 		f.waiting = make(map[flowCacheKey][]chan flowKeyResult)
@@ -509,21 +546,21 @@ func (f *flowKeyFlight) do(ck flowCacheKey, fn func() ([16]byte, error)) ([16]by
 		f.mu.Unlock()
 		f.dedups.Add(1)
 		r := <-ch
-		return r.key, r.err
+		return r.key, r.note, true, r.err
 	}
 	f.waiting[ck] = []chan flowKeyResult{}
 	f.mu.Unlock()
 
-	k, err := fn()
+	k, n, err := fn()
 
 	f.mu.Lock()
 	chans := f.waiting[ck]
 	delete(f.waiting, ck)
 	f.mu.Unlock()
 	for _, ch := range chans {
-		ch <- flowKeyResult{key: k, err: err}
+		ch <- flowKeyResult{key: k, note: n, err: err}
 	}
-	return k, err
+	return k, n, false, err
 }
 
 // Dedups counts derivations satisfied by joining an in-flight one.

@@ -257,14 +257,14 @@ func TestFlowKeyFlightCoalesces(t *testing.T) {
 	want := [16]byte{0xAB, 0xCD}
 
 	results := make(chan [16]byte, 9)
-	derive := func() ([16]byte, error) {
+	derive := func() ([16]byte, KeyNote, error) {
 		calls.Add(1)
 		<-release
-		return want, nil
+		return want, KeyNote{}, nil
 	}
 	// The leader takes the slot and blocks inside the derivation...
 	go func() {
-		k, _ := fl.do(ck, derive)
+		k, _, _, _ := fl.do(ck, derive)
 		results <- k
 	}()
 	for calls.Load() == 0 {
@@ -274,7 +274,7 @@ func TestFlowKeyFlightCoalesces(t *testing.T) {
 	// as a dedup rather than starting its own derivation.
 	for i := 0; i < 8; i++ {
 		go func() {
-			k, _ := fl.do(ck, derive)
+			k, _, _, _ := fl.do(ck, derive)
 			results <- k
 		}()
 	}
@@ -294,11 +294,11 @@ func TestFlowKeyFlightCoalesces(t *testing.T) {
 
 func TestFlowKeyFlightDistinctKeysIndependent(t *testing.T) {
 	var fl flowKeyFlight
-	a, _ := fl.do(flowCacheKey{SFL: 1, Dst: "b", Src: "a"}, func() ([16]byte, error) {
-		return [16]byte{1}, nil
+	a, _, _, _ := fl.do(flowCacheKey{SFL: 1, Dst: "b", Src: "a"}, func() ([16]byte, KeyNote, error) {
+		return [16]byte{1}, KeyNote{}, nil
 	})
-	b, _ := fl.do(flowCacheKey{SFL: 2, Dst: "b", Src: "a"}, func() ([16]byte, error) {
-		return [16]byte{2}, nil
+	b, _, _, _ := fl.do(flowCacheKey{SFL: 2, Dst: "b", Src: "a"}, func() ([16]byte, KeyNote, error) {
+		return [16]byte{2}, KeyNote{}, nil
 	})
 	if a == b {
 		t.Fatal("distinct flows shared a derivation")
@@ -309,9 +309,9 @@ func TestFlowKeyFlightDistinctKeysIndependent(t *testing.T) {
 	// The slot is released after completion: a later derivation for the
 	// same key runs again (the RFKC, not the flight, is the cache).
 	var calls int
-	fl.do(flowCacheKey{SFL: 1, Dst: "b", Src: "a"}, func() ([16]byte, error) {
+	fl.do(flowCacheKey{SFL: 1, Dst: "b", Src: "a"}, func() ([16]byte, KeyNote, error) {
 		calls++
-		return [16]byte{1}, nil
+		return [16]byte{1}, KeyNote{}, nil
 	})
 	if calls != 1 {
 		t.Fatal("post-completion derivation did not run")
@@ -325,16 +325,16 @@ func TestFlowKeyFlightPropagatesError(t *testing.T) {
 	ck := flowCacheKey{SFL: 9, Dst: "b", Src: "a"}
 	errc := make(chan error, 2)
 	go func() {
-		_, err := fl.do(ck, func() ([16]byte, error) {
+		_, _, _, err := fl.do(ck, func() ([16]byte, KeyNote, error) {
 			close(started)
 			<-release
-			return [16]byte{}, ErrKeyingOverload
+			return [16]byte{}, KeyNote{}, ErrKeyingOverload
 		})
 		errc <- err
 	}()
 	<-started
 	go func() {
-		_, err := fl.do(ck, func() ([16]byte, error) { return [16]byte{}, nil })
+		_, _, _, err := fl.do(ck, func() ([16]byte, KeyNote, error) { return [16]byte{}, KeyNote{}, nil })
 		errc <- err
 	}()
 	for fl.Dedups() != 1 {

@@ -37,8 +37,9 @@ type MKD struct {
 }
 
 type mkdResult struct {
-	key [16]byte
-	err error
+	key  [16]byte
+	note KeyNote
+	err  error
 }
 
 // ErrMKDStopped is returned by Upcall after Stop.
@@ -67,13 +68,14 @@ func (m *MKD) serve() {
 	for {
 		select {
 		case peer := <-m.reqs:
-			key, err := m.ks.MasterKey(peer)
+			var note KeyNote
+			key, err := m.ks.masterKeyNoted(peer, &note)
 			m.mu.Lock()
 			waiters := m.inflight[peer]
 			delete(m.inflight, peer)
 			m.mu.Unlock()
 			for _, w := range waiters {
-				w <- mkdResult{key: key, err: err}
+				w <- mkdResult{key: key, note: note, err: err}
 			}
 		case <-m.done:
 			m.mu.Lock()
@@ -93,12 +95,20 @@ func (m *MKD) serve() {
 // Concurrent upcalls for the same peer are coalesced into one
 // computation.
 func (m *MKD) Upcall(peer principal.Address) ([16]byte, error) {
+	key, _, err := m.UpcallNoted(peer)
+	return key, err
+}
+
+// UpcallNoted is Upcall, also reporting the keying annotations of the
+// computation that produced the key. Coalesced waiters share the
+// leader's note with KeyNote.Coalesced set.
+func (m *MKD) UpcallNoted(peer principal.Address) ([16]byte, KeyNote, error) {
 	ch := make(chan mkdResult, 1)
 	m.mu.Lock()
 	select {
 	case <-m.done:
 		m.mu.Unlock()
-		return [16]byte{}, ErrMKDStopped
+		return [16]byte{}, KeyNote{}, ErrMKDStopped
 	default:
 	}
 	m.upcalls++
@@ -109,7 +119,7 @@ func (m *MKD) Upcall(peer principal.Address) ([16]byte, error) {
 		select {
 		case m.reqs <- peer:
 		case <-m.done:
-			return [16]byte{}, ErrMKDStopped
+			return [16]byte{}, KeyNote{}, ErrMKDStopped
 		}
 	}
 	if m.timeout > 0 {
@@ -117,17 +127,24 @@ func (m *MKD) Upcall(peer principal.Address) ([16]byte, error) {
 		defer t.Stop()
 		select {
 		case r := <-ch:
-			return r.key, r.err
+			if !first {
+				r.note.Coalesced = true
+			}
+			return r.key, r.note, r.err
 		case <-t.C:
 			// The daemon still resolves the request and installs the
 			// key; only this waiter gives up (ch is buffered, so the
 			// daemon's send never blocks on an abandoned waiter).
 			m.timeouts.Add(1)
-			return [16]byte{}, fmt.Errorf("%w: peer %q after %v", ErrUpcallTimeout, peer, m.timeout)
+			return [16]byte{}, KeyNote{Coalesced: !first},
+				fmt.Errorf("%w: peer %q after %v", ErrUpcallTimeout, peer, m.timeout)
 		}
 	}
 	r := <-ch
-	return r.key, r.err
+	if !first {
+		r.note.Coalesced = true
+	}
+	return r.key, r.note, r.err
 }
 
 // SetTimeout bounds future Upcalls; call before serving traffic.

@@ -84,6 +84,10 @@ type PacketSample struct {
 	Secret bool
 	// Drop is the verdict: DropNone for accepted datagrams.
 	Drop DropReason
+	// Trace is the datagram's trace ID when it is also being traced
+	// (see Tracer), 0 otherwise. Histogram exemplars use it to link a
+	// hot latency bucket back to the full trace.
+	Trace TraceID
 	// Stages holds the per-stage wall-clock timings; unvisited stages
 	// are zero.
 	Stages [NumStages]time.Duration

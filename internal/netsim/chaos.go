@@ -11,6 +11,8 @@ import (
 	"fbs/internal/cert"
 	"fbs/internal/core"
 	"fbs/internal/cryptolib"
+	"fbs/internal/obs"
+	obstrace "fbs/internal/obs/trace"
 	"fbs/internal/principal"
 	"fbs/internal/transport"
 )
@@ -99,6 +101,11 @@ type ChaosScenario struct {
 	NegativeTTL time.Duration
 	// MaxRounds bounds post-heal retransmission rounds (default 10).
 	MaxRounds int
+	// Trace samples every datagram through a trace collector shared by
+	// both endpoints and the network's link-fault model; the assembled
+	// traces land in Report.TraceReport. Off by default (tracing every
+	// datagram is for debugging runs, not soak throughput).
+	Trace bool
 }
 
 // ChaosReport is the outcome of a soak run plus its reconciliation.
@@ -136,6 +143,14 @@ type ChaosReport struct {
 	// Violations lists every reconciliation equation that failed; empty
 	// means the run reconciled exactly.
 	Violations []string
+	// TraceReport holds the assembled per-datagram traces when the
+	// scenario ran with Trace set (nil otherwise).
+	TraceReport *obstrace.Report
+	// RecorderDump holds the flight-recorder window of the same run (a
+	// fully-sampled pipeline is attached alongside the tracer), so a
+	// failing scenario's artifact carries both the span waterfalls and
+	// the per-packet stage timings.
+	RecorderDump []obs.Event `json:"recorder,omitempty"`
 }
 
 // receiverState tracks which sequence numbers have been accepted.
@@ -208,12 +223,34 @@ func RunChaos(sc ChaosScenario) (*ChaosReport, error) {
 	net := NewChaosNetwork(LinkModel{Seed: sc.Seed, Stages: sc.Link})
 	adv := NewAdversary(net, sc.Seed)
 
+	// Tracing samples every datagram: the collector is shared by both
+	// endpoints and the network so one trace covers seal → link → open.
+	var col *obstrace.Collector
+	var pipe *obs.Pipeline
+	if sc.Trace {
+		col = obstrace.New(obstrace.Config{SampleEvery: 1, RingSize: 1 << 15})
+		net.SetTracer(col)
+		// A fully-sampled flight recorder rides along: the failure
+		// artifact then carries stage timings next to the waterfalls.
+		pipe = obs.NewPipeline(obs.PipelineConfig{SampleEvery: 1})
+	}
+
 	endpoint := func(addr principal.Address) (*core.Endpoint, error) {
 		tr, err := net.Attach(addr, 0)
 		if err != nil {
 			return nil, err
 		}
+		var tracer core.Tracer
+		if col != nil {
+			tracer = col
+		}
+		var observer core.Observer
+		if pipe != nil {
+			observer = pipe
+		}
 		return core.NewEndpoint(core.Config{
+			Tracer:    tracer,
+			Observer:  observer,
 			Identity:  ids[addr],
 			Transport: tr,
 			Directory: dir,
@@ -376,6 +413,13 @@ func RunChaos(sc ChaosScenario) (*ChaosReport, error) {
 	report.MKDUpcalls, report.MKDTimeouts = bob.MKDStats()
 	report.DirectoryCalls = dir.Calls()
 	report.DirectoryFails = dir.Fails()
+	if col != nil {
+		tr := obstrace.NewReport(col)
+		report.TraceReport = &tr
+	}
+	if pipe != nil {
+		report.RecorderDump = pipe.Recorder().Events()
+	}
 
 	bob.Close() // unblocks the receiver loop
 	wg.Wait()

@@ -1,6 +1,9 @@
 package netsim
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -24,8 +27,40 @@ func runScenario(t *testing.T, sc ChaosScenario) *ChaosReport {
 	}
 	if t.Failed() {
 		t.Log(r.Summary())
+		dumpTraceArtifact(t, sc.Name, r)
 	}
 	return r
+}
+
+// dumpTraceArtifact writes the run's assembled traces to
+// FBS_TRACE_ARTIFACT_DIR (when set and the scenario was traced) so CI
+// can upload the per-datagram evidence alongside the failure.
+func dumpTraceArtifact(t *testing.T, name string, r *ChaosReport) {
+	t.Helper()
+	dir := os.Getenv("FBS_TRACE_ARTIFACT_DIR")
+	if dir == "" || r.TraceReport == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(r.TraceReport, "", "  ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(dir, "chaos-"+name+"-traces.json")
+	if os.WriteFile(path, data, 0o644) == nil {
+		t.Logf("trace artifact written to %s", path)
+	}
+	if len(r.RecorderDump) == 0 {
+		return
+	}
+	if data, err := json.MarshalIndent(r.RecorderDump, "", "  "); err == nil {
+		path := filepath.Join(dir, "chaos-"+name+"-recorder.json")
+		if os.WriteFile(path, data, 0o644) == nil {
+			t.Logf("recorder artifact written to %s", path)
+		}
+	}
 }
 
 // allInjections asks for every adversary kind, several of each, so each
@@ -188,6 +223,104 @@ func TestChaosKeyingOutage(t *testing.T) {
 	if r.Keys.Retries == 0 || r.Keys.NegativeHits == 0 {
 		t.Errorf("retry/negative-cache machinery idle: retries=%d neghits=%d", r.Keys.Retries, r.Keys.NegativeHits)
 	}
+}
+
+// TestChaosTraceCoversDropReasons is the acceptance gate for the
+// tracing pipeline: a fully sampled chaos run must yield at least one
+// complete multi-span trace for every DropReason the run actually
+// produced — the drop verdict pinned on a trace that also shows how
+// the datagram got there (seal/link/injection spans).
+func TestChaosTraceCoversDropReasons(t *testing.T) {
+	check := func(t *testing.T, r *ChaosReport) {
+		t.Helper()
+		if r.TraceReport == nil {
+			t.Fatal("traced scenario produced no TraceReport")
+		}
+		if r.TraceReport.Started == 0 {
+			t.Fatal("no traces started")
+		}
+		// Index: drop verdict -> best span count seen on a trace.
+		best := map[string]int{}
+		for _, tr := range r.TraceReport.Traces {
+			if tr.Drop != "" && len(tr.Spans) > best[tr.Drop] {
+				best[tr.Drop] = len(tr.Spans)
+			}
+		}
+		for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
+			if r.ReceiverDrops[reason] == 0 {
+				continue // not reachable in this run
+			}
+			if n := best[reason.String()]; n < 2 {
+				t.Errorf("drop reason %s (count %d) has no multi-span trace (best %d spans)",
+					reason, r.ReceiverDrops[reason], n)
+			}
+		}
+		// A delivered datagram's trace must cross both endpoints: seal
+		// and open side spans plus the link hop between them.
+		var complete bool
+		for _, tr := range r.TraceReport.Traces {
+			var seal, link, open bool
+			for _, s := range tr.Spans {
+				switch s.Kind {
+				case "seal":
+					seal = true
+				case "link":
+					link = true
+				case "open":
+					open = true
+				}
+			}
+			if tr.Drop == "" && seal && link && open {
+				complete = true
+				break
+			}
+		}
+		if !complete {
+			t.Error("no delivered trace spans seal, link and open")
+		}
+	}
+
+	t.Run("adversary", func(t *testing.T) {
+		// Every injection-reachable reason, replay via duplication, all
+		// under full sampling. Dups make buckets inexact only for
+		// corruption, so the link stays corruption-free.
+		r := runScenario(t, ChaosScenario{
+			Name:         "traced-adversary",
+			Seed:         21,
+			Datagrams:    60,
+			PayloadBytes: 256,
+			Secret:       true,
+			Link:         []Stage{Duplicate(0.2), DelayJitter(0, time.Millisecond)},
+			Inject:       allInjections(4),
+			Trace:        true,
+		})
+		check(t, r)
+		if r.TraceReport.Recorded == 0 || r.TraceReport.Dropped != 0 {
+			t.Errorf("span ring shed spans or stayed idle: started=%d recorded=%d dropped=%d",
+				r.TraceReport.Started, r.TraceReport.Recorded, r.TraceReport.Dropped)
+		}
+	})
+	t.Run("keying-outage", func(t *testing.T) {
+		// DropKeying is only reachable through a directory outage; its
+		// trace must still be multi-span (open root + flowkey verdict).
+		r := runScenario(t, ChaosScenario{
+			Name:            "traced-outage",
+			Seed:            22,
+			Datagrams:       20,
+			OutageDatagrams: 8,
+			PayloadBytes:    128,
+			Secret:          true,
+			Link:            []Stage{DelayJitter(0, time.Millisecond)},
+			KeyOutage:       true,
+			Retry:           core.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+			NegativeTTL:     100 * time.Millisecond,
+			Trace:           true,
+		})
+		check(t, r)
+		if best := r.ReceiverDrops[core.DropKeying]; best == 0 {
+			t.Error("outage run produced no keying drops to trace")
+		}
+	})
 }
 
 func TestChaosDeterministicFaults(t *testing.T) {

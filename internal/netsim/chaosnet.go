@@ -25,6 +25,13 @@ type ChaosNetwork struct {
 	model LinkModel
 	start time.Time
 
+	// tracer, when set, receives a SpanLink for every fault the link
+	// model inflicts on a traced datagram (dg.Trace != 0) and for every
+	// adversary injection derived from one — the "what the network did"
+	// segment between the sender's and receiver's endpoint spans. Set
+	// it before traffic starts; it is read without synchronisation.
+	tracer core.Tracer
+
 	mu      sync.Mutex
 	links   map[linkKey]*Link
 	ports   map[principal.Address]*chaosPort
@@ -76,6 +83,10 @@ func NewChaosNetwork(model LinkModel) *ChaosNetwork {
 		ports: make(map[principal.Address]*chaosPort),
 	}
 }
+
+// SetTracer attaches a tracer for link-fault spans. Call before any
+// traffic flows; the field is read unsynchronised on the send path.
+func (n *ChaosNetwork) SetTracer(tr core.Tracer) { n.tracer = tr }
 
 // Attach connects a principal; queueLen ≤ 0 selects 4096 (big enough
 // that the chaos matrix can assert Overflow == 0 and keep accounting
@@ -262,7 +273,28 @@ func (p *chaosPort) Send(dg transport.Datagram) error {
 	now := time.Since(n.start)
 	d := n.link(dg.Source, dg.Destination).Transmit(now, len(dg.Payload))
 	if d.Lost() {
+		if tr := n.tracer; tr != nil && dg.Trace != 0 {
+			tr.Span(core.Span{Trace: dg.Trace, Kind: core.SpanLink,
+				Flags: core.FlagLinkLost, Start: time.Now()})
+		}
 		return nil
+	}
+	if tr := n.tracer; tr != nil && dg.Trace != 0 {
+		// One span per delivered copy: Dur is the modelled transit
+		// delay; corruption reports the flipped bit index in Attr.
+		start := time.Now()
+		for i, f := range d.Fates {
+			sp := core.Span{Trace: dg.Trace, Kind: core.SpanLink,
+				Start: start, Dur: f.At - now}
+			if d.Corrupt {
+				sp.Flags |= core.FlagLinkCorrupt
+				sp.Attr = uint64(d.CorruptBit)
+			}
+			if i > 0 {
+				sp.Flags |= core.FlagLinkDup
+			}
+			tr.Span(sp)
+		}
 	}
 	wire := dg.Clone()
 	if d.Corrupt && len(wire.Payload) > 0 {
@@ -546,13 +578,27 @@ func (a *Adversary) Inject(kind InjectKind) bool {
 	case InjectMisroute:
 		victim := dg.Destination
 		dg.Destination = "chaos-nobody"
+		a.traceInjection(dg, kind)
 		a.net.enqueueMisrouted(victim, dg)
 		a.count(kind)
 		return true
 	}
+	a.traceInjection(dg, kind)
 	a.net.Inject(dg)
 	a.count(kind)
 	return true
+}
+
+// traceInjection emits the injection's SpanLink. The mutant is a clone
+// of a captured sample, so it inherits the original's trace ID — the
+// sampled datagram's trace then shows both its legitimate delivery and
+// the adversary's forgery derived from it, down to the receiver's drop
+// verdict for each.
+func (a *Adversary) traceInjection(dg transport.Datagram, kind InjectKind) {
+	if tr := a.net.tracer; tr != nil && dg.Trace != 0 {
+		tr.Span(core.Span{Trace: dg.Trace, Kind: core.SpanLink,
+			Flags: core.FlagLinkInjected, Start: time.Now(), Attr: uint64(kind)})
+	}
 }
 
 func (a *Adversary) count(kind InjectKind) {

@@ -8,10 +8,12 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"fbs/internal/core"
+	obstrace "fbs/internal/obs/trace"
 )
 
 // Admin is the opt-in introspection plane: an HTTP mux serving
@@ -20,6 +22,8 @@ import (
 //	/flows     live FAM entries and cache occupancy, netstat-style
 //	           (?json=1 for machine-readable output)
 //	/recorder  the flight-recorder ring, oldest first (?json=1, ?n=K)
+//	/traces    assembled per-datagram traces from watched trace
+//	           collectors, waterfall-style (?json=1, ?n=K newest traces)
 //	/debug/pprof/...  the standard runtime profiles
 //
 // It binds nothing by itself — callers decide the listen address via
@@ -32,6 +36,7 @@ type Admin struct {
 	mu        sync.Mutex
 	endpoints []adminEndpoint
 	recorders []*Recorder
+	tracers   []*obstrace.Collector
 }
 
 type adminEndpoint struct {
@@ -66,12 +71,23 @@ func (a *Admin) WatchRecorder(rec *Recorder) {
 	a.mu.Unlock()
 }
 
+// WatchTracer adds a trace collector to /traces.
+func (a *Admin) WatchTracer(c *obstrace.Collector) {
+	if c == nil {
+		return
+	}
+	a.mu.Lock()
+	a.tracers = append(a.tracers, c)
+	a.mu.Unlock()
+}
+
 // Handler returns the admin mux.
 func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.serveMetrics)
 	mux.HandleFunc("/flows", a.serveFlows)
 	mux.HandleFunc("/recorder", a.serveRecorder)
+	mux.HandleFunc("/traces", a.serveTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -223,6 +239,134 @@ func (a *Admin) serveRecorder(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	WriteRecorderText(w, rep)
+}
+
+func (a *Admin) tracesReport(limit int) obstrace.Report {
+	a.mu.Lock()
+	cols := make([]*obstrace.Collector, len(a.tracers))
+	copy(cols, a.tracers)
+	a.mu.Unlock()
+
+	var rep obstrace.Report
+	for _, c := range cols {
+		r := obstrace.NewReport(c)
+		rep.Started += r.Started
+		rep.Recorded += r.Recorded
+		rep.Dropped += r.Dropped
+		rep.Traces = append(rep.Traces, r.Traces...)
+	}
+	if limit > 0 && len(rep.Traces) > limit {
+		rep.Traces = rep.Traces[len(rep.Traces)-limit:]
+	}
+	return rep
+}
+
+func (a *Admin) serveTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			limit = n
+		}
+	}
+	rep := a.tracesReport(limit)
+	if r.URL.Query().Get("json") != "" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rep)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	WriteTracesText(w, rep)
+}
+
+// waterfallWidth is the bar width WriteTracesText scales each trace's
+// span offsets into.
+const waterfallWidth = 24
+
+// WriteTracesText renders a trace report as per-trace waterfalls
+// (shared with cmd/fbsstat's trace subcommand). Each span line shows
+// the step, its side, its offset from the trace's first timestamp, its
+// duration, a proportional bar, and the step's annotations.
+func WriteTracesText(w interface{ Write([]byte) (int, error) }, rep obstrace.Report) {
+	fmt.Fprintf(w, "%d traces started, %d spans recorded", rep.Started, rep.Recorded)
+	if rep.Dropped > 0 {
+		fmt.Fprintf(w, " (%d shed)", rep.Dropped)
+	}
+	fmt.Fprintf(w, ", %d traces assembled\n", len(rep.Traces))
+	for _, t := range rep.Traces {
+		verdict := "delivered"
+		if t.Drop != "" {
+			verdict = "drop:" + t.Drop
+		}
+		fmt.Fprintf(w, "trace %016x sfl=%x spans=%d %s\n", t.ID, t.SFL, len(t.Spans), verdict)
+		// The waterfall scale: earliest start to latest end among
+		// spans that carry a wall-clock time.
+		var lo, hi int64
+		for _, s := range t.Spans {
+			if s.StartNs == 0 {
+				continue
+			}
+			if lo == 0 || s.StartNs < lo {
+				lo = s.StartNs
+			}
+			if end := s.StartNs + s.DurNs; end > hi {
+				hi = end
+			}
+		}
+		span := hi - lo
+		for _, s := range t.Spans {
+			side := "open"
+			switch {
+			case s.Kind == "link":
+				side = "link"
+			case s.Seal:
+				side = "seal"
+			}
+			var off int64
+			if s.StartNs != 0 {
+				off = s.StartNs - lo
+			}
+			bar := waterfallBar(off, s.DurNs, span)
+			line := fmt.Sprintf("  %-4s %-14s +%-10s %-10s |%s|", side, s.Kind,
+				time.Duration(off), time.Duration(s.DurNs), bar)
+			if s.Drop != "" {
+				line += " drop:" + s.Drop
+			}
+			if len(s.Flags) > 0 {
+				line += " [" + strings.Join(s.Flags, ",") + "]"
+			}
+			if s.Attr != 0 {
+				line += fmt.Sprintf(" attr=%d", s.Attr)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+// waterfallBar renders a span's position within the trace as a
+// fixed-width bar: spaces before the offset, '=' across the duration
+// (at least one '-' marker for instantaneous spans).
+func waterfallBar(off, dur, span int64) string {
+	b := []byte(strings.Repeat(" ", waterfallWidth))
+	if span <= 0 {
+		b[0] = '-'
+		return string(b)
+	}
+	from := int(off * waterfallWidth / span)
+	to := int((off + dur) * waterfallWidth / span)
+	if from >= waterfallWidth {
+		from = waterfallWidth - 1
+	}
+	if to > waterfallWidth {
+		to = waterfallWidth
+	}
+	if to <= from {
+		b[from] = '-'
+		return string(b)
+	}
+	for i := from; i < to; i++ {
+		b[i] = '='
+	}
+	return string(b)
 }
 
 // WriteRecorderText renders a RecorderReport (shared with cmd/fbsstat).

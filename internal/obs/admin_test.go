@@ -11,6 +11,7 @@ import (
 	"fbs"
 	"fbs/internal/core"
 	"fbs/internal/obs"
+	obstrace "fbs/internal/obs/trace"
 )
 
 // adminWorld wires a live endpoint pair, a fully-sampled pipeline, and
@@ -169,6 +170,82 @@ func TestAdminPlane(t *testing.T) {
 	}
 	if n := pipe.StageSnapshot(false, core.StageTotal).Count; n != 11 {
 		t.Errorf("open total count = %d, want 11", n)
+	}
+}
+
+func TestAdminTraces(t *testing.T) {
+	d, err := fbs.NewDomain("obs-trace-test", fbs.WithGroup(fbs.TestGroup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := fbs.NewNetwork(fbs.Impairments{})
+	col := obstrace.New(obstrace.Config{SampleEvery: 1})
+	mk := func(addr fbs.Address) *fbs.Endpoint {
+		ep, err := d.NewEndpoint(addr, net, func(c *fbs.Config) {
+			c.Tracer = col
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		return ep
+	}
+	alice, bob := mk("alice"), mk("bob")
+	for i := 0; i < 3; i++ {
+		if err := alice.SendTo("bob", []byte("trace me"), true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bob.ReceiveValid(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	admin := obs.NewAdmin(obs.NewRegistry())
+	admin.WatchTracer(col)
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	var rep obstrace.Report
+	if err := json.Unmarshal([]byte(get(t, srv, "/traces?json=1")), &rep); err != nil {
+		t.Fatalf("/traces?json=1: %v", err)
+	}
+	if rep.Started != 3 {
+		t.Errorf("traces started = %d, want 3", rep.Started)
+	}
+	if len(rep.Traces) != 3 {
+		t.Fatalf("traces assembled = %d, want 3", len(rep.Traces))
+	}
+	kinds := make(map[string]bool)
+	for _, s := range rep.Traces[0].Spans {
+		kinds[s.Kind] = true
+	}
+	for _, k := range []string{"seal", "classify", "crypto", "open", "parse"} {
+		if !kinds[k] {
+			t.Errorf("first trace missing %q span (have %v)", k, kinds)
+		}
+	}
+	if rep.Traces[0].Drop != "" {
+		t.Errorf("delivered trace carries drop %q", rep.Traces[0].Drop)
+	}
+
+	// The text waterfall: header, a trace line per trace, span rows.
+	text := get(t, srv, "/traces")
+	for _, want := range []string{
+		"3 traces started",
+		"spans=", "delivered",
+		"seal seal", "open open",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/traces text missing %q:\n%s", want, text)
+		}
+	}
+
+	// ?n= tail-limits the assembled traces.
+	if err := json.Unmarshal([]byte(get(t, srv, "/traces?json=1&n=1")), &rep); err != nil {
+		t.Fatalf("/traces?json=1&n=1: %v", err)
+	}
+	if len(rep.Traces) != 1 {
+		t.Errorf("n=1 returned %d traces", len(rep.Traces))
 	}
 }
 

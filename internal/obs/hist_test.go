@@ -16,9 +16,12 @@ func TestHistogramBuckets(t *testing.T) {
 		{-5, 0},
 		{1, 1},
 		{2, 2},
-		{3, 2},
-		{4, 3},
-		{1000, 10},
+		{3, 3},
+		{4, 4},                        // first sub-bucketed octave starts at 4ns
+		{7, 7},                        // octave [4,8) has single-value sub-buckets
+		{8, 8},                        // octave [8,16): sub-bucket width 2
+		{9, 8},                        //   ... 9 shares 8's sub-bucket
+		{1000, 35},                    // octave [512,1024), sub 3: [896,1024)
 		{1 << 45, NumHistBuckets - 1}, // overflow clamps to the last bucket
 	}
 	for _, c := range cases {
@@ -51,8 +54,23 @@ func TestBucketBound(t *testing.T) {
 	if BucketBound(1) != 1 {
 		t.Fatalf("BucketBound(1) = %v", BucketBound(1))
 	}
-	if BucketBound(10) != 1023 {
-		t.Fatalf("BucketBound(10) = %v", BucketBound(10))
+	if BucketBound(4) != 4 {
+		t.Fatalf("BucketBound(4) = %v", BucketBound(4))
+	}
+	if BucketBound(8) != 9 {
+		t.Fatalf("BucketBound(8) = %v", BucketBound(8))
+	}
+	if BucketBound(35) != 1023 {
+		t.Fatalf("BucketBound(35) = %v", BucketBound(35))
+	}
+	// Bounds must be strictly increasing and log-linear sub-bucketing
+	// must refine, not coarsen: each bucket's width is at most 25% of
+	// its lower bound once past the exact-value buckets.
+	for i := 1; i < NumHistBuckets; i++ {
+		if BucketBound(i) <= BucketBound(i-1) {
+			t.Fatalf("BucketBound(%d)=%v not above BucketBound(%d)=%v",
+				i, BucketBound(i), i-1, BucketBound(i-1))
+		}
 	}
 	// Every observation must satisfy its bucket's bound.
 	for _, d := range []time.Duration{1, 2, 3, 100, 1e6, 5e8} {
@@ -68,7 +86,7 @@ func TestBucketBound(t *testing.T) {
 
 func TestQuantile(t *testing.T) {
 	var h Histogram
-	// 90 fast (≤1023ns bucket), 10 slow (≤1048575ns bucket).
+	// 90 fast (≤1023ns bucket 35), 10 slow (≤1048575ns bucket 75).
 	for i := 0; i < 90; i++ {
 		h.Observe(1000)
 	}
@@ -76,17 +94,55 @@ func TestQuantile(t *testing.T) {
 		h.Observe(1_000_000)
 	}
 	s := h.Snapshot()
-	if got := s.Quantile(0.5); got != BucketBound(10) {
-		t.Fatalf("p50 = %v, want %v", got, BucketBound(10))
+	if got := s.Quantile(0.5); got != BucketBound(35) {
+		t.Fatalf("p50 = %v, want %v", got, BucketBound(35))
 	}
-	if got := s.Quantile(0.99); got != BucketBound(20) {
-		t.Fatalf("p99 = %v, want %v", got, BucketBound(20))
+	if got := s.Quantile(0.99); got != BucketBound(75) {
+		t.Fatalf("p99 = %v, want %v", got, BucketBound(75))
+	}
+	// The quantile over-estimate is bounded by one sub-bucket width:
+	// within 25% over the true value, against 2x for pure log2 buckets.
+	if got := s.Quantile(0.5); got > 1000*5/4 {
+		t.Fatalf("p50 over-estimate %v exceeds 25%% of true 1000ns", got)
 	}
 	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
 		t.Fatalf("empty quantile = %v", got)
 	}
 	if got := s.Mean(); got != time.Duration((90*1000+10*1_000_000)/100) {
 		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.Observe(1000)              // untraced: no exemplar
+	h.ObserveTrace(1000, 42)     // traced: installs exemplar
+	h.ObserveTrace(1010, 99)     // same bucket: last write wins
+	h.ObserveTrace(1_000_000, 7) // different bucket
+	s := h.Snapshot()
+	fast, slow := bucketOf(1000), bucketOf(1_000_000)
+	if e := s.Exemplars[fast]; e.Trace != 99 || e.Value != 1010 {
+		t.Fatalf("fast exemplar = %+v, want trace 99 value 1010", e)
+	}
+	if e := s.Exemplars[slow]; e.Trace != 7 || e.Value != 1_000_000 {
+		t.Fatalf("slow exemplar = %+v, want trace 7 value 1000000", e)
+	}
+	for i, e := range s.Exemplars {
+		if i != fast && i != slow && e.Trace != 0 {
+			t.Fatalf("unexpected exemplar in bucket %d: %+v", i, e)
+		}
+	}
+	// Add merges exemplars, preferring the receiver's.
+	var h2 Histogram
+	h2.ObserveTrace(1000, 5)
+	h2.ObserveTrace(2_000_000, 6)
+	s2 := h2.Snapshot()
+	s.Add(s2)
+	if e := s.Exemplars[fast]; e.Trace != 99 {
+		t.Fatalf("merge overwrote receiver exemplar: %+v", e)
+	}
+	if e := s.Exemplars[bucketOf(2_000_000)]; e.Trace != 6 {
+		t.Fatalf("merge dropped donor exemplar: %+v", e)
 	}
 }
 

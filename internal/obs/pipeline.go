@@ -86,7 +86,10 @@ func (p *Pipeline) Packet(s core.PacketSample) {
 	}
 	for i, d := range s.Stages {
 		if d > 0 {
-			hs[i].Observe(d)
+			// A nonzero s.Trace links the observation to a captured
+			// trace: the bucket remembers it as its exemplar, so a hot
+			// latency bucket points at a concrete datagram's waterfall.
+			hs[i].ObserveTrace(d, uint64(s.Trace))
 		}
 	}
 	if p.rec != nil {

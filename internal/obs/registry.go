@@ -21,9 +21,14 @@ type Label struct {
 }
 
 // Sample is one exposition line: a metric name, its labels, and a value.
+// A non-nil Exemplar is rendered as a comment line immediately after the
+// sample (adjacency is the association) — the classic 0.0.4 text format
+// has no exemplar syntax, so scrapers that don't understand the comment
+// skip it, while fbsstat and humans get the trace link.
 type Sample struct {
-	Labels []Label
-	Value  float64
+	Labels   []Label
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // Family is one metric family: every sample shares the name and type.
@@ -143,6 +148,9 @@ func writeSample(w io.Writer, name string, s Sample) error {
 	b.WriteByte(' ')
 	b.WriteString(formatValue(s.Value))
 	b.WriteByte('\n')
+	if e := s.Exemplar; e != nil && e.Trace != 0 {
+		fmt.Fprintf(&b, "# exemplar trace=%#016x value=%d\n", e.Trace, int64(e.Value))
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -178,9 +186,10 @@ func GaugeFamily(name, help string, v float64, labels ...Label) Family {
 
 // AppendHistogram appends one labelled histogram series (cumulative
 // buckets, _sum, _count) to a histogram-typed family. Bucket bounds are
-// the log2 bucket upper bounds in nanoseconds; empty trailing buckets
-// are folded into the final +Inf bucket to keep the exposition compact
-// while remaining deterministic.
+// the log-linear bucket upper bounds in nanoseconds; empty trailing
+// buckets are folded into the final +Inf bucket to keep the exposition
+// compact while remaining deterministic. Buckets holding a traced
+// observation carry it as an exemplar comment line (see Sample).
 func AppendHistogram(f *Family, s HistSnapshot, labels ...Label) {
 	last := 0
 	for i, n := range s.Counts {
@@ -192,9 +201,15 @@ func AppendHistogram(f *Family, s HistSnapshot, labels ...Label) {
 	for i := 0; i <= last; i++ {
 		cum += s.Counts[i]
 		le := strconv.FormatUint(uint64(BucketBound(i)), 10)
+		var ex *Exemplar
+		if s.Exemplars[i].Trace != 0 {
+			e := s.Exemplars[i]
+			ex = &e
+		}
 		f.Samples = append(f.Samples, Sample{
-			Labels: histLabels(f.Name+"_bucket", labels, Label{Key: "le", Value: le}),
-			Value:  float64(cum),
+			Labels:   histLabels(f.Name+"_bucket", labels, Label{Key: "le", Value: le}),
+			Value:    float64(cum),
+			Exemplar: ex,
 		})
 	}
 	f.Samples = append(f.Samples,

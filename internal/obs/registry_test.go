@@ -28,7 +28,7 @@ func TestExpositionGolden(t *testing.T) {
 	var h Histogram
 	h.Observe(1)
 	h.Observe(3)
-	h.Observe(1000)
+	h.ObserveTrace(1000, 0xab)
 	r.RegisterFunc(func() []Family {
 		f := Family{Name: "fbs_stage_duration_ns", Help: "Stage time.", Type: "histogram"}
 		AppendHistogram(&f, h.Snapshot(), Label{Key: "path", Value: "seal"}, Label{Key: "stage", Value: "total"})
@@ -46,15 +46,41 @@ fbs_fam_active_flows{endpoint="a"} 3
 # TYPE fbs_stage_duration_ns histogram
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="0"} 0
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="1"} 1
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="2"} 1
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="3"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="4"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="5"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="6"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="7"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="9"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="11"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="13"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="15"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="19"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="23"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="27"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="31"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="39"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="47"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="55"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="63"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="79"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="95"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="111"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="127"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="159"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="191"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="223"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="255"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="319"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="383"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="447"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="511"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="639"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="767"} 2
+fbs_stage_duration_ns_bucket{path="seal",stage="total",le="895"} 2
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="1023"} 3
+# exemplar trace=0x00000000000000ab value=1000
 fbs_stage_duration_ns_bucket{path="seal",stage="total",le="+Inf"} 3
 fbs_stage_duration_ns_sum{path="seal",stage="total"} 1004
 fbs_stage_duration_ns_count{path="seal",stage="total"} 3

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fbs/internal/core"
+)
+
+func TestStartTraceSampling(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 100; i++ {
+		if id := c.StartTrace(); id != 0 {
+			t.Fatalf("disabled sampling returned trace %d", id)
+		}
+	}
+	c.SetSampleEvery(2)
+	var hits int
+	for i := 0; i < 100; i++ {
+		if c.StartTrace() != 0 {
+			hits++
+		}
+	}
+	if hits != 50 {
+		t.Fatalf("SampleEvery(2): %d traces in 100, want 50", hits)
+	}
+	// IDs are unique and nonzero.
+	c.SetSampleEvery(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		id := uint64(c.StartTrace())
+		if id == 0 || seen[id] {
+			t.Fatalf("duplicate or zero trace id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	c := New(Config{RingSize: 64})
+	start := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	c.Span(core.Span{
+		Trace: 7,
+		Kind:  core.SpanFlowKey,
+		Seal:  true,
+		Flags: core.FlagKeyMKCHit | core.FlagKeyCoalesced,
+		SFL:   0xabcd,
+		Start: start,
+		Dur:   1500 * time.Nanosecond,
+		Attr:  2,
+	})
+	c.Span(core.Span{Trace: 7, Kind: core.SpanOpen, Drop: core.DropBadMAC, Start: start.Add(time.Millisecond)})
+	recs := c.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Trace != 7 || r.Kind != "flowkey" || !r.Seal || r.Drop != "" ||
+		r.SFL != 0xabcd || r.StartNs != start.UnixNano() || r.DurNs != 1500 || r.Attr != 2 {
+		t.Fatalf("record mismatch: %+v", r)
+	}
+	if len(r.Flags) != 2 || r.Flags[0] != "mkc_hit" || r.Flags[1] != "coalesced" {
+		t.Fatalf("flags = %v", r.Flags)
+	}
+	if recs[1].Drop != "bad_mac" || recs[1].Kind != "open" || recs[1].Seal {
+		t.Fatalf("second record: %+v", recs[1])
+	}
+
+	traces := c.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != 7 || len(tr.Spans) != 2 || tr.Drop != "bad_mac" ||
+		tr.SFL != 0xabcd || tr.StartNs != start.UnixNano() {
+		t.Fatalf("trace summary: %+v", tr)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	c := New(Config{RingSize: 8})
+	for i := 1; i <= 20; i++ {
+		c.Span(core.Span{Trace: core.TraceID(i), Kind: core.SpanSeal})
+	}
+	recs := c.Snapshot()
+	if len(recs) != 8 {
+		t.Fatalf("ring kept %d spans, want 8", len(recs))
+	}
+	// The ring keeps the newest 8, in emission order.
+	for i, r := range recs {
+		if want := uint64(13 + i); r.Trace != want {
+			t.Fatalf("slot %d holds trace %d, want %d", i, r.Trace, want)
+		}
+	}
+	if c.Recorded() != 20 {
+		t.Fatalf("Recorded = %d", c.Recorded())
+	}
+}
+
+// TestCollectorHammer is the -race witness for the seqlock ring:
+// concurrent writers across many wraparounds plus a concurrent
+// snapshot reader; every returned record must be internally
+// consistent (a trace ID always paired with its own kind/attr).
+func TestCollectorHammer(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20_000
+	)
+	c := New(Config{RingSize: 64}) // small ring: force constant wraparound
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range c.Snapshot() {
+				// Writers encode attr = trace, kind = trace%NumSpanKinds;
+				// any mismatch means the seqlock let torn data through.
+				if r.Attr != r.Trace {
+					t.Errorf("torn record: trace %d attr %d", r.Trace, r.Attr)
+					return
+				}
+				if want := core.SpanKind(r.Trace % uint64(core.NumSpanKinds)).String(); r.Kind != want {
+					t.Errorf("torn record: trace %d kind %s want %s", r.Trace, r.Kind, want)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i + 1)
+				c.Span(core.Span{
+					Trace: core.TraceID(id),
+					Kind:  core.SpanKind(id % uint64(core.NumSpanKinds)),
+					Attr:  id,
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got, d := c.Recorded(), c.Dropped(); got+d != writers*perWriter {
+		t.Fatalf("Recorded %d + Dropped %d != %d (lost tickets)", got, d, writers*perWriter)
+	}
+	if got := len(c.Snapshot()); got != 64 {
+		t.Fatalf("quiescent snapshot has %d records, want full ring 64", got)
+	}
+}
+
+func BenchmarkCollectorSpan(b *testing.B) {
+	c := New(Config{})
+	s := core.Span{Trace: 1, Kind: core.SpanSeal, Dur: time.Microsecond}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Span(s)
+		}
+	})
+}
+
+func BenchmarkStartTraceDisabled(b *testing.B) {
+	c := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.StartTrace() != 0 {
+			b.Fatal("disabled sampling traced")
+		}
+	}
+}

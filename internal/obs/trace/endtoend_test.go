@@ -1,0 +1,157 @@
+package trace_test
+
+// End-to-end: two real core endpoints over an in-memory network share
+// one Collector, and a sampled datagram's trace must span both sides —
+// seal-side spans, the transport handoff, and the peer's open-side
+// spans, all under one trace ID carried by Datagram.Trace.
+
+import (
+	"testing"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/obs/trace"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+type world struct {
+	dir   *cert.StaticDirectory
+	ver   *cert.Verifier
+	clock *core.SimClock
+	issue func(addr principal.Address) *principal.Identity
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	ca, err := cert.NewAuthority("trace-root", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{
+		dir:   cert.NewStaticDirectory(),
+		ver:   &cert.Verifier{CAKey: ca.PublicKey(), CA: "trace-root"},
+		clock: core.NewSimClock(time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)),
+	}
+	w.issue = func(addr principal.Address) *principal.Identity {
+		id, err := principal.NewIdentity(addr, cryptolib.TestGroup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ca.Issue(id, w.clock.Now().Add(-time.Hour), w.clock.Now().Add(24*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.dir.Publish(c)
+		return id
+	}
+	return w
+}
+
+func TestTraceSpansBothEndpoints(t *testing.T) {
+	w := newWorld(t)
+	col := trace.New(trace.Config{SampleEvery: 1, RingSize: 256})
+	net := transport.NewNetwork(transport.Impairments{})
+	mk := func(addr principal.Address) *core.Endpoint {
+		tr, err := net.Attach(addr, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := core.NewEndpoint(core.Config{
+			Identity:          w.issue(addr),
+			Transport:         tr,
+			Directory:         w.dir,
+			Verifier:          w.ver,
+			Clock:             w.clock,
+			Tracer:            col,
+			EnableReplayCache: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		return ep
+	}
+	a, b := mk("alice"), mk("bob")
+
+	if err := a.SendTo("bob", []byte("traced secret payload"), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Receive(); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := col.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces collected")
+	}
+	tr := traces[0]
+	if tr.Drop != "" {
+		t.Fatalf("delivered datagram reports drop %q", tr.Drop)
+	}
+	kinds := map[string]int{}
+	var sealSide, openSide bool
+	for _, s := range tr.Spans {
+		kinds[s.Kind]++
+		if s.Seal {
+			sealSide = true
+		} else {
+			openSide = true
+		}
+	}
+	for _, k := range []string{"seal", "classify", "flowkey", "crypto", "transport_send", "open", "parse", "replay"} {
+		if kinds[k] == 0 {
+			t.Errorf("trace %d missing %q span (have %v)", tr.ID, k, kinds)
+		}
+	}
+	if kinds["flowkey"] < 2 || kinds["crypto"] < 2 {
+		t.Errorf("expected flowkey+crypto on both sides: %v", kinds)
+	}
+	if !sealSide || !openSide {
+		t.Fatalf("trace does not span both endpoints: %+v", tr.Spans)
+	}
+	if tr.SFL == 0 {
+		t.Error("trace did not capture the flow label")
+	}
+}
+
+func TestTraceCapturesDropVerdict(t *testing.T) {
+	w := newWorld(t)
+	col := trace.New(trace.Config{SampleEvery: 1, RingSize: 256})
+	net := transport.NewNetwork(transport.Impairments{})
+	tr, err := net.Attach("carol", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := core.NewEndpoint(core.Config{
+		Identity:  w.issue("carol"),
+		Transport: tr,
+		Directory: w.dir,
+		Verifier:  w.ver,
+		Clock:     w.clock,
+		Tracer:    col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// An unparseable datagram has no sender-side trace; the receiver
+	// must start one locally and pin the malformed verdict on it.
+	if _, err := ep.Open(transport.Datagram{
+		Source: "mallory", Destination: "carol", Payload: []byte{0x01, 0x02},
+	}); err == nil {
+		t.Fatal("garbage datagram accepted")
+	}
+	var found bool
+	for _, tr := range col.Traces() {
+		if tr.Drop == "malformed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no trace with malformed verdict: %+v", col.Traces())
+	}
+}

@@ -18,6 +18,15 @@ import (
 	"fbs/internal/principal"
 )
 
+// TraceID identifies one sampled datagram's end-to-end trace. Zero
+// means "not traced" — the universal fast-path value that every layer
+// checks with a single compare. IDs are allocated by whatever tracer
+// the sealing endpoint has attached (see core.Tracer) and ride the
+// Datagram as metadata so the receiving endpoint, the in-memory
+// networks, and the chaos link models can attribute their spans to the
+// same trace.
+type TraceID uint64
+
 // Datagram is a self-contained message between two principals. FBS treats
 // the payload as opaque; in the IP mapping the payload is the IP payload
 // with the FBS header prepended.
@@ -25,14 +34,21 @@ type Datagram struct {
 	Source      principal.Address
 	Destination principal.Address
 	Payload     []byte
+
+	// Trace carries the sampled-trace ID across in-memory transports.
+	// It is metadata, not wire bytes: the serialized formats (golden
+	// vectors, the UDP transport) are unchanged, so traces span both
+	// endpoints only on transports that preserve the Datagram struct.
+	Trace TraceID
 }
 
 // Clone deep-copies the datagram so impairments and queueing cannot alias
-// caller buffers.
+// caller buffers. Metadata (including the trace ID) is preserved.
 func (d Datagram) Clone() Datagram {
 	p := make([]byte, len(d.Payload))
 	copy(p, d.Payload)
-	return Datagram{Source: d.Source, Destination: d.Destination, Payload: p}
+	d.Payload = p
+	return d
 }
 
 // ErrClosed is returned by Receive and Send once the transport endpoint

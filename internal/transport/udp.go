@@ -11,7 +11,9 @@ import (
 // UDPTransport runs the FBS datagram abstraction over real UDP sockets,
 // so two processes (or two machines) can speak FBS to each other. Each
 // datagram is framed as the length-prefixed source and destination
-// principal addresses followed by the payload.
+// principal addresses followed by the payload. The framing predates
+// tracing and is unchanged by it: Datagram.Trace is not serialized, so
+// traces over UDP cover the sending process only.
 type UDPTransport struct {
 	local principal.Address
 	conn  *net.UDPConn

@@ -13,10 +13,18 @@
 // suites), emitting a standalone "suites" section; make ci freezes that
 // output into BENCH_suites.json and validates it with fbsstat.
 //
+// With -batch it measures the batched UDP data plane on the local
+// loopback: SendBatch/ReceiveBatch over real kernel sockets
+// (sendmmsg/recvmmsg where the platform has them) across a batch-size ×
+// shard-count matrix, emitting a standalone "batch" section; make
+// bench-batch freezes that output into BENCH_batch.json and fbsstat
+// holds batch=32 to its amortisation claim over batch=1.
+//
 // Usage:
 //
 //	fbsbench [-bytes N] [-native] [-stack] [-json]
 //	fbsbench -suites [-json]
+//	fbsbench -batch [-shards N] [-json]
 //
 // With -json the human-readable tables are suppressed and one JSON
 // document with every measured throughput (in kb/s) is written to
@@ -31,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -97,6 +106,8 @@ func main() {
 	native := flag.Bool("native", false, "also measure native Seal/Open throughput")
 	stack := flag.Bool("stack", false, "also run a ttcp transfer through the real IPv4+TCP-lite stack with FBS")
 	suites := flag.Bool("suites", false, "measure every registered suite's native Seal/Open throughput instead of the figure-8 simulation")
+	batch := flag.Bool("batch", false, "measure the batched UDP loopback pipeline across a batch-size x shard matrix")
+	shards := flag.Int("shards", 2, "highest shard count in the -batch matrix (powers of two from 1)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document of kb/s results instead of tables")
 	adminAddr := flag.String("admin", "", "serve the observability admin plane (/metrics, /flows, /recorder, pprof) on this address and wait after the run")
 	flag.Parse()
@@ -113,7 +124,14 @@ func main() {
 	}
 
 	var results []benchResult
-	if *suites {
+	if *batch {
+		res, err := batchRun(*jsonOut, *shards, admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsbench:", err)
+			os.Exit(1)
+		}
+		results = append(results, res...)
+	} else if *suites {
 		res, err := suitesRun(*jsonOut, admin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fbsbench:", err)
@@ -354,6 +372,233 @@ func suitesRun(quiet bool, admin *obs.Admin) ([]benchResult, error) {
 		results = append(results, res)
 	}
 	return results, nil
+}
+
+// batchRun measures the batched UDP data plane over the real loopback:
+// for every AEAD suite, a matrix of batch sizes × shard counts, each
+// cell a lockstep SendBatch/ReceiveBatch pipeline on kernel sockets.
+// Payloads are small (256 bytes) so the per-datagram syscall is the
+// dominant fixed cost — exactly what the mmsg path amortises; the
+// committed BENCH_batch.json holds batch=32 to a 3× floor over
+// batch=1 in this section.
+func batchRun(quiet bool, maxShards int, admin *obs.Admin) ([]benchResult, error) {
+	if !quiet {
+		fmt.Println("Batched UDP loopback throughput (256-byte datagrams, encrypted):")
+	}
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	var results []benchResult
+	for _, s := range core.Suites() {
+		if !s.AEAD() {
+			continue
+		}
+		for sh := 1; sh <= maxShards; sh *= 2 {
+			for _, bsz := range []int{1, 8, 32, 128} {
+				name := fmt.Sprintf("%s/b=%d/s=%d", s.Name(), bsz, sh)
+				kbps, err := measureBatchUDP(s.ID(), bsz, sh, name, admin)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				results = append(results, benchResult{Section: "batch", Config: name, Kbps: kbps})
+				if !quiet {
+					fmt.Printf("  %-28s %10.0f kb/s\n", name, kbps)
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+// measureBatchUDP runs one matrix cell: a sharded sender and a sharded
+// receiver, one UDP socket pair per shard (the SO_REUSEPORT model).
+// Each shard models a real deployment's split: a dedicated receive-loop
+// goroutine blocks in Receive/ReceiveBatch and reports what it drained
+// through a credit channel, while the sender transmits one
+// batch-of-bsz window and waits for the credits to return before the
+// next — so at b=1 every datagram pays the send syscall plus a full
+// receiver wakeup, and at b=32 one syscall pair and one wakeup are
+// split 32 ways. That is precisely the amortisation the batched data
+// plane claims, measured against the scalar plane it replaces.
+// Credit-window lockstep also bounds in-flight bytes far below the
+// socket buffers, so loopback delivery is lossless and credited payload
+// is the throughput. Each cell runs three windows and reports the best:
+// the first window doubles as warmup (flow setup, cipher instance and
+// intern tables), and on a small shared machine the max is the
+// least-interfered estimate of what the configuration can do.
+func measureBatchUDP(cipher core.CipherID, bsz, shards int, label string, admin *obs.Admin) (float64, error) {
+	d, err := fbs.NewDomain("fbsbench-batch", fbs.WithGroup(cryptolib.TestGroup))
+	if err != nil {
+		return 0, err
+	}
+	txU := make([]*transport.UDPTransport, shards)
+	rxU := make([]*transport.UDPTransport, shards)
+	for i := 0; i < shards; i++ {
+		if txU[i], err = transport.NewUDPTransport("batch-tx", "127.0.0.1:0"); err != nil {
+			return 0, err
+		}
+		if rxU[i], err = transport.NewUDPTransport("batch-rx", "127.0.0.1:0"); err != nil {
+			return 0, err
+		}
+		if err := txU[i].AddPeer("batch-rx", rxU[i].LocalAddr().String()); err != nil {
+			return 0, err
+		}
+		if err := rxU[i].AddPeer("batch-tx", txU[i].LocalAddr().String()); err != nil {
+			return 0, err
+		}
+	}
+	opt := func(c *core.Config) {
+		c.Cipher = cipher
+		c.SinglePass = true
+	}
+	txGrp, err := d.NewShardedEndpoint("batch-tx", shards, func(i int) (fbs.Transport, error) { return txU[i], nil }, opt)
+	if err != nil {
+		return 0, err
+	}
+	defer txGrp.Close()
+	rxGrp, err := d.NewShardedEndpoint("batch-rx", shards, func(i int) (fbs.Transport, error) { return rxU[i], nil }, opt)
+	if err != nil {
+		return 0, err
+	}
+	defer rxGrp.Close()
+	if admin != nil {
+		obs.RegisterShardGroup(admin.Registry, "batch-tx-"+label, txGrp)
+		obs.RegisterShardGroup(admin.Registry, "batch-rx-"+label, rxGrp)
+	}
+	// Failsafe: a lost datagram would stall a lockstep shard forever;
+	// closing the sockets turns a stall into an error.
+	watchdog := time.AfterFunc(30*time.Second, func() {
+		txGrp.Close()
+		rxGrp.Close()
+	})
+	defer watchdog.Stop()
+
+	const payloadLen = 256
+	const window = 300 * time.Millisecond
+	const windows = 3
+	var (
+		mu       sync.Mutex
+		runErr   error
+		stopping atomic.Bool
+	)
+	broken := make(chan struct{})
+	var brokeOnce sync.Once
+	fail := func(shard int, err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = fmt.Errorf("shard %d: %w", shard, err)
+		}
+		mu.Unlock()
+		brokeOnce.Do(func() { close(broken) })
+	}
+
+	// Receive loops live for the whole cell; they are unblocked at the
+	// end by closing the sockets, which they treat as a clean exit once
+	// stopping is set.
+	credits := make([]chan int, shards)
+	var rxWg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		credits[i] = make(chan int, 1024)
+		rxWg.Add(1)
+		go func(i int) {
+			defer rxWg.Done()
+			rx := rxGrp.Shard(i)
+			for {
+				var arrived int
+				var err error
+				if bsz == 1 {
+					// The scalar receive loop the batched one replaces:
+					// one syscall and one poller wakeup per datagram.
+					_, err = rx.Receive()
+					arrived = 1
+				} else {
+					var accepted []transport.Datagram
+					accepted, arrived, err = rx.ReceiveBatch(bsz)
+					if err == nil && len(accepted) != arrived {
+						err = fmt.Errorf("receiver rejected %d of %d datagrams", arrived-len(accepted), arrived)
+					}
+				}
+				if err != nil {
+					if !stopping.Load() {
+						fail(i, err)
+					}
+					return
+				}
+				credits[i] <- arrived
+			}
+		}(i)
+	}
+
+	dgsBy := make([][]transport.Datagram, shards)
+	payload := make([]byte, payloadLen)
+	for i := range dgsBy {
+		dgsBy[i] = make([]transport.Datagram, bsz)
+		for k := range dgsBy[i] {
+			dgsBy[i][k] = transport.Datagram{Source: "batch-tx", Destination: "batch-rx", Payload: payload}
+		}
+	}
+
+	var best float64
+	for w := 0; w < windows; w++ {
+		var (
+			wg       sync.WaitGroup
+			winBytes int64
+		)
+		start := time.Now()
+		deadline := start.Add(window)
+		for i := 0; i < shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tx := txGrp.Shard(i)
+				dgs := dgsBy[i]
+				for time.Now().Before(deadline) {
+					if bsz == 1 {
+						if err := tx.Send(dgs[0], true); err != nil {
+							fail(i, err)
+							return
+						}
+					} else if n, err := tx.SendBatch(dgs, true); err != nil || n != bsz {
+						fail(i, fmt.Errorf("SendBatch sent %d of %d: %w", n, bsz, err))
+						return
+					}
+					for need := bsz; need > 0; {
+						select {
+						case n := <-credits[i]:
+							need -= n
+						case <-broken:
+							return
+						}
+					}
+					atomic.AddInt64(&winBytes, int64(bsz)*payloadLen)
+				}
+			}(i)
+		}
+		wg.Wait()
+		el := time.Since(start).Seconds()
+		mu.Lock()
+		failed := runErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		if kbps := float64(winBytes) * 8 / el / 1000; kbps > best {
+			best = kbps
+		}
+	}
+
+	stopping.Store(true)
+	txGrp.Close()
+	rxGrp.Close()
+	for i := 0; i < shards; i++ {
+		txU[i].Close()
+		rxU[i].Close()
+	}
+	rxWg.Wait()
+	if runErr != nil {
+		return 0, runErr
+	}
+	return best, nil
 }
 
 // measureAppend benchmarks one endpoint configuration on the

@@ -111,6 +111,30 @@ func matrix(base uint64) []netsim.ChaosScenario {
 			NegativeTTL: 250 * time.Millisecond,
 		},
 	}
+	// The full-storm scenario again, through the batched receive path:
+	// ReceiveBatch → OpenBatch must reconcile the same ledger the
+	// per-datagram path does under loss, duplication, corruption,
+	// reordering and adversary injection.
+	scenarios = append(scenarios, netsim.ChaosScenario{
+		Name: "lossy-burst-full-storm-batched",
+		Seed: base + 2,
+		Link: []netsim.Stage{
+			netsim.GilbertElliott(0.05, 0.4, 0.02, 0.6),
+			netsim.Duplicate(0.1),
+			netsim.CorruptBits(0.05),
+			netsim.DelayJitter(500*time.Microsecond, 2*time.Millisecond),
+			netsim.Reorder(0.2, time.Millisecond),
+		},
+		Datagrams:    128,
+		PayloadBytes: 128,
+		Secret:       true,
+		Batch:        true,
+		Inject: map[netsim.InjectKind]int{
+			netsim.InjectReplay:   6,
+			netsim.InjectForgeMAC: 6,
+			netsim.InjectTruncate: 6,
+		},
+	})
 	// One adversary run per data-carrying suite in the registry, so the
 	// exact-bucket reconciliation (including the suite-aware downgrade
 	// and swap injections) holds under every framing, not just DES.

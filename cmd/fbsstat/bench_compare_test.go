@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,6 +87,59 @@ func TestBenchCompareMissingTrajectory(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatal("trajectory file created without -append")
+	}
+}
+
+// batchDoc builds a batch-section document with the given s=1 b=1 and
+// b=32 throughputs (plus complete b=8/b=128 cells and an s=2 group, so
+// the shape checks pass).
+func batchDoc(t *testing.T, b1, b32 float64) string {
+	t.Helper()
+	var rows []benchRow
+	for _, sh := range []int{1, 2} {
+		for _, cell := range []struct {
+			bsz  int
+			kbps float64
+		}{{1, b1}, {8, (b1 + b32) / 2}, {32, b32}, {128, b32}} {
+			rows = append(rows, benchRow{
+				Section: "batch",
+				Config:  fmt.Sprintf("AES-128-GCM/b=%d/s=%d", cell.bsz, sh),
+				Kbps:    cell.kbps,
+			})
+		}
+	}
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestValidateBatchFloor(t *testing.T) {
+	// 4x amortisation clears the 3x floor.
+	if err := benchValidate(strings.NewReader(batchDoc(t, 100000, 400000)), 1.0); err != nil {
+		t.Fatalf("4x batch run rejected: %v", err)
+	}
+	// 2.5x trips the full floor...
+	err := benchValidate(strings.NewReader(batchDoc(t, 100000, 250000)), 1.0)
+	if err == nil || !strings.Contains(err.Error(), "below") {
+		t.Fatalf("2.5x batch run not gated: %v", err)
+	}
+	// ...but passes the nightly-scaled floor (0.7 * 3 = 2.1x).
+	if err := benchValidate(strings.NewReader(batchDoc(t, 100000, 250000)), 0.7); err != nil {
+		t.Fatalf("2.5x batch run rejected at -floor-scale 0.7: %v", err)
+	}
+	// A group missing its b=32 cell is a malformed matrix.
+	rows := []benchRow{{Section: "batch", Config: "AES-128-GCM/b=1/s=1", Kbps: 100}}
+	data, _ := json.Marshal(rows)
+	if err := benchValidate(strings.NewReader(string(data)), 1.0); err == nil {
+		t.Fatal("incomplete batch matrix accepted")
+	}
+	// A malformed config name is rejected outright.
+	rows[0].Config = "AES-128-GCM/batch32"
+	data, _ = json.Marshal(rows)
+	if err := benchValidate(strings.NewReader(string(data)), 1.0); err == nil {
+		t.Fatal("malformed batch config accepted")
 	}
 }
 

@@ -18,7 +18,10 @@
 // `make bench-smoke` uses it to keep the bench harness honest in CI.
 // When the document carries a "suites" section (fbsbench -suites) it
 // additionally checks the suite matrix is complete and that AES-128-GCM
-// clears 5x the DES-CBC/keyed-MD5 baseline throughput.
+// clears 5x the DES-CBC/keyed-MD5 baseline throughput. When it carries
+// a "batch" section (fbsbench -batch) it holds every AEAD suite's
+// single-shard batch=32 cell to the amortisation floor over batch=1;
+// -floor-scale relaxes the floor for fresh nightly regeneration.
 //
 // bench-compare reads the same document and gates it against the
 // committed perf trajectory (BENCH_trajectory.json): a row that lost
@@ -35,6 +38,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"fbs/internal/obs"
@@ -47,6 +51,7 @@ func main() {
 	file := flag.String("f", "", "trace: render this JSON artifact instead of querying the admin plane (\"-\" for stdin)")
 	trajectory := flag.String("trajectory", "BENCH_trajectory.json", "bench-compare: committed perf-trajectory file")
 	appendRun := flag.Bool("append", false, "bench-compare: append a passing run to the trajectory file")
+	floorScale := flag.Float64("floor-scale", 1.0, "bench-validate: scale the batch amortisation floors (nightly fresh runs use 0.7)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -66,7 +71,7 @@ func main() {
 	case "trace":
 		err = traces(*addr, *file, *limit)
 	case "bench-validate":
-		err = benchValidate(os.Stdin)
+		err = benchValidate(os.Stdin, *floorScale)
 	case "bench-compare":
 		err = benchCompare(os.Stdin, *trajectory, *appendRun)
 	default:
@@ -182,7 +187,7 @@ type benchRow struct {
 	OpenLatency *benchLatency `json:"open_latency,omitempty"`
 }
 
-func benchValidate(r io.Reader) error {
+func benchValidate(r io.Reader, floorScale float64) error {
 	var rows []benchRow
 	if err := json.NewDecoder(r).Decode(&rows); err != nil {
 		return fmt.Errorf("decoding bench JSON: %w", err)
@@ -212,17 +217,23 @@ func benchValidate(r io.Reader) error {
 		sections[row.Section]++
 	}
 	// A document must carry at least one recognised section: the figure-8
-	// simulation (the default run) or the per-suite matrix (-suites).
-	if sections["figure8"] == 0 && sections["suites"] == 0 {
-		return fmt.Errorf("bench JSON has no figure8 or suites rows (sections: %v)", sections)
+	// simulation (the default run), the per-suite matrix (-suites), or
+	// the batched data-plane matrix (-batch).
+	if sections["figure8"] == 0 && sections["suites"] == 0 && sections["batch"] == 0 {
+		return fmt.Errorf("bench JSON has no figure8, suites, or batch rows (sections: %v)", sections)
 	}
 	if sections["suites"] > 0 {
 		if err := validateSuites(rows); err != nil {
 			return err
 		}
 	}
+	if sections["batch"] > 0 {
+		if err := validateBatch(rows, floorScale); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("bench JSON ok: %d rows", len(rows))
-	for _, s := range []string{"figure8", "native", "stack", "suites"} {
+	for _, s := range []string{"figure8", "native", "stack", "suites", "batch"} {
 		if n := sections[s]; n > 0 {
 			fmt.Printf(" %s=%d", s, n)
 		}
@@ -268,6 +279,72 @@ func validateSuites(rows []benchRow) error {
 	des, gcm := kbps["DES-CBC/keyed-MD5"], kbps["AES-128-GCM"]
 	if gcm < 5*des {
 		return fmt.Errorf("AES-128-GCM throughput %.0f kb/s is below 5x DES-CBC/keyed-MD5 (%.0f kb/s)", gcm, des)
+	}
+	return nil
+}
+
+// batchAmortFloor is the batched data plane's acceptance claim: on the
+// AEAD suites, batch=32 must deliver at least this multiple of batch=1
+// throughput on the same runner. The floor is enforced on the s=1 rows
+// — the single-shard cells isolate the per-datagram fixed costs (send
+// syscall, receiver wakeup) that batching amortises; shard counts past
+// the core count only time-slice and say nothing about amortisation.
+// The committed BENCH_batch.json is gated at the full floor; nightly
+// fresh regeneration passes -floor-scale 0.7 because a single run on a
+// shared one-core runner carries real scheduling variance (AES-128-GCM
+// measures 4.1-4.5x here, ChaCha20-Poly1305 2.6-3.2x — the latter is
+// compute-bound in pure-Go ChaCha20, which caps how much of its
+// per-datagram cost batching can touch).
+const batchAmortFloor = 3.0
+
+// validateBatch enforces the batch section's amortisation floor. Rows
+// are named <suite>/b=<N>/s=<M>; every (suite, shard) group must carry
+// both a b=1 and a b=32 cell, and at s=1 the b=32 throughput must clear
+// batchAmortFloor x the b=1 throughput (scaled by -floor-scale).
+func validateBatch(rows []benchRow, floorScale float64) error {
+	if floorScale <= 0 {
+		return fmt.Errorf("-floor-scale must be positive, got %v", floorScale)
+	}
+	// kbps[suite/s=M][N] = throughput of the b=N cell.
+	kbps := make(map[string]map[int]float64)
+	for _, row := range rows {
+		if row.Section != "batch" {
+			continue
+		}
+		var suite string
+		var bsz, shards int
+		parts := strings.Split(row.Config, "/")
+		if len(parts) != 3 {
+			return fmt.Errorf("batch config %q is not <suite>/b=<N>/s=<M>", row.Config)
+		}
+		suite = parts[0]
+		if _, err := fmt.Sscanf(parts[1]+" "+parts[2], "b=%d s=%d", &bsz, &shards); err != nil {
+			return fmt.Errorf("batch config %q is not <suite>/b=<N>/s=<M>: %v", row.Config, err)
+		}
+		group := fmt.Sprintf("%s/s=%d", suite, shards)
+		if kbps[group] == nil {
+			kbps[group] = make(map[int]float64)
+		}
+		kbps[group][bsz] = row.Kbps
+	}
+	floor := batchAmortFloor * floorScale
+	checked := 0
+	for group, cells := range kbps {
+		b1, b32 := cells[1], cells[32]
+		if b1 == 0 || b32 == 0 {
+			return fmt.Errorf("batch group %s is missing its b=1 or b=32 cell (have %v)", group, cells)
+		}
+		if !strings.HasSuffix(group, "/s=1") {
+			continue
+		}
+		checked++
+		if b32 < floor*b1 {
+			return fmt.Errorf("batch %s: b=32 throughput %.0f kb/s is below %.2fx b=1 (%.0f kb/s, ratio %.2f)",
+				group, b32, floor, b1, b32/b1)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("batch section has no s=1 groups to hold to the amortisation floor")
 	}
 	return nil
 }

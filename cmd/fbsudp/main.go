@@ -14,7 +14,10 @@
 //	fbsudp -mode send -listen 127.0.0.1:7000 -peer 127.0.0.1:7001 \
 //	       -state /tmp/fbsudp.state -msg "hello over real UDP"
 //
-// Start the receiver first with the same -state path.
+// Start the receiver first with the same -state path. With -batch N
+// both sides drive the batched data plane instead: the sender seals and
+// transmits N-datagram windows through SendBatch (sendmmsg/UDP GSO on
+// Linux), the receiver drains them through ReceiveBatch (recvmmsg).
 package main
 
 import (
@@ -57,14 +60,15 @@ func main() {
 	count := flag.Int("count", 3, "datagrams to send/receive")
 	adminAddr := flag.String("admin", "", "serve the observability admin plane (/metrics, /flows, /recorder, pprof) on this address")
 	statsJSON := flag.Bool("stats-json", false, "emit the completion stats summary as JSON on stdout")
+	batch := flag.Int("batch", 0, "batch size for SendBatch/ReceiveBatch (0 = single-datagram calls)")
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "send":
-		err = send(*listen, *peer, *statePath, *msg, *count, *adminAddr, *statsJSON)
+		err = send(*listen, *peer, *statePath, *msg, *count, *batch, *adminAddr, *statsJSON)
 	case "recv":
-		err = recv(*listen, *statePath, *count, *adminAddr, *statsJSON)
+		err = recv(*listen, *statePath, *count, *batch, *adminAddr, *statsJSON)
 	default:
 		err = fmt.Errorf("need -mode send or -mode recv")
 	}
@@ -164,7 +168,7 @@ func printStats(role string, ep *fbs.Endpoint, asJSON bool) {
 		ks.MasterKeyRequests, ks.MasterKeyComputes, ks.CertFetches, ks.CertVerifies, ks.Failures, upcalls)
 }
 
-func send(listen, peerAddr, statePath, msg string, count int, adminAddr string, statsJSON bool) error {
+func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr string, statsJSON bool) error {
 	if peerAddr == "" {
 		return fmt.Errorf("send mode needs -peer")
 	}
@@ -234,6 +238,32 @@ func send(listen, peerAddr, statePath, msg string, count int, adminAddr string, 
 	if err != nil {
 		return err
 	}
+	if batch > 0 {
+		// Batched data plane: seal whole windows through SealBatch and
+		// hand them to the transport's sendmmsg path in one call.
+		for i := 0; i < count; i += batch {
+			n := batch
+			if count-i < n {
+				n = count - i
+			}
+			dgs := make([]transport.Datagram, n)
+			for k := range dgs {
+				dgs[k] = transport.Datagram{
+					Source:      "sender",
+					Destination: "receiver",
+					Payload:     []byte(fmt.Sprintf("%s [%d]", msg, i+k)),
+				}
+			}
+			sent, err := ep.SendBatch(dgs, true)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sent encrypted batch of %d (datagrams %d-%d)\n", sent, i, i+sent-1)
+			time.Sleep(100 * time.Millisecond)
+		}
+		report()
+		return nil
+	}
 	for i := 0; i < count; i++ {
 		payload := fmt.Sprintf("%s [%d]", msg, i)
 		if err := ep.SendTo("receiver", []byte(payload), true); err != nil {
@@ -246,7 +276,7 @@ func send(listen, peerAddr, statePath, msg string, count int, adminAddr string, 
 	return nil
 }
 
-func recv(listen, statePath string, count int, adminAddr string, statsJSON bool) error {
+func recv(listen, statePath string, count, batch int, adminAddr string, statsJSON bool) error {
 	blob, err := os.ReadFile(statePath)
 	if err != nil {
 		return fmt.Errorf("reading provisioning state (run the sender first): %w", err)
@@ -266,6 +296,25 @@ func recv(listen, statePath string, count int, adminAddr string, statsJSON bool)
 		return err
 	}
 	fmt.Printf("listening on %s\n", listen)
+	if batch > 0 {
+		// Batched data plane: one ReceiveBatch call drains up to a whole
+		// recvmmsg window and opens it through OpenBatch.
+		for got := 0; got < count; {
+			accepted, arrived, err := ep.ReceiveBatch(batch)
+			if err != nil {
+				return err
+			}
+			for _, dg := range accepted {
+				fmt.Printf("verified+decrypted from %s: %q\n", dg.Source, dg.Payload)
+			}
+			if dropped := arrived - len(accepted); dropped > 0 {
+				fmt.Printf("batch dropped %d of %d arrived datagrams\n", dropped, arrived)
+			}
+			got += arrived
+		}
+		report()
+		return nil
+	}
 	for i := 0; i < count; i++ {
 		dg, err := ep.ReceiveValid()
 		if err != nil {

@@ -126,6 +126,36 @@ func (d *Domain) NewEndpoint(addr Address, net *Network, opts ...func(*Config)) 
 	return core.NewEndpoint(cfg)
 }
 
+// NewShardedEndpoint enrolls addr once and builds n endpoint shards
+// sharing that identity, each over its own transport from mkTransport
+// (the SO_REUSEPORT model: one socket per core). Steer outgoing
+// datagrams with ShardGroup.ShardOf and incoming ones with
+// ShardOfIncoming so each flow's FAM and replay state stays on one
+// shard.
+func (d *Domain) NewShardedEndpoint(addr Address, n int, mkTransport func(shard int) (Transport, error), opts ...func(*Config)) (*ShardGroup, error) {
+	id, err := d.NewPrincipal(addr)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewShardGroup(n, func(shard int) (Config, error) {
+		tr, err := mkTransport(shard)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg := Config{
+			Identity:  id,
+			Transport: tr,
+			Directory: d.dir,
+			Verifier:  d.ver,
+			Clock:     d.Clock,
+		}
+		for _, o := range opts {
+			o(&cfg)
+		}
+		return cfg, nil
+	})
+}
+
 // NewEndpointOn wires an endpoint for an already-enrolled identity over
 // an arbitrary transport (e.g. transport.UDPTransport).
 func (d *Domain) NewEndpointOn(id *Identity, tr Transport, opts ...func(*Config)) (*Endpoint, error) {

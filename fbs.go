@@ -117,6 +117,27 @@ type (
 	Impairments = transport.Impairments
 )
 
+// Batched data plane and sharding.
+type (
+	// BatchResult describes one datagram's outcome within a
+	// SealBatch/OpenBatch call.
+	BatchResult = core.BatchResult
+	// BatchStats counts batch calls by log2 size class.
+	BatchStats = core.BatchStats
+	// ShardGroup partitions flows across per-core endpoint shards by
+	// the flow hash (RSS-style steering).
+	ShardGroup = core.ShardGroup
+)
+
+// NewShardGroup builds n endpoint shards, calling mk for each shard's
+// Config. Shards share no locks, caches, or counters; steer outgoing
+// datagrams with ShardOf/ShardOfPair and incoming ones with
+// ShardOfIncoming so each flow's replay and FAM state stays on one
+// shard.
+func NewShardGroup(n int, mk func(shard int) (Config, error)) (*ShardGroup, error) {
+	return core.NewShardGroup(n, mk)
+}
+
 // Sealer is the minimal protection interface shared by FBS and the
 // baseline schemes (package fbs/internal/baseline).
 type Sealer = baseline.Sealer

@@ -1,0 +1,661 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fbs/internal/cryptolib"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// Batched data plane. SealBatch and OpenBatch process N datagrams per
+// call so the per-datagram fixed costs — FAM stripe acquisition, suite
+// dispatch, flow-key resolution, confounder-generator borrow, replay
+// stripe locks — are paid once per flow run (seal) or once per stripe
+// (replay) instead of once per datagram. The single-datagram paths are
+// the same engine invoked with a run of one (see sealGated/openGated),
+// so the golden wire vectors, the 0 allocs/op bound and the refmodel
+// differential harness pin batch-of-1 to the historic behaviour, and a
+// batch of N is observationally a loop of N single calls: identical
+// bytes, identical per-DropReason counters, identical FAM accounting.
+//
+// What a batch amortises — and what it deliberately does not change:
+//
+//   - FAM: one stripe lock per run of same-flow datagrams, with the
+//     policy's Match re-checked per datagram under the held lock, so
+//     wear-out rekeying (MaxPackets/MaxBytes) splits a run exactly
+//     where a loop of classify calls would.
+//   - Nonces: a run's sequence numbers are reserved consecutively in
+//     that one acquisition — the per-flow AEAD nonce counter advances
+//     by the run length at once.
+//   - Keys: one TFKC/RFKC resolution per flow run; the receive side
+//     memoises the previous datagram's (sfl, src) → K_f within a call.
+//   - Replay: verdicts for a chunk are computed stripe-grouped — one
+//     lock per stripe touched. Identical signatures share a stripe and
+//     stay in run order, so intra-batch duplicates are classified
+//     exactly as per-datagram checks would classify them.
+//   - Observation: the sampling and tracing gates still roll once per
+//     datagram, in order. A datagram whose gate fires is sealed/opened
+//     individually through the instrumented path (its sample and spans
+//     are per datagram, as ever); only the quiet majority rides a run.
+
+// batchChunk bounds how many datagrams one run processes per stripe
+// acquisition (and sizes the batch engine's stack-allocated scratch:
+// per-datagram sizes, confounders, deferred replay signatures). Longer
+// batches are processed in chunks of this size, which keeps the
+// amortisation while bounding lock hold times and stack frames.
+const batchChunk = 64
+
+// NumBatchBuckets is the number of log2 size classes in the batch-call
+// histograms: 1, 2-3, 4-7, 8-15, 16-31, 32-63, 64-127, 128+.
+const NumBatchBuckets = 8
+
+// batchBucket maps a batch size to its size class.
+func batchBucket(n int) int {
+	b := 0
+	for n > 1 && b < NumBatchBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// batchBucketLabels spells the size classes for metric exposition.
+var batchBucketLabels = [NumBatchBuckets]string{
+	"1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+",
+}
+
+// BatchBucketLabel names size class i (see NumBatchBuckets).
+func BatchBucketLabel(i int) string { return batchBucketLabels[i] }
+
+// BatchStats reports batch API usage: how many SealBatch/OpenBatch
+// calls arrived per size class and how many datagrams they carried.
+// Single-datagram calls are not counted — the histograms describe
+// explicit batch use, which is what the fbs_batch_* metric families
+// expose.
+type BatchStats struct {
+	SealCalls     [NumBatchBuckets]uint64
+	OpenCalls     [NumBatchBuckets]uint64
+	SealDatagrams uint64
+	OpenDatagrams uint64
+}
+
+// BatchStats snapshots the batch-call histograms.
+func (e *Endpoint) BatchStats() BatchStats {
+	var out BatchStats
+	for i := 0; i < NumBatchBuckets; i++ {
+		out.SealCalls[i] = e.metrics.sealBatchCalls[i].Load()
+		out.OpenCalls[i] = e.metrics.openBatchCalls[i].Load()
+	}
+	out.SealDatagrams = e.metrics.sealBatchDatagrams.Load()
+	out.OpenDatagrams = e.metrics.openBatchDatagrams.Load()
+	return out
+}
+
+// BatchResult reports one datagram's outcome within a SealBatch or
+// OpenBatch call.
+type BatchResult struct {
+	// Off and Len locate this datagram's output bytes — the sealed wire
+	// datagram for SealBatch, the recovered plaintext body for OpenBatch
+	// — within the buffer the call returns. A refused datagram has Len
+	// == 0 and a non-nil Err; the buffer may retain bytes no result
+	// references (a datagram rejected after decryption leaves its staged
+	// plaintext as dead space, exactly as the single-datagram append
+	// path does in its caller-discarded buffer).
+	Off, Len int
+	// Err is the sentinel error the single-datagram path would have
+	// returned for this datagram, so DropReasonOf(Err) recovers the
+	// exact DropReason. Nil on success.
+	Err error
+}
+
+// SealBatch performs FBS send processing on a batch of datagrams,
+// appending each sealed datagram to dst and recording per-datagram
+// outcomes in res (which must have at least len(dgs) slots). Datagrams
+// are processed in order; consecutive datagrams that classify into the
+// same flow form a run and share one FAM stripe acquisition, one
+// nonce-counter reservation and one flow-key resolution. It returns the
+// extended buffer and how many datagrams sealed successfully. Every
+// datagram is accounted exactly as Seal would account it: same drop
+// reasons, same counters, same wire bytes.
+func (e *Endpoint) SealBatch(dst []byte, dgs []transport.Datagram, secret bool, res []BatchResult) ([]byte, int) {
+	if len(res) < len(dgs) {
+		panic("core: SealBatch requires len(res) >= len(dgs)")
+	}
+	if len(dgs) == 0 {
+		return dst, 0
+	}
+	e.metrics.sealBatchCalls[batchBucket(len(dgs))].Add(1)
+	e.metrics.sealBatchDatagrams.Add(uint64(len(dgs)))
+	sealed := 0
+	// pend carries gate decisions already rolled for the datagram that
+	// terminated the previous run, so every datagram's Sample() and
+	// StartTrace() draws are consumed exactly once, in order.
+	pendValid := false
+	var pendSampled bool
+	var pendTC *traceCtx
+	i := 0
+	for i < len(dgs) {
+		if dgs[i].Source == "" {
+			dgs[i].Source = e.Addr()
+		}
+		var sampled bool
+		var tc *traceCtx
+		if pendValid {
+			sampled, tc, pendValid = pendSampled, pendTC, false
+		} else {
+			if e.cfg.Bypass != nil && e.cfg.Bypass(dgs[i].Destination) {
+				e.metrics.bypassedSent.Add(1)
+				off := len(dst)
+				dst = append(dst, dgs[i].Payload...)
+				res[i] = BatchResult{Off: off, Len: len(dst) - off}
+				sealed++
+				i++
+				continue
+			}
+			sampled, tc = e.sealGates()
+		}
+		id := e.cfg.Selector(dgs[i])
+		if sampled || tc.active() {
+			off := len(dst)
+			out, _, err := e.sealGated(dst, dgs[i], id, secret, sampled, tc)
+			if err != nil {
+				res[i] = BatchResult{Off: off, Err: err}
+			} else {
+				dst = out
+				res[i] = BatchResult{Off: off, Len: len(out) - off}
+				sealed++
+			}
+			i++
+			continue
+		}
+		// Extend the run: consecutive, non-bypassed datagrams with the
+		// same flow attributes whose gates stay quiet. The selector is
+		// checked before the gates so a flow change never consumes the
+		// next datagram's gate draws.
+		j := i + 1
+		for j < len(dgs) {
+			if dgs[j].Source == "" {
+				dgs[j].Source = e.Addr()
+			}
+			if e.cfg.Bypass != nil && e.cfg.Bypass(dgs[j].Destination) {
+				break
+			}
+			if e.cfg.Selector(dgs[j]) != id {
+				break
+			}
+			js, jtc := e.sealGates()
+			if js || jtc.active() {
+				pendValid, pendSampled, pendTC = true, js, jtc
+				break
+			}
+			j++
+		}
+		var n int
+		dst, n = e.sealRun(dst, dgs[i:j], id, secret, res[i:j])
+		sealed += n
+		i = j
+	}
+	return dst, sealed
+}
+
+// sealGates rolls the send-side observation gates for one datagram.
+func (e *Endpoint) sealGates() (sampled bool, tc *traceCtx) {
+	if tr := e.cfg.Tracer; tr != nil {
+		if tid := tr.StartTrace(); tid != 0 {
+			tc = &traceCtx{tr: tr, id: tid}
+		}
+	}
+	o := e.cfg.Observer
+	return o != nil && o.Sample(), tc
+}
+
+// sealRun seals a run of datagrams that share one flow: one batched
+// classify per chunk (reserving the run's consecutive sequence numbers
+// under a single stripe acquisition), one suite resolution, one
+// flow-key resolution and one confounder-generator borrow, then a
+// per-datagram header encode + body transform. Per-datagram results are
+// recorded into res; the return values are the extended buffer and the
+// number sealed. The run is uninstrumented by construction — the caller
+// routes sampled and traced datagrams through sealGated instead.
+func (e *Endpoint) sealRun(dst []byte, dgs []transport.Datagram, id FlowID, secret bool, res []BatchResult) ([]byte, int) {
+	sealed := 0
+	for len(dgs) > 0 {
+		chunk := len(dgs)
+		if chunk > batchChunk {
+			chunk = batchChunk
+		}
+		var sizes [batchChunk]int
+		for k := 0; k < chunk; k++ {
+			sizes[k] = len(dgs[k].Payload)
+		}
+		now := e.cfg.Clock.Now()
+		sfl, suiteID, firstSeq, n, slot, ok := e.fam.classifyBatch(id, now, sizes[:chunk])
+		if !ok {
+			// Budget refusal sheds exactly one datagram — the
+			// per-datagram path re-checks the budget for each — then
+			// retries the remainder as a fresh run.
+			e.metrics.drop(DropStateBudget)
+			e.maybeRelievePressure(now)
+			res[0] = BatchResult{Off: len(dst), Err: fmt.Errorf("%w: flow to %q", ErrStateBudget, dgs[0].Destination)}
+			dgs, res = dgs[1:], res[1:]
+			continue
+		}
+		suite := SuiteByID(suiteID)
+		if suite == nil {
+			// Unreachable with a validated config (see sealFlowAppend);
+			// kept as a typed per-datagram failure, not a panic.
+			err := fmt.Errorf("%w: pinned suite %d unregistered", ErrAlgorithmRange, suiteID)
+			for k := 0; k < n; k++ {
+				res[k] = BatchResult{Off: len(dst), Err: err}
+			}
+			dgs, res = dgs[n:], res[n:]
+			continue
+		}
+		kf, _, _, err := e.transmitFlowKey(sfl, slot, dgs[0].Source, dgs[0].Destination)
+		if err != nil {
+			// The run shares one key resolution; each datagram is still
+			// dropped and counted individually, as a loop would drop it.
+			for k := 0; k < n; k++ {
+				e.metrics.drop(DropKeying)
+				res[k] = BatchResult{Off: len(dst), Err: fmt.Errorf("%w: flow to %q: %w", ErrKeying, dgs[k].Destination, err)}
+			}
+			dgs, res = dgs[n:], res[n:]
+			continue
+		}
+		wireMAC, wireMode := suite.WireAlg(e.cfg.MAC, e.cfg.Mode)
+		aead := suite.AEAD()
+		var confs [batchChunk]uint32
+		if !aead {
+			e.conf.drawRun(confs[:n])
+		}
+		ts := TimestampOf(now)
+		for k := 0; k < n; k++ {
+			conf := uint32(firstSeq + uint64(k))
+			if !aead {
+				conf = confs[k]
+			}
+			h := Header{
+				Version:    HeaderVersion,
+				MAC:        wireMAC,
+				Cipher:     suite.ID(),
+				Mode:       wireMode,
+				SFL:        sfl,
+				Confounder: conf,
+				Timestamp:  ts,
+			}
+			if secret {
+				h.Flags |= FlagSecret
+			}
+			hdrOff := len(dst)
+			encoded := h.Encode(dst)
+			out, err := suite.SealAppend(encoded, hdrOff, h, kf, dgs[k].Payload, e.cfg.SinglePass, nil)
+			if err != nil {
+				res[k] = BatchResult{Off: hdrOff, Err: err}
+				continue
+			}
+			e.metrics.sealsBySuite[suite.ID()].Add(1)
+			res[k] = BatchResult{Off: hdrOff, Len: len(out) - hdrOff}
+			dst = out
+			sealed++
+		}
+		dgs, res = dgs[n:], res[n:]
+	}
+	return dst, sealed
+}
+
+// OpenBatch performs FBS receive processing on a batch of datagrams,
+// appending each recovered plaintext body to dst and recording
+// per-datagram outcomes in res (at least len(dgs) slots). Consecutive
+// datagrams of one flow share a key resolution, and replay-window
+// verdicts are computed stripe-grouped per chunk. It returns the
+// extended buffer and how many datagrams were accepted. Every datagram
+// is accounted exactly as OpenAppend would account it: same drop
+// reasons, same counters, same recovered bytes.
+func (e *Endpoint) OpenBatch(dst []byte, dgs []transport.Datagram, res []BatchResult) ([]byte, int) {
+	if len(res) < len(dgs) {
+		panic("core: OpenBatch requires len(res) >= len(dgs)")
+	}
+	if len(dgs) == 0 {
+		return dst, 0
+	}
+	e.metrics.openBatchCalls[batchBucket(len(dgs))].Add(1)
+	e.metrics.openBatchDatagrams.Add(uint64(len(dgs)))
+	opened := 0
+	pendValid := false
+	var pendSampled bool
+	var pendTC *traceCtx
+	i := 0
+	for i < len(dgs) {
+		var sampled bool
+		var tc *traceCtx
+		if pendValid {
+			sampled, tc, pendValid = pendSampled, pendTC, false
+		} else {
+			if e.cfg.Bypass != nil && e.cfg.Bypass(dgs[i].Source) {
+				e.metrics.bypassedReceived.Add(1)
+				off := len(dst)
+				dst = append(dst, dgs[i].Payload...)
+				res[i] = BatchResult{Off: off, Len: len(dst) - off}
+				opened++
+				i++
+				continue
+			}
+			sampled, tc = e.openGates(&dgs[i])
+		}
+		if sampled || tc.active() {
+			off := len(dst)
+			out, err := e.openGated(dst, dgs[i], true, sampled, tc)
+			if err != nil {
+				res[i] = BatchResult{Off: off, Err: err}
+			} else {
+				dst = out
+				res[i] = BatchResult{Off: off, Len: len(out) - off}
+				opened++
+			}
+			i++
+			continue
+		}
+		// Extend the run with consecutive ungated, non-bypassed
+		// datagrams. Unlike seal, open needs no per-flow grouping — the
+		// key memo inside openRun amortises repeated flows on its own.
+		j := i + 1
+		for j < len(dgs) {
+			if e.cfg.Bypass != nil && e.cfg.Bypass(dgs[j].Source) {
+				break
+			}
+			js, jtc := e.openGates(&dgs[j])
+			if js || jtc.active() {
+				pendValid, pendSampled, pendTC = true, js, jtc
+				break
+			}
+			j++
+		}
+		var n int
+		dst, n = e.openRun(dst, dgs[i:j], res[i:j])
+		opened += n
+		i = j
+	}
+	return dst, opened
+}
+
+// openGates rolls the receive-side observation gates for one datagram.
+// An incoming trace ID (a tracing sender over a metadata-preserving
+// transport) is always continued, exactly as in open().
+func (e *Endpoint) openGates(dg *transport.Datagram) (sampled bool, tc *traceCtx) {
+	if tr := e.cfg.Tracer; tr != nil {
+		if dg.Trace != 0 {
+			tc = &traceCtx{tr: tr, id: dg.Trace}
+		} else if tid := tr.StartTrace(); tid != 0 {
+			tc = &traceCtx{tr: tr, id: tid}
+		}
+	}
+	o := e.cfg.Observer
+	return o != nil && o.Sample(), tc
+}
+
+// openRun is the uninstrumented batched receive pipeline. Each datagram
+// walks the same stages as openInner — addressing, header decode,
+// algorithm policy, freshness, flow key, suite open, replay — with two
+// amortisations: the previous datagram's (sfl, src) → K_f resolution is
+// reused while the run stays on one flow, and replay verdicts for the
+// chunk's survivors are computed in one stripe-grouped pass. Plaintext
+// of a datagram the replay window later rejects remains as dead bytes
+// in dst (no result references it); results and counters are exact per
+// datagram.
+func (e *Endpoint) openRun(dst []byte, dgs []transport.Datagram, res []BatchResult) ([]byte, int) {
+	opened := 0
+	for len(dgs) > 0 {
+		chunk := len(dgs)
+		if chunk > batchChunk {
+			chunk = batchChunk
+		}
+		now := e.cfg.Clock.Now()
+		var memoValid bool
+		var memoSFL SFL
+		var memoSrc principal.Address
+		var memoKey [16]byte
+		// Deferred replay bookkeeping for the chunk's survivors.
+		var rsrc [batchChunk]principal.Address
+		var rhdr [batchChunk]Header
+		var ridx [batchChunk]int
+		var roff [batchChunk]int
+		var rlen [batchChunk]int
+		var rbody [batchChunk][]byte // cleartext alias; nil for secret bodies
+		nr := 0
+		for k := 0; k < chunk; k++ {
+			dg := &dgs[k]
+			if dg.Destination != e.Addr() {
+				e.metrics.drop(DropNotForUs)
+				res[k] = BatchResult{Err: fmt.Errorf("%w: %q", ErrNotForUs, dg.Destination)}
+				continue
+			}
+			var h Header
+			hn, err := h.Decode(dg.Payload)
+			if err != nil {
+				e.metrics.drop(DropMalformed)
+				res[k] = BatchResult{Err: fmt.Errorf("%w: %v", ErrMalformed, err)}
+				continue
+			}
+			body := dg.Payload[hn:]
+			suite, err := e.checkAlg(&h)
+			if err != nil {
+				e.metrics.drop(DropAlgorithm)
+				res[k] = BatchResult{Err: err}
+				continue
+			}
+			if !h.Timestamp.Fresh(now, e.cfg.FreshnessWindow) {
+				e.metrics.drop(DropStale)
+				res[k] = BatchResult{Err: fmt.Errorf("%w: timestamp %v at %v", ErrStale, h.Timestamp.Time(), now)}
+				continue
+			}
+			var kf [16]byte
+			if memoValid && memoSFL == h.SFL && memoSrc == dg.Source {
+				kf = memoKey
+			} else {
+				kf, _, _, err = e.receiveFlowKey(h.SFL, dg.Source, dg.Destination)
+				if err != nil {
+					reason := DropReasonOf(err)
+					if reason == DropNone {
+						reason = DropKeying
+					}
+					e.metrics.drop(reason)
+					res[k] = BatchResult{Err: fmt.Errorf("%w: flow from %q: %w", ErrKeying, dg.Source, err)}
+					continue
+				}
+				memoValid, memoSFL, memoSrc, memoKey = true, h.SFL, dg.Source, kf
+			}
+			off := len(dst)
+			newDst, plain, err := suite.OpenAppend(dst, h, kf, body, nil)
+			if err != nil {
+				reason := DropReasonOf(err)
+				if reason == DropNone {
+					reason = DropDecrypt
+				}
+				e.metrics.drop(reason)
+				res[k] = BatchResult{Err: err}
+				continue
+			}
+			dst = newDst
+			secret := h.Secret()
+			plen := len(plain)
+			if e.rc == nil {
+				if !secret {
+					off = len(dst)
+					dst = append(dst, plain...)
+				}
+				res[k] = BatchResult{Off: off, Len: plen}
+				e.metrics.received.Add(1)
+				e.metrics.receivedBytes.Add(uint64(plen))
+				e.metrics.opensBySuite[h.Cipher].Add(1)
+				opened++
+				continue
+			}
+			rsrc[nr] = dg.Source
+			rhdr[nr] = h
+			ridx[nr] = k
+			rlen[nr] = plen
+			if secret {
+				roff[nr] = off
+				rbody[nr] = nil
+			} else {
+				rbody[nr] = plain
+			}
+			nr++
+		}
+		if nr > 0 {
+			var verdicts [batchChunk]ReplayVerdict
+			e.rc.CheckRun(rsrc[:nr], rhdr[:nr], now, verdicts[:nr])
+			for t := 0; t < nr; t++ {
+				k := ridx[t]
+				switch verdicts[t] {
+				case ReplayDuplicate:
+					e.metrics.drop(DropReplay)
+					res[k] = BatchResult{Err: ErrReplay}
+				case ReplayRefused:
+					e.metrics.drop(DropReplayBudget)
+					e.maybeRelievePressure(now)
+					res[k] = BatchResult{Err: fmt.Errorf("%w: from %q", ErrReplayBudget, dgs[k].Source)}
+				default:
+					off := roff[t]
+					if rbody[t] != nil {
+						off = len(dst)
+						dst = append(dst, rbody[t]...)
+					}
+					res[k] = BatchResult{Off: off, Len: rlen[t]}
+					e.metrics.received.Add(1)
+					e.metrics.receivedBytes.Add(uint64(rlen[t]))
+					e.metrics.opensBySuite[rhdr[t].Cipher].Add(1)
+					opened++
+				}
+			}
+		}
+		dgs, res = dgs[chunk:], res[chunk:]
+	}
+	return dst, opened
+}
+
+// SendBatch seals dgs (SealBatch) and hands the sealed wire datagrams
+// to the transport in one batched call (transport.SendBatch, which uses
+// the transport's native vector path when it has one). It returns how
+// many datagrams were transmitted; per-datagram seal refusals are
+// counted in Metrics exactly as Send counts them and simply drop out of
+// the transmitted set. Traced datagrams get their seal-stage spans as
+// usual but no per-send transport span — the batched hand-off is one
+// operation, not N.
+func (e *Endpoint) SendBatch(dgs []transport.Datagram, secret bool) (int, error) {
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	if cap(sc.res) < len(dgs) {
+		sc.res = make([]BatchResult, len(dgs))
+	}
+	res := sc.res[:len(dgs)]
+	capHint := 0
+	for i := range dgs {
+		capHint += HeaderSize + len(dgs[i].Payload) + cryptolib.BlockSize
+	}
+	if cap(sc.buf) < capHint {
+		sc.buf = make([]byte, 0, capHint)
+	}
+	// The wire buffer is pooled: both in-repo transports copy the
+	// payload out before returning (the network clones on inject, the
+	// UDP paths copy into the kernel), so the hand-off ends when
+	// transport.SendBatch returns.
+	buf, _ := e.SealBatch(sc.buf[:0], dgs, secret, res)
+	sc.buf = buf
+	wires := sc.wires[:0]
+	orig := sc.orig[:0]
+	for i := range res {
+		if res[i].Err != nil {
+			continue
+		}
+		wires = append(wires, transport.Datagram{
+			Source:      dgs[i].Source,
+			Destination: dgs[i].Destination,
+			Payload:     buf[res[i].Off : res[i].Off+res[i].Len],
+		})
+		orig = append(orig, i)
+	}
+	sc.wires, sc.orig = wires, orig
+	n, err := transport.SendBatch(e.cfg.Transport, wires)
+	for i := 0; i < n; i++ {
+		e.metrics.sent.Add(1)
+		e.metrics.sentBytes.Add(uint64(len(dgs[orig[i]].Payload)))
+		if secret {
+			e.metrics.sentSecret.Add(1)
+		}
+	}
+	clearDatagrams(wires)
+	return n, err
+}
+
+// ReceiveBatch blocks for the next batch from the transport (up to max
+// datagrams in one vector receive where the transport supports it),
+// opens the arrivals through OpenBatch, and returns the accepted
+// plaintext datagrams plus the total arrival count. Rejected datagrams
+// are counted in Metrics per DropReason, as Receive counts them. A
+// transport.ErrClosed error means the endpoint is shut down.
+func (e *Endpoint) ReceiveBatch(max int) (accepted []transport.Datagram, arrived int, err error) {
+	if max <= 0 {
+		max = batchChunk
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	if cap(sc.raw) < max {
+		sc.raw = make([]transport.Datagram, max)
+	}
+	raw := sc.raw[:max]
+	n, err := transport.ReceiveBatch(e.cfg.Transport, raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw = raw[:n]
+	if cap(sc.res) < n {
+		sc.res = make([]BatchResult, n)
+	}
+	res := sc.res[:n]
+	// The cleartext buffer is returned to the caller (the accepted
+	// datagrams alias it), so unlike the scratch it is allocated fresh
+	// — but pre-sized, since cleartext never exceeds the wire bytes.
+	capHint := 0
+	for i := range raw {
+		capHint += len(raw[i].Payload)
+	}
+	out, ok := e.OpenBatch(make([]byte, 0, capHint), raw, res)
+	accepted = make([]transport.Datagram, 0, ok)
+	for i := range res {
+		if res[i].Err != nil {
+			continue
+		}
+		accepted = append(accepted, transport.Datagram{
+			Source:      raw[i].Source,
+			Destination: raw[i].Destination,
+			Payload:     out[res[i].Off : res[i].Off+res[i].Len],
+		})
+	}
+	clearDatagrams(raw)
+	return accepted, n, nil
+}
+
+// batchScratch recycles the per-call slices of the SendBatch and
+// ReceiveBatch convenience wrappers, so steady-state batch I/O costs
+// one cleartext allocation per received batch and nothing per sent
+// one.
+type batchScratch struct {
+	buf   []byte
+	res   []BatchResult
+	wires []transport.Datagram
+	orig  []int
+	raw   []transport.Datagram
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// clearDatagrams drops the payload references a pooled slice would
+// otherwise pin past its useful life.
+func clearDatagrams(dgs []transport.Datagram) {
+	for i := range dgs {
+		dgs[i] = transport.Datagram{}
+	}
+}

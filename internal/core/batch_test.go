@@ -1,0 +1,374 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// batchPair builds a deterministic sender/receiver pair sharing a test
+// world: fixed clock, fixed SFL seed, AEAD suite (whose confounder is
+// the flow sequence counter, so wire bytes are reproducible across two
+// identically configured endpoints).
+func batchPair(t *testing.T, w *testWorld, cipher CipherID, replay bool) (*Endpoint, *Endpoint) {
+	t.Helper()
+	mk := func(name principal.Address) *Endpoint {
+		ep, err := NewEndpoint(Config{
+			Identity:          w.principal(t, name),
+			Transport:         nullTransport{},
+			Directory:         w.dir,
+			Verifier:          w.ver,
+			Clock:             w.clock,
+			Cipher:            cipher,
+			SFLSeed:           100,
+			EnableReplayCache: replay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		return ep
+	}
+	return mk("batch-a"), mk("batch-b")
+}
+
+type nullTransport struct{}
+
+func (nullTransport) Send(transport.Datagram) error { return nil }
+func (nullTransport) Receive() (transport.Datagram, error) {
+	return transport.Datagram{}, transport.ErrClosed
+}
+func (nullTransport) Close() error { return nil }
+
+// TestSealBatchMatchesSingleLoop pins the central batch invariant: a
+// SealBatch over a mixed-flow sequence produces byte-for-byte the wire
+// datagrams a loop of single SealFlowAppend calls produces on an
+// identically configured endpoint, with identical counter movement.
+func TestSealBatchMatchesSingleLoop(t *testing.T) {
+	for _, cipher := range []CipherID{CipherAES128GCM, CipherChaCha20Poly1305} {
+		t.Run(SuiteByID(cipher).Name(), func(t *testing.T) {
+			w := newWorld(t)
+			batchEP, _ := batchPair(t, w, cipher, false)
+			w2 := &testWorld{ca: w.ca, dir: w.dir, ver: w.ver, clock: w.clock, ids: w.ids}
+			loopEP, _ := batchPair(t, w2, cipher, false)
+
+			// Three flows interleaved in runs of varying length,
+			// including a run longer than one and singletons.
+			var dgs []transport.Datagram
+			dests := []principal.Address{"batch-b", "batch-b", "batch-b", "peer-c", "batch-b", "peer-c", "peer-c", "batch-b"}
+			for i, d := range dests {
+				w.principal(t, d)
+				dgs = append(dgs, transport.Datagram{
+					Source:      "batch-a",
+					Destination: d,
+					Payload:     []byte(fmt.Sprintf("payload-%02d", i)),
+				})
+			}
+
+			res := make([]BatchResult, len(dgs))
+			batched, n := batchEP.SealBatch(nil, append([]transport.Datagram(nil), dgs...), true, res)
+			if n != len(dgs) {
+				t.Fatalf("SealBatch sealed %d of %d", n, len(dgs))
+			}
+
+			var single []byte
+			var offs []int
+			for _, dg := range dgs {
+				offs = append(offs, len(single))
+				out, err := loopEP.SealAppend(single, dg, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				single = out
+			}
+
+			if !bytes.Equal(batched, single) {
+				t.Fatalf("batched wire bytes differ from single-loop bytes\nbatch:  %x\nsingle: %x", batched, single)
+			}
+			for i, r := range res {
+				if r.Err != nil {
+					t.Fatalf("datagram %d: %v", i, r.Err)
+				}
+				if r.Off != offs[i] {
+					t.Errorf("datagram %d: Off = %d, want %d", i, r.Off, offs[i])
+				}
+				want := len(single) - offs[i]
+				if i+1 < len(offs) {
+					want = offs[i+1] - offs[i]
+				}
+				if r.Len != want {
+					t.Errorf("datagram %d: Len = %d, want %d", i, r.Len, want)
+				}
+			}
+
+			bf, lf := batchEP.FAMStats(), loopEP.FAMStats()
+			if bf.Lookups != lf.Lookups || bf.Hits != lf.Hits || bf.FlowsCreated != lf.FlowsCreated {
+				t.Errorf("FAM accounting diverged: batch %+v vs loop %+v", bf, lf)
+			}
+			if bf.Lookups != bf.Hits+bf.FlowsCreated {
+				t.Errorf("FAM invariant broken: Lookups=%d Hits=%d FlowsCreated=%d", bf.Lookups, bf.Hits, bf.FlowsCreated)
+			}
+			bs := batchEP.BatchStats()
+			if bs.SealDatagrams != uint64(len(dgs)) {
+				t.Errorf("SealDatagrams = %d, want %d", bs.SealDatagrams, len(dgs))
+			}
+			if bs.SealCalls[batchBucket(len(dgs))] != 1 {
+				t.Errorf("SealCalls bucket %d = %d, want 1", batchBucket(len(dgs)), bs.SealCalls[batchBucket(len(dgs))])
+			}
+			if ls := loopEP.BatchStats(); ls.SealDatagrams != 0 {
+				t.Errorf("single-datagram calls moved batch stats: %+v", ls)
+			}
+		})
+	}
+}
+
+// TestOpenBatchMatchesSingleLoop seals a sequence, then opens it once
+// via OpenBatch and once via a loop of OpenAppend on an identically
+// configured receiver: recovered bytes, per-datagram outcomes and
+// counters must match, including a mid-batch duplicate (DropReplay) and
+// a corrupted datagram (DropBadMAC/DropDecrypt).
+func TestOpenBatchMatchesSingleLoop(t *testing.T) {
+	w := newWorld(t)
+	sender, batchRecv := batchPair(t, w, CipherAES128GCM, true)
+	w2 := &testWorld{ca: w.ca, dir: w.dir, ver: w.ver, clock: w.clock, ids: w.ids}
+	_, loopRecv := batchPair(t, w2, CipherAES128GCM, true)
+
+	var dgs []transport.Datagram
+	seal := func(payload string) transport.Datagram {
+		dg, err := sender.Seal(transport.Datagram{
+			Source:      "batch-a",
+			Destination: "batch-b",
+			Payload:     []byte(payload),
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dg
+	}
+	for i := 0; i < 5; i++ {
+		dgs = append(dgs, seal(fmt.Sprintf("msg-%d", i)))
+	}
+	// Exact duplicate of datagram 2: the replay window must reject the
+	// second sighting inside the same batch.
+	dup := dgs[2].Clone()
+	dgs = append(dgs, dup)
+	// Corrupted body: flip a ciphertext bit.
+	bad := dgs[3].Clone()
+	bad.Payload[len(bad.Payload)-1] ^= 0x40
+	dgs = append(dgs, bad)
+	dgs = append(dgs, seal("tail"))
+
+	res := make([]BatchResult, len(dgs))
+	opened, n := batchRecv.OpenBatch(nil, append([]transport.Datagram(nil), dgs...), res)
+
+	var singleOuts [][]byte
+	var singleErrs []error
+	okCount := 0
+	for _, dg := range dgs {
+		out, err := loopRecv.OpenAppend(nil, dg)
+		singleOuts = append(singleOuts, out)
+		singleErrs = append(singleErrs, err)
+		if err == nil {
+			okCount++
+		}
+	}
+	if n != okCount {
+		t.Fatalf("OpenBatch accepted %d, single loop accepted %d", n, okCount)
+	}
+	for i := range dgs {
+		if (res[i].Err == nil) != (singleErrs[i] == nil) {
+			t.Fatalf("datagram %d: batch err %v vs single err %v", i, res[i].Err, singleErrs[i])
+		}
+		if res[i].Err != nil {
+			if br, sr := DropReasonOf(res[i].Err), DropReasonOf(singleErrs[i]); br != sr {
+				t.Errorf("datagram %d: batch drop %v vs single drop %v", i, br, sr)
+			}
+			continue
+		}
+		got := opened[res[i].Off : res[i].Off+res[i].Len]
+		if !bytes.Equal(got, singleOuts[i]) {
+			t.Errorf("datagram %d: batch plaintext %q vs single %q", i, got, singleOuts[i])
+		}
+	}
+	bm, lm := batchRecv.Metrics(), loopRecv.Metrics()
+	if bm.Received != lm.Received || bm.ReceivedBytes != lm.ReceivedBytes {
+		t.Errorf("receive counters diverged: batch %d/%d vs loop %d/%d",
+			bm.Received, bm.ReceivedBytes, lm.Received, lm.ReceivedBytes)
+	}
+	if bm.Drops != lm.Drops {
+		t.Errorf("drop counters diverged:\nbatch %v\nloop  %v", bm.Drops, lm.Drops)
+	}
+	if bm.Drops[DropReplay] != 1 {
+		t.Errorf("DropReplay = %d, want 1", bm.Drops[DropReplay])
+	}
+	bs := batchRecv.BatchStats()
+	if bs.OpenDatagrams != uint64(len(dgs)) {
+		t.Errorf("OpenDatagrams = %d, want %d", bs.OpenDatagrams, len(dgs))
+	}
+}
+
+// TestBatchDropReasonsExact drives every refusal the batch receive path
+// classifies and checks each datagram's sentinel maps to the exact
+// DropReason the single path reports.
+func TestBatchDropReasonsExact(t *testing.T) {
+	w := newWorld(t)
+	sender, recv := batchPair(t, w, CipherAES128GCM, true)
+
+	good, err := sender.Seal(transport.Datagram{Source: "batch-a", Destination: "batch-b", Payload: []byte("ok")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := sender.Seal(transport.Datagram{Source: "batch-a", Destination: "batch-b", Payload: []byte("old")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dgs := []transport.Datagram{
+		{Source: "batch-a", Destination: "elsewhere", Payload: good.Payload}, // DropNotForUs
+		{Source: "batch-a", Destination: "batch-b", Payload: []byte{0x01}},   // DropMalformed
+		good.Clone(), // accepted
+	}
+	// Advance the clock past the freshness window so the stale datagram
+	// is refused, then re-stamp the good one via a fresh seal.
+	w.clock.Advance(21 * time.Minute)
+	fresh, err := sender.Seal(transport.Datagram{Source: "batch-a", Destination: "batch-b", Payload: []byte("fresh")}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dgs[2] = fresh
+	dgs = append(dgs, transport.Datagram{Source: "batch-a", Destination: "batch-b", Payload: stale.Payload}) // DropStale
+
+	res := make([]BatchResult, len(dgs))
+	_, n := recv.OpenBatch(nil, dgs, res)
+	if n != 1 {
+		t.Fatalf("accepted %d, want 1", n)
+	}
+	wantReasons := []DropReason{DropNotForUs, DropMalformed, DropNone, DropStale}
+	for i, want := range wantReasons {
+		got := DropNone
+		if res[i].Err != nil {
+			got = DropReasonOf(res[i].Err)
+		}
+		if got != want {
+			t.Errorf("datagram %d: drop reason %v, want %v (err: %v)", i, got, want, res[i].Err)
+		}
+	}
+	m := recv.Metrics()
+	for _, want := range []DropReason{DropNotForUs, DropMalformed, DropStale} {
+		if m.Drops[want] != 1 {
+			t.Errorf("Drops[%v] = %d, want 1", want, m.Drops[want])
+		}
+	}
+}
+
+// TestBatchObservationGates runs SealBatch/OpenBatch under an
+// always-sampling observer and always-tracing tracer: every datagram
+// must produce its own sample and trace exactly as single calls would,
+// and outcomes must be unchanged.
+func TestBatchObservationGates(t *testing.T) {
+	w := newWorld(t)
+	obs := &countingObserver{}
+	tr := &countingTracer{}
+	sender, err := NewEndpoint(Config{
+		Identity:  w.principal(t, "obs-a"),
+		Transport: nullTransport{},
+		Directory: w.dir,
+		Verifier:  w.ver,
+		Clock:     w.clock,
+		Cipher:    CipherAES128GCM,
+		Observer:  obs,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	recv, err := NewEndpoint(Config{
+		Identity:  w.principal(t, "obs-b"),
+		Transport: nullTransport{},
+		Directory: w.dir,
+		Verifier:  w.ver,
+		Clock:     w.clock,
+		Cipher:    CipherAES128GCM,
+		Observer:  obs,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	const N = 6
+	dgs := make([]transport.Datagram, N)
+	for i := range dgs {
+		dgs[i] = transport.Datagram{Source: "obs-a", Destination: "obs-b", Payload: []byte{byte(i)}}
+	}
+	res := make([]BatchResult, N)
+	sealed, n := sender.SealBatch(nil, dgs, true, res)
+	if n != N {
+		t.Fatalf("sealed %d of %d", n, N)
+	}
+	if got := obs.packets.Load(); got != N {
+		t.Errorf("observer saw %d seal samples, want %d", got, N)
+	}
+	rdgs := make([]transport.Datagram, N)
+	for i, r := range res {
+		rdgs[i] = transport.Datagram{Source: "obs-a", Destination: "obs-b", Payload: sealed[r.Off : r.Off+r.Len]}
+	}
+	rres := make([]BatchResult, N)
+	_, rn := recv.OpenBatch(nil, rdgs, rres)
+	if rn != N {
+		for i, r := range rres {
+			if r.Err != nil {
+				t.Logf("datagram %d: %v", i, r.Err)
+			}
+		}
+		t.Fatalf("opened %d of %d", rn, N)
+	}
+	if got := obs.packets.Load(); got != 2*N {
+		t.Errorf("observer saw %d total samples, want %d", got, 2*N)
+	}
+	if got := tr.started.Load(); got != 2*N {
+		t.Errorf("tracer started %d traces, want %d", got, 2*N)
+	}
+}
+
+type countingObserver struct {
+	packets atomicCounter
+}
+
+func (o *countingObserver) Sample() bool        { return true }
+func (o *countingObserver) Packet(PacketSample) { o.packets.Add(1) }
+
+type countingTracer struct {
+	started atomicCounter
+	nextID  atomicCounter
+}
+
+func (tr *countingTracer) StartTrace() TraceID {
+	tr.started.Add(1)
+	return TraceID(tr.nextID.Add(1))
+}
+func (tr *countingTracer) Span(Span) {}
+
+type atomicCounter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *atomicCounter) Add(d int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	return c.n
+}
+func (c *atomicCounter) Load() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

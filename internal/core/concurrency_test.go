@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -148,5 +150,197 @@ func TestConcurrentSealOpenReconciles(t *testing.T) {
 	}
 	if receivedBytes != seals*2 {
 		t.Errorf("total ReceivedBytes = %d, want %d", receivedBytes, seals*2)
+	}
+}
+
+// TestConcurrentShardedBatchReconciles is the batch-plane companion of
+// the test above: many goroutines drive SealBatch on a sharded sender
+// (several goroutines land on the same shard) and OpenBatch on their
+// receivers, with one intra-batch duplicate and one corrupted datagram
+// injected per round. Every per-DropReason counter must reconcile
+// exactly under -race. Batch runs amortize TFKC/RFKC probes per run,
+// so unlike the single-datagram test this one does not assert
+// probe-count equalities — it pins the datagram-level ledger instead.
+func TestConcurrentShardedBatchReconciles(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 30
+		batchSize  = 8
+		numShards  = 4
+	)
+	w := newWorld(t)
+	hubID := w.principal(t, "shard-hub")
+	grp, err := NewShardGroup(numShards, func(shard int) (Config, error) {
+		return Config{
+			Identity:  hubID,
+			Transport: nullTransport{},
+			Directory: w.dir,
+			Verifier:  w.ver,
+			Clock:     w.clock,
+			Cipher:    CipherAES128GCM,
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { grp.Close() })
+
+	peers := make([]*Endpoint, goroutines)
+	for g := range peers {
+		name := principal.Address(fmt.Sprintf("shard-peer-%02d", g))
+		ep, err := NewEndpoint(Config{
+			Identity:          w.principal(t, name),
+			Transport:         nullTransport{},
+			Directory:         w.dir,
+			Verifier:          w.ver,
+			Clock:             w.clock,
+			Cipher:            CipherAES128GCM,
+			EnableReplayCache: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		peers[g] = ep
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			peer := peers[g]
+			sh := grp.Shard(grp.ShardOfPair("shard-hub", peer.Addr()))
+			dgs := make([]transport.Datagram, batchSize)
+			res := make([]BatchResult, batchSize)
+			odgs := make([]transport.Datagram, batchSize+2)
+			ores := make([]BatchResult, batchSize+2)
+			for r := 0; r < rounds; r++ {
+				for i := range dgs {
+					dgs[i] = transport.Datagram{
+						Source:      "shard-hub",
+						Destination: peer.Addr(),
+						Payload:     []byte{byte(g), byte(r), byte(i)},
+					}
+				}
+				wire, n := sh.SealBatch(nil, dgs, true, res)
+				if n != batchSize {
+					errs <- fmt.Errorf("goroutine %d round %d: sealed %d of %d", g, r, n, batchSize)
+					return
+				}
+				for i, rr := range res {
+					odgs[i] = transport.Datagram{
+						Source:      "shard-hub",
+						Destination: peer.Addr(),
+						Payload:     wire[rr.Off : rr.Off+rr.Len],
+					}
+				}
+				// An intra-batch duplicate of the first datagram and a
+				// corrupted copy of the second.
+				odgs[batchSize] = odgs[0]
+				corrupt := append([]byte(nil), odgs[1].Payload...)
+				corrupt[len(corrupt)-1] ^= 0xFF
+				odgs[batchSize+1] = transport.Datagram{Source: "shard-hub", Destination: peer.Addr(), Payload: corrupt}
+
+				clear, accepted := peer.OpenBatch(nil, odgs, ores)
+				if accepted != batchSize {
+					errs <- fmt.Errorf("goroutine %d round %d: accepted %d of %d", g, r, accepted, batchSize)
+					return
+				}
+				for i := 0; i < batchSize; i++ {
+					if ores[i].Err != nil {
+						errs <- fmt.Errorf("goroutine %d round %d datagram %d: %v", g, r, i, ores[i].Err)
+						return
+					}
+					if !bytes.Equal(clear[ores[i].Off:ores[i].Off+ores[i].Len], dgs[i].Payload) {
+						errs <- fmt.Errorf("goroutine %d round %d datagram %d: payload corrupted", g, r, i)
+						return
+					}
+				}
+				if !errors.Is(ores[batchSize].Err, ErrReplay) {
+					errs <- fmt.Errorf("goroutine %d round %d: duplicate verdict %v, want ErrReplay", g, r, ores[batchSize].Err)
+					return
+				}
+				if ores[batchSize+1].Err == nil {
+					errs <- fmt.Errorf("goroutine %d round %d: corrupted datagram accepted", g, r)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The group aggregate must equal the sum of its shards, and each
+	// shard's classification accounting must balance.
+	const seals = goroutines * rounds * batchSize
+	var famLookups, activeFlows uint64
+	for i := 0; i < grp.NumShards(); i++ {
+		fam := grp.Shard(i).FAMStats()
+		if fam.Lookups != fam.Hits+fam.FlowsCreated {
+			t.Errorf("shard %d FAM accounting broken: Lookups=%d Hits=%d FlowsCreated=%d",
+				i, fam.Lookups, fam.Hits, fam.FlowsCreated)
+		}
+		famLookups += fam.Lookups
+		activeFlows += uint64(grp.Shard(i).ActiveFlows())
+	}
+	if famLookups != seals {
+		t.Errorf("Σ shard FAM Lookups = %d, want %d", famLookups, seals)
+	}
+	// RSS steering keeps each flow on exactly one shard: one live flow
+	// per peer across the whole group, no straddling.
+	if activeFlows != goroutines {
+		t.Errorf("Σ shard ActiveFlows = %d, want %d", activeFlows, goroutines)
+	}
+	if m := grp.Metrics(); m.Sent != 0 {
+		t.Errorf("group Sent = %d after Seal-only traffic, want 0", m.Sent)
+	}
+	bs := grp.BatchStats()
+	if bs.SealDatagrams != seals {
+		t.Errorf("group SealDatagrams = %d, want %d", bs.SealDatagrams, seals)
+	}
+	var sealCalls uint64
+	for i := 0; i < NumBatchBuckets; i++ {
+		sealCalls += bs.SealCalls[i]
+	}
+	if sealCalls != goroutines*rounds {
+		t.Errorf("group SealBatch calls = %d, want %d", sealCalls, goroutines*rounds)
+	}
+	if got := bs.SealCalls[batchBucket(batchSize)]; got != goroutines*rounds {
+		t.Errorf("SealCalls[%d] = %d, want %d (all batches size %d)",
+			batchBucket(batchSize), got, goroutines*rounds, batchSize)
+	}
+
+	// Per-peer ledger: every datagram accepted exactly once, every
+	// injected duplicate and corruption counted under its exact reason.
+	for g, peer := range peers {
+		m := peer.Metrics()
+		if m.Received != rounds*batchSize {
+			t.Errorf("peer %d Received = %d, want %d", g, m.Received, rounds*batchSize)
+		}
+		if m.ReceivedBytes != rounds*batchSize*3 {
+			t.Errorf("peer %d ReceivedBytes = %d, want %d", g, m.ReceivedBytes, rounds*batchSize*3)
+		}
+		if m.Drops[DropReplay] != rounds {
+			t.Errorf("peer %d Drops[replay] = %d, want %d", g, m.Drops[DropReplay], rounds)
+		}
+		if m.Drops[DropBadMAC] != rounds {
+			t.Errorf("peer %d Drops[bad_mac] = %d, want %d", g, m.Drops[DropBadMAC], rounds)
+		}
+		var total uint64
+		for _, d := range m.Drops {
+			total += d
+		}
+		if total != 2*rounds {
+			t.Errorf("peer %d total drops = %d, want %d", g, total, 2*rounds)
+		}
+		ob := peer.BatchStats()
+		if ob.OpenDatagrams != rounds*(batchSize+2) {
+			t.Errorf("peer %d OpenDatagrams = %d, want %d", g, ob.OpenDatagrams, rounds*(batchSize+2))
+		}
 	}
 }

@@ -222,6 +222,14 @@ type endpointCounters struct {
 	sealsBySuite [maxAlgNibble + 1]atomic.Uint64
 	opensBySuite [maxAlgNibble + 1]atomic.Uint64
 
+	// Batch-call shape: how many SealBatch/OpenBatch calls arrived per
+	// log2 size class, plus total datagrams carried. Single-datagram
+	// calls never touch these — they count only explicit batch API use.
+	sealBatchCalls     [NumBatchBuckets]atomic.Uint64
+	openBatchCalls     [NumBatchBuckets]atomic.Uint64
+	sealBatchDatagrams atomic.Uint64
+	openBatchDatagrams atomic.Uint64
+
 	bypassedSent     atomic.Uint64
 	bypassedReceived atomic.Uint64
 }
@@ -264,6 +272,26 @@ func (w *confounderWell) next() uint32 {
 	v := w.src.Uint32()
 	w.mu.Unlock()
 	return v
+}
+
+// drawRun fills conf with per-datagram confounders, borrowing the pooled
+// generator (or taking the source lock) once for the whole run instead of
+// once per datagram. The values drawn are the same sequence a loop of
+// next() calls would produce.
+func (w *confounderWell) drawRun(conf []uint32) {
+	if w.pool != nil {
+		g := w.pool.Get().(*cryptolib.LCG)
+		for i := range conf {
+			conf[i] = g.Uint32()
+		}
+		w.pool.Put(g)
+		return
+	}
+	w.mu.Lock()
+	for i := range conf {
+		conf[i] = w.src.Uint32()
+	}
+	w.mu.Unlock()
 }
 
 // Endpoint is one principal's FBS protocol instance: the send and
@@ -846,10 +874,27 @@ func (e *Endpoint) sealFlowGate(dst []byte, dg transport.Datagram, id FlowID, se
 	}
 	o := e.cfg.Observer
 	sampled := o != nil && o.Sample()
+	return e.sealGated(dst, dg, id, secret, sampled, tc)
+}
+
+// sealGated runs the seal with the observation-gate decisions already
+// made (SealBatch evaluates the gates itself during run grouping, so a
+// sampled or traced datagram inside a batch takes exactly this path).
+// The un-sampled, un-traced case is the batch engine with a run of one:
+// the single-datagram path IS batch-of-1, so golden vectors and the
+// 0 allocs/op bound pin the shared machinery.
+func (e *Endpoint) sealGated(dst []byte, dg transport.Datagram, id FlowID, secret bool, sampled bool, tc *traceCtx) ([]byte, TraceID, error) {
 	if !sampled && !tc.active() {
-		out, err := e.sealFlowAppend(dst, dg, id, secret, nil, nil)
-		return out, 0, err
+		var one [1]transport.Datagram
+		var res [1]BatchResult
+		one[0] = dg
+		out, _ := e.sealRun(dst, one[:], id, secret, res[:])
+		if res[0].Err != nil {
+			return nil, 0, res[0].Err
+		}
+		return out, 0, nil
 	}
+	o := e.cfg.Observer
 	var s PacketSample
 	var sp *PacketSample
 	if sampled {
@@ -1104,9 +1149,30 @@ func (e *Endpoint) open(dst []byte, dg transport.Datagram, copyBody bool) ([]byt
 	}
 	o := e.cfg.Observer
 	sampled := o != nil && o.Sample()
+	return e.openGated(dst, dg, copyBody, sampled, tc)
+}
+
+// openGated runs the receive pipeline with the observation-gate
+// decisions already made (OpenBatch evaluates the gates during batch
+// grouping). The un-sampled, un-traced append path is the batch engine
+// with a run of one — the production single-datagram path IS batch-of-1.
+// The alias-returning path (copyBody == false) keeps openInner: batch
+// output is always appended, so a run of one cannot alias the input.
+func (e *Endpoint) openGated(dst []byte, dg transport.Datagram, copyBody bool, sampled bool, tc *traceCtx) ([]byte, error) {
 	if !sampled && !tc.active() {
+		if copyBody {
+			var one [1]transport.Datagram
+			var res [1]BatchResult
+			one[0] = dg
+			out, _ := e.openRun(dst, one[:], res[:])
+			if res[0].Err != nil {
+				return nil, res[0].Err
+			}
+			return out, nil
+		}
 		return e.openInner(dst, dg, copyBody, nil, nil)
 	}
+	o := e.cfg.Observer
 	var s PacketSample
 	var sp *PacketSample
 	if sampled {

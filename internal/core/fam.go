@@ -364,6 +364,75 @@ func (f *FAM) classify(id FlowID, now time.Time, size int) (sfl SFL, suite Ciphe
 	return sfl, suite, 1, true, i, true
 }
 
+// classifyBatch classifies a run of datagrams that share one FlowID
+// under a single stripe acquisition. sizes carries the run's payload
+// sizes in order. The entry's accounting advances one datagram at a
+// time with the policy's Match re-checked before each, so wear-out
+// limits (MaxPackets/MaxBytes) end the run exactly where the
+// per-datagram path would; the caller re-classifies the remainder into
+// a fresh flow. Sequence numbers are consecutive from firstSeq — the
+// batch's nonce-counter reservation. On a budget refusal (ok == false)
+// nothing was accepted and the caller sheds only the first datagram:
+// re-attempting the rest re-checks the budget per datagram, exactly as
+// a loop of classify calls would.
+func (f *FAM) classifyBatch(id FlowID, now time.Time, sizes []int) (sfl SFL, suite CipherID, firstSeq uint64, n int, slot int, ok bool) {
+	orig := id
+	if nz, nok := f.policy.(flowNormalizer); nok {
+		id = nz.normalize(id)
+	}
+	i := f.policy.Index(id, len(f.table))
+	st := &f.stripes[i&f.stripeMask]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stats.Lookups++
+	e := &f.table[i]
+	if f.policy.Match(e, id, now) {
+		e.Last = now
+		e.Packets++
+		e.Bytes += uint64(sizes[0])
+		st.stats.Hits++
+		sfl, suite, firstSeq = e.SFL, e.Suite, e.Packets
+	} else {
+		if e.Valid && e.ID != id {
+			st.stats.Collisions++
+		}
+		if !e.Valid && !f.budget.TryCharge(CostFAMEntry) {
+			return 0, 0, 0, 0, i, false
+		}
+		suite = CipherNone
+		if f.suiteOf != nil {
+			suite = f.suiteOf(orig)
+		}
+		sfl = SFL(f.nextSFL.Add(1) - 1)
+		*e = FSTEntry{
+			Valid:   true,
+			ID:      id,
+			SFL:     sfl,
+			Created: now,
+			Last:    now,
+			Packets: 1,
+			Bytes:   uint64(sizes[0]),
+			Suite:   suite,
+		}
+		st.stats.FlowsCreated++
+		firstSeq = 1
+	}
+	// The rest of the run rides the same entry while the policy still
+	// matches it; each accepted datagram is one lookup + one hit, so the
+	// FAM's counter invariants reconcile identically to a loop of
+	// classify calls.
+	for n = 1; n < len(sizes); n++ {
+		if !f.policy.Match(e, id, now) {
+			break
+		}
+		e.Packets++
+		e.Bytes += uint64(sizes[n])
+		st.stats.Lookups++
+		st.stats.Hits++
+	}
+	return sfl, suite, firstSeq, n, i, true
+}
+
 // Sweep runs the sweeper module over the whole table (Figure 7),
 // invalidating expired flows, and returns how many were expired. It locks
 // one stripe at a time, so classification in other stripes proceeds

@@ -157,6 +157,12 @@ func (r *ReplayCache) Check(src principal.Address, h *Header, now time.Time) Rep
 	st := &r.stripes[sig.stripe(r.mask)]
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return r.checkLocked(st, src, sig, now)
+}
+
+// checkLocked is Check's body with sig already computed and its stripe
+// lock already held.
+func (r *ReplayCache) checkLocked(st *replayStripe, src principal.Address, sig replaySig, now time.Time) ReplayVerdict {
 	if e, ok := st.seen[sig]; ok {
 		if now.Sub(e.at) <= r.window {
 			return ReplayDuplicate
@@ -175,6 +181,42 @@ func (r *ReplayCache) Check(src principal.Address, h *Header, now time.Time) Rep
 	st.seen[sig] = replayEntry{at: now, src: src}
 	st.peers[src]++
 	return ReplayFresh
+}
+
+// CheckRun checks up to batchChunk datagram signatures in one pass: one
+// sweep election for the run and one lock acquisition per stripe touched
+// rather than one per datagram. Items that land on the same stripe are
+// checked in run order, so an intra-run duplicate — two identical
+// signatures always share a stripe — is classified exactly as a loop of
+// Check calls would classify it; items on different stripes are
+// independent, so their grouping order cannot change any verdict.
+func (r *ReplayCache) CheckRun(srcs []principal.Address, hs []Header, now time.Time, verdicts []ReplayVerdict) {
+	r.maybeSweep(now)
+	n := len(hs)
+	var sigs [batchChunk]replaySig
+	var stripes [batchChunk]uint32
+	var done [batchChunk]bool
+	for i := 0; i < n; i++ {
+		sigs[i].SFL = hs[i].SFL
+		sigs[i].Confounder = hs[i].Confounder
+		sigs[i].Timestamp = hs[i].Timestamp
+		copy(sigs[i].MAC[:], hs[i].MACValue[:8])
+		stripes[i] = sigs[i].stripe(r.mask)
+	}
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		st := &r.stripes[stripes[i]]
+		st.mu.Lock()
+		for j := i; j < n; j++ {
+			if !done[j] && stripes[j] == stripes[i] {
+				verdicts[j] = r.checkLocked(st, srcs[j], sigs[j], now)
+				done[j] = true
+			}
+		}
+		st.mu.Unlock()
+	}
 }
 
 // maybeSweep drops expired entries once the last full sweep is more than

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// Per-core sharding. A ShardGroup is M independent endpoints, each
+// owning a disjoint subset of the flow space via RSS-style steering on
+// the flow identifier's CRC-32 (the same randomising hash the FST uses
+// for slot indexing, Section 5.3 — correlated addresses and sequential
+// ports spread uniformly). Because a flow's datagrams always steer to
+// the same shard, every per-flow invariant — AEAD nonce monotonicity,
+// wear-out accounting, replay-window exactness — holds per shard with
+// no cross-shard coordination: shards share no locks, no caches and no
+// counters on the datagram path. The cost is per-shard soft state
+// (separate FST/TFKC/RFKC/replay windows) and per-shard keying upcalls;
+// the pay-off fbsbench's -shards matrix demonstrates is near-linear
+// scaling of seal/open throughput with cores.
+//
+// Receive steering uses only the (source, destination) host pair — the
+// ports and protocol of the original FlowID are sealed inside the
+// datagram, invisible before Open. A sender sharding on the full
+// 5-tuple would therefore spread one host pair's flows across shards
+// whose receive side converges on one shard; that is correct (each sfl
+// resolves independently) but lopsided. Symmetric deployments steer
+// both directions by host pair via ShardOfIncoming/ShardOfPair.
+
+// ShardGroup runs M endpoints as one logical data plane.
+type ShardGroup struct {
+	shards []*Endpoint
+}
+
+// NewShardGroup builds n endpoints from mk, which returns the Config
+// for shard i. Configs typically differ only in Transport (each shard
+// owns its own socket, mirroring SO_REUSEPORT deployments) and
+// observation plumbing (shard-labelled collectors). On error, shards
+// already built are closed.
+func NewShardGroup(n int, mk func(shard int) (Config, error)) (*ShardGroup, error) {
+	if n <= 0 {
+		return nil, errors.New("core: shard count must be positive")
+	}
+	g := &ShardGroup{shards: make([]*Endpoint, 0, n)}
+	for i := 0; i < n; i++ {
+		cfg, err := mk(i)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("shard %d config: %w", i, err)
+		}
+		ep, err := NewEndpoint(cfg)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		g.shards = append(g.shards, ep)
+	}
+	return g, nil
+}
+
+// NumShards returns the shard count M.
+func (g *ShardGroup) NumShards() int { return len(g.shards) }
+
+// Shard returns shard i's endpoint.
+func (g *ShardGroup) Shard(i int) *Endpoint { return g.shards[i] }
+
+// ShardOf steers a flow to its owning shard: the CRC-32 of the flow
+// attributes modulo M.
+func (g *ShardGroup) ShardOf(id FlowID) int {
+	return int(id.hash() % uint32(len(g.shards)))
+}
+
+// ShardOfPair steers by host pair only — the steering a receiver can
+// compute before opening the datagram. Senders that want symmetric
+// placement (one shard handles both directions of a conversation) use
+// this for outgoing traffic too.
+func (g *ShardGroup) ShardOfPair(src, dst principal.Address) int {
+	return g.ShardOf(FlowID{Src: src, Dst: dst})
+}
+
+// ShardOfIncoming steers a received datagram to the shard owning its
+// host pair. All flows between one (src, dst) pair land on one shard,
+// so that shard's replay window sees every datagram of every such flow
+// and duplicate suppression stays exact.
+func (g *ShardGroup) ShardOfIncoming(dg transport.Datagram) int {
+	return g.ShardOf(FlowID{Src: dg.Source, Dst: dg.Destination})
+}
+
+// Metrics aggregates the per-shard counters into one snapshot.
+func (g *ShardGroup) Metrics() Metrics {
+	var out Metrics
+	for _, ep := range g.shards {
+		m := ep.Metrics()
+		out.Sent += m.Sent
+		out.SentSecret += m.SentSecret
+		out.SentBytes += m.SentBytes
+		out.Received += m.Received
+		out.ReceivedBytes += m.ReceivedBytes
+		for i := range out.Drops {
+			out.Drops[i] += m.Drops[i]
+		}
+		out.RejectedStale += m.RejectedStale
+		out.RejectedMAC += m.RejectedMAC
+		out.RejectedReplay += m.RejectedReplay
+		out.RejectedMalformed += m.RejectedMalformed
+		out.RejectedNotForUs += m.RejectedNotForUs
+		out.RejectedAlgorithm += m.RejectedAlgorithm
+		out.DecryptErrors += m.DecryptErrors
+		out.KeyingErrors += m.KeyingErrors
+		out.BypassedSent += m.BypassedSent
+		out.BypassedReceived += m.BypassedReceived
+	}
+	return out
+}
+
+// DropCounts aggregates per-DropReason counters across shards.
+func (g *ShardGroup) DropCounts() [NumDropReasons]uint64 {
+	var out [NumDropReasons]uint64
+	for _, ep := range g.shards {
+		d := ep.DropCounts()
+		for i := range out {
+			out[i] += d[i]
+		}
+	}
+	return out
+}
+
+// BatchStats aggregates the batch-call histograms across shards.
+func (g *ShardGroup) BatchStats() BatchStats {
+	var out BatchStats
+	for _, ep := range g.shards {
+		s := ep.BatchStats()
+		for i := 0; i < NumBatchBuckets; i++ {
+			out.SealCalls[i] += s.SealCalls[i]
+			out.OpenCalls[i] += s.OpenCalls[i]
+		}
+		out.SealDatagrams += s.SealDatagrams
+		out.OpenDatagrams += s.OpenDatagrams
+	}
+	return out
+}
+
+// ActiveFlows sums resident flow state across shards.
+func (g *ShardGroup) ActiveFlows() int {
+	n := 0
+	for _, ep := range g.shards {
+		n += ep.ActiveFlows()
+	}
+	return n
+}
+
+// Close closes every shard, returning the first error.
+func (g *ShardGroup) Close() error {
+	var first error
+	for _, ep := range g.shards {
+		if ep == nil {
+			continue
+		}
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

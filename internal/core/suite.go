@@ -5,6 +5,7 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"fbs/internal/cryptolib"
@@ -359,6 +360,46 @@ type aeadSuite struct {
 	id   CipherID
 	name string
 	new  func(kf [16]byte) (sealedBox, error)
+
+	// boxes caches constructed AEAD instances by flow key. Key schedule
+	// setup (AES expansion + GCM table init, ChaCha key widening)
+	// dominates small-datagram seal/open cost, and a flow keeps one K_f
+	// for its whole life, so the cache turns a per-datagram cost into a
+	// per-flow one. Both cached implementations are stateless after
+	// construction (stdlib GCM documents concurrent use; cryptolib's
+	// ChaCha20-Poly1305 holds only the key), so one instance serves all
+	// goroutines. Holding an expanded key in memory exposes nothing the
+	// flow-key caches don't already hold.
+	mu    sync.RWMutex
+	boxes map[[16]byte]sealedBox
+}
+
+// aeadBoxCacheMax bounds the per-suite instance cache. Eviction is a
+// wholesale reset: at worst every live flow re-expands its key once per
+// aeadBoxCacheMax distinct keys seen, which keeps the common case a
+// single RLock probe with no bookkeeping.
+const aeadBoxCacheMax = 4096
+
+// box returns the cached AEAD instance for kf, constructing it on first
+// use.
+func (a *aeadSuite) box(kf [16]byte) (sealedBox, error) {
+	a.mu.RLock()
+	box, ok := a.boxes[kf]
+	a.mu.RUnlock()
+	if ok {
+		return box, nil
+	}
+	box, err := a.new(kf)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if a.boxes == nil || len(a.boxes) >= aeadBoxCacheMax {
+		a.boxes = make(map[[16]byte]sealedBox)
+	}
+	a.boxes[kf] = box
+	a.mu.Unlock()
+	return box, nil
 }
 
 func (a *aeadSuite) ID() CipherID  { return a.id }
@@ -382,18 +423,35 @@ func aeadNonce(h Header) [12]byte {
 	return n
 }
 
+// aeadScratch carries the small per-datagram arrays whose slices cross
+// the sealedBox interface boundary. The compiler must assume an
+// interface callee retains its arguments, so as locals these would be
+// moved to the heap on every seal and open; pooling replaces the
+// per-datagram allocations with one Get/Put pair.
+type aeadScratch struct {
+	nonce [12]byte
+	mi    [12]byte
+	tag   [MACLen]byte
+	aad   []byte
+}
+
+var aeadScratchPool = sync.Pool{New: func() any { return new(aeadScratch) }}
+
 func (a *aeadSuite) DeriveIV(h Header) []byte {
 	n := aeadNonce(h)
 	return n[:]
 }
 
 func (a *aeadSuite) SealAppend(dst []byte, hdrOff int, h Header, kf [16]byte, payload []byte, singlePass bool, s *PacketSample) ([]byte, error) {
-	box, err := a.new(kf)
+	box, err := a.box(kf)
 	if err != nil {
 		return nil, err
 	}
-	nonce := aeadNonce(h)
-	mi := h.macInput()
+	sc := aeadScratchPool.Get().(*aeadScratch)
+	defer aeadScratchPool.Put(sc)
+	sc.nonce = aeadNonce(h)
+	sc.mi = h.macInput()
+	nonce, mi := &sc.nonce, &sc.mi
 	var t time.Time
 	if !h.Secret() {
 		// Cleartext body, intrinsic integrity: the tag seals an empty
@@ -403,12 +461,10 @@ func (a *aeadSuite) SealAppend(dst []byte, hdrOff int, h Header, kf [16]byte, pa
 		if s != nil {
 			t = time.Now()
 		}
-		aad := make([]byte, 0, len(mi)+len(payload))
-		aad = append(aad, mi[:]...)
-		aad = append(aad, payload...)
-		var tag [MACLen]byte
-		box.Seal(tag[:0], nonce[:], nil, aad)
-		copy(dst[hdrOff+macValueOffset:], tag[:])
+		sc.aad = append(sc.aad[:0], mi[:]...)
+		sc.aad = append(sc.aad, payload...)
+		box.Seal(sc.tag[:0], nonce[:], nil, sc.aad)
+		copy(dst[hdrOff+macValueOffset:], sc.tag[:])
 		if s != nil {
 			s.Stages[StageMAC] = time.Since(t)
 		}
@@ -437,21 +493,24 @@ func (a *aeadSuite) SealAppend(dst []byte, hdrOff int, h Header, kf [16]byte, pa
 }
 
 func (a *aeadSuite) OpenAppend(dst []byte, h Header, kf [16]byte, body []byte, s *PacketSample) ([]byte, []byte, error) {
-	box, err := a.new(kf)
+	box, err := a.box(kf)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
 	}
-	nonce := aeadNonce(h)
-	mi := h.macInput()
+	sc := aeadScratchPool.Get().(*aeadScratch)
+	defer aeadScratchPool.Put(sc)
+	sc.nonce = aeadNonce(h)
+	sc.mi = h.macInput()
+	nonce, mi := &sc.nonce, &sc.mi
 	var t time.Time
 	if !h.Secret() {
 		if s != nil {
 			t = time.Now()
 		}
-		aad := make([]byte, 0, len(mi)+len(body))
-		aad = append(aad, mi[:]...)
-		aad = append(aad, body...)
-		_, err := box.Open(nil, nonce[:], h.MACValue[:], aad)
+		sc.aad = append(sc.aad[:0], mi[:]...)
+		sc.aad = append(sc.aad, body...)
+		sc.tag = h.MACValue
+		_, err := box.Open(nil, nonce[:], sc.tag[:], sc.aad)
 		if s != nil {
 			s.Stages[StageMAC] = time.Since(t)
 		}

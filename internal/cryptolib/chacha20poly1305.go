@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ChaCha20-Poly1305 AEAD per RFC 8439, implemented from scratch on the
@@ -248,7 +249,12 @@ func chachaXORStream(key *[8]uint32, nonce *[3]uint32, counter uint32, dst, src 
 		if n > 64 {
 			n = 64
 		}
-		for i := 0; i < n; i++ {
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			binary.LittleEndian.PutUint64(dst[i:],
+				binary.LittleEndian.Uint64(src[i:])^binary.LittleEndian.Uint64(block[i:]))
+		}
+		for ; i < n; i++ {
 			dst[i] = src[i] ^ block[i]
 		}
 		src = src[n:]
@@ -264,71 +270,84 @@ func polyOneTimeKey(key *[8]uint32, nonce *[3]uint32, otk *[32]byte) {
 	copy(otk[:], block[:32])
 }
 
-// --- Poly1305 (RFC 8439 section 2.5), 26-bit limb implementation ---
+// --- Poly1305 (RFC 8439 section 2.5), 64-bit limb implementation ---
+//
+// The accumulator is three 64-bit limbs (h2 carries only the bits above
+// 2^128) and the clamped key is two. Clamping zeroes the top nibble of
+// every r-word, so each 130×124-bit product fits in 256 bits and the
+// partial reduction below (fold t>>130 back in multiplied by 5) keeps
+// h2 within a few bits — small enough that h2·r never overflows a
+// single 64-bit multiply. Two wide multiplies per block instead of the
+// 25 scalar multiplies of the classic 26-bit limb schedule: this MAC
+// runs per datagram on the data plane, so the block loop is hot.
 
 type poly1305 struct {
-	r    [5]uint32 // clamped key limbs
-	h    [5]uint32 // accumulator
-	pad  [4]uint32 // final addition, little-endian s
+	r    [2]uint64 // clamped key
+	h    [3]uint64 // accumulator
+	pad  [2]uint64 // final addition, little-endian s
 	buf  [16]byte
 	bufn int
 }
 
-func newPoly1305(key *[32]byte) *poly1305 {
-	p := &poly1305{}
-	p.r[0] = binary.LittleEndian.Uint32(key[0:]) & 0x3ffffff
-	p.r[1] = (binary.LittleEndian.Uint32(key[3:]) >> 2) & 0x3ffff03
-	p.r[2] = (binary.LittleEndian.Uint32(key[6:]) >> 4) & 0x3ffc0ff
-	p.r[3] = (binary.LittleEndian.Uint32(key[9:]) >> 6) & 0x3f03fff
-	p.r[4] = (binary.LittleEndian.Uint32(key[12:]) >> 8) & 0x00fffff
-	p.pad[0] = binary.LittleEndian.Uint32(key[16:])
-	p.pad[1] = binary.LittleEndian.Uint32(key[20:])
-	p.pad[2] = binary.LittleEndian.Uint32(key[24:])
-	p.pad[3] = binary.LittleEndian.Uint32(key[28:])
-	return p
+// init loads and clamps the one-time key. The zero value plus init is
+// the whole constructor, so callers keep the state on their stack — the
+// tag helpers run once per datagram and must not allocate.
+func (p *poly1305) init(key *[32]byte) {
+	p.r[0] = binary.LittleEndian.Uint64(key[0:]) & 0x0ffffffc0fffffff
+	p.r[1] = binary.LittleEndian.Uint64(key[8:]) & 0x0ffffffc0ffffffc
+	p.pad[0] = binary.LittleEndian.Uint64(key[16:])
+	p.pad[1] = binary.LittleEndian.Uint64(key[24:])
 }
 
 // blocks absorbs full 16-byte blocks; final marks the 1-bit as beyond a
 // short trailing block instead of bit 128.
 func (p *poly1305) blocks(m []byte, partialHibit bool) {
-	r0, r1, r2, r3, r4 := uint64(p.r[0]), uint64(p.r[1]), uint64(p.r[2]), uint64(p.r[3]), uint64(p.r[4])
-	s1, s2, s3, s4 := r1*5, r2*5, r3*5, r4*5
-	h0, h1, h2, h3, h4 := p.h[0], p.h[1], p.h[2], p.h[3], p.h[4]
+	h0, h1, h2 := p.h[0], p.h[1], p.h[2]
+	r0, r1 := p.r[0], p.r[1]
 
 	for len(m) >= 16 {
-		h0 += binary.LittleEndian.Uint32(m[0:]) & 0x3ffffff
-		h1 += (binary.LittleEndian.Uint32(m[3:]) >> 2) & 0x3ffffff
-		h2 += (binary.LittleEndian.Uint32(m[6:]) >> 4) & 0x3ffffff
-		h3 += (binary.LittleEndian.Uint32(m[9:]) >> 6) & 0x3ffffff
-		hi := binary.LittleEndian.Uint32(m[12:]) >> 8
+		var c uint64
+		h0, c = bits.Add64(h0, binary.LittleEndian.Uint64(m[0:]), 0)
+		h1, c = bits.Add64(h1, binary.LittleEndian.Uint64(m[8:]), c)
+		h2 += c
 		if !partialHibit {
-			hi |= 1 << 24
+			h2++
 		}
-		h4 += hi
 
-		d0 := uint64(h0)*r0 + uint64(h1)*s4 + uint64(h2)*s3 + uint64(h3)*s2 + uint64(h4)*s1
-		d1 := uint64(h0)*r1 + uint64(h1)*r0 + uint64(h2)*s4 + uint64(h3)*s3 + uint64(h4)*s2
-		d2 := uint64(h0)*r2 + uint64(h1)*r1 + uint64(h2)*r0 + uint64(h3)*s4 + uint64(h4)*s3
-		d3 := uint64(h0)*r3 + uint64(h1)*r2 + uint64(h2)*r1 + uint64(h3)*r0 + uint64(h4)*s4
-		d4 := uint64(h0)*r4 + uint64(h1)*r3 + uint64(h2)*r2 + uint64(h3)*r1 + uint64(h4)*r0
+		// t = h * r, a 130×124-bit product accumulated into four words.
+		h0r0hi, h0r0lo := bits.Mul64(h0, r0)
+		h1r0hi, h1r0lo := bits.Mul64(h1, r0)
+		h0r1hi, h0r1lo := bits.Mul64(h0, r1)
+		h1r1hi, h1r1lo := bits.Mul64(h1, r1)
+		h2r0 := h2 * r0 // h2 and the clamped r keep these in one word
+		h2r1 := h2 * r1
 
-		d1 += d0 >> 26
-		d2 += d1 >> 26
-		d3 += d2 >> 26
-		d4 += d3 >> 26
-		h0 = uint32(d0) & 0x3ffffff
-		h1 = uint32(d1) & 0x3ffffff
-		h2 = uint32(d2) & 0x3ffffff
-		h3 = uint32(d3) & 0x3ffffff
-		h4 = uint32(d4) & 0x3ffffff
-		h0 += uint32(d4>>26) * 5
-		h1 += h0 >> 26
-		h0 &= 0x3ffffff
+		m1lo, cx := bits.Add64(h1r0lo, h0r1lo, 0)
+		m1hi, _ := bits.Add64(h1r0hi, h0r1hi, cx)
+		m2lo, cx := bits.Add64(h2r0, h1r1lo, 0)
+		m2hi, _ := bits.Add64(0, h1r1hi, cx)
+
+		t0 := h0r0lo
+		t1, c := bits.Add64(m1lo, h0r0hi, 0)
+		t2, c := bits.Add64(m2lo, m1hi, c)
+		t3, _ := bits.Add64(h2r1, m2hi, c)
+
+		// Reduce mod 2^130 - 5: h = (t mod 2^130) + 5·(t >> 130), added
+		// as cc + cc>>2 where cc is t with the low 130 bits cleared.
+		h0, h1, h2 = t0, t1, t2&3
+		cclo, cchi := t2&^uint64(3), t3
+		h0, c = bits.Add64(h0, cclo, 0)
+		h1, c = bits.Add64(h1, cchi, c)
+		h2 += c
+		cclo, cchi = cclo>>2|cchi<<62, cchi>>2
+		h0, c = bits.Add64(h0, cclo, 0)
+		h1, c = bits.Add64(h1, cchi, c)
+		h2 += c
 
 		m = m[16:]
 	}
 
-	p.h[0], p.h[1], p.h[2], p.h[3], p.h[4] = h0, h1, h2, h3, h4
+	p.h[0], p.h[1], p.h[2] = h0, h1, h2
 }
 
 func (p *poly1305) update(m []byte) {
@@ -360,62 +379,32 @@ func (p *poly1305) sum(tag *[16]byte) {
 		p.bufn = 0
 	}
 
-	h0, h1, h2, h3, h4 := p.h[0], p.h[1], p.h[2], p.h[3], p.h[4]
+	h0, h1, h2 := p.h[0], p.h[1], p.h[2]
 
-	// full carry propagation
-	h1 += h0 >> 26
-	h0 &= 0x3ffffff
-	h2 += h1 >> 26
-	h1 &= 0x3ffffff
-	h3 += h2 >> 26
-	h2 &= 0x3ffffff
-	h4 += h3 >> 26
-	h3 &= 0x3ffffff
-	h0 += (h4 >> 26) * 5
-	h4 &= 0x3ffffff
-	h1 += h0 >> 26
-	h0 &= 0x3ffffff
+	// The block reduction keeps h < 2·(2^130 - 5), so one conditional
+	// subtraction of p = 2^130 - 5 completes the modulus: compute h - p
+	// and keep it unless the subtraction borrowed (constant time).
+	t0, b := bits.Sub64(h0, 0xfffffffffffffffb, 0)
+	t1, b := bits.Sub64(h1, 0xffffffffffffffff, b)
+	_, b = bits.Sub64(h2, 3, b)
+	mask := b - 1 // all-ones when no borrow (h >= p)
+	h0 = h0&^mask | t0&mask
+	h1 = h1&^mask | t1&mask
 
-	// compute h + -p = h - (2^130 - 5)
-	g0 := h0 + 5
-	g1 := h1 + g0>>26
-	g0 &= 0x3ffffff
-	g2 := h2 + g1>>26
-	g1 &= 0x3ffffff
-	g3 := h3 + g2>>26
-	g2 &= 0x3ffffff
-	g4 := h4 + g3>>26 - (1 << 26)
-	g3 &= 0x3ffffff
+	// tag = (h + pad) mod 2^128
+	var c uint64
+	h0, c = bits.Add64(h0, p.pad[0], 0)
+	h1, _ = bits.Add64(h1, p.pad[1], c)
 
-	// select h if h < p, g otherwise (constant time)
-	mask := (g4 >> 31) - 1 // all-ones if g4 >= 0 (h >= p)
-	h0 = h0&^mask | g0&mask
-	h1 = h1&^mask | g1&mask
-	h2 = h2&^mask | g2&mask
-	h3 = h3&^mask | g3&mask
-	h4 = h4&^mask | g4&mask
-
-	// h %= 2^128, then h += pad with carry
-	t0 := uint64(h0 | h1<<26)
-	t1 := uint64(h1>>6 | h2<<20)
-	t2 := uint64(h2>>12 | h3<<14)
-	t3 := uint64(h3>>18 | h4<<8)
-
-	t0 = (t0 & 0xffffffff) + uint64(p.pad[0])
-	t1 = (t1 & 0xffffffff) + uint64(p.pad[1]) + t0>>32
-	t2 = (t2 & 0xffffffff) + uint64(p.pad[2]) + t1>>32
-	t3 = (t3 & 0xffffffff) + uint64(p.pad[3]) + t2>>32
-
-	binary.LittleEndian.PutUint32(tag[0:], uint32(t0))
-	binary.LittleEndian.PutUint32(tag[4:], uint32(t1))
-	binary.LittleEndian.PutUint32(tag[8:], uint32(t2))
-	binary.LittleEndian.PutUint32(tag[12:], uint32(t3))
+	binary.LittleEndian.PutUint64(tag[0:], h0)
+	binary.LittleEndian.PutUint64(tag[8:], h1)
 }
 
 // Poly1305Tag computes the one-shot Poly1305 MAC of msg under key.
 // Exposed for vector tests; the AEAD path uses polyAEADTag.
 func Poly1305Tag(key *[32]byte, msg []byte) [16]byte {
-	p := newPoly1305(key)
+	var p poly1305
+	p.init(key)
 	p.update(msg)
 	var tag [16]byte
 	p.sum(&tag)
@@ -427,7 +416,8 @@ var polyZeroPad [16]byte
 // polyAEADTag evaluates the RFC 8439 AEAD MAC layout:
 // aad || pad16 || ct || pad16 || le64(len aad) || le64(len ct).
 func polyAEADTag(otk *[32]byte, aad, ct []byte) [16]byte {
-	p := newPoly1305(otk)
+	var p poly1305
+	p.init(otk)
 	p.update(aad)
 	if rem := len(aad) % 16; rem != 0 {
 		p.update(polyZeroPad[:16-rem])

@@ -152,7 +152,8 @@ func TestPoly1305Incremental(t *testing.T) {
 	}
 	want := Poly1305Tag(&key, msg)
 	for _, chunk := range []int{1, 3, 7, 15, 16, 17, 64} {
-		p := newPoly1305(&key)
+		var p poly1305
+		p.init(&key)
 		for off := 0; off < len(msg); off += chunk {
 			end := off + chunk
 			if end > len(msg) {

@@ -106,6 +106,12 @@ type ChaosScenario struct {
 	// traces land in Report.TraceReport. Off by default (tracing every
 	// datagram is for debugging runs, not soak throughput).
 	Trace bool
+	// Batch drives the receiver through the batched data plane
+	// (Endpoint.ReceiveBatch → OpenBatch) instead of one Receive per
+	// datagram. Every reconciliation equation must hold unchanged: the
+	// batch engine accounts per datagram, so the ledger cannot tell the
+	// two modes apart.
+	Batch bool
 }
 
 // ChaosReport is the outcome of a soak run plus its reconciliation.
@@ -298,6 +304,18 @@ func RunChaos(sc ChaosScenario) (*ChaosReport, error) {
 	go func() {
 		defer wg.Done()
 		for {
+			if sc.Batch {
+				accepted, _, err := bob.ReceiveBatch(32)
+				if errors.Is(err, transport.ErrClosed) {
+					return
+				}
+				for _, dg := range accepted {
+					if len(dg.Payload) >= 4 {
+						rs.mark(binary.BigEndian.Uint32(dg.Payload))
+					}
+				}
+				continue
+			}
 			dg, err := bob.Receive()
 			if errors.Is(err, transport.ErrClosed) {
 				return

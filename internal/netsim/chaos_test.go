@@ -356,3 +356,49 @@ func TestChaosDeterministicFaults(t *testing.T) {
 		t.Errorf("drop buckets diverged: %v vs %v", a.ReceiverDrops, b.ReceiverDrops)
 	}
 }
+
+func TestChaosBatchedReceiverReconciles(t *testing.T) {
+	// The adversary matrix again, with the receiver on the batched data
+	// plane (ReceiveBatch → OpenBatch). The ledger must be exactly the
+	// one the per-datagram receiver produces: the batch engine accounts
+	// per datagram, so every injected datagram still lands in its one
+	// designated drop bucket and duplicate suppression stays exact.
+	r := runScenario(t, ChaosScenario{
+		Name:         "adversary-batched",
+		Seed:         1,
+		Datagrams:    60,
+		PayloadBytes: 256,
+		Secret:       true,
+		Batch:        true,
+		Inject:       allInjections(4),
+		ExactBuckets: true,
+	})
+	for k := 0; k < NumInjectKinds; k++ {
+		if r.Injected[k] == 0 {
+			t.Errorf("adversary never managed a %s injection", InjectKind(k))
+		}
+	}
+}
+
+func TestChaosBatchedDuplicateStorm(t *testing.T) {
+	// Heavy duplication through the batched receiver: a duplicated copy
+	// arriving in the same recvmmsg-style batch as its original must be
+	// caught by the stripe-grouped replay pass exactly as a separate
+	// Receive would catch it.
+	r := runScenario(t, ChaosScenario{
+		Name: "duplicate-storm-batched",
+		Seed: 2,
+		Link: []Stage{
+			Duplicate(0.5),
+			DelayJitter(time.Millisecond, 3*time.Millisecond),
+		},
+		Datagrams:    96,
+		PayloadBytes: 64,
+		Secret:       true,
+		Batch:        true,
+		ExactBuckets: true,
+	})
+	if r.ReceiverDrops[core.DropReplay] == 0 {
+		t.Error("duplicate storm never produced a DropReplay through the batched receiver")
+	}
+}

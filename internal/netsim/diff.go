@@ -271,6 +271,56 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 		}
 	}
 
+	// sendBatch seals a run of same-flow datagrams through the optimised
+	// endpoint's batch engine and holds it to the reference semantics —
+	// a loop of Seal calls. Batch flows are named by host pair (the
+	// DefaultSelector identity SealBatch groups runs by), so they churn
+	// independently of the port-qualified flows the single sends use.
+	sendBatch := func(si, di int, count int, secret bool) {
+		s, d := &pairs[si], &pairs[di]
+		id := core.FlowID{Src: s.addr, Dst: d.addr}
+		dgs := make([]transport.Datagram, count)
+		payloads := make([][]byte, count)
+		for i := 0; i < count; i++ {
+			payload := make([]byte, int(rng.Uint32()%128))
+			for j := range payload {
+				payload[j] = byte(rng.Uint32())
+			}
+			payloads[i] = payload
+			dgs[i] = transport.Datagram{Source: s.addr, Destination: d.addr, Payload: payload}
+		}
+		rep.Sends += count
+		res := make([]core.BatchResult, count)
+		out, _ := s.opt.SealBatch(nil, dgs, secret, res)
+		refOuts, refErrs := s.ref.SealBatch(d.addr, id, payloads, secret)
+		logOp("sendbatch %s->%s n=%d secret=%v", s.addr, d.addr, count, secret)
+		for i := 0; i < count; i++ {
+			var optWire []byte
+			if res[i].Err == nil {
+				optWire = out[res[i].Off : res[i].Off+res[i].Len]
+			}
+			rep.OptLog = append(rep.OptLog, sealOutcome(optWire, res[i].Err))
+			rep.RefLog = append(rep.RefLog, sealOutcome(refOuts[i], refErrs[i]))
+			if (res[i].Err == nil) != (refErrs[i] == nil) {
+				diverge("batch seal verdicts differ at %d: opt=%v ref=%v", i, res[i].Err, refErrs[i])
+				return
+			}
+			if res[i].Err != nil {
+				if or, rr := core.DropReasonOf(res[i].Err), core.DropReasonOf(refErrs[i]); or != rr {
+					diverge("batch seal drop reasons differ at %d: opt=%v ref=%v", i, or, rr)
+					return
+				}
+				continue
+			}
+			if !bytes.Equal(optWire, refOuts[i]) {
+				diverge("batch sealed wire bytes differ at %d:\n opt %x\n ref %x", i, optWire, refOuts[i])
+				return
+			}
+			wire := append([]byte{}, optWire...)
+			queue = append(queue, inFlight{src: si, dst: di, wire: wire})
+		}
+	}
+
 	// deliver opens one datagram on both implementations (optionally
 	// mutated in flight) and cross-checks verdicts and plaintext.
 	deliver := func(f inFlight, mutation string) {
@@ -309,6 +359,69 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 		}
 	}
 
+	// deliverBatch opens a same-destination run from the queue through
+	// OpenBatch and holds it to the reference loop, including intra-batch
+	// replays when the picker re-queued history.
+	deliverBatch := func(count int) {
+		if len(queue) == 0 {
+			return
+		}
+		di := queue[0].dst
+		var run []inFlight
+		rest := queue[:0]
+		for _, f := range queue {
+			if f.dst == di && len(run) < count {
+				run = append(run, f)
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		queue = rest
+		d := &pairs[di]
+		dgs := make([]transport.Datagram, len(run))
+		for i, f := range run {
+			dgs[i] = transport.Datagram{
+				Source:      pairs[f.src].addr,
+				Destination: d.addr,
+				Payload:     append([]byte{}, f.wire...),
+			}
+		}
+		rep.Delivers += len(run)
+		res := make([]core.BatchResult, len(run))
+		out, _ := d.opt.OpenBatch(nil, dgs, res)
+		logOp("deliverbatch ->%s n=%d", d.addr, len(run))
+		for i, f := range run {
+			refOut, refErr := d.ref.Open(pairs[f.src].addr, d.addr, f.wire)
+			var optBody []byte
+			if res[i].Err == nil {
+				optBody = out[res[i].Off : res[i].Off+res[i].Len]
+			}
+			rep.OptLog = append(rep.OptLog, openOutcome(optBody, res[i].Err))
+			rep.RefLog = append(rep.RefLog, openOutcome(refOut, refErr))
+			if (res[i].Err == nil) != (refErr == nil) {
+				diverge("batch open verdicts differ at %d: opt=%v ref=%v", i, res[i].Err, refErr)
+				return
+			}
+			if res[i].Err != nil {
+				rep.Dropped++
+				if or, rr := core.DropReasonOf(res[i].Err), core.DropReasonOf(refErr); or != rr {
+					diverge("batch open drop reasons differ at %d: opt=%v ref=%v", i, or, rr)
+					return
+				}
+				continue
+			}
+			rep.Accepted++
+			if !bytes.Equal(optBody, refOut) {
+				diverge("batch opened plaintext differs at %d:\n opt %x\n ref %x", i, optBody, refOut)
+				return
+			}
+			history = append(history, f)
+			if len(history) > maxHistory {
+				history = history[1:]
+			}
+		}
+	}
+
 	for op := 0; op < sc.Ops && rep.Divergence == ""; op++ {
 		rep.Ops = op + 1
 		si := int(rng.Uint32()) % len(pairs)
@@ -317,8 +430,10 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 			di = (di + 1) % len(pairs)
 		}
 		switch pick := rng.Uint32() % 100; {
-		case pick < 30: // plain send on a small set of long-lived flows
+		case pick < 24: // plain send on a small set of long-lived flows
 			send(si, di, uint64(rng.Uint32()%3), int(rng.Uint32()%256), rng.Uint32()%4 != 0, true)
+		case pick < 30: // batched send: a run of same-flow datagrams
+			sendBatch(si, di, 2+int(rng.Uint32()%6), rng.Uint32()%4 != 0)
 		case pick < 65: // drain a batch of in-flight datagrams, mostly clean
 			if len(queue) == 0 {
 				send(si, di, 0, int(rng.Uint32()%128), true, true)
@@ -343,13 +458,20 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 					}
 				}
 			}
-		case pick < 75: // replay something already delivered
+		case pick < 70: // replay something already delivered
 			if len(history) == 0 {
 				continue
 			}
 			f := history[int(rng.Uint32())%len(history)]
 			logOp("replay-pick")
 			deliver(f, "clean")
+		case pick < 75: // batched deliver, possibly seeded with a replay
+			if len(history) > 0 && rng.Uint32()%3 == 0 {
+				f := history[int(rng.Uint32())%len(history)]
+				logOp("replay-requeue")
+				queue = append([]inFlight{f}, queue...)
+			}
+			deliverBatch(2 + int(rng.Uint32()%6))
 		case pick < 85: // clock step, whole seconds
 			step := time.Duration(rng.Uint32()%30) * time.Second
 			clk.Advance(step)

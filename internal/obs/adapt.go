@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sort"
+	"strconv"
 
 	"fbs/internal/core"
 	"fbs/internal/ip"
@@ -53,6 +54,7 @@ func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
 			openFam.Samples = append(openFam.Samples, Sample{Labels: sl, Value: float64(opens[s.ID()])})
 		}
 		fams = append(fams, sealFam, openFam)
+		fams = appendBatchFamilies(fams, ep.BatchStats(), eplbl)
 
 		fs := ep.FAMStats()
 		fams = append(fams,
@@ -137,6 +139,60 @@ func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
 		}
 		fams = append(fams, perPeer)
 		return fams
+	})
+}
+
+// appendBatchFamilies emits the batched data-plane counters: calls by
+// log2 size class plus total datagrams moved through SealBatch and
+// OpenBatch. Size-class labels reuse core's bucket taxonomy so the
+// same query works against any endpoint or shard.
+func appendBatchFamilies(fams []Family, bs core.BatchStats, lbls ...Label) []Family {
+	sealCalls := Family{Name: "fbs_batch_seal_calls_total", Help: "SealBatch invocations, by batch size class.", Type: "counter"}
+	openCalls := Family{Name: "fbs_batch_open_calls_total", Help: "OpenBatch invocations, by batch size class.", Type: "counter"}
+	for i := 0; i < core.NumBatchBuckets; i++ {
+		bl := append(append([]Label{}, lbls...), Label{Key: "size", Value: core.BatchBucketLabel(i)})
+		sealCalls.Samples = append(sealCalls.Samples, Sample{Labels: bl, Value: float64(bs.SealCalls[i])})
+		openCalls.Samples = append(openCalls.Samples, Sample{Labels: bl, Value: float64(bs.OpenCalls[i])})
+	}
+	return append(fams, sealCalls, openCalls,
+		CounterFamily("fbs_batch_seal_datagrams_total", "Datagrams processed through the SealBatch API.", bs.SealDatagrams, lbls...),
+		CounterFamily("fbs_batch_open_datagrams_total", "Datagrams processed through the OpenBatch API.", bs.OpenDatagrams, lbls...),
+	)
+}
+
+// RegisterShardGroup registers collectors for a sharded endpoint
+// group: per-shard data-plane counters labelled by shard index, shard-
+// labelled batch families, and group-wide aggregates. Per-shard
+// families keep the hot counters cheap to scrape; deep soft-state
+// introspection of an individual shard is available by registering it
+// directly with RegisterEndpoint.
+func RegisterShardGroup(r *Registry, name string, g *core.ShardGroup) {
+	eplbl := Label{Key: "endpoint", Value: name}
+	r.RegisterFunc(func() []Family {
+		fams := []Family{
+			GaugeFamily("fbs_shard_count", "Endpoint shards in the group.", float64(g.NumShards()), eplbl),
+		}
+		sent := Family{Name: "fbs_shard_sent_total", Help: "Datagrams sealed and sent, by shard.", Type: "counter"}
+		received := Family{Name: "fbs_shard_received_total", Help: "Datagrams accepted by open processing, by shard.", Type: "counter"}
+		flows := Family{Name: "fbs_shard_active_flows", Help: "Live FAM entries, by shard.", Type: "gauge"}
+		drops := Family{Name: "fbs_shard_drops_total", Help: "Datagrams refused, by shard and drop reason.", Type: "counter"}
+		for i := 0; i < g.NumShards(); i++ {
+			ep := g.Shard(i)
+			shlbl := Label{Key: "shard", Value: strconv.Itoa(i)}
+			sl := []Label{eplbl, shlbl}
+			m := ep.Metrics()
+			sent.Samples = append(sent.Samples, Sample{Labels: sl, Value: float64(m.Sent)})
+			received.Samples = append(received.Samples, Sample{Labels: sl, Value: float64(m.Received)})
+			flows.Samples = append(flows.Samples, Sample{Labels: sl, Value: float64(ep.ActiveFlows())})
+			for _, d := range core.DropReasons() {
+				drops.Samples = append(drops.Samples, Sample{
+					Labels: []Label{eplbl, shlbl, {Key: "reason", Value: d.String()}},
+					Value:  float64(m.Drops[d]),
+				})
+			}
+			fams = appendBatchFamilies(fams, ep.BatchStats(), eplbl, shlbl)
+		}
+		return append(fams, sent, received, flows, drops)
 	})
 }
 

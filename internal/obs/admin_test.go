@@ -2,6 +2,7 @@ package obs_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -89,13 +90,32 @@ func TestAdminPlane(t *testing.T) {
 		t.Fatal("corrupted datagram accepted")
 	}
 
+	// Batched traffic exercises the fbs_batch_* size-class families.
+	var bdgs []fbs.Datagram
+	for i := 0; i < 4; i++ {
+		bdgs = append(bdgs, fbs.Datagram{Source: "alice", Destination: "bob", Payload: []byte("batch")})
+	}
+	bres := make([]fbs.BatchResult, len(bdgs))
+	wire, n := alice.SealBatch(nil, bdgs, true, bres)
+	if n != 4 {
+		t.Fatalf("SealBatch sealed %d of 4", n)
+	}
+	var rdgs []fbs.Datagram
+	for _, r := range bres {
+		rdgs = append(rdgs, fbs.Datagram{Source: "alice", Destination: "bob", Payload: wire[r.Off : r.Off+r.Len]})
+	}
+	ores := make([]fbs.BatchResult, len(rdgs))
+	if _, n := bob.OpenBatch(nil, rdgs, ores); n != 4 {
+		t.Fatalf("OpenBatch accepted %d of 4", n)
+	}
+
 	metrics := get(t, srv, "/metrics")
 	for _, want := range []string{
 		`fbs_endpoint_sent_total{endpoint="alice"} 10`,
-		`fbs_endpoint_received_total{endpoint="bob"} 10`,
+		`fbs_endpoint_received_total{endpoint="bob"} 14`,
 		`fbs_endpoint_drops_total{endpoint="bob",reason="bad_mac"} 1`,
-		`fbs_endpoint_suite_seals_total{endpoint="alice",suite="DES"} 11`,
-		`fbs_endpoint_suite_opens_total{endpoint="bob",suite="DES"} 10`,
+		`fbs_endpoint_suite_seals_total{endpoint="alice",suite="DES"} 15`,
+		`fbs_endpoint_suite_opens_total{endpoint="bob",suite="DES"} 14`,
 		`fbs_endpoint_suite_seals_total{endpoint="alice",suite="AES-128-GCM"} 0`,
 		`fbs_cache_hits_total{endpoint="alice",cache="tfkc"}`,
 		`fbs_cache_slots{endpoint="bob",cache="rfkc"}`,
@@ -116,6 +136,11 @@ func TestAdminPlane(t *testing.T) {
 		`fbs_replay_entries{endpoint="bob"}`,
 		`fbs_keying_flowkey_dedup_total{endpoint="bob"}`,
 		`fbs_pressure_sweeps_total{endpoint="alice"}`,
+		`fbs_batch_seal_calls_total{endpoint="alice",size="4-7"} 1`,
+		`fbs_batch_open_calls_total{endpoint="bob",size="4-7"} 1`,
+		`fbs_batch_seal_calls_total{endpoint="alice",size="1"} 0`,
+		`fbs_batch_seal_datagrams_total{endpoint="alice"} 4`,
+		`fbs_batch_open_datagrams_total{endpoint="bob"} 4`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q\n%s", want, metrics)
@@ -144,9 +169,9 @@ func TestAdminPlane(t *testing.T) {
 	if err := json.Unmarshal([]byte(get(t, srv, "/recorder?json=1")), &rec); err != nil {
 		t.Fatalf("/recorder?json=1: %v", err)
 	}
-	// 11 seals + 10 opens + 1 failed open, all sampled.
-	if rec.Total != 22 {
-		t.Errorf("recorder total = %d, want 22", rec.Total)
+	// 11+4 seals + 10+4 opens + 1 failed open, all sampled.
+	if rec.Total != 30 {
+		t.Errorf("recorder total = %d, want 30", rec.Total)
 	}
 	drops := 0
 	for _, e := range rec.Events {
@@ -165,11 +190,74 @@ func TestAdminPlane(t *testing.T) {
 	}
 
 	// Latency snapshots must have consistent counts with the traffic.
-	if n := pipe.StageSnapshot(true, core.StageTotal).Count; n != 11 {
-		t.Errorf("seal total count = %d, want 11", n)
+	if n := pipe.StageSnapshot(true, core.StageTotal).Count; n != 15 {
+		t.Errorf("seal total count = %d, want 15", n)
 	}
-	if n := pipe.StageSnapshot(false, core.StageTotal).Count; n != 11 {
-		t.Errorf("open total count = %d, want 11", n)
+	if n := pipe.StageSnapshot(false, core.StageTotal).Count; n != 15 {
+		t.Errorf("open total count = %d, want 15", n)
+	}
+}
+
+// TestShardGroupMetrics drives a batch through one shard of a sharded
+// endpoint and checks the shard-labelled families: the batch counters
+// land on the steered shard only, and the group families carry one
+// sample per shard.
+func TestShardGroupMetrics(t *testing.T) {
+	d, err := fbs.NewDomain("obs-shard-test", fbs.WithGroup(fbs.TestGroup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := fbs.NewNetwork(fbs.Impairments{})
+	grp, err := d.NewShardedEndpoint("carol", 2, func(shard int) (fbs.Transport, error) {
+		return net.Attach(fbs.Address(fmt.Sprintf("carol-%d", shard)), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { grp.Close() })
+	if _, err := d.NewPrincipal("dave"); err != nil {
+		t.Fatal(err)
+	}
+
+	home := grp.ShardOfPair("carol", "dave")
+	dgs := make([]fbs.Datagram, 3)
+	for i := range dgs {
+		dgs[i] = fbs.Datagram{Source: "carol", Destination: "dave", Payload: []byte("shard me")}
+	}
+	res := make([]fbs.BatchResult, len(dgs))
+	if _, n := grp.Shard(home).SealBatch(nil, dgs, true, res); n != 3 {
+		t.Fatalf("SealBatch sealed %d of 3: %v", n, res)
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterShardGroup(reg, "carol", grp)
+	srv := httptest.NewServer(obs.NewAdmin(reg).Handler())
+	defer srv.Close()
+	metrics := get(t, srv, "/metrics")
+
+	for _, want := range []string{
+		`fbs_shard_count{endpoint="carol"} 2`,
+		fmt.Sprintf(`fbs_batch_seal_calls_total{endpoint="carol",shard="%d",size="2-3"} 1`, home),
+		fmt.Sprintf(`fbs_batch_seal_calls_total{endpoint="carol",shard="%d",size="2-3"} 0`, 1-home),
+		fmt.Sprintf(`fbs_batch_seal_datagrams_total{endpoint="carol",shard="%d"} 3`, home),
+		fmt.Sprintf(`fbs_shard_active_flows{endpoint="carol",shard="%d"} 1`, home),
+		fmt.Sprintf(`fbs_shard_active_flows{endpoint="carol",shard="%d"} 0`, 1-home),
+		`fbs_shard_sent_total{endpoint="carol",shard="0"} 0`,
+		`fbs_shard_sent_total{endpoint="carol",shard="1"} 0`,
+		fmt.Sprintf(`fbs_shard_drops_total{endpoint="carol",shard="%d",reason="stale"} 0`, home),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	// Steering is a pure function of the flow hash: both shards agree,
+	// and the datagram-level helper matches the pair-level one.
+	if got := grp.ShardOfIncoming(fbs.Datagram{Source: "dave", Destination: "carol"}); got < 0 || got > 1 {
+		t.Fatalf("ShardOfIncoming out of range: %d", got)
+	}
+	if grp.ShardOfPair("carol", "dave") != home {
+		t.Fatal("ShardOfPair not stable across calls")
 	}
 }
 

@@ -633,3 +633,29 @@ func pad(p []byte, bs int) []byte {
 	}
 	return out
 }
+
+// SealBatch is the reference semantics for core's batched send path: a
+// batch of N datagrams is, by definition, exactly a loop of N Seal
+// calls in order. The differential harness holds the optimised batch
+// engine (run grouping, nonce reservation, stripe-grouped replay) to
+// this loop — any amortisation that changes an output byte, an error or
+// a counter is a divergence.
+func (e *Endpoint) SealBatch(dst principal.Address, id core.FlowID, payloads [][]byte, secret bool) ([][]byte, []error) {
+	wires := make([][]byte, len(payloads))
+	errs := make([]error, len(payloads))
+	for i, p := range payloads {
+		wires[i], errs[i] = e.Seal(dst, id, p, secret)
+	}
+	return wires, errs
+}
+
+// OpenBatch is the reference semantics for core's batched receive path:
+// a loop of Open calls in order (see SealBatch).
+func (e *Endpoint) OpenBatch(src, dst principal.Address, wires [][]byte) ([][]byte, []error) {
+	outs := make([][]byte, len(wires))
+	errs := make([]error, len(wires))
+	for i, w := range wires {
+		outs[i], errs[i] = e.Open(src, dst, w)
+	}
+	return outs, errs
+}

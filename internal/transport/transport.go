@@ -164,10 +164,18 @@ func (n *Network) chance(p float64) bool {
 // destination. Callers must not hold n.mu.
 func (n *Network) inject(dg Datagram) {
 	n.mu.Lock()
+	n.injectLocked(dg)
+	n.mu.Unlock()
+}
+
+// injectLocked is inject's body with n.mu already held, so a batched
+// send pays one lock acquisition for the whole batch (see
+// netPort.SendBatch) while the fault model still draws per datagram in
+// order — batch and loop sends produce identical delivery sequences.
+func (n *Network) injectLocked(dg Datagram) {
 	n.stats.Sent++
 	if n.chance(n.impair.LossProb) {
 		n.stats.Lost++
-		n.mu.Unlock()
 		return
 	}
 	dg = dg.Clone()
@@ -210,7 +218,6 @@ func (n *Network) inject(dg Datagram) {
 			n.stats.Overflow++
 		}
 	}
-	n.mu.Unlock()
 }
 
 // Flush delivers any datagram sitting in the reorder holdback slot.

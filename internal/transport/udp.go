@@ -20,6 +20,8 @@ type UDPTransport struct {
 
 	mu    sync.RWMutex
 	peers map[principal.Address]*net.UDPAddr
+
+	batchState
 }
 
 // NewUDPTransport binds a UDP socket on listenAddr (e.g. "127.0.0.1:7001")

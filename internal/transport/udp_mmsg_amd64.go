@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// linux/amd64 syscall numbers. SYS_RECVMMSG is in the frozen syscall
+// table; SYS_SENDMMSG predates the freeze cutoff on this architecture
+// and must be spelled out.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

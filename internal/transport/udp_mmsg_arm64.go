@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// linux/arm64 syscall numbers (the generic unified table).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

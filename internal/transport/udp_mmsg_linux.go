@@ -1,0 +1,428 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+
+	"fbs/internal/principal"
+)
+
+// sendmmsg/recvmmsg plumbing. Go's frozen syscall package predates
+// sendmmsg, so the two vector calls are issued raw: hand-built
+// mmsghdr/msghdr/iovec structures (both supported architectures are
+// 64-bit little-endian Linux, so one layout serves), syscall numbers
+// from the per-arch files, and the net.UDPConn's SyscallConn for
+// readiness integration — the raw fd is only ever touched inside
+// RawConn.Read/Write callbacks, so Go's runtime poller keeps ownership
+// of blocking.
+
+const mmsgAvailable = true
+
+// mmsgMaxBatch bounds one vector call: enough to amortise the syscall
+// to noise, small enough that the cached receive buffers stay modest
+// (mmsgMaxBatch × mmsgSlotSize = 2 MiB).
+const (
+	mmsgMaxBatch = 32
+	mmsgSlotSize = 65536
+)
+
+// UDP generic segmentation offload. A run of consecutive frames with
+// one destination and one size can ride a single sendmsg as one
+// super-buffer with a UDP_SEGMENT control message: the kernel splits it
+// into wire datagrams itself, so the per-datagram cost of traversing
+// the socket layer is paid once per run instead of once per datagram —
+// on top of what sendmmsg already amortises. The receiver needs nothing
+// special: segmentation happens before delivery, so recvmmsg sees
+// ordinary datagrams. Kernels without UDP_SEGMENT reject the control
+// message with EINVAL; the first rejection latches gsoBroken and the
+// socket quietly stays on plain sendmmsg.
+const (
+	solUDP        = 17  // SOL_UDP, the cmsg level for UDP socket options
+	udpSegment    = 103 // UDP_SEGMENT
+	maxGSOSegs    = 64  // kernel UDP_MAX_SEGMENTS
+	maxGSOPayload = 65000
+)
+
+// gsoCmsg is struct cmsghdr plus the uint16 segment size, padded so an
+// array of them keeps each header 8-byte aligned. Controllen must be
+// CmsgLen(2) = 18, not the padded size.
+type gsoCmsg struct {
+	len   uint64
+	level int32
+	typ   int32
+	seg   uint16
+	_     [6]byte
+}
+
+const gsoCmsgLen = 18
+
+// sendGroup is one message of a vector send: count frames packed
+// contiguously in the arena starting at off, size bytes total. count >
+// 1 means a GSO run of equal segSize-byte frames.
+type sendGroup struct {
+	off     int
+	size    int
+	segSize int
+	count   int
+	first   int // index of the run's first datagram (for its sockaddr)
+}
+
+type iovec struct {
+	Base *byte
+	Len  uint64
+}
+
+type msghdr struct {
+	Name       *byte
+	Namelen    uint32
+	_          [4]byte
+	Iov        *iovec
+	Iovlen     uint64
+	Control    *byte
+	Controllen uint64
+	Flags      int32
+	_          [4]byte
+}
+
+type mmsghdr struct {
+	Hdr msghdr
+	Len uint32
+	_   [4]byte
+}
+
+type rawSockaddrInet4 struct {
+	Family uint16
+	Port   uint16 // network byte order
+	Addr   [4]byte
+	Zero   [8]byte
+}
+
+// sendBatchMmsg transmits dgs with sendmmsg, coalescing equal-size
+// same-destination runs into GSO super-packets. handled == false means
+// the socket or peer set cannot take the fast path (an IPv6 peer; a
+// missing mapping is still a real error) and the caller must fall back.
+func (u *UDPTransport) sendBatchMmsg(dgs []Datagram) (n int, err error, handled bool) {
+	if len(dgs) == 0 {
+		return 0, nil, true
+	}
+	// One batch send at a time per socket: the kernel serialises socket
+	// writes anyway, and holding the lock across the syscall keeps the
+	// iovecs' view of the shared arena stable.
+	u.sendMu.Lock()
+	defer u.sendMu.Unlock()
+	total := len(dgs)
+	done := 0
+	for done < total {
+		batch := total - done
+		if batch > mmsgMaxBatch {
+			batch = mmsgMaxBatch
+		}
+		sent, serr, ok := u.sendChunkMmsg(dgs[done : done+batch])
+		if !ok {
+			return 0, nil, false // IPv6 peer: portable loop handles it
+		}
+		done += sent
+		if serr != nil {
+			return done, serr, true
+		}
+	}
+	return done, nil, true
+}
+
+// sendChunkMmsg sends up to mmsgMaxBatch datagrams with one vector
+// call, retrying without GSO if the kernel rejects UDP_SEGMENT.
+func (u *UDPTransport) sendChunkMmsg(dgs []Datagram) (n int, err error, handled bool) {
+	batch := len(dgs)
+	var addrs [mmsgMaxBatch]rawSockaddrInet4
+	var offs [mmsgMaxBatch + 1]int
+	// Frames are packed into one reusable arena rather than allocated
+	// per datagram; iovecs are built only after the arena stops
+	// growing, since append may move it.
+	arena := u.sendArena[:0]
+	for i := 0; i < batch; i++ {
+		dg := &dgs[i]
+		if dg.Source == "" {
+			dg.Source = u.local
+		}
+		u.mu.RLock()
+		peer, ok := u.peers[dg.Destination]
+		u.mu.RUnlock()
+		if !ok {
+			return 0, fmt.Errorf("transport: no UDP mapping for principal %q", dg.Destination), true
+		}
+		ip4 := peer.IP.To4()
+		if ip4 == nil {
+			return 0, nil, false
+		}
+		addrs[i].Family = syscall.AF_INET
+		p := uint16(peer.Port)
+		addrs[i].Port = p<<8 | p>>8
+		copy(addrs[i].Addr[:], ip4)
+		offs[i] = len(arena)
+		arena = appendWireAddress(arena, dg.Source)
+		arena = appendWireAddress(arena, dg.Destination)
+		arena = append(arena, dg.Payload...)
+	}
+	offs[batch] = len(arena)
+	u.sendArena = arena
+
+	gso := u.gsoBroken.Load() == 0
+	for {
+		sent, callErr := u.sendGroupsMmsg(arena, addrs[:batch], offs[:batch+1], gso)
+		if gso && callErr == syscall.EINVAL {
+			// The kernel refused a UDP_SEGMENT control message; latch it
+			// and resend whatever remains as plain per-datagram messages.
+			u.gsoBroken.Store(1)
+			gso = false
+			n += sent
+			dgsLeft := batch - n
+			if dgsLeft == 0 {
+				return n, nil, true
+			}
+			copy(offs[:dgsLeft+1], offs[n:batch+1])
+			copy(addrs[:dgsLeft], addrs[n:batch])
+			batch = dgsLeft
+			continue
+		}
+		n += sent
+		if callErr != nil {
+			return n, fmt.Errorf("transport: sendmmsg: %w", callErr), true
+		}
+		return n, nil, true
+	}
+}
+
+// sendGroupsMmsg issues one sendmmsg over the packed frames, grouping
+// GSO runs when gso is set. It returns the number of DATAGRAMS fully
+// sent (message sends are whole groups, so the count maps exactly).
+func (u *UDPTransport) sendGroupsMmsg(arena []byte, addrs []rawSockaddrInet4, offs []int, gso bool) (int, error) {
+	batch := len(addrs)
+	var groups [mmsgMaxBatch]sendGroup
+	ng := 0
+	for i := 0; i < batch; i++ {
+		size := offs[i+1] - offs[i]
+		if gso && ng > 0 {
+			g := &groups[ng-1]
+			if size == g.segSize && addrs[i] == addrs[g.first] &&
+				g.count < maxGSOSegs && g.size+size <= maxGSOPayload {
+				g.size += size
+				g.count++
+				continue
+			}
+		}
+		groups[ng] = sendGroup{off: offs[i], size: size, segSize: size, count: 1, first: i}
+		ng++
+	}
+
+	var iovs [mmsgMaxBatch]iovec
+	var hdrs [mmsgMaxBatch]mmsghdr
+	var cmsgs [mmsgMaxBatch]gsoCmsg
+	for g := 0; g < ng; g++ {
+		gr := &groups[g]
+		iovs[g] = iovec{Base: &arena[gr.off], Len: uint64(gr.size)}
+		hdrs[g].Hdr = msghdr{
+			Name:    (*byte)(unsafe.Pointer(&addrs[gr.first])),
+			Namelen: uint32(unsafe.Sizeof(addrs[gr.first])),
+			Iov:     &iovs[g],
+			Iovlen:  1,
+		}
+		if gr.count > 1 {
+			cmsgs[g] = gsoCmsg{len: gsoCmsgLen, level: solUDP, typ: udpSegment, seg: uint16(gr.segSize)}
+			hdrs[g].Hdr.Control = (*byte)(unsafe.Pointer(&cmsgs[g]))
+			hdrs[g].Hdr.Controllen = gsoCmsgLen
+		}
+	}
+
+	rc, rerr := u.conn.SyscallConn()
+	if rerr != nil {
+		return 0, rerr
+	}
+	sent := 0
+	var callErr error
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < ng {
+			r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(ng-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // block until writable, then retry
+			}
+			if e == syscall.EINTR {
+				continue
+			}
+			if e != 0 {
+				callErr = e
+				return true
+			}
+			sent += int(r)
+		}
+		return true
+	})
+	dgSent := 0
+	for g := 0; g < sent; g++ {
+		dgSent += groups[g].count
+	}
+	if werr != nil {
+		return dgSent, werr
+	}
+	return dgSent, callErr
+}
+
+// recvBatchMmsg fills buf with recvmmsg: it blocks for the first
+// datagram (via the runtime poller) and returns whatever else the
+// socket already holds, up to min(len(buf), mmsgMaxBatch). Frames that
+// fail address decoding are skipped, exactly as a Receive loop would
+// surface them one error at a time — except the batch path drops them
+// silently to keep the happy-path contract simple; the single-datagram
+// path remains the debugging tool for malformed framing.
+func (u *UDPTransport) recvBatchMmsg(buf []Datagram) (n int, err error, handled bool) {
+	batch := len(buf)
+	if batch > mmsgMaxBatch {
+		batch = mmsgMaxBatch
+	}
+	u.recvMu.Lock()
+	defer u.recvMu.Unlock()
+	if u.recvBufs == nil {
+		u.recvBufs = make([][]byte, mmsgMaxBatch)
+		for i := range u.recvBufs {
+			u.recvBufs[i] = make([]byte, mmsgSlotSize)
+		}
+	}
+	var iovs [mmsgMaxBatch]iovec
+	var hdrs [mmsgMaxBatch]mmsghdr
+	for i := 0; i < batch; i++ {
+		iovs[i] = iovec{Base: &u.recvBufs[i][0], Len: mmsgSlotSize}
+		hdrs[i].Hdr = msghdr{Iov: &iovs[i], Iovlen: 1}
+	}
+	rc, rerr := u.conn.SyscallConn()
+	if rerr != nil {
+		return 0, ErrClosed, true
+	}
+	got := 0
+	closed := false
+	perr := rc.Read(func(fd uintptr) bool {
+		for {
+			r, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), uintptr(batch),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // block until readable
+			}
+			if e == syscall.EINTR {
+				continue
+			}
+			if e != 0 {
+				closed = true
+				return true
+			}
+			got = int(r)
+			return true
+		}
+	})
+	if perr != nil || closed {
+		return 0, ErrClosed, true
+	}
+	// Payloads are copied out of the reused slots into one backing
+	// buffer for the whole batch (the exact-capacity allocation keeps
+	// the appends from moving it), and the address strings are interned
+	// — a small stable set per socket, so the per-datagram decode makes
+	// no allocations on the steady state.
+	need := 0
+	for i := 0; i < got; i++ {
+		need += int(hdrs[i].Len)
+	}
+	arena := make([]byte, 0, need)
+	n = 0
+	for i := 0; i < got; i++ {
+		dg, derr := u.decodeFrameInto(u.recvBufs[i][:hdrs[i].Len], &arena)
+		if derr != nil {
+			continue
+		}
+		buf[n] = dg
+		n++
+	}
+	if n == 0 && got > 0 {
+		// Every frame in the batch was malformed; report one receive
+		// with no datagrams rather than blocking again, so callers see
+		// progress (the loop path would have returned the decode error).
+		return 0, fmt.Errorf("transport: bad frame batch"), true
+	}
+	return n, nil, true
+}
+
+// appendWireAddress appends the length-prefixed wire form of a without
+// the intermediate allocation Address.Wire makes.
+func appendWireAddress(b []byte, a principal.Address) []byte {
+	b = append(b, byte(len(a)>>8), byte(len(a)))
+	return append(b, a...)
+}
+
+// decodeFrame parses one wire frame (length-prefixed source and
+// destination addresses, then payload) into an owned Datagram.
+func decodeFrame(b []byte) (Datagram, error) {
+	src, used, err := principal.DecodeAddress(b)
+	if err != nil {
+		return Datagram{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	b = b[used:]
+	dst, used, err := principal.DecodeAddress(b)
+	if err != nil {
+		return Datagram{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	b = b[used:]
+	payload := make([]byte, len(b))
+	copy(payload, b)
+	return Datagram{Source: src, Destination: dst, Payload: payload}, nil
+}
+
+// decodeFrameInto is decodeFrame for the batch path: the payload copy
+// lands in the caller's batch arena and the addresses come from the
+// socket's intern table. Caller holds recvMu.
+func (u *UDPTransport) decodeFrameInto(b []byte, arena *[]byte) (Datagram, error) {
+	src, used, err := u.internAddress(b)
+	if err != nil {
+		return Datagram{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	b = b[used:]
+	dst, used, err := u.internAddress(b)
+	if err != nil {
+		return Datagram{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	b = b[used:]
+	a := *arena
+	off := len(a)
+	a = append(a, b...)
+	*arena = a
+	return Datagram{Source: src, Destination: dst, Payload: a[off:len(a):len(a)]}, nil
+}
+
+// internAddress decodes one length-prefixed address, returning the
+// socket's canonical string for it — a map hit costs no allocation.
+// The table is capped so a flood of forged source addresses cannot
+// grow it without bound. Caller holds recvMu.
+func (u *UDPTransport) internAddress(b []byte) (principal.Address, int, error) {
+	if len(b) < 2 {
+		return "", 0, fmt.Errorf("truncated address length")
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if len(b) < 2+n {
+		return "", 0, fmt.Errorf("truncated address body: need %d bytes, have %d", n, len(b)-2)
+	}
+	raw := b[2 : 2+n]
+	// A map probe keyed by string(raw) does not allocate; only a miss
+	// materialises the string.
+	if a, ok := u.addrIntern[string(raw)]; ok {
+		return a, 2 + n, nil
+	}
+	a := principal.Address(raw)
+	if u.addrIntern == nil {
+		u.addrIntern = make(map[string]principal.Address)
+	}
+	if len(u.addrIntern) < 1024 {
+		u.addrIntern[string(a)] = a
+	}
+	return a, 2 + n, nil
+}

@@ -9,8 +9,8 @@
 
 GO ?= go
 GOFMT ?= gofmt
-# FUZZTIME is per fuzz target; CI runs three targets, so the default
-# keeps the whole fuzz-smoke step to ~45 s.
+# FUZZTIME is per fuzz target; CI runs four targets, so the default
+# keeps the whole fuzz-smoke step to ~60 s.
 FUZZTIME ?= 15s
 # Pinned staticcheck build: `go run` fetches and caches it, so the
 # toolchain — not PATH — decides the version CI lints with.
@@ -94,6 +94,7 @@ bench-batch:
 fuzz-smoke:
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzHeaderDecode$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzOpen$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzCookie$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/netsim -run='^$$' -fuzz='^FuzzDifferential$$' -fuzztime=$(FUZZTIME)
 
 # diff soaks the differential harness: seeded op streams cross-validated
@@ -112,11 +113,15 @@ chaos:
 	$(GO) run ./cmd/fbschaos
 
 # flood soaks the overload matrix: flow-churn and spoofed-source keying
-# floods against a budgeted receiver, plus crash-restart recovery, each
-# iteration on a fresh seed block. FLOOD_ITERATIONS scales the soak.
+# floods against a budgeted receiver, the edge pre-filter scenarios
+# (sketch shedding, cookie challenge, adaptive ladder), plus
+# crash-restart recovery, each iteration on a fresh seed block. The
+# serialised reports pipe through `fbsstat bench-validate`, which
+# re-derives the pre-parse-shed floor from each report rather than
+# trusting the harness's own verdict. FLOOD_ITERATIONS scales the soak.
 FLOOD_ITERATIONS ?= 5
 flood:
-	$(GO) run ./cmd/fbschaos -flood -crash -iterations $(FLOOD_ITERATIONS)
+	$(GO) run ./cmd/fbschaos -flood -prefilter -crash -iterations $(FLOOD_ITERATIONS) -json | $(GO) run ./cmd/fbsstat bench-validate
 
 check: build lint test race bench-smoke fuzz-smoke diff
 
@@ -135,15 +140,18 @@ ci-fuzz: fuzz-smoke
 # model, the traced fault-injection matrix (a scenario that fails
 # reconciliation dumps its per-datagram trace report to trace-artifacts/
 # for the workflow to upload; render with `fbsstat trace -f <file>`),
-# and the overload matrix. BENCH_overload.json (JSON lines) pairs a
-# short unattacked fbsbench baseline with one report per overload/crash
-# scenario, so a regression in goodput-under-flood or budget accounting
-# is visible from the uploaded artifact alone.
+# and the overload matrix (including the edge pre-filter scenarios).
+# BENCH_overload.json (JSON lines) pairs a short unattacked fbsbench
+# baseline with one report per overload/crash scenario, so a regression
+# in goodput-under-flood or budget accounting is visible from the
+# uploaded artifact alone; bench-validate then gates the artifact,
+# re-asserting each flood report's pre-parse-shed floor.
 ci-soak:
 	FBS_DIFF_ARTIFACT_DIR=diff-artifacts $(MAKE) diff
 	FBS_TRACE_ARTIFACT_DIR=trace-artifacts $(GO) run ./cmd/fbschaos -trace
 	$(GO) run ./cmd/fbsbench -bytes 16384 -native -json > BENCH_overload.json
-	$(GO) run ./cmd/fbschaos -flood -crash -json >> BENCH_overload.json
+	$(GO) run ./cmd/fbschaos -flood -prefilter -crash -json >> BENCH_overload.json
+	$(GO) run ./cmd/fbsstat bench-validate < BENCH_overload.json
 
 # The bench matrix + trajectory gate.
 #   fbsbench.json       fresh native run, shape-validated.

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	fbschaos [-seed N] [-run regexp] [-iterations N] [-json] [-list]
-//	         [-flood] [-crash] [-diff [-ops N]] [-trace]
+//	         [-flood [-prefilter]] [-crash] [-diff [-ops N]] [-trace]
 //
 // With -trace the chaos matrix runs with every-datagram tracing
 // (internal/obs/trace); a scenario that fails reconciliation dumps its
@@ -16,7 +16,9 @@
 //
 // By default the link-fault chaos matrix runs. -flood switches to the
 // overload matrix (flow-churn and spoofed-source keying floods against
-// a budgeted, admission-controlled receiver); -crash to the
+// a budgeted, admission-controlled receiver; -prefilter adds the edge
+// pre-filter scenarios — sketch shedding, cookie challenge, adaptive
+// ladder); -crash to the
 // crash-restart recovery matrix; -diff to the differential matrix
 // (seeded op streams cross-validated between the optimised endpoint
 // and the internal/refmodel reference, -ops operations per stream,
@@ -157,9 +159,13 @@ func matrix(base uint64) []netsim.ChaosScenario {
 }
 
 // floodMatrix returns the standing overload scenarios, seeded from
-// base. It mirrors the netsim flood test matrix.
-func floodMatrix(base uint64) []netsim.FloodScenario {
-	return []netsim.FloodScenario{
+// base. It mirrors the netsim flood test matrix. With prefilter set the
+// edge pre-filter scenarios ride along: the sketch pinned against a
+// shared-prefix storm (with the >=90% pre-parse shed floor), the
+// challenge rung proving zero spoof-attributable keying, and the
+// adaptive ladder escalating from its resting level.
+func floodMatrix(base uint64, prefilter bool) []netsim.FloodScenario {
+	scenarios := []netsim.FloodScenario{
 		{
 			Name:             "spoof-10x",
 			Seed:             base,
@@ -189,6 +195,67 @@ func floodMatrix(base uint64) []netsim.FloodScenario {
 			GoodputFloor:   0.05,
 		},
 	}
+	if prefilter {
+		scenarios = append(scenarios,
+			netsim.FloodScenario{
+				Name:           "prefilter-sketch",
+				Seed:           base + 2,
+				Datagrams:      50,
+				PayloadBytes:   64,
+				Secret:         true,
+				SpoofDatagrams: 2000,
+				SpoofSources:   24,
+				Admission: core.AdmissionConfig{
+					UpcallRate:  20,
+					UpcallBurst: 5,
+					PrefixQuota: 2,
+					PrefixLen:   14,
+					QuotaWindow: 30 * time.Second,
+				},
+				Prefilter:         core.PrefilterConfig{Enable: true, ForceLevel: core.PrefilterSketch},
+				PreParseShedFloor: 0.9,
+				GoodputFloor:      0.7,
+			},
+			netsim.FloodScenario{
+				Name:           "prefilter-challenge",
+				Seed:           base + 3,
+				Datagrams:      60,
+				PayloadBytes:   64,
+				Secret:         true,
+				ChurnDatagrams: 120,
+				SpoofDatagrams: 600,
+				SpoofSources:   24,
+				Admission: core.AdmissionConfig{
+					UpcallRate:  20,
+					UpcallBurst: 5,
+				},
+				Prefilter: core.PrefilterConfig{
+					Enable:     true,
+					ForceLevel: core.PrefilterChallenge,
+					SecretSeed: []byte("fbschaos-prefilter-seed"),
+				},
+				PreParseShedFloor:   0.9,
+				ExpectNoSpoofKeying: true,
+				GoodputFloor:        0.7,
+			},
+			netsim.FloodScenario{
+				Name:           "prefilter-adaptive",
+				Seed:           base + 4,
+				Datagrams:      50,
+				PayloadBytes:   64,
+				SpoofDatagrams: 2000,
+				SpoofSources:   24,
+				Admission: core.AdmissionConfig{
+					UpcallRate:  20,
+					UpcallBurst: 5,
+				},
+				Prefilter:        core.PrefilterConfig{Enable: true},
+				ExpectEscalation: true,
+				GoodputFloor:     0.7,
+			},
+		)
+	}
+	return scenarios
 }
 
 // diffMatrix returns the standing differential cross-validation runs:
@@ -281,6 +348,7 @@ func main() {
 	flood := flag.Bool("flood", false, "run the overload (flood) matrix instead of the chaos matrix")
 	crash := flag.Bool("crash", false, "run the crash-restart matrix instead of the chaos matrix")
 	diff := flag.Bool("diff", false, "run the differential matrix (optimised endpoint vs reference model) instead of the chaos matrix")
+	prefilter := flag.Bool("prefilter", false, "with -flood, include the edge pre-filter scenarios (sketch, challenge, adaptive ladder)")
 	diffOps := flag.Int("ops", 20000, "op-stream length per differential scenario (with -diff)")
 	trace := flag.Bool("trace", false, "run chaos scenarios with every-datagram tracing; failing scenarios dump their trace report to $FBS_TRACE_ARTIFACT_DIR")
 	flag.Parse()
@@ -329,7 +397,7 @@ func main() {
 				}
 			}
 			if *flood {
-				for _, sc := range floodMatrix(base) {
+				for _, sc := range floodMatrix(base, *prefilter) {
 					sc := sc
 					rs = append(rs, runnable{sc.Name, func() (any, string, []string, bool, error) {
 						rep, err := netsim.RunFlood(sc)

@@ -143,6 +143,59 @@ func TestValidateBatchFloor(t *testing.T) {
 	}
 }
 
+// floodDoc serialises a minimal flood report the way fbschaos -json
+// does (one object per line).
+func floodDoc(t *testing.T, scenario string, ratio, floor float64, complete bool, violations []string) string {
+	t.Helper()
+	data, err := json.Marshal(floodReportDoc{
+		Scenario:          scenario,
+		Complete:          complete,
+		PreParseShedRatio: ratio,
+		PreParseShedFloor: floor,
+		Violations:        violations,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestValidateFloodReports(t *testing.T) {
+	// A clean report above its committed floor passes.
+	if err := benchValidate(strings.NewReader(floodDoc(t, "prefilter-sketch", 0.97, 0.9, true, nil)), 1.0); err != nil {
+		t.Fatalf("clean flood report rejected: %v", err)
+	}
+	// A ratio below the committed floor fails even when the harness's
+	// own Violations list is empty — the gate re-derives the check.
+	err := benchValidate(strings.NewReader(floodDoc(t, "prefilter-sketch", 0.5, 0.9, true, nil)), 1.0)
+	if err == nil || !strings.Contains(err.Error(), "below committed floor") {
+		t.Fatalf("under-floor report not gated: %v", err)
+	}
+	// Violations and incompleteness fail.
+	if err := benchValidate(strings.NewReader(floodDoc(t, "spoof-10x", 0, 0, true, []string{"conservation broke"})), 1.0); err == nil {
+		t.Fatal("report with violations accepted")
+	}
+	if err := benchValidate(strings.NewReader(floodDoc(t, "spoof-10x", 0, 0, false, nil)), 1.0); err == nil {
+		t.Fatal("incomplete report accepted")
+	}
+	// A mixed stream — bench rows then flood reports, as `make flood`
+	// and CI pipe them — validates both document kinds.
+	mixed := batchDoc(t, 100000, 400000) + "\n" +
+		floodDoc(t, "prefilter-challenge", 1.0, 0.9, true, nil) + "\n" +
+		floodDoc(t, "churn-budget", 0, 0, true, nil) + "\n"
+	if err := benchValidate(strings.NewReader(mixed), 1.0); err != nil {
+		t.Fatalf("mixed stream rejected: %v", err)
+	}
+	// An object with no scenario name is not a flood report.
+	if err := benchValidate(strings.NewReader(`{"Foo": 1}`), 1.0); err == nil {
+		t.Fatal("anonymous object accepted as a flood report")
+	}
+	// An empty stream is still an error.
+	if err := benchValidate(strings.NewReader(""), 1.0); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
 func TestValidateLatency(t *testing.T) {
 	good := &benchLatency{Count: 10, MeanNs: 900, P50Ns: 800, P95Ns: 1000, P99Ns: 1200}
 	if err := validateLatency(good); err != nil {

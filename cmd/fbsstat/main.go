@@ -22,6 +22,10 @@
 // a "batch" section (fbsbench -batch) it holds every AEAD suite's
 // single-shard batch=32 cell to the amortisation floor over batch=1;
 // -floor-scale relaxes the floor for fresh nightly regeneration.
+// The input is a stream: JSON arrays are bench result sets, JSON
+// objects are serialised flood reports (fbschaos -flood -json), whose
+// reconciliation and committed pre-parse shed floor are re-asserted
+// offline; `make flood` pipes the matrix through this gate.
 //
 // bench-compare reads the same document and gates it against the
 // committed perf trajectory (BENCH_trajectory.json): a row that lost
@@ -32,6 +36,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -187,11 +192,99 @@ type benchRow struct {
 	OpenLatency *benchLatency `json:"open_latency,omitempty"`
 }
 
+// benchValidate stream-decodes a sequence of JSON documents from r:
+// each top-level array is an fbsbench result set (validated as before),
+// each top-level object a serialised flood report (fbschaos -flood
+// -json emits one per scenario run), whose committed pre-parse shed
+// floor is re-asserted from the report alone. Mixing the two in one
+// pipe is how CI gates a bench run and the flood matrix together.
 func benchValidate(r io.Reader, floorScale float64) error {
-	var rows []benchRow
-	if err := json.NewDecoder(r).Decode(&rows); err != nil {
-		return fmt.Errorf("decoding bench JSON: %w", err)
+	dec := json.NewDecoder(r)
+	var benchDocs, floodDocs int
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("decoding JSON document: %w", err)
+		}
+		doc := bytes.TrimSpace(raw)
+		switch {
+		case len(doc) > 0 && doc[0] == '[':
+			var rows []benchRow
+			if err := json.Unmarshal(doc, &rows); err != nil {
+				return fmt.Errorf("decoding bench JSON: %w", err)
+			}
+			if err := validateBenchRows(rows, floorScale); err != nil {
+				return err
+			}
+			benchDocs++
+		case len(doc) > 0 && doc[0] == '{':
+			var rep floodReportDoc
+			if err := json.Unmarshal(doc, &rep); err != nil {
+				return fmt.Errorf("decoding flood report JSON: %w", err)
+			}
+			if err := validateFloodReport(rep); err != nil {
+				return err
+			}
+			floodDocs++
+		default:
+			return fmt.Errorf("unrecognised JSON document (neither bench rows nor a flood report)")
+		}
 	}
+	if benchDocs == 0 && floodDocs == 0 {
+		return fmt.Errorf("bench JSON is an empty result set")
+	}
+	if floodDocs > 0 {
+		fmt.Printf("flood reports ok: %d validated\n", floodDocs)
+	}
+	return nil
+}
+
+// floodReportDoc declares only the fields bench-validate re-asserts
+// from a serialised netsim.FloodReport (or CrashReport — the scenario/
+// violations/complete triple is shared).
+type floodReportDoc struct {
+	Scenario          string
+	Complete          bool
+	PreParseShedRatio float64
+	PreParseShedFloor float64
+	Violations        []string
+}
+
+// validateFloodReport re-checks a flood report's claims offline: the
+// run reconciled, completed, and — when the scenario committed to a
+// pre-parse shed floor — the serialised ratio still clears it. The
+// ratio check is deliberately re-derived here rather than trusting the
+// harness's own Violations list, so a report whose floor assertion was
+// edited out (or a harness regression that stopped checking it) still
+// fails the pipeline.
+func validateFloodReport(rep floodReportDoc) error {
+	if rep.Scenario == "" {
+		return fmt.Errorf("object document carries no scenario name; not a flood report")
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("flood %s: %d reconciliation violation(s): %s", rep.Scenario, len(rep.Violations), rep.Violations[0])
+	}
+	if !rep.Complete {
+		return fmt.Errorf("flood %s: transfer incomplete", rep.Scenario)
+	}
+	if rep.PreParseShedFloor > 0 && rep.PreParseShedRatio < rep.PreParseShedFloor {
+		return fmt.Errorf("flood %s: pre-parse shed ratio %.3f below committed floor %.2f",
+			rep.Scenario, rep.PreParseShedRatio, rep.PreParseShedFloor)
+	}
+	if rep.PreParseShedFloor > 0 {
+		fmt.Printf("  flood %-24s preparse ratio %.3f >= floor %.2f ok\n", rep.Scenario, rep.PreParseShedRatio, rep.PreParseShedFloor)
+	} else {
+		fmt.Printf("  flood %-24s reconciled, complete\n", rep.Scenario)
+	}
+	return nil
+}
+
+// validateBenchRows is the historic bench-validate body: one fbsbench
+// result set's structural and plausibility checks.
+func validateBenchRows(rows []benchRow, floorScale float64) error {
 	if len(rows) == 0 {
 		return fmt.Errorf("bench JSON is an empty result set")
 	}

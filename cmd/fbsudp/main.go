@@ -18,11 +18,21 @@
 // both sides drive the batched data plane instead: the sender seals and
 // transmits N-datagram windows through SendBatch (sendmmsg/UDP GSO on
 // Linux), the receiver drains them through ReceiveBatch (recvmmsg).
+//
+// With -prefilter on both sides the receiver pins the edge pre-filter
+// at its sketch+challenge rung: first-contact datagrams are refused
+// before any soft state or DH work and answered with a stateless HMAC
+// cookie challenge. The sender absorbs the challenge, jars the cookie,
+// and retransmits with the echo envelope attached. -prefilter-seed
+// (receiver side) derives the rotating cookie secret deterministically
+// so a restarted receiver keeps honouring cookies it minted before the
+// crash.
 package main
 
 import (
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/big"
@@ -49,6 +59,9 @@ type state struct {
 	// CA public key.
 	CAN string `json:"ca_n"`
 	CAE string `json:"ca_e"`
+	// Sender's bound UDP address, so the receiver can route return
+	// traffic (challenge frames) before the sender is a known peer.
+	SendAddr string `json:"send_addr,omitempty"`
 }
 
 func main() {
@@ -61,14 +74,16 @@ func main() {
 	adminAddr := flag.String("admin", "", "serve the observability admin plane (/metrics, /flows, /recorder, pprof) on this address")
 	statsJSON := flag.Bool("stats-json", false, "emit the completion stats summary as JSON on stdout")
 	batch := flag.Int("batch", 0, "batch size for SendBatch/ReceiveBatch (0 = single-datagram calls)")
+	prefilter := flag.Bool("prefilter", false, "recv: pin the edge pre-filter at sketch+challenge; send: absorb challenges and attach cookie echoes")
+	prefilterSeed := flag.String("prefilter-seed", "", "recv: derive the rotating cookie secret from this seed (restarts keep honouring minted cookies)")
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "send":
-		err = send(*listen, *peer, *statePath, *msg, *count, *batch, *adminAddr, *statsJSON)
+		err = send(*listen, *peer, *statePath, *msg, *count, *batch, *adminAddr, *statsJSON, *prefilter)
 	case "recv":
-		err = recv(*listen, *statePath, *count, *batch, *adminAddr, *statsJSON)
+		err = recv(*listen, *statePath, *count, *batch, *adminAddr, *statsJSON, *prefilter, *prefilterSeed)
 	default:
 		err = fmt.Errorf("need -mode send or -mode recv")
 	}
@@ -118,6 +133,7 @@ type statsReport struct {
 	Caches      []core.CacheInfo     `json:"caches"`
 	KeyService  core.KeyServiceStats `json:"key_service"`
 	MKDUpcalls  uint64               `json:"mkd_upcalls"`
+	Prefilter   core.PrefilterStats  `json:"prefilter"`
 }
 
 func printStats(role string, ep *fbs.Endpoint, asJSON bool) {
@@ -132,6 +148,7 @@ func printStats(role string, ep *fbs.Endpoint, asJSON bool) {
 		Caches:      ep.Caches(),
 		KeyService:  ks,
 		MKDUpcalls:  upcalls,
+		Prefilter:   ep.Stats().Prefilter,
 	}
 	for _, d := range core.DropReasons() {
 		if n := m.Drops[d]; n > 0 {
@@ -166,11 +183,18 @@ func printStats(role string, ep *fbs.Endpoint, asJSON bool) {
 	}
 	fmt.Printf("keying:   master key requests=%d computes=%d cert fetches=%d verifies=%d failures=%d mkd upcalls=%d\n",
 		ks.MasterKeyRequests, ks.MasterKeyComputes, ks.CertFetches, ks.CertVerifies, ks.Failures, upcalls)
+	if pf := rep.Prefilter; pf.Challenged+pf.EchoAccepted+pf.CookiesLearned+pf.CookiesAttached+pf.SketchSheds > 0 {
+		fmt.Printf("prefilter: level=%d challenged=%d echo ok=%d bad=%d sheds=%d cookies learned=%d attached=%d\n",
+			pf.Level, pf.Challenged, pf.EchoAccepted, pf.EchoRejected, pf.SketchSheds, pf.CookiesLearned, pf.CookiesAttached)
+	}
 }
 
-func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr string, statsJSON bool) error {
+func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr string, statsJSON bool, prefilter bool) error {
 	if peerAddr == "" {
 		return fmt.Errorf("send mode needs -peer")
+	}
+	if prefilter && batch > 0 {
+		return fmt.Errorf("-prefilter drives the single-datagram path; drop -batch")
 	}
 	d, err := fbs.NewDomain("fbsudp")
 	if err != nil {
@@ -202,12 +226,22 @@ func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr s
 	if err != nil {
 		return err
 	}
+	// Bind the socket before writing state so the receiver learns where
+	// to route return traffic (the pre-filter's challenge frames).
+	udp, err := transport.NewUDPTransport("sender", listen)
+	if err != nil {
+		return err
+	}
+	if err := udp.AddPeer("receiver", peerAddr); err != nil {
+		return err
+	}
 	caKey := caPublic(d)
 	st := state{
 		RecvPrivate: hex.EncodeToString(recvPriv.Bytes()),
 		Certs:       [][]byte{senderCert, recvCert},
 		CAN:         caKey.N.Text(16),
 		CAE:         caKey.E.Text(16),
+		SendAddr:    udp.LocalAddr().String(),
 	}
 	blob, err := json.Marshal(st)
 	if err != nil {
@@ -218,17 +252,10 @@ func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr s
 	}
 	fmt.Printf("provisioning state written to %s — start the receiver, then press enter\n", statePath)
 	fmt.Scanln()
-
-	udp, err := transport.NewUDPTransport("sender", listen)
-	if err != nil {
-		return err
-	}
-	if err := udp.AddPeer("receiver", peerAddr); err != nil {
-		return err
-	}
 	pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 1})
 	ep, err := d.NewEndpointOn(sender, udp, func(c *core.Config) {
 		c.Observer = pipe
+		c.Prefilter.Enable = prefilter
 	})
 	if err != nil {
 		return err
@@ -237,6 +264,18 @@ func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr s
 	report, err := instrument("sender", ep, pipe, adminAddr, statsJSON)
 	if err != nil {
 		return err
+	}
+	if prefilter {
+		// The receiver answers first contact with a challenge frame on
+		// our socket; drain it through the endpoint so the cookie lands
+		// in the jar and later sends carry the echo envelope.
+		go func() {
+			for {
+				if _, err := ep.Receive(); errors.Is(err, transport.ErrClosed) {
+					return
+				}
+			}
+		}()
 	}
 	if batch > 0 {
 		// Batched data plane: seal whole windows through SealBatch and
@@ -264,6 +303,7 @@ func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr s
 		report()
 		return nil
 	}
+	var learned uint64
 	for i := 0; i < count; i++ {
 		payload := fmt.Sprintf("%s [%d]", msg, i)
 		if err := ep.SendTo("receiver", []byte(payload), true); err != nil {
@@ -271,12 +311,23 @@ func send(listen, peerAddr, statePath, msg string, count, batch int, adminAddr s
 		}
 		fmt.Printf("sent encrypted datagram %d: %q\n", i, payload)
 		time.Sleep(100 * time.Millisecond)
+		// A challenged datagram was shed at the receiver's edge; once
+		// the drain goroutine absorbs the cookie, resend it so every
+		// payload is delivered.
+		if now := ep.Stats().Prefilter.CookiesLearned; now > learned {
+			learned = now
+			fmt.Printf("challenge absorbed — resending datagram %d with cookie echo\n", i)
+			if err := ep.SendTo("receiver", []byte(payload), true); err != nil {
+				return err
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
 	}
 	report()
 	return nil
 }
 
-func recv(listen, statePath string, count, batch int, adminAddr string, statsJSON bool) error {
+func recv(listen, statePath string, count, batch int, adminAddr string, statsJSON bool, prefilter bool, prefilterSeed string) error {
 	blob, err := os.ReadFile(statePath)
 	if err != nil {
 		return fmt.Errorf("reading provisioning state (run the sender first): %w", err)
@@ -285,8 +336,16 @@ func recv(listen, statePath string, count, batch int, adminAddr string, statsJSO
 	if err := json.Unmarshal(blob, &st); err != nil {
 		return err
 	}
+	var pf core.PrefilterConfig
+	if prefilter {
+		pf = core.PrefilterConfig{
+			Enable:     true,
+			ForceLevel: core.PrefilterChallenge,
+			SecretSeed: []byte(prefilterSeed),
+		}
+	}
 	pipe := obs.NewPipeline(obs.PipelineConfig{SampleEvery: 1})
-	ep, err := rebuildEndpoint(st, listen, pipe)
+	ep, err := rebuildEndpoint(st, listen, pipe, pf)
 	if err != nil {
 		return err
 	}
@@ -294,6 +353,9 @@ func recv(listen, statePath string, count, batch int, adminAddr string, statsJSO
 	report, err := instrument("receiver", ep, pipe, adminAddr, statsJSON)
 	if err != nil {
 		return err
+	}
+	if prefilter {
+		fmt.Println("edge pre-filter pinned at sketch+challenge: first contact must echo a cookie")
 	}
 	fmt.Printf("listening on %s\n", listen)
 	if batch > 0 {
@@ -341,7 +403,7 @@ func caPublic(d *fbs.Domain) cryptolib.RSAPublicKey { return d.CAKey() }
 
 // rebuildEndpoint reconstructs the receiver endpoint from provisioning
 // state: certificates, CA key, and the receiver's private value.
-func rebuildEndpoint(st state, listen string, pipe *obs.Pipeline) (*fbs.Endpoint, error) {
+func rebuildEndpoint(st state, listen string, pipe *obs.Pipeline, pf core.PrefilterConfig) (*fbs.Endpoint, error) {
 	dir := cert.NewStaticDirectory()
 	var recvCert *cert.Certificate
 	for _, wire := range st.Certs {
@@ -377,11 +439,17 @@ func rebuildEndpoint(st state, listen string, pipe *obs.Pipeline) (*fbs.Endpoint
 	if err != nil {
 		return nil, err
 	}
+	if st.SendAddr != "" {
+		if err := udp.AddPeer("sender", st.SendAddr); err != nil {
+			return nil, err
+		}
+	}
 	return fbs.NewEndpoint(fbs.Config{
 		Identity:  id,
 		Transport: udp,
 		Directory: dir,
 		Verifier:  &cert.Verifier{CAKey: cryptolib.RSAPublicKey{N: n, E: e}, CA: "fbsudp"},
 		Observer:  pipe,
+		Prefilter: pf,
 	})
 }

@@ -153,13 +153,15 @@ func (g *admissionGate) Admit(src principal.Address) error {
 	if g.quota > 0 {
 		p := g.prefix(src)
 		w := g.prefixes[p]
-		if w == nil || now.Sub(w.start) >= g.window {
+		// A window is stale when its start is at least one window in the
+		// past — or in the future, which happens when the clock steps
+		// backwards. Without the clamp a future start yields a negative
+		// elapsed that never expires, pinning the window (and its count)
+		// until the clock catches back up.
+		if w == nil || now.Sub(w.start) >= g.window || now.Before(w.start) {
 			if w == nil {
 				if len(g.prefixes) >= prefixQuotaCap {
-					for k := range g.prefixes { // evict one arbitrary prefix
-						delete(g.prefixes, k)
-						break
-					}
+					g.evictStalest()
 				}
 				w = &prefixWindow{}
 				g.prefixes[p] = w
@@ -174,11 +176,16 @@ func (g *admissionGate) Admit(src principal.Address) error {
 		}
 		w.count++
 	}
-	// Refill the bucket for the elapsed time, then take one token.
+	// Refill the bucket for the elapsed time, then take one token. A
+	// negative elapsed (backward clock step) must not drain the bucket:
+	// refill only moves forward, and last is rewound to now so refill
+	// resumes from the stepped-back time.
 	if !g.last.IsZero() {
-		g.tokens += now.Sub(g.last).Seconds() * g.rate
-		if g.tokens > g.burst {
-			g.tokens = g.burst
+		if elapsed := now.Sub(g.last).Seconds(); elapsed > 0 {
+			g.tokens += elapsed * g.rate
+			if g.tokens > g.burst {
+				g.tokens = g.burst
+			}
 		}
 	}
 	g.last = now
@@ -191,6 +198,24 @@ func (g *admissionGate) Admit(src principal.Address) error {
 	g.mu.Unlock()
 	g.admitted.Add(1)
 	return nil
+}
+
+// evictStalest removes the prefix window with the oldest start, so an
+// attacker cycling through fresh prefixes ages out idle windows instead
+// of flushing the ones tracking active offenders (an arbitrary map
+// delete let exactly that happen). Caller holds mu.
+func (g *admissionGate) evictStalest() {
+	var stalest string
+	var oldest time.Time
+	first := true
+	for k, w := range g.prefixes {
+		if first || w.start.Before(oldest) {
+			stalest, oldest, first = k, w.start, false
+		}
+	}
+	if !first {
+		delete(g.prefixes, stalest)
+	}
 }
 
 // enter/leave bracket an admitted upcall for the depth gauge.

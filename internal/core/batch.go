@@ -431,6 +431,16 @@ func (e *Endpoint) openRun(dst []byte, dgs []transport.Datagram, res []BatchResu
 				res[k] = BatchResult{Err: fmt.Errorf("%w: %q", ErrNotForUs, dg.Destination)}
 				continue
 			}
+			// The edge pre-filter runs before the header decode, exactly
+			// as in openInner; this is where the batch path amortises —
+			// a shed datagram costs two atomic loads and no parse.
+			if e.pf != nil {
+				if err := e.prefilterInbound(dg, nil); err != nil {
+					res[k] = BatchResult{Err: err}
+					continue
+				}
+				e.pf.headerParses.Add(1)
+			}
 			var h Header
 			hn, err := h.Decode(dg.Payload)
 			if err != nil {
@@ -461,6 +471,7 @@ func (e *Endpoint) openRun(dst []byte, dgs []transport.Datagram, res []BatchResu
 						reason = DropKeying
 					}
 					e.metrics.drop(reason)
+					e.prefilterObserveDrop(dg.Source, reason)
 					res[k] = BatchResult{Err: fmt.Errorf("%w: flow from %q: %w", ErrKeying, dg.Source, err)}
 					continue
 				}
@@ -474,6 +485,7 @@ func (e *Endpoint) openRun(dst []byte, dgs []transport.Datagram, res []BatchResu
 					reason = DropDecrypt
 				}
 				e.metrics.drop(reason)
+				e.prefilterObserveDrop(dg.Source, reason)
 				res[k] = BatchResult{Err: err}
 				continue
 			}
@@ -570,10 +582,16 @@ func (e *Endpoint) SendBatch(dgs []transport.Datagram, secret bool) (int, error)
 		if res[i].Err != nil {
 			continue
 		}
+		payload := buf[res[i].Off : res[i].Off+res[i].Len]
+		if e.pf != nil {
+			// Echo a pending cookie challenge, as Send does: the envelope
+			// wraps the sealed bytes, leaving the wire image intact.
+			payload = e.prefilterWrap(payload, dgs[i].Destination)
+		}
 		wires = append(wires, transport.Datagram{
 			Source:      dgs[i].Source,
 			Destination: dgs[i].Destination,
-			Payload:     buf[res[i].Off : res[i].Off+res[i].Len],
+			Payload:     payload,
 		})
 		orig = append(orig, i)
 	}

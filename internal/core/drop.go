@@ -47,6 +47,18 @@ const (
 	// left no room to record its replay signature, so it was refused
 	// rather than accepted unprotected (see ReplayRefused).
 	DropReplayBudget
+	// DropPrefilter: the edge pre-filter's per-prefix counting sketch
+	// scored the source prefix above the shedding threshold and refused
+	// the datagram before the header parse.
+	DropPrefilter
+	// DropBadCookie: a challenge-echo envelope failed cookie
+	// verification (wrong epoch, expired stamp, truncation, or a MAC
+	// not binding the source address).
+	DropBadCookie
+	// DropChallenged: an unknown peer's datagram was refused at the
+	// challenge ladder level; a stateless cookie challenge was emitted
+	// in its place so a legitimate sender can retry with an echo.
+	DropChallenged
 
 	// NumDropReasons sizes per-reason counter arrays.
 	NumDropReasons = int(iota)
@@ -68,6 +80,9 @@ var dropNames = [NumDropReasons]string{
 	DropPeerQuota:      "peer_quota",
 	DropStateBudget:    "state_budget",
 	DropReplayBudget:   "replay_budget",
+	DropPrefilter:      "prefilter",
+	DropBadCookie:      "bad_cookie",
+	DropChallenged:     "challenged",
 }
 
 // String returns the canonical label for the reason.
@@ -123,6 +138,15 @@ func DropReasonOf(err error) DropReason {
 		return DropStateBudget
 	case errors.Is(err, ErrReplayBudget):
 		return DropReplayBudget
+	// The pre-filter reasons are likewise checked before ErrKeying:
+	// DropChallenged is a refusal of keying admission and may reach
+	// callers wrapped in the general keying error.
+	case errors.Is(err, ErrPrefilter):
+		return DropPrefilter
+	case errors.Is(err, ErrBadCookie):
+		return DropBadCookie
+	case errors.Is(err, ErrChallenged):
+		return DropChallenged
 	case errors.Is(err, ErrKeying):
 		return DropKeying
 	}

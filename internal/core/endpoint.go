@@ -169,6 +169,11 @@ type Config struct {
 	// Admission bounds receive-path keying work for unknown peers (see
 	// AdmissionConfig). The zero value disables the gate.
 	Admission AdmissionConfig
+	// Prefilter configures the edge pre-filter: the per-prefix
+	// counting sketch and the stateless cookie challenge that sit in
+	// front of the header parse, engaged adaptively as a degradation
+	// ladder (see PrefilterConfig). The zero value disables it.
+	Prefilter PrefilterConfig
 }
 
 // Metrics is a snapshot of endpoint activity. All counters are
@@ -311,12 +316,14 @@ type Endpoint struct {
 	conf *confounderWell
 
 	// Overload plane: the keying admission gate (nil when disabled),
-	// the flow-key derivation single-flight, and the rate limiter for
-	// pressure-relief sweeps.
+	// the flow-key derivation single-flight, the rate limiter for
+	// pressure-relief sweeps, and the edge pre-filter (nil when
+	// disabled).
 	gate           *admissionGate
 	flight         flowKeyFlight
 	lastPressure   atomic.Int64 // unix nanos of the last pressure sweep
 	pressureSweeps atomic.Uint64
+	pf             *prefilter
 
 	metrics endpointCounters
 }
@@ -417,6 +424,13 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 	if cfg.EnableReplayCache {
 		e.rc = NewReplayCache(cfg.FreshnessWindow)
 	}
+	if cfg.Prefilter.Enable {
+		pf, err := newPrefilter(cfg.Prefilter)
+		if err != nil {
+			return nil, err
+		}
+		e.pf = pf
+	}
 	if b := cfg.StateBudget; b != nil {
 		fam.SetBudget(b)
 		ks.SetBudget(b)
@@ -498,17 +512,20 @@ type EndpointStats struct {
 	Budget         BudgetStats
 	Admission      AdmissionStats
 	Replay         ReplayStats
+	Prefilter      PrefilterStats
 	FlowKeyDedups  uint64
 	PressureSweeps uint64
 }
 
 // Stats snapshots the overload plane. All components are nil-safe, so
-// an endpoint with no budget, gate or replay cache reports zeros.
+// an endpoint with no budget, gate, replay cache or pre-filter reports
+// zeros.
 func (e *Endpoint) Stats() EndpointStats {
 	return EndpointStats{
 		Budget:         e.cfg.StateBudget.Stats(),
 		Admission:      e.gate.Stats(),
 		Replay:         e.rc.Stats(),
+		Prefilter:      e.pf.stats(e.cfg.Clock.Now()),
 		FlowKeyDedups:  e.flight.Dedups(),
 		PressureSweeps: e.pressureSweeps.Load(),
 	}
@@ -1073,6 +1090,12 @@ func (e *Endpoint) Send(dg transport.Datagram, secret bool) error {
 	if err != nil {
 		return err
 	}
+	if e.pf != nil {
+		// Echo a pending cookie challenge from this destination: the
+		// envelope wraps the already-sealed datagram, so the sealed wire
+		// image itself is unchanged.
+		sealed.Payload = e.prefilterWrap(sealed.Payload, sealed.Destination)
+	}
 	if tr := e.cfg.Tracer; tr != nil && sealed.Trace != 0 {
 		t := time.Now()
 		err = e.cfg.Transport.Send(sealed)
@@ -1225,6 +1248,16 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 		parseFail(DropNotForUs)
 		return nil, fmt.Errorf("%w: %q", ErrNotForUs, dg.Destination)
 	}
+	// (R1b) the edge pre-filter: control-frame absorption, echo-envelope
+	// verification, sketch shedding and the cookie challenge — all
+	// before any header parse or cache work. A verified echo rewrites
+	// dg.Payload in place.
+	if e.pf != nil {
+		if err := e.prefilterInbound(&dg, tc); err != nil {
+			return nil, err
+		}
+		e.pf.headerParses.Add(1)
+	}
 	// (R2) retrieve the security flow header.
 	var h Header
 	n, err := h.Decode(dg.Payload)
@@ -1303,6 +1336,7 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 			reason = DropKeying
 		}
 		e.metrics.drop(reason)
+		e.prefilterObserveDrop(dg.Source, reason)
 		return nil, fmt.Errorf("%w: flow from %q: %w", ErrKeying, dg.Source, err)
 	}
 	// (R7-11) the suite owns decryption and authentication: legacy
@@ -1333,6 +1367,7 @@ func (e *Endpoint) openInner(dst []byte, dg transport.Datagram, copyBody bool, s
 			reason = DropDecrypt
 		}
 		e.metrics.drop(reason)
+		e.prefilterObserveDrop(dg.Source, reason)
 		return nil, err
 	}
 	// Optional exact-duplicate suppression (extension). A datagram is

@@ -62,4 +62,31 @@ var (
 	// rather than accepted unprotected, because an unrecorded (or
 	// evicted) signature could be replayed within the freshness window.
 	ErrReplayBudget = errors.New("fbs: replay window full, datagram refused unrecorded")
+
+	// ErrPrefilter means the edge pre-filter's per-prefix counting
+	// sketch scored the datagram's source prefix above the shedding
+	// threshold: recent traffic from that prefix was dominated by
+	// forgeries or sheds, so the datagram was refused before the header
+	// was even parsed.
+	ErrPrefilter = errors.New("fbs: source prefix shed by pre-filter sketch")
+	// ErrBadCookie means the datagram carried a challenge-echo envelope
+	// whose cookie failed verification: wrong secret epoch, expired
+	// stamp, truncated frame, or a MAC that does not bind the source
+	// address. Only a forged or badly damaged echo lands here — a
+	// legitimate sender echoes the exact cookie it was handed.
+	ErrBadCookie = errors.New("fbs: challenge cookie verification failed")
+	// ErrChallenged means the datagram came from an unknown peer while
+	// the pre-filter ladder was at the challenge level: instead of being
+	// admitted to keying it was refused, and a stateless cookie
+	// challenge was emitted so a legitimate sender can retry with an
+	// echo that proves return routability.
+	ErrChallenged = errors.New("fbs: unknown peer challenged, retry with cookie echo")
+
+	// ErrChallengeAbsorbed signals that a received datagram was a
+	// challenge control frame addressed to us: the cookie was absorbed
+	// into the sender-side jar and there is no payload to deliver. It
+	// maps to DropNone — the frame is accounted by CookiesLearned, not
+	// as a refused datagram — and receive loops typically treat it like
+	// any other non-fatal receive error and continue.
+	ErrChallengeAbsorbed = errors.New("fbs: challenge frame absorbed")
 )

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"fbs/internal/principal"
+)
+
+// pfEpoch starts on an exact epoch boundary (Unix time divisible by the
+// default 64 s interval) so the rollover tests can position themselves
+// just before and after a secret rotation.
+var pfEpoch = time.Unix(1_767_225_600, 0).UTC()
+
+func newTestPrefilter(t testing.TB, cfg PrefilterConfig) *prefilter {
+	t.Helper()
+	p, err := newPrefilter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCookieFrameRoundTrip(t *testing.T) {
+	ck := cookie{epoch: 0xDEADBEEF, stamp: 0x12345678}
+	for i := range ck.mac {
+		ck.mac[i] = byte(0xA0 + i)
+	}
+	for _, kind := range []byte{CookieKindChallenge, CookieKindEcho} {
+		frame := appendCookieFrame(nil, kind, ck)
+		if len(frame) != CookieFrameLen {
+			t.Fatalf("frame length = %d, want %d", len(frame), CookieFrameLen)
+		}
+		gotKind, got, ok := parseCookieFrame(frame)
+		if !ok || gotKind != kind || got != ck {
+			t.Fatalf("round trip: ok=%v kind=%#x cookie=%+v", ok, gotKind, got)
+		}
+		// An echo envelope is the frame plus a sealed datagram; the parse
+		// must ignore the trailing bytes.
+		if _, got, ok := parseCookieFrame(append(append([]byte{}, frame...), "sealed"...)); !ok || got != ck {
+			t.Fatal("frame with trailing datagram did not parse")
+		}
+	}
+	frame := appendCookieFrame(nil, CookieKindChallenge, ck)
+	for n := 0; n < CookieFrameLen; n++ {
+		if _, _, ok := parseCookieFrame(frame[:n]); ok {
+			t.Fatalf("truncated frame of %d bytes parsed", n)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		at   int
+		v    byte
+	}{
+		{"bad magic", 0, 0x00},
+		{"bad kind", 1, 0x55},
+		{"bad version", 2, CookieVersion + 1},
+	} {
+		bad := append([]byte{}, frame...)
+		bad[tc.at] = tc.v
+		if _, _, ok := parseCookieFrame(bad); ok {
+			t.Errorf("%s parsed", tc.name)
+		}
+	}
+}
+
+func TestCookieVerify(t *testing.T) {
+	p := newTestPrefilter(t, PrefilterConfig{Enable: true, SecretSeed: []byte("verify-seed")})
+	const addr principal.Address = "cookie-peer"
+	now := pfEpoch.Add(63 * time.Second) // one second before rotation
+
+	ck := p.mint(addr, now)
+	if !p.verifyCookie(addr, ck, now) {
+		t.Fatal("freshly minted cookie rejected")
+	}
+	// Epoch rollover: one epoch later the cookie still verifies under
+	// the previous secret; two epochs later it does not.
+	if !p.verifyCookie(addr, ck, now.Add(2*time.Second)) {
+		t.Error("cookie rejected immediately after epoch rotation")
+	}
+	if p.verifyCookie(addr, ck, now.Add(66*time.Second)) {
+		t.Error("cookie survived two epoch rotations")
+	}
+	// TTL, isolated from the epoch check by hand-building a stale stamp
+	// under the current epoch.
+	stale := cookie{epoch: p.epochAt(now), stamp: uint32(now.Unix() - 200)}
+	stale.mac = p.cookieMAC(addr, stale)
+	if p.verifyCookie(addr, stale, now) {
+		t.Error("stamp older than the TTL verified")
+	}
+	future := cookie{epoch: p.epochAt(now), stamp: uint32(now.Unix() + 200)}
+	future.mac = p.cookieMAC(addr, future)
+	if p.verifyCookie(addr, future, now) {
+		t.Error("stamp from the future verified")
+	}
+	// Tampering and address binding.
+	bent := ck
+	bent.mac[5] ^= 0x40
+	if p.verifyCookie(addr, bent, now) {
+		t.Error("tampered MAC verified")
+	}
+	if p.verifyCookie("someone-else", ck, now) {
+		t.Error("cookie verified for an address it does not bind")
+	}
+}
+
+// TestCookieSecretDeterminism is the crash-restart property at the unit
+// level: a prefilter rebuilt from the same seed re-derives the same
+// rotating secret and honours cookies minted before the crash; a
+// different (or absent) seed does not.
+func TestCookieSecretDeterminism(t *testing.T) {
+	seed := []byte("restart-seed")
+	p1 := newTestPrefilter(t, PrefilterConfig{Enable: true, SecretSeed: seed})
+	p2 := newTestPrefilter(t, PrefilterConfig{Enable: true, SecretSeed: seed})
+	const addr principal.Address = "survivor"
+	now := pfEpoch.Add(10 * time.Second)
+
+	ck := p1.mint(addr, now)
+	if p2.mint(addr, now) != ck {
+		t.Fatal("same seed minted different cookies")
+	}
+	if !p2.verifyCookie(addr, ck, now) {
+		t.Fatal("restarted prefilter rejected its predecessor's cookie")
+	}
+	other := newTestPrefilter(t, PrefilterConfig{Enable: true, SecretSeed: []byte("other-seed")})
+	if other.verifyCookie(addr, ck, now) {
+		t.Fatal("different seed accepted a foreign cookie")
+	}
+	// Empty seed draws a random root: two instances must not agree.
+	r1 := newTestPrefilter(t, PrefilterConfig{Enable: true})
+	r2 := newTestPrefilter(t, PrefilterConfig{Enable: true})
+	if r2.verifyCookie(addr, r1.mint(addr, now), now) {
+		t.Fatal("random-root prefilters agreed on a cookie; the root is not random")
+	}
+}
+
+func TestCookieJarBoundedStalestOut(t *testing.T) {
+	p := newTestPrefilter(t, PrefilterConfig{Enable: true, SecretSeed: []byte("jar"), JarCap: 2})
+	now := pfEpoch
+	ttl := p.cfg.CookieTTL
+
+	p.jar.learn("peer-a", p.mint("peer-a", now), now)
+	p.jar.learn("peer-b", p.mint("peer-b", now), now.Add(time.Second))
+	// Re-learning an existing peer must not evict anybody.
+	p.jar.learn("peer-a", p.mint("peer-a", now), now.Add(2*time.Second))
+	if len(p.jar.entries) != 2 {
+		t.Fatalf("jar holds %d entries, want 2", len(p.jar.entries))
+	}
+	// At capacity the stalest entry (peer-b now) makes room.
+	p.jar.learn("peer-c", p.mint("peer-c", now), now.Add(3*time.Second))
+	if _, ok := p.jar.lookup("peer-b", now.Add(3*time.Second), ttl); ok {
+		t.Error("stalest entry survived eviction")
+	}
+	if _, ok := p.jar.lookup("peer-a", now.Add(3*time.Second), ttl); !ok {
+		t.Error("freshened entry was evicted")
+	}
+	if _, ok := p.jar.lookup("peer-c", now.Add(3*time.Second), ttl); !ok {
+		t.Error("newly learned entry missing")
+	}
+	// TTL expiry deletes on lookup.
+	if _, ok := p.jar.lookup("peer-c", now.Add(3*time.Second).Add(ttl+time.Second), ttl); ok {
+		t.Error("expired cookie served from the jar")
+	}
+	if _, stillThere := p.jar.entries["peer-c"]; stillThere {
+		t.Error("expired entry not deleted")
+	}
+}
+
+func TestSketchScorePenalizeDecay(t *testing.T) {
+	p := newTestPrefilter(t, PrefilterConfig{Enable: true, ShedThreshold: 4, DecayEvery: 8})
+	for i := 0; i < 4; i++ {
+		p.penalize("hot-pref")
+	}
+	if got := p.score("hot-pref"); got != 4 {
+		t.Fatalf("score after 4 charges = %d", got)
+	}
+	if got := p.score("cold-pref"); got != 0 {
+		t.Fatalf("unrelated prefix scored %d", got)
+	}
+	// The 8th observation triggers the halving sweep.
+	for i := 0; i < 4; i++ {
+		p.penalize("other-pref")
+	}
+	if p.sketchDecays.Load() != 1 {
+		t.Fatalf("decays = %d, want 1", p.sketchDecays.Load())
+	}
+	if got := p.score("hot-pref"); got != 2 {
+		t.Errorf("hot prefix score after decay = %d, want 2", got)
+	}
+	if got := p.score("other-pref"); got != 2 {
+		t.Errorf("other prefix score after decay = %d, want 2", got)
+	}
+}
+
+// TestPrefilterLadderHysteresis drives the adaptive ladder's evaluation
+// cadence directly: a streak of hot windows (admission sheds) climbs one
+// rung per HotEvals, a streak of cold ones descends per ColdEvals, and a
+// single sample in either direction moves nothing.
+func TestPrefilterLadderHysteresis(t *testing.T) {
+	w := newWorld(t)
+	_, b, _ := endpointPair(t, w, func(c *Config) {
+		c.Prefilter = PrefilterConfig{Enable: true, EvalEvery: 4, HotEvals: 2, ColdEvals: 2}
+	})
+	p := b.pf
+	window := func(hot bool) {
+		if hot {
+			b.metrics.drop(DropKeyingOverload)
+		}
+		for i := 0; i < 4; i++ {
+			p.tick(b)
+		}
+	}
+	if p.levelNow() != PrefilterOff {
+		t.Fatal("ladder did not rest at off")
+	}
+	window(true)
+	if p.levelNow() != PrefilterOff {
+		t.Fatal("a single hot window escalated; hysteresis missing")
+	}
+	window(true)
+	if p.levelNow() != PrefilterSketch {
+		t.Fatalf("after two hot windows level = %v, want sketch", p.levelNow())
+	}
+	window(true)
+	window(true)
+	if p.levelNow() != PrefilterChallenge {
+		t.Fatalf("after four hot windows level = %v, want challenge", p.levelNow())
+	}
+	// Further pressure cannot climb past the top rung.
+	window(true)
+	window(true)
+	if p.levelNow() != PrefilterChallenge || p.escalations.Load() != 2 {
+		t.Fatalf("top rung: level %v, escalations %d", p.levelNow(), p.escalations.Load())
+	}
+	// Quiet: one cold window holds, a streak descends.
+	window(false)
+	if p.levelNow() != PrefilterChallenge {
+		t.Fatal("a single cold window de-escalated; hysteresis missing")
+	}
+	window(false)
+	if p.levelNow() != PrefilterSketch {
+		t.Fatalf("after two cold windows level = %v, want sketch", p.levelNow())
+	}
+	window(false)
+	window(false)
+	if p.levelNow() != PrefilterOff || p.deescalations.Load() != 2 {
+		t.Fatalf("stand-down: level %v, deescalations %d", p.levelNow(), p.deescalations.Load())
+	}
+}
+
+// TestPrefilterForceLevelStatic pins the ladder and checks the adaptive
+// machinery never moves it.
+func TestPrefilterForceLevelStatic(t *testing.T) {
+	w := newWorld(t)
+	_, b, _ := endpointPair(t, w, func(c *Config) {
+		c.Prefilter = PrefilterConfig{Enable: true, ForceLevel: PrefilterSketch, EvalEvery: 2, HotEvals: 1}
+	})
+	for i := 0; i < 16; i++ {
+		b.metrics.drop(DropKeyingOverload)
+		b.pf.tick(b)
+	}
+	if b.pf.levelNow() != PrefilterSketch {
+		t.Fatalf("forced level moved to %v", b.pf.levelNow())
+	}
+	if b.pf.escalations.Load() != 0 {
+		t.Fatal("forced ladder recorded an escalation")
+	}
+}
+
+func TestPrefilterConfigValidation(t *testing.T) {
+	if _, err := newPrefilter(PrefilterConfig{ForceLevel: PrefilterChallenge + 1}); err == nil {
+		t.Fatal("out-of-range ForceLevel accepted")
+	}
+	if _, err := newPrefilter(PrefilterConfig{ForceLevel: -1}); err == nil {
+		t.Fatal("negative ForceLevel accepted")
+	}
+	if _, err := NewEndpoint(Config{Prefilter: PrefilterConfig{Enable: true, ForceLevel: 99}}); err == nil {
+		t.Fatal("NewEndpoint accepted an invalid prefilter config")
+	}
+}
+
+// FuzzCookie hunts for panics and codec asymmetries in the cookie frame
+// parser: any input that parses must re-encode to an identical frame
+// prefix, and verification of arbitrary decoded cookies must never
+// accept one this prefilter did not mint.
+func FuzzCookie(f *testing.F) {
+	p, err := newPrefilter(PrefilterConfig{Enable: true, SecretSeed: []byte("fuzz-seed")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	now := pfEpoch.Add(30 * time.Second)
+	const addr principal.Address = "fuzz-peer"
+	// Seeds: a genuine challenge, a genuine echo with trailing payload,
+	// an epoch-rollover cookie, and structural near-misses.
+	f.Add(appendCookieFrame(nil, CookieKindChallenge, p.mint(addr, now)))
+	f.Add(append(appendCookieFrame(nil, CookieKindEcho, p.mint(addr, now)), 0x01, 0x02, 0x03))
+	f.Add(appendCookieFrame(nil, CookieKindChallenge, p.mint(addr, pfEpoch.Add(-time.Second))))
+	f.Add([]byte{CookieMagic, CookieKindEcho, CookieVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, ck, ok := parseCookieFrame(data)
+		if !ok {
+			// Unparseable input must also be invisible to the endpoint's
+			// dispatch: either too short or not a cookie frame at all.
+			if len(data) >= CookieFrameLen && data[0] == CookieMagic &&
+				data[2] == CookieVersion &&
+				(data[1] == CookieKindChallenge || data[1] == CookieKindEcho) {
+				t.Fatalf("well-formed frame refused: % x", data[:CookieFrameLen])
+			}
+			return
+		}
+		// Round trip: re-encoding the decoded cookie reproduces the frame
+		// prefix byte for byte.
+		re := appendCookieFrame(nil, kind, ck)
+		if !bytes.Equal(re, data[:CookieFrameLen]) {
+			t.Fatalf("codec asymmetry:\n in  % x\n out % x", data[:CookieFrameLen], re)
+		}
+		// Forgery resistance: a fuzzer-built cookie only verifies if it
+		// IS the cookie this prefilter mints for that epoch and stamp.
+		if p.verifyCookie(addr, ck, now) {
+			want := cookie{epoch: ck.epoch, stamp: ck.stamp}
+			want.mac = p.cookieMAC(addr, want)
+			if want.mac != ck.mac {
+				t.Fatalf("verified cookie with a MAC the prefilter would not mint: %+v", ck)
+			}
+		}
+	})
+}
+
+// TestAdmissionGateEvictsStalestWindow pins the eviction policy at the
+// prefix-tracking cap: an attacker cycling fresh prefixes must age out
+// the idle windows, never the one tracking an active offender.
+func TestAdmissionGateEvictsStalestWindow(t *testing.T) {
+	clock := NewSimClock(famEpoch)
+	g := newAdmissionGate(AdmissionConfig{
+		UpcallRate:  1e9,
+		UpcallBurst: 1 << 30,
+		PrefixQuota: 2,
+		PrefixLen:   32,
+		QuotaWindow: time.Hour,
+	}, clock)
+	// Fill the tracker to its cap with every prefix at quota; each
+	// window starts one tick later than the previous, so "scan-000000"
+	// is the stalest and the last prefix the most recently active.
+	for i := 0; i < prefixQuotaCap; i++ {
+		addr := principal.Address(pfScanAddr(i))
+		if err := g.Admit(addr); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Admit(addr); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(time.Millisecond)
+	}
+	offender := principal.Address(pfScanAddr(prefixQuotaCap - 1))
+	if err := g.Admit(offender); !errors.Is(err, ErrPeerQuota) {
+		t.Fatalf("offender's over-quota admit: %v, want ErrPeerQuota", err)
+	}
+	// A new prefix evicts the stalest window — not the offender's.
+	if err := g.Admit("fresh-prefix-after-cap"); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.Stats().ActivePrefixes; n > prefixQuotaCap {
+		t.Fatalf("tracking grew past the cap: %d", n)
+	}
+	// The offender's count survived the eviction: still over quota.
+	if err := g.Admit(offender); !errors.Is(err, ErrPeerQuota) {
+		t.Fatalf("offender forgot its quota after an eviction: %v", err)
+	}
+	// The stalest prefix was the one evicted: its count reset, so it is
+	// admitted afresh where its old window would have refused it.
+	stalest := principal.Address(pfScanAddr(0))
+	if err := g.Admit(stalest); err != nil {
+		t.Fatalf("evicted prefix did not restart with a clean window: %v", err)
+	}
+	if err := g.Admit(stalest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pfScanAddr(i int) string {
+	// Fixed-width so every address is its own 32-byte-capped prefix.
+	const digits = "0123456789"
+	b := []byte("scan-000000")
+	for p := len(b) - 1; i > 0 && p >= 5; p-- {
+		b[p] = digits[i%10]
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestAdmissionGateBackwardClock steps the clock backwards and checks
+// both gate mechanisms stay sane: the token bucket must not interpret
+// the negative elapsed time as a drain (or a huge refill), and a quota
+// window whose start is now in the future must expire rather than pin
+// its count forever.
+func TestAdmissionGateBackwardClock(t *testing.T) {
+	clock := NewSimClock(famEpoch)
+	g := newAdmissionGate(AdmissionConfig{
+		UpcallRate:  10,
+		UpcallBurst: 4,
+		PrefixQuota: 2,
+		PrefixLen:   4,
+		QuotaWindow: time.Second,
+	}, clock)
+	// Exhaust the 10.0. quota and drain two tokens.
+	if err := g.Admit("10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Admit("10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Admit("10.0.0.3"); !errors.Is(err, ErrPeerQuota) {
+		t.Fatalf("quota did not trip: %v", err)
+	}
+	// The clock steps back a minute (NTP correction mid-flood).
+	clock.Advance(-time.Minute)
+	// The window's start is now in the future: it must be treated as
+	// stale and reset, not pinned until the clock catches up.
+	if err := g.Admit("10.0.0.4"); err != nil {
+		t.Fatalf("backward step pinned the quota window: %v", err)
+	}
+	// The bucket refills from the stepped-back time, never drains on the
+	// negative elapsed: two tokens remain of the burst of four (two
+	// spent above; the quota shed consumed none).
+	if err := g.Admit("20.0.0.1"); err != nil {
+		t.Fatalf("backward step drained the bucket: %v", err)
+	}
+	if err := g.Admit("30.0.0.1"); !errors.Is(err, ErrKeyingOverload) {
+		t.Fatalf("bucket should be empty after 4 admits with no forward time: %v", err)
+	}
+	// Forward progress from the stepped-back time refills normally.
+	clock.Advance(200 * time.Millisecond)
+	if err := g.Admit("40.0.0.1"); err != nil {
+		t.Fatalf("refill after recovery failed: %v", err)
+	}
+	s := g.Stats()
+	if s.ShedQuota != 1 || s.ShedOverload != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -61,6 +61,19 @@ const (
 	// SpanReplay is the replay-cache probe (only on accept paths that
 	// reach it).
 	SpanReplay
+	// SpanPrefilter is the edge pre-filter verdict on a received
+	// datagram before the header parse: a sketch shed, a cookie-echo
+	// verification (pass or DropBadCookie), or a refusal at the
+	// challenge level. Attr is the sketch score when the sketch decided.
+	SpanPrefilter
+	// SpanChallenge is the emission of a stateless cookie challenge to
+	// an unknown peer (receive side, but emitted for the outbound
+	// control frame). Attr is the secret epoch the cookie was minted
+	// under.
+	SpanChallenge
+	// SpanCookie is the sender-side absorption of a challenge frame
+	// into the cookie jar. Attr is the cookie's secret epoch.
+	SpanCookie
 
 	// NumSpanKinds sizes per-kind arrays.
 	NumSpanKinds = int(iota)
@@ -76,6 +89,9 @@ var spanKindNames = [NumSpanKinds]string{
 	SpanOpen:          "open",
 	SpanParse:         "parse",
 	SpanReplay:        "replay",
+	SpanPrefilter:     "prefilter",
+	SpanChallenge:     "challenge",
+	SpanCookie:        "cookie",
 }
 
 // String returns the canonical label for the span kind.

@@ -90,11 +90,16 @@ func TestChaosAdversaryExactBuckets(t *testing.T) {
 	// TestChaosKeyingOutage below; the overload sheds (keying_overload,
 	// peer_quota, state_budget, replay_budget) by the flood tests in
 	// flood_test.go — this receiver runs unbudgeted, so its replay
-	// window never refuses a newcomer.
+	// window never refuses a newcomer. The edge pre-filter buckets
+	// (prefilter, bad_cookie, challenged) need the pre-filter enabled
+	// on the receiver; they are asserted exactly by the prefilter flood
+	// scenarios in flood_test.go and the cookie chaos script in
+	// prefilter_test.go.
 	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
 		switch reason {
 		case core.DropKeying, core.DropKeyingOverload, core.DropPeerQuota,
-			core.DropStateBudget, core.DropReplayBudget:
+			core.DropStateBudget, core.DropReplayBudget,
+			core.DropPrefilter, core.DropBadCookie, core.DropChallenged:
 			continue
 		}
 		if r.ReceiverDrops[reason] == 0 {

@@ -43,6 +43,12 @@ type DiffScenario struct {
 	// cross-validates every registered suite's framing, key schedule
 	// and drop classification against the reference model.
 	Suite core.CipherID
+	// Prefilter pins the edge pre-filter ladder at a level on both
+	// sides (core.PrefilterOff leaves it disabled). Both sides derive
+	// the cookie secret from the same fixed seed, so sketch sheds,
+	// challenge refusals and cookie verdicts must agree exactly; the
+	// op stream additionally injects forged cookie frames.
+	Prefilter core.PrefilterLevel
 }
 
 // DiffReport is the outcome of a differential run.
@@ -99,6 +105,10 @@ var (
 )
 
 var diffPeers = []principal.Address{"diff-p0", "diff-p1", "diff-p2"}
+
+// diffPrefilterSeed is the shared deterministic cookie-secret seed for
+// prefilter-enabled differential runs.
+var diffPrefilterSeed = []byte("diff-prefilter-secret")
 
 // diffEpoch is the fixed start of simulated time for differential runs.
 var diffEpoch = time.Date(2026, 7, 4, 9, 0, 0, 0, time.UTC)
@@ -166,6 +176,14 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 		sc.Ops = 1000
 	}
 	clk := core.NewSimClock(diffEpoch)
+	var optPF core.PrefilterConfig
+	var refPF refmodel.PrefilterConfig
+	if sc.Prefilter != core.PrefilterOff {
+		// Pin the ladder (the reference has no pressure signals to
+		// adapt to) and share the secret seed so cookie MACs agree.
+		optPF = core.PrefilterConfig{Enable: true, ForceLevel: sc.Prefilter, SecretSeed: diffPrefilterSeed}
+		refPF = refmodel.PrefilterConfig{Enable: true, Level: sc.Prefilter, SecretSeed: diffPrefilterSeed}
+	}
 	pairs := make([]diffPair, len(diffPeers))
 	for i, addr := range diffPeers {
 		confSeed := sc.Seed ^ uint64(i+1)*0x9E3779B97F4A7C15
@@ -180,6 +198,7 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 			SFLSeed:           sflSeed,
 			Cipher:            sc.Suite,
 			EnableReplayCache: sc.ReplayCache,
+			Prefilter:         optPF,
 		})
 		if err != nil {
 			return nil, err
@@ -193,6 +212,7 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 			SFLSeed:           sflSeed,
 			Cipher:            sc.Suite,
 			EnableReplayCache: sc.ReplayCache,
+			Prefilter:         refPF,
 		})
 		if err != nil {
 			opt.Close()
@@ -333,6 +353,26 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 			}
 		case "truncate":
 			wire = wire[:int(rng.Uint32())%(len(wire)+1)]
+		case "cookie-forge":
+			// Forged echo envelope: well-formed framing, random epoch,
+			// stamp and MAC. Both sides must refuse it as a bad cookie
+			// and charge the source's sketch prefix identically.
+			env := make([]byte, core.CookieFrameLen)
+			env[0], env[1], env[2] = core.CookieMagic, core.CookieKindEcho, core.CookieVersion
+			for i := 3; i < len(env); i++ {
+				env[i] = byte(rng.Uint32())
+			}
+			wire = append(env, wire...)
+		case "cookie-frame":
+			// A bare forged challenge frame: both sides absorb it into
+			// the sender-side jar (cookies are opaque to the learner)
+			// and classify it DropNone.
+			env := make([]byte, core.CookieFrameLen)
+			env[0], env[1], env[2] = core.CookieMagic, core.CookieKindChallenge, core.CookieVersion
+			for i := 3; i < len(env); i++ {
+				env[i] = byte(rng.Uint32())
+			}
+			wire = env
 		}
 		rep.Delivers++
 		optOut, optErr := d.opt.Open(transport.Datagram{
@@ -449,6 +489,14 @@ func RunDiff(sc DiffScenario) (*DiffReport, error) {
 					mutation = "bitflip"
 				case 1:
 					mutation = "truncate"
+				}
+				if sc.Prefilter != core.PrefilterOff && rng.Uint32()%8 == 0 {
+					// Prefilter runs also fuzz the cookie control plane.
+					if rng.Uint32()%2 == 0 {
+						mutation = "cookie-forge"
+					} else {
+						mutation = "cookie-frame"
+					}
 				}
 				deliver(f, mutation)
 				if mutation == "clean" {

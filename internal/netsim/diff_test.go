@@ -95,6 +95,42 @@ func TestDifferentialSuites(t *testing.T) {
 	}
 }
 
+// TestDifferentialPrefilter pins the edge pre-filter at each active
+// ladder rung on both implementations and demands exact agreement on
+// sketch sheds, challenge refusals, cookie-frame absorption and forged
+// echo rejection — the op stream injects forged cookie frames on top
+// of the usual bitflip/truncate damage.
+func TestDifferentialPrefilter(t *testing.T) {
+	for _, sc := range []struct {
+		name  string
+		level core.PrefilterLevel
+	}{
+		{"sketch", core.PrefilterSketch},
+		{"challenge", core.PrefilterChallenge},
+	} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunDiff(DiffScenario{
+				Seed:        0xC00C1E + uint64(sc.level),
+				Ops:         4000,
+				ReplayCache: true,
+				Prefilter:   sc.level,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Divergence != "" {
+				failDiff(t, "prefilter-"+sc.name, rep)
+			}
+			if rep.Dropped == 0 {
+				t.Fatalf("prefilter run dropped nothing: the op mix no longer exercises refusals")
+			}
+			t.Log(rep.Summary())
+		})
+	}
+}
+
 // TestDifferentialMatrixRace runs independent differential pairs
 // concurrently. Each run is self-contained; under -race this doubles as
 // a data-race probe of the optimised endpoint's striped machinery while
@@ -131,6 +167,9 @@ func FuzzDifferential(f *testing.F) {
 			Ops:         int(ops)%1024 + 32,
 			ReplayCache: seed%5 != 0, // occasionally cross-validate the replay-free path
 			Suite:       suites[int(seed/7)%len(suites)].ID(),
+			// The seed also roams the pre-filter ladder, so the fuzzer
+			// hunts cookie-codec and sketch disagreements too.
+			Prefilter: core.PrefilterLevel((seed / 11) % 3),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -74,6 +74,24 @@ type FloodScenario struct {
 	GoodputFloor float64
 	// MaxRounds bounds post-attack retransmission rounds (default 10).
 	MaxRounds int
+
+	// Prefilter configures the receiver's edge pre-filter. When
+	// enabled, the legitimate sender and the churn flooder also run
+	// with the pre-filter machinery on (at the resting level) so their
+	// cookie jars can absorb challenges and wrap retries in echoes.
+	Prefilter core.PrefilterConfig
+	// PreParseShedFloor, when > 0, requires at least this fraction of
+	// the spoofed datagrams to have been refused before the header
+	// parse (the sketch/challenge work bound from the paper's
+	// cheapest-check-first discipline).
+	PreParseShedFloor float64
+	// ExpectEscalation requires the adaptive ladder to have climbed at
+	// least one rung during the run.
+	ExpectEscalation bool
+	// ExpectNoSpoofKeying requires the spoofed flood to have bought
+	// zero keying work: Diffie-Hellman computes stay exactly at the
+	// legitimate-peer count and no spoofed source passes admission.
+	ExpectNoSpoofKeying bool
 }
 
 // FloodReport is the outcome of an overload run plus its reconciliation.
@@ -110,6 +128,16 @@ type FloodReport struct {
 	LegitPeers uint64
 	Rounds     int
 	Complete   bool
+	// Prefilter snapshots the receiver's edge pre-filter;
+	// PreParseShedRatio is the fraction of spoofed datagrams refused
+	// before the header parse (exact when no legitimate datagram was
+	// challenged; otherwise a slight overestimate, clamped to 1).
+	// PreParseShedFloor echoes the scenario's expectation so offline
+	// validators (fbsstat bench-validate) can re-assert it from the
+	// serialised report alone.
+	Prefilter         core.PrefilterStats
+	PreParseShedRatio float64
+	PreParseShedFloor float64
 	// Violations lists every reconciliation equation that failed; empty
 	// means the run reconciled exactly.
 	Violations []string
@@ -236,7 +264,14 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 		cfg.AcceptMACs = []cryptolib.MACID{cryptolib.MACPrefixMD5}
 		return core.NewEndpoint(cfg)
 	}
-	alice, err := attach(sender, core.Config{})
+	// Senders run the pre-filter machinery at the resting level when the
+	// receiver's is enabled: their inbound path absorbs challenge frames
+	// into the jar and their send path wraps retries in echo envelopes.
+	var senderPF core.PrefilterConfig
+	if sc.Prefilter.Enable {
+		senderPF = core.PrefilterConfig{Enable: true}
+	}
+	alice, err := attach(sender, core.Config{Prefilter: senderPF})
 	if err != nil {
 		return nil, err
 	}
@@ -245,12 +280,14 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 		EnableReplayCache: true,
 		StateBudget:       core.NewBudget(sc.HighWater, sc.HardBudget),
 		Admission:         sc.Admission,
+		Prefilter:         sc.Prefilter,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer bob.Close()
 	mallory, err := attach(flooder, core.Config{
+		Prefilter:   senderPF,
 		StateBudget: core.NewBudget(0, sc.SenderHardBudget),
 		// Every churn datagram must land on a fresh flow: classify on
 		// the sequence number the churn loop varies.
@@ -283,6 +320,22 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 			rs.mark(binary.BigEndian.Uint32(dg.Payload))
 		}
 	}()
+	// With the pre-filter on, the senders must drain their inbound
+	// queues: processing a challenge frame is what stocks their jars.
+	if sc.Prefilter.Enable {
+		for _, ep := range []*core.Endpoint{alice, mallory} {
+			ep := ep
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := ep.Receive(); errors.Is(err, transport.ErrClosed) {
+						return
+					}
+				}
+			}()
+		}
+	}
 
 	report := &FloodReport{Scenario: sc.Name}
 	payload := func(seq uint32) []byte {
@@ -347,6 +400,19 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 	sendLegit(0)
 	sendChurn()
 	drained := drain()
+	// At the challenge level the warm-up datagrams were refused and
+	// answered with challenges; wait for both senders' jars to absorb
+	// their cookies so the attack phase measures echo-wrapped traffic,
+	// not the asynchronous jar fill.
+	if sc.Prefilter.Enable && bob.Stats().Prefilter.Challenged > 0 {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if alice.Stats().Prefilter.CookiesLearned > 0 && mallory.Stats().Prefilter.CookiesLearned > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
 
 	// Attack phase: legitimate transfer interleaved with both floods.
 	churnPer := sc.ChurnDatagrams / sc.Datagrams
@@ -407,7 +473,18 @@ func RunFlood(sc FloodScenario) (*FloodReport, error) {
 	report.SenderBudget = mallory.Stats().Budget
 	report.Keys = bobKeyStats(bob)
 	report.LegitPeers = 2 // alice and mallory
+	report.Prefilter = bs.Prefilter
+	report.PreParseShedFloor = sc.PreParseShedFloor
+	if report.SpoofOffered > 0 {
+		shed := float64(report.ReceiverDrops[core.DropPrefilter] + report.ReceiverDrops[core.DropChallenged])
+		report.PreParseShedRatio = shed / float64(report.SpoofOffered)
+		if report.PreParseShedRatio > 1 {
+			report.PreParseShedRatio = 1
+		}
+	}
 
+	alice.Close()
+	mallory.Close()
 	bob.Close()
 	wg.Wait()
 
@@ -459,16 +536,35 @@ func (r *FloodReport) reconcile(sc *FloodScenario) {
 	// its replay signature. On a clean link that count is exactly the
 	// clean deliveries that were not accepted, so the books still
 	// balance to the datagram.
+	// The pre-filter reasons join the bucket set: a spoof may now be
+	// refused before the parse (sketch, challenge) instead of reaching
+	// the keying path, and a challenged legitimate first contact is a
+	// clean shed like any other overload refusal.
 	spoofDrops := r.ReceiverDrops[core.DropKeyingOverload] +
 		r.ReceiverDrops[core.DropPeerQuota] +
 		r.ReceiverDrops[core.DropStateBudget] +
 		r.ReceiverDrops[core.DropReplayBudget] +
 		r.ReceiverDrops[core.DropBadMAC] +
-		r.ReceiverDrops[core.DropKeying]
+		r.ReceiverDrops[core.DropKeying] +
+		r.ReceiverDrops[core.DropPrefilter] +
+		r.ReceiverDrops[core.DropBadCookie] +
+		r.ReceiverDrops[core.DropChallenged]
 	cleanShed := r.Port.DeliveredClean - r.Accepted
 	if spoofDrops != r.SpoofOffered+cleanShed {
 		fail("spoof accounting: keying-path drops %d != spoofs(%d)+overload sheds(%d)",
 			spoofDrops, r.SpoofOffered, cleanShed)
+	}
+	// The pre-parse work ledger: with the pre-filter on, every copy
+	// enqueued at the receiver either reached the header parse or was
+	// refused before it, with nothing double-counted.
+	if sc.Prefilter.Enable {
+		preParse := r.ReceiverDrops[core.DropPrefilter] +
+			r.ReceiverDrops[core.DropBadCookie] +
+			r.ReceiverDrops[core.DropChallenged]
+		if got := r.Prefilter.HeaderParses + preParse; got != enq {
+			fail("work counter: header parses(%d)+pre-parse sheds(%d)=%d != enqueued(%d)",
+				r.Prefilter.HeaderParses, preParse, got, enq)
+		}
 	}
 	// The churn flooder's books: every attempt was sealed onto the wire
 	// or shed by its own endpoint with a counted reason.
@@ -501,14 +597,36 @@ func (r *FloodReport) reconcile(sc *FloodScenario) {
 		fail("exponentiations %d exceed admitted peers bound %d", r.Keys.MasterKeyComputes, bound)
 	}
 	if sc.Admission.UpcallRate > 0 && sc.SpoofDatagrams > 0 {
-		if r.Admission.ShedOverload+r.Admission.ShedQuota == 0 {
-			fail("spoof flood at 10x never tripped the admission gate")
+		// The storm must have been shed by SOMETHING cheap: the gate, or
+		// — when the pre-filter sits in front of it — the sketch and the
+		// cookie challenge, which legitimately starve the gate of spoofs.
+		if r.Admission.ShedOverload+r.Admission.ShedQuota == 0 &&
+			r.ReceiverDrops[core.DropPrefilter]+r.ReceiverDrops[core.DropChallenged] == 0 {
+			fail("spoof flood at 10x never tripped the admission gate or the pre-filter")
 		}
 	}
 
 	// The legitimate transfer survived the storm.
 	if r.Goodput < sc.GoodputFloor {
 		fail("legit goodput %.2f below floor %.2f", r.Goodput, sc.GoodputFloor)
+	}
+
+	// Pre-filter expectations.
+	if sc.PreParseShedFloor > 0 && r.PreParseShedRatio < sc.PreParseShedFloor {
+		fail("pre-parse shed ratio %.3f below floor %.3f", r.PreParseShedRatio, sc.PreParseShedFloor)
+	}
+	if sc.ExpectEscalation && r.Prefilter.Escalations == 0 {
+		fail("adaptive ladder never escalated under flood pressure")
+	}
+	if sc.ExpectNoSpoofKeying {
+		if r.Keys.MasterKeyComputes != r.LegitPeers {
+			fail("spoofed flood bought keying work: %d DH computes != %d legitimate peers",
+				r.Keys.MasterKeyComputes, r.LegitPeers)
+		}
+		if r.Admission.Admitted > r.LegitPeers {
+			fail("spoofed source passed admission: %d admitted > %d legitimate peers",
+				r.Admission.Admitted, r.LegitPeers)
+		}
 	}
 }
 
@@ -525,6 +643,11 @@ func (r *FloodReport) Summary() string {
 		r.Admission.Admitted, r.Admission.ShedOverload, r.Admission.ShedQuota, r.Admission.ActivePrefixes)
 	s += fmt.Sprintf("  replay: entries=%d peers=%d refusals=%d; dh computes=%d (admitted+legit bound %d)\n",
 		r.Replay.Entries, r.Replay.Peers, r.Replay.Refusals, r.Keys.MasterKeyComputes, r.LegitPeers+r.Admission.Admitted)
+	if pf := r.Prefilter; pf.HeaderParses > 0 || pf.SketchSheds > 0 || pf.Challenged > 0 {
+		s += fmt.Sprintf("  prefilter: level=%d sheds=%d challenged=%d(+%d suppressed) echo ok=%d bad=%d parses=%d preparse_ratio=%.3f\n",
+			pf.Level, pf.SketchSheds, pf.Challenged, pf.ChallengeSuppressed,
+			pf.EchoAccepted, pf.EchoRejected, pf.HeaderParses, r.PreParseShedRatio)
+	}
 	for reason := core.DropReason(1); int(reason) < core.NumDropReasons; reason++ {
 		if n := r.ReceiverDrops[reason]; n > 0 {
 			s += fmt.Sprintf("  drop %s: %d\n", reason, n)

@@ -77,6 +77,144 @@ func TestFloodSpoofedKeyingAt10x(t *testing.T) {
 	}
 }
 
+// TestFloodPrefilterSketchPreParse pins the pre-filter at the sketch
+// level under a spoofed-source storm sharing one address prefix: the
+// admission gate's sheds heat the sketch, after which the storm must be
+// refused before the header parse. RunFlood's reconciliation asserts
+// the work-counter ledger (header parses + pre-parse sheds == enqueued)
+// and the >=90% pre-parse shed floor from the scenario.
+func TestFloodPrefilterSketchPreParse(t *testing.T) {
+	rep, err := RunFlood(FloodScenario{
+		Name:         "prefilter-sketch",
+		Seed:         13,
+		Datagrams:    50,
+		PayloadBytes: 64,
+		Secret:       true,
+		// 40 spoofs ride along with every legitimate datagram, all from
+		// the shared "flood-sp" sketch prefix.
+		SpoofDatagrams: 2000,
+		SpoofSources:   24,
+		Admission: core.AdmissionConfig{
+			UpcallRate:  20,
+			UpcallBurst: 5,
+			PrefixQuota: 2,
+			PrefixLen:   14,
+			QuotaWindow: 30 * time.Second,
+		},
+		Prefilter:         core.PrefilterConfig{Enable: true, ForceLevel: core.PrefilterSketch},
+		PreParseShedFloor: 0.9,
+		GoodputFloor:      0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Log(rep.Summary())
+	}
+	if rep.ReceiverDrops[core.DropPrefilter] == 0 {
+		t.Error("sketch never shed a spoofed datagram pre-parse")
+	}
+	if rep.Prefilter.SketchSheds != rep.ReceiverDrops[core.DropPrefilter] {
+		t.Errorf("sketch shed counter %d disagrees with DropPrefilter %d",
+			rep.Prefilter.SketchSheds, rep.ReceiverDrops[core.DropPrefilter])
+	}
+	// The sketch does not protect what it has not seen: the first
+	// spoofs reached the keying path and were shed (or unmasked) there,
+	// which is exactly what heated the prefix.
+	if rep.Admission.ShedOverload+rep.Admission.ShedQuota == 0 {
+		t.Error("no admission shed ever fed the sketch")
+	}
+}
+
+// TestFloodPrefilterChallengeZeroKeying pins the ladder at the top
+// rung: every spoofed datagram must be refused statelessly — zero
+// Diffie-Hellman computes and zero admissions attributable to the
+// storm (ExpectNoSpoofKeying) — while the legitimate sender and the
+// churn flooder answer their challenges with cookie echoes and carry
+// on. Cookies here derive from a fixed seed, the crash-restart
+// resumability knob.
+func TestFloodPrefilterChallengeZeroKeying(t *testing.T) {
+	rep, err := RunFlood(FloodScenario{
+		Name:           "prefilter-challenge",
+		Seed:           17,
+		Datagrams:      60,
+		PayloadBytes:   64,
+		Secret:         true,
+		ChurnDatagrams: 120,
+		SpoofDatagrams: 600,
+		SpoofSources:   24,
+		Admission: core.AdmissionConfig{
+			UpcallRate:  20,
+			UpcallBurst: 5,
+		},
+		Prefilter: core.PrefilterConfig{
+			Enable:     true,
+			ForceLevel: core.PrefilterChallenge,
+			SecretSeed: []byte("flood-prefilter-seed"),
+		},
+		PreParseShedFloor:   0.9,
+		ExpectNoSpoofKeying: true,
+		GoodputFloor:        0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Log(rep.Summary())
+	}
+	if rep.ReceiverDrops[core.DropChallenged] == 0 {
+		t.Error("challenge level never refused an unknown peer")
+	}
+	if rep.Prefilter.EchoAccepted == 0 {
+		t.Error("no legitimate echo was ever verified; the transfer should have stalled")
+	}
+	if rep.Prefilter.EchoRejected != 0 {
+		t.Errorf("clean link rejected %d echoes", rep.Prefilter.EchoRejected)
+	}
+}
+
+// TestFloodPrefilterAdaptiveEscalates runs the ladder in adaptive mode:
+// resting at off (zero added cost in peacetime), it must climb when the
+// admission gate starts shedding under the spoofed storm. Escalation —
+// not a particular resting rung — is the assertion; hysteresis means
+// the ladder may step back down whenever the sketch itself quiets the
+// pressure signal.
+func TestFloodPrefilterAdaptiveEscalates(t *testing.T) {
+	rep, err := RunFlood(FloodScenario{
+		Name:           "prefilter-adaptive",
+		Seed:           19,
+		Datagrams:      50,
+		PayloadBytes:   64,
+		SpoofDatagrams: 2000,
+		SpoofSources:   24,
+		Admission: core.AdmissionConfig{
+			UpcallRate:  20,
+			UpcallBurst: 5,
+		},
+		Prefilter:        core.PrefilterConfig{Enable: true},
+		ExpectEscalation: true,
+		GoodputFloor:     0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		t.Log(rep.Summary())
+	}
+	if rep.Prefilter.Escalations == 0 {
+		t.Error("adaptive ladder never escalated")
+	}
+}
+
 // TestFloodChurnBudgetExact runs the flow-churn flood alone, with no
 // admission gate: the memory budget by itself must cap receiver state
 // (flow-key cache installs skipped, replay newcomers refused) while

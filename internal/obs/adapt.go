@@ -124,6 +124,28 @@ func RegisterEndpoint(r *Registry, name string, ep *core.Endpoint) {
 			Sample{Labels: []Label{eplbl, {Key: "cause", Value: "overload"}}, Value: float64(es.Admission.ShedOverload)},
 			Sample{Labels: []Label{eplbl, {Key: "cause", Value: "quota"}}, Value: float64(es.Admission.ShedQuota)})
 		fams = append(fams, shed)
+
+		// Edge pre-filter: ladder position, pre-parse shedding, the
+		// cookie challenge/echo flow, and the work counter that proves
+		// shed datagrams were never parsed. The per-reason refusals
+		// (prefilter/bad_cookie/challenged) ride fbs_endpoint_drops_total
+		// like every other drop.
+		pf := es.Prefilter
+		fams = append(fams,
+			GaugeFamily("fbs_prefilter_level", "Current degradation-ladder rung (0 off, 1 sketch, 2 sketch+challenge).", float64(pf.Level), eplbl),
+			GaugeFamily("fbs_prefilter_epoch", "Current cookie-secret epoch.", float64(pf.Epoch), eplbl),
+			CounterFamily("fbs_prefilter_escalations_total", "Ladder escalations (one rung up).", pf.Escalations, eplbl),
+			CounterFamily("fbs_prefilter_deescalations_total", "Ladder de-escalations (one rung down).", pf.Deescalations, eplbl),
+			CounterFamily("fbs_prefilter_sketch_sheds_total", "Datagrams refused by the per-prefix sketch before the header parse.", pf.SketchSheds, eplbl),
+			CounterFamily("fbs_prefilter_sketch_decays_total", "Halving decay sweeps over the sketch.", pf.SketchDecays, eplbl),
+			CounterFamily("fbs_prefilter_challenges_total", "Cookie challenge frames emitted.", pf.Challenged, eplbl),
+			CounterFamily("fbs_prefilter_challenges_suppressed_total", "Challenge refusals past the per-window rate cap (no frame sent).", pf.ChallengeSuppressed, eplbl),
+			CounterFamily("fbs_prefilter_echo_accepted_total", "Echo envelopes whose cookie verified.", pf.EchoAccepted, eplbl),
+			CounterFamily("fbs_prefilter_echo_rejected_total", "Echo envelopes whose cookie failed verification.", pf.EchoRejected, eplbl),
+			CounterFamily("fbs_prefilter_cookies_learned_total", "Challenge cookies absorbed into the sender-side jar.", pf.CookiesLearned, eplbl),
+			CounterFamily("fbs_prefilter_cookies_attached_total", "Outgoing datagrams wrapped in an echo envelope.", pf.CookiesAttached, eplbl),
+			CounterFamily("fbs_prefilter_header_parses_total", "Datagrams that reached the header decode (pre-parse sheds never increment this).", pf.HeaderParses, eplbl),
+		)
 		perPeer := Family{Name: "fbs_replay_peer_entries", Help: "Replay-window entries held per peer (bounded by the budget).", Type: "gauge"}
 		occupancy := ep.ReplayPerPeer()
 		peers := make([]string, 0, len(occupancy))

@@ -97,6 +97,10 @@ type Config struct {
 	// EnableReplayCache turns on exact-duplicate suppression within
 	// the freshness window.
 	EnableReplayCache bool
+
+	// Prefilter configures the reference edge pre-filter (see
+	// prefilter.go); the zero value disables it.
+	Prefilter PrefilterConfig
 }
 
 // flowSlot is one row of the naive flow table (Figure 7, without the
@@ -126,6 +130,7 @@ type Endpoint struct {
 	nextSFL uint64
 	masters map[principal.Address][16]byte
 	replay  map[replaySig]time.Time
+	pf      *refPrefilter
 
 	drops    [core.NumDropReasons]uint64
 	accepted uint64
@@ -175,13 +180,21 @@ func New(cfg Config) (*Endpoint, error) {
 	if cfg.TableSize <= 0 {
 		cfg.TableSize = 256
 	}
-	return &Endpoint{
+	e := &Endpoint{
 		cfg:     cfg,
 		table:   make([]flowSlot, cfg.TableSize),
 		nextSFL: cfg.SFLSeed,
 		masters: make(map[principal.Address][16]byte),
 		replay:  make(map[replaySig]time.Time),
-	}, nil
+	}
+	if cfg.Prefilter.Enable {
+		pf, err := newRefPrefilter(cfg.Prefilter)
+		if err != nil {
+			return nil, err
+		}
+		e.pf = pf
+	}
+	return e, nil
 }
 
 // Addr returns this endpoint's principal address.
@@ -421,6 +434,17 @@ func (e *Endpoint) Open(src, dst principal.Address, wire []byte) ([]byte, error)
 		e.drops[core.DropNotForUs]++
 		return nil, fmt.Errorf("%w: %q", core.ErrNotForUs, dst)
 	}
+	// The pre-filter runs before the header parse, exactly where core
+	// places it: a shed prefix or an unanswered challenge refuses the
+	// datagram without looking at the header at all, and a verified
+	// echo envelope is stripped before parsing.
+	if e.pf != nil {
+		inner, err := e.pfInbound(src, wire)
+		if err != nil {
+			return nil, err
+		}
+		wire = inner
+	}
 	if len(wire) < headerSize {
 		e.drops[core.DropMalformed]++
 		return nil, fmt.Errorf("%w: %d bytes", core.ErrMalformed, len(wire))
@@ -481,6 +505,7 @@ func (e *Endpoint) Open(src, dst principal.Address, wire []byte) ([]byte, error)
 			plain, err := box.Open(nil, nonceOf(hdr), ct, macInput(hdr))
 			if err != nil {
 				e.drops[core.DropBadMAC]++
+				e.pfPenalize(src, core.DropBadMAC)
 				return nil, core.ErrBadMAC
 			}
 			body = plain
@@ -488,6 +513,7 @@ func (e *Endpoint) Open(src, dst principal.Address, wire []byte) ([]byte, error)
 			aad := append(macInput(hdr), body...)
 			if _, err := box.Open(nil, nonceOf(hdr), hdr[macOffset:headerSize], aad); err != nil {
 				e.drops[core.DropBadMAC]++
+				e.pfPenalize(src, core.DropBadMAC)
 				return nil, core.ErrBadMAC
 			}
 		}
@@ -508,6 +534,7 @@ func (e *Endpoint) Open(src, dst principal.Address, wire []byte) ([]byte, error)
 				// Bad padding reports as an authentication failure, same
 				// as core, to avoid a padding oracle.
 				e.drops[core.DropBadMAC]++
+				e.pfPenalize(src, core.DropBadMAC)
 				return nil, core.ErrBadMAC
 			}
 			body = unpadded
@@ -515,6 +542,7 @@ func (e *Endpoint) Open(src, dst principal.Address, wire []byte) ([]byte, error)
 		if mid != cryptolib.MACNull {
 			if !mid.Verify(kf[:], hdr[macOffset:headerSize], macInput(hdr), body) {
 				e.drops[core.DropBadMAC]++
+				e.pfPenalize(src, core.DropBadMAC)
 				return nil, core.ErrBadMAC
 			}
 		}

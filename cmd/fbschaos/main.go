@@ -310,6 +310,23 @@ func crashMatrix(base uint64) []netsim.CrashScenario {
 	}
 }
 
+// reconfigMatrix returns the standing reconfiguration-under-load
+// scenarios.
+func reconfigMatrix(base uint64) []netsim.ReconfigScenario {
+	return []netsim.ReconfigScenario{
+		{
+			Name:         "reconfig-under-load",
+			Seed:         base,
+			Senders:      4,
+			Datagrams:    60,
+			PayloadBytes: 64,
+			Secret:       true,
+			Shards:       2,
+			Swaps:        3,
+		},
+	}
+}
+
 // dumpTraces writes a failing scenario's assembled per-datagram traces
 // and its flight-recorder window to $FBS_TRACE_ARTIFACT_DIR (when set,
 // and when the scenario ran with -trace), so CI uploads the
@@ -348,6 +365,7 @@ func main() {
 	flood := flag.Bool("flood", false, "run the overload (flood) matrix instead of the chaos matrix")
 	crash := flag.Bool("crash", false, "run the crash-restart matrix instead of the chaos matrix")
 	diff := flag.Bool("diff", false, "run the differential matrix (optimised endpoint vs reference model) instead of the chaos matrix")
+	reconfig := flag.Bool("reconfig", false, "run the gateway reconfiguration-under-load matrix instead of the chaos matrix")
 	prefilter := flag.Bool("prefilter", false, "with -flood, include the edge pre-filter scenarios (sketch, challenge, adaptive ladder)")
 	diffOps := flag.Int("ops", 20000, "op-stream length per differential scenario (with -diff)")
 	trace := flag.Bool("trace", false, "run chaos scenarios with every-datagram tracing; failing scenarios dump their trace report to $FBS_TRACE_ARTIFACT_DIR")
@@ -371,7 +389,19 @@ func main() {
 	}
 	collect := func(base uint64) []runnable {
 		var rs []runnable
-		if *flood || *crash || *diff {
+		if *flood || *crash || *diff || *reconfig {
+			if *reconfig {
+				for _, sc := range reconfigMatrix(base) {
+					sc := sc
+					rs = append(rs, runnable{sc.Name, func() (any, string, []string, bool, error) {
+						rep, err := netsim.RunReconfig(sc)
+						if err != nil {
+							return nil, "", nil, false, err
+						}
+						return rep, rep.Summary(), rep.Violations, rep.Complete, nil
+					}})
+				}
+			}
 			if *diff {
 				for _, d := range diffMatrix(base, *diffOps) {
 					d := d

@@ -1,0 +1,437 @@
+// Command fbsgw is the deployable FBS gateway daemon: a long-running
+// multi-tenant datagram-security gateway over real UDP sockets, driven
+// by a declarative JSON config (see examples/fbsgw/gateway.json) and
+// reconfigurable with zero downtime three ways:
+//
+//   - SIGHUP re-reads the config file and atomically swaps to it;
+//   - the admin API mirrors Caddy's: GET /config returns the live
+//     config, POST /config swaps a full replacement, PATCH /config
+//     applies a targeted mutation (accept-set, state budget, admission
+//     quota, or a flush_peer key rotation);
+//   - embedders call gateway.Gateway.Swap directly.
+//
+// A swap never drops an in-flight flow: the new config epoch is fully
+// built and warmed from the old epoch's keying caches before one
+// atomic pointer store redirects traffic, and the old epoch finishes
+// what it already admitted before retiring. SIGTERM/SIGINT drain the
+// gateway gracefully — intake stops, in-flight datagrams finish, and
+// the final cumulative stats (which reconcile exactly: received ==
+// accepted + drops + no_tenant + absorbed) print as JSON.
+//
+// Because zero-message keying needs both sides' public values, the
+// daemon plays the Domain the way fbsudp's sender does: it mints
+// tenant identities, pre-provisions the client identities named with
+// -clients, and writes certificates, the CA key, client private
+// values, and the bound listener addresses to the -state file, which
+// clients load to build their endpoints. (Production would use a real
+// certificate service; see internal/cert.)
+//
+// Usage:
+//
+//	fbsgw -config gateway.json -state /tmp/fbsgw.state -clients alice,bob
+//	fbsgw -config gateway.json -check   # validate and exit
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/cryptolib"
+	"fbs/internal/gateway"
+	"fbs/internal/obs"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+
+	fbs "fbs"
+)
+
+func main() {
+	configPath := flag.String("config", "", "gateway config file (JSON)")
+	statePath := flag.String("state", "", "provisioning state file to write (certs, CA key, client keys, bound addresses)")
+	clients := flag.String("clients", "", "comma-separated client principal names to pre-provision into -state")
+	check := flag.Bool("check", false, "validate the config and exit")
+	flag.Parse()
+
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "fbsgw: -config is required")
+		os.Exit(2)
+	}
+	if *check {
+		cfg, err := loadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbsgw:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("config ok: %d tenant(s)\n", len(cfg.Tenants))
+		return
+	}
+	d := newDaemon(cliOptions{
+		configPath: *configPath,
+		statePath:  *statePath,
+		clients:    *clients,
+	}, os.Stdout, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fbsgw: "+format+"\n", args...)
+	})
+	if err := d.run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fbsgw:", err)
+		os.Exit(1)
+	}
+}
+
+func loadConfig(path string) (*gateway.Config, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return gateway.Parse(blob)
+}
+
+type cliOptions struct {
+	configPath string
+	statePath  string
+	clients    string
+}
+
+// provisionState is the side-channel clients load to join the
+// gateway's security domain: certificates for every principal, the CA
+// verification key, the clients' private values, and where each
+// tenant's listener actually bound (so port-0 configs work).
+type provisionState struct {
+	CAN           string            `json:"ca_n"`
+	CAE           string            `json:"ca_e"`
+	Certs         [][]byte          `json:"certs"`
+	ClientPrivate map[string]string `json:"client_private"`
+	TenantUDP     map[string]string `json:"tenant_udp"`
+	AdminAddr     string            `json:"admin_addr,omitempty"`
+}
+
+type daemon struct {
+	opts cliOptions
+	out  io.Writer
+	logf func(format string, args ...any)
+
+	dom *fbs.Domain
+	gw  *gateway.Gateway
+
+	mu          sync.Mutex
+	ids         map[principal.Address]*principal.Identity
+	clientPrivs map[principal.Address]*big.Int
+	bound       map[principal.Address]string // tenant → bound UDP addr
+
+	adminAddr string
+	adminStop func() error
+	sig       chan os.Signal
+}
+
+func newDaemon(opts cliOptions, out io.Writer, logf func(string, ...any)) *daemon {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &daemon{
+		opts:        opts,
+		out:         out,
+		logf:        logf,
+		ids:         make(map[principal.Address]*principal.Identity),
+		clientPrivs: make(map[principal.Address]*big.Int),
+		bound:       make(map[principal.Address]string),
+		sig:         make(chan os.Signal, 2),
+	}
+}
+
+// identity memoises tenant identities so a config swap keeps each
+// tenant's keys — which is what lets the warm handoff carry master
+// keys across and spare established peers any re-keying.
+func (d *daemon) identity(tc gateway.TenantConfig) (*principal.Identity, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	addr := principal.Address(tc.Address)
+	if id, ok := d.ids[addr]; ok {
+		return id, nil
+	}
+	id, err := d.dom.NewPrincipal(addr)
+	if err != nil {
+		return nil, err
+	}
+	d.ids[addr] = id
+	return id, nil
+}
+
+// listen binds a learning UDP socket for a tenant. Learning gives the
+// reply route: a gateway cannot enumerate its clients in advance, so
+// it answers to each client's observed UDP source.
+func (d *daemon) listen(tc gateway.TenantConfig) (transport.Transport, error) {
+	spec := tc.Listen
+	if spec == "" {
+		spec = "127.0.0.1:0"
+	}
+	udp, err := transport.NewUDPTransport(principal.Address(tc.Address), spec)
+	if err != nil {
+		return nil, err
+	}
+	udp.SetLearnPeers(true)
+	d.mu.Lock()
+	d.bound[principal.Address(tc.Address)] = udp.LocalAddr().String()
+	d.mu.Unlock()
+	return udp, nil
+}
+
+func (d *daemon) run() error {
+	cfg, err := loadConfig(d.opts.configPath)
+	if err != nil {
+		return err
+	}
+	// Install the handlers before anything observable happens, so a
+	// supervisor's early SIGTERM still drains instead of killing.
+	signal.Notify(d.sig, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(d.sig)
+
+	d.dom, err = fbs.NewDomain("fbsgw")
+	if err != nil {
+		return err
+	}
+	d.gw, err = gateway.New(gateway.Options{
+		Identity:  d.identity,
+		Listen:    d.listen,
+		Directory: d.dom.Directory(),
+		Verifier:  d.dom.Verifier(),
+		Logf:      d.logf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := d.gw.Start(cfg); err != nil {
+		return err
+	}
+
+	if cfg.AdminAddr != "" {
+		admin := obs.NewAdmin(nil)
+		d.gw.RegisterMetrics(admin.Registry)
+		admin.Handle("/config", d.gw.ConfigHandler())
+		bound, stop, err := admin.Serve(cfg.AdminAddr)
+		if err != nil {
+			d.gw.Shutdown(time.Second) //nolint:errcheck // already failing
+			return fmt.Errorf("admin plane: %w", err)
+		}
+		d.adminAddr, d.adminStop = bound.String(), stop
+		d.logf("admin plane at http://%s/ (config at /config)", bound)
+	}
+
+	if err := d.provisionClients(); err != nil {
+		return err
+	}
+	if err := d.writeState(cfg); err != nil {
+		return err
+	}
+	d.logf("serving %d tenant(s) at epoch %d", len(cfg.Tenants), d.gw.Epoch())
+
+	for s := range d.sig {
+		switch s {
+		case syscall.SIGHUP:
+			next, err := loadConfig(d.opts.configPath)
+			if err != nil {
+				d.logf("reload: %v (keeping epoch %d)", err, d.gw.Epoch())
+				continue
+			}
+			rep, err := d.gw.Swap(next)
+			if err != nil {
+				d.logf("reload: %v (keeping epoch %d)", err, d.gw.Epoch())
+				continue
+			}
+			cfg = next
+			if err := d.writeState(cfg); err != nil {
+				d.logf("reload: rewriting state: %v", err)
+			}
+			d.logf("reloaded to epoch %d (%d certs, %d master keys handed off)",
+				rep.Epoch, rep.Certs, rep.MasterKeys)
+		case syscall.SIGINT, syscall.SIGTERM:
+			timeout := 5 * time.Second
+			if cfg.DrainTimeout > 0 {
+				timeout = time.Duration(cfg.DrainTimeout)
+			}
+			st, err := d.gw.Shutdown(timeout)
+			if err != nil {
+				d.logf("drain: %v", err)
+			}
+			if d.adminStop != nil {
+				if err := d.adminStop(); err != nil {
+					d.logf("admin stop: %v", err)
+				}
+			}
+			enc := json.NewEncoder(d.out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(st); err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// provisionClients mints an identity per -clients name and enrolls it,
+// so the state file carries everything a client process needs.
+func (d *daemon) provisionClients() error {
+	if d.opts.clients == "" {
+		return nil
+	}
+	for _, name := range strings.Split(d.opts.clients, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		addr := principal.Address(name)
+		d.mu.Lock()
+		_, have := d.clientPrivs[addr]
+		d.mu.Unlock()
+		if have {
+			continue
+		}
+		priv, err := d.dom.Group.GeneratePrivate()
+		if err != nil {
+			return err
+		}
+		id, err := principal.NewIdentityWithPrivate(addr, d.dom.Group, priv)
+		if err != nil {
+			return err
+		}
+		if err := d.dom.Enroll(id); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.clientPrivs[addr] = priv
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// writeState serialises the provisioning side channel. Called after
+// every successful swap so newly added tenants appear too.
+func (d *daemon) writeState(cfg *gateway.Config) error {
+	if d.opts.statePath == "" {
+		return nil
+	}
+	caKey := d.dom.CAKey()
+	st := provisionState{
+		CAN:           caKey.N.Text(16),
+		CAE:           caKey.E.Text(16),
+		ClientPrivate: make(map[string]string),
+		TenantUDP:     make(map[string]string),
+		AdminAddr:     d.adminAddr,
+	}
+	d.mu.Lock()
+	subjects := make([]principal.Address, 0, len(d.ids)+len(d.clientPrivs))
+	for addr := range d.ids {
+		subjects = append(subjects, addr)
+	}
+	for addr, priv := range d.clientPrivs {
+		subjects = append(subjects, addr)
+		st.ClientPrivate[string(addr)] = hex.EncodeToString(priv.Bytes())
+	}
+	for _, tc := range cfg.Tenants {
+		if bound, ok := d.bound[principal.Address(tc.Address)]; ok {
+			st.TenantUDP[tc.Address] = bound
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for _, addr := range subjects {
+		c, err := d.dom.Directory().Lookup(addr)
+		if err != nil {
+			return fmt.Errorf("state: certificate for %q: %w", addr, err)
+		}
+		st.Certs = append(st.Certs, c.Marshal())
+	}
+	blob, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(d.opts.statePath, blob, 0600)
+}
+
+// loadState reads a provisioning state file.
+func loadState(path string) (*provisionState, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st := new(provisionState)
+	if err := json.Unmarshal(blob, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// newClientEndpoint rebuilds a pre-provisioned client from state: its
+// identity from the stored private value, a static directory from the
+// stored certificates, the CA key, and a UDP socket with a peer route
+// to every tenant listener.
+func newClientEndpoint(st *provisionState, name string) (*fbs.Endpoint, error) {
+	privHex, ok := st.ClientPrivate[name]
+	if !ok {
+		return nil, fmt.Errorf("state has no client %q", name)
+	}
+	privBytes, err := hex.DecodeString(privHex)
+	if err != nil {
+		return nil, err
+	}
+	dir := cert.NewStaticDirectory()
+	var own *cert.Certificate
+	for _, wire := range st.Certs {
+		c, err := cert.Unmarshal(wire)
+		if err != nil {
+			return nil, err
+		}
+		dir.Publish(c)
+		if c.Subject == principal.Address(name) {
+			own = c
+		}
+	}
+	if own == nil {
+		return nil, fmt.Errorf("state carries no certificate for %q", name)
+	}
+	id, err := principal.NewIdentityWithPrivate(principal.Address(name), own.Group(), new(big.Int).SetBytes(privBytes))
+	if err != nil {
+		return nil, err
+	}
+	n, ok := new(big.Int).SetString(st.CAN, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad CA modulus")
+	}
+	e, ok := new(big.Int).SetString(st.CAE, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad CA exponent")
+	}
+	udp, err := transport.NewUDPTransport(principal.Address(name), "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	for tenant, addr := range st.TenantUDP {
+		if err := udp.AddPeer(principal.Address(tenant), addr); err != nil {
+			udp.Close()
+			return nil, err
+		}
+	}
+	return fbs.NewEndpoint(fbs.Config{
+		Identity:  id,
+		Transport: udp,
+		Directory: dir,
+		Verifier:  &cert.Verifier{CAKey: cryptolib.RSAPublicKey{N: n, E: e}, CA: "fbsgw"},
+		// Seal with the gateway tenants' default suite so a config
+		// that narrows accept_suites to the AEAD set keeps accepting
+		// this client.
+		Cipher: core.CipherAES128GCM,
+	})
+}

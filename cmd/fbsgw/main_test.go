@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"fbs/internal/gateway"
+	"fbs/internal/transport"
+)
+
+func TestExampleConfigValidates(t *testing.T) {
+	cfg, err := loadConfig(filepath.Join("..", "..", "examples", "fbsgw", "gateway.json"))
+	if err != nil {
+		t.Fatalf("example config: %v", err)
+	}
+	if len(cfg.Tenants) != 2 {
+		t.Fatalf("example config has %d tenants, want 2", len(cfg.Tenants))
+	}
+}
+
+// syncBuffer guards the daemon's stdout across goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestFBSGWLiveUDPSmoke is the end-to-end gateway smoke test over real
+// loopback sockets: boot the daemon from a config file, stream client
+// round trips, hot-swap the config twice mid-transfer (admin API POST,
+// then SIGHUP reload), and SIGTERM-drain. Every datagram must come
+// back, and the final stats must reconcile with zero unaccounted
+// drops.
+func TestFBSGWLiveUDPSmoke(t *testing.T) {
+	if probe, err := transport.NewUDPTransport("probe", "127.0.0.1:0"); err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	} else {
+		probe.Close()
+	}
+
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "gateway.json")
+	statePath := filepath.Join(dir, "fbsgw.state")
+	writeCfg := func(flowMaxPackets uint64) {
+		t.Helper()
+		cfg := &gateway.Config{
+			AdminAddr:    "127.0.0.1:0",
+			DrainTimeout: gateway.Duration(2 * time.Second),
+			Tenants: []gateway.TenantConfig{{
+				Name:           "edge",
+				Address:        "gw-edge",
+				Listen:         "127.0.0.1:0",
+				Shards:         2,
+				ReplayCache:    true,
+				FlowMaxPackets: flowMaxPackets,
+			}},
+		}
+		blob, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cfgPath, blob, 0600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeCfg(0)
+
+	var out syncBuffer
+	d := newDaemon(cliOptions{
+		configPath: cfgPath,
+		statePath:  statePath,
+		clients:    "smoke-client",
+	}, &out, t.Logf)
+	runErr := make(chan error, 1)
+	go func() { runErr <- d.run() }()
+
+	// The state file appears once the daemon is serving.
+	var st *provisionState
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		if st, err = loadState(statePath); err == nil && st.AdminAddr != "" && len(st.TenantUDP) == 1 {
+			break
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("daemon exited during boot: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not provision within 10s (last err: %v)", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	adminURL := "http://" + st.AdminAddr + "/config"
+
+	client, err := newClientEndpoint(st, "smoke-client")
+	if err != nil {
+		t.Fatalf("client from state: %v", err)
+	}
+	defer client.Close()
+
+	sent := 0
+	roundTrips := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			msg := fmt.Sprintf("smoke-%04d", sent)
+			if err := client.SendTo("gw-edge", []byte(msg), true); err != nil {
+				t.Fatalf("send %d: %v", sent, err)
+			}
+			dg, err := client.Receive()
+			if err != nil {
+				t.Fatalf("echo %d: %v", sent, err)
+			}
+			if string(dg.Payload) != msg {
+				t.Fatalf("echo %d = %q, want %q", sent, dg.Payload, msg)
+			}
+			sent++
+		}
+	}
+	getEpoch := func() uint64 {
+		t.Helper()
+		resp, err := http.Get(adminURL)
+		if err != nil {
+			t.Fatalf("GET /config: %v", err)
+		}
+		defer resp.Body.Close()
+		var got struct {
+			Epoch  uint64         `json:"epoch"`
+			Config gateway.Config `json:"config"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatalf("GET /config body: %v", err)
+		}
+		return got.Epoch
+	}
+
+	roundTrips(20)
+	if e := getEpoch(); e != 1 {
+		t.Fatalf("epoch = %d, want 1", e)
+	}
+
+	// Hot swap via the admin API while a transfer is in flight.
+	swapDone := make(chan error, 1)
+	go func() {
+		cfg, err := loadConfig(cfgPath)
+		if err != nil {
+			swapDone <- err
+			return
+		}
+		cfg.Tenants[0].AcceptSuites = []string{"AES-128-GCM", "ChaCha20-Poly1305"}
+		blob, _ := json.Marshal(cfg)
+		resp, err := http.Post(adminURL, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			swapDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body) //nolint:errcheck
+			swapDone <- fmt.Errorf("POST /config: %d %s", resp.StatusCode, buf.String())
+			return
+		}
+		swapDone <- nil
+	}()
+	roundTrips(30) // the transfer the swap lands in the middle of
+	if err := <-swapDone; err != nil {
+		t.Fatal(err)
+	}
+	if e := getEpoch(); e != 2 {
+		t.Fatalf("epoch after admin swap = %d, want 2", e)
+	}
+
+	// Hot reload via SIGHUP with an edited config file.
+	writeCfg(100000)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for getEpoch() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload did not reach epoch 3 (at %d)", getEpoch())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	roundTrips(20)
+
+	// Metrics are live on the same admin plane.
+	resp, err := http.Get("http://" + st.AdminAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if !bytes.Contains(metrics.Bytes(), []byte("fbs_gateway_received_total")) {
+		t.Fatalf("/metrics missing fbs_gateway_received_total:\n%.2000s", metrics.String())
+	}
+
+	// Graceful drain on SIGTERM: the daemon exits cleanly and prints
+	// final stats that reconcile exactly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s of SIGTERM")
+	}
+
+	var stats gateway.Stats
+	if err := json.Unmarshal([]byte(out.String()), &stats); err != nil {
+		t.Fatalf("final stats: %v\n%s", err, out.String())
+	}
+	total := uint64(sent)
+	if stats.Received != total || stats.Accepted != total || stats.Echoed != total {
+		t.Fatalf("final stats: received %d accepted %d echoed %d, want %d each",
+			stats.Received, stats.Accepted, stats.Echoed, total)
+	}
+	if stats.Swaps != 3 || stats.Epoch != 3 {
+		t.Fatalf("final stats: swaps %d epoch %d, want 3 and 3", stats.Swaps, stats.Epoch)
+	}
+	if stats.EchoFailures != 0 || stats.RetryStarved != 0 || stats.NoTenant != 0 {
+		t.Fatalf("final stats: echoFailures %d retryStarved %d noTenant %d, want 0",
+			stats.EchoFailures, stats.RetryStarved, stats.NoTenant)
+	}
+	var drops uint64
+	for _, v := range stats.Drops {
+		drops += v
+	}
+	if stats.Received != stats.Accepted+drops+stats.NoTenant+stats.Absorbed+stats.RetryStarved {
+		t.Fatalf("final stats do not reconcile: %+v", stats)
+	}
+}

@@ -126,6 +126,13 @@ func (e *Endpoint) SealBatch(dst []byte, dgs []transport.Datagram, secret bool, 
 	if len(dgs) == 0 {
 		return dst, 0
 	}
+	if err := e.beginOp(); err != nil {
+		for i := range dgs {
+			res[i] = BatchResult{Err: err}
+		}
+		return dst, 0
+	}
+	defer e.endOp()
 	e.metrics.sealBatchCalls[batchBucket(len(dgs))].Add(1)
 	e.metrics.sealBatchDatagrams.Add(uint64(len(dgs)))
 	sealed := 0
@@ -320,6 +327,13 @@ func (e *Endpoint) OpenBatch(dst []byte, dgs []transport.Datagram, res []BatchRe
 	if len(dgs) == 0 {
 		return dst, 0
 	}
+	if err := e.beginOp(); err != nil {
+		for i := range dgs {
+			res[i] = BatchResult{Err: err}
+		}
+		return dst, 0
+	}
+	defer e.endOp()
 	e.metrics.openBatchCalls[batchBucket(len(dgs))].Add(1)
 	e.metrics.openBatchDatagrams.Add(uint64(len(dgs)))
 	opened := 0

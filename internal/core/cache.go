@@ -239,6 +239,45 @@ func (c *DirectMapped[K, V]) Flush() {
 	}
 }
 
+// Each calls fn for every valid entry. Each stripe is walked under its
+// own lock, so the traversal is exact per stripe and approximate
+// across concurrent writers; fn runs with the stripe lock held and
+// must not call back into this cache.
+func (c *DirectMapped[K, V]) Each(fn func(K, V)) {
+	n := len(c.stripes)
+	for si := range c.stripes {
+		st := &c.stripes[si]
+		st.mu.Lock()
+		for i := si; i < len(c.slots); i += n {
+			if c.slots[i].valid {
+				fn(c.slots[i].key, c.slots[i].val)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// EvictIf invalidates every entry pred selects, releasing its budget
+// charge, and reports how many were evicted. Like Each, pred runs with
+// the stripe lock held and must not call back into this cache.
+func (c *DirectMapped[K, V]) EvictIf(pred func(K, V) bool) int {
+	evicted := 0
+	n := len(c.stripes)
+	for si := range c.stripes {
+		st := &c.stripes[si]
+		st.mu.Lock()
+		for i := si; i < len(c.slots); i += n {
+			if c.slots[i].valid && pred(c.slots[i].key, c.slots[i].val) {
+				c.slots[i].valid = false
+				c.budget.Release(c.entryCost)
+				evicted++
+			}
+		}
+		st.mu.Unlock()
+	}
+	return evicted
+}
+
 // Occupancy counts the valid slots. Like Flush, each stripe is scanned
 // under its own lock, so the count is exact per stripe and approximate
 // across concurrent writers.

@@ -325,6 +325,12 @@ type Endpoint struct {
 	pressureSweeps atomic.Uint64
 	pf             *prefilter
 
+	// Lifecycle plane: draining refuses new datagram work so inflight
+	// can reach zero (Quiesce); closed makes Close idempotent.
+	draining atomic.Bool
+	closed   atomic.Bool
+	inflight atomic.Int64
+
 	metrics endpointCounters
 }
 
@@ -449,10 +455,124 @@ func (e *Endpoint) Addr() principal.Address { return e.cfg.Identity.Addr }
 // Pin installs a peer certificate into the public value cache.
 func (e *Endpoint) Pin(c *cert.Certificate) { e.ks.Pin(c) }
 
-// Close stops the master key daemon and closes the transport.
+// Close stops the master key daemon and closes the transport. It is
+// idempotent: only the first call releases anything, and later calls
+// return nil — so a ShardGroup torn down twice (a mid-construction
+// failure followed by a deferred Close) closes each transport exactly
+// once.
 func (e *Endpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	e.mkd.Stop()
 	return e.cfg.Transport.Close()
+}
+
+// beginOp admits one datagram-plane operation past the drain gate; it
+// must be paired with endOp. Increment-before-check closes the race
+// with BeginDrain: an op that observes draining surrenders its slot,
+// so once BeginDrain's store is visible every admitted op is covered
+// by Quiesce's wait on the in-flight count.
+func (e *Endpoint) beginOp() error {
+	e.inflight.Add(1)
+	if e.draining.Load() {
+		e.inflight.Add(-1)
+		return ErrDraining
+	}
+	return nil
+}
+
+func (e *Endpoint) endOp() { e.inflight.Add(-1) }
+
+// BeginDrain flips the endpoint into drain mode: subsequent seals and
+// opens (single or batched) are refused with ErrDraining while
+// operations already past the gate run to completion. Draining is
+// one-way — a gateway swapping config epochs builds a fresh endpoint
+// rather than reviving a drained one.
+func (e *Endpoint) BeginDrain() { e.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (e *Endpoint) Draining() bool { return e.draining.Load() }
+
+// Inflight reports the number of datagram operations currently past
+// the drain gate (a monitoring aid for drain progress).
+func (e *Endpoint) Inflight() int64 { return e.inflight.Load() }
+
+// Quiesce begins draining and waits until every in-flight operation
+// has finished. It returns nil once the endpoint is quiet, or an error
+// naming the residual in-flight count if the wall-clock deadline
+// passes first. Idempotent and safe to call concurrently.
+func (e *Endpoint) Quiesce(timeout time.Duration) error {
+	e.BeginDrain()
+	deadline := time.Now().Add(timeout)
+	for {
+		n := e.inflight.Load()
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: quiesce timed out with %d operations in flight", n)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// HandoffStats reports what HandoffSoftState carried across.
+type HandoffStats struct {
+	// Certs counts verified peer certificates offered to the
+	// successor's PVC.
+	Certs int
+	// MasterKeys counts pair master keys offered to the successor's
+	// MKC (zero when the identities differ).
+	MasterKeys int
+}
+
+// SameIdentity reports whether dst keys for the same principal: same
+// address and same DH public value in the same group. Equal public
+// values imply equal pair master keys with every peer — the property
+// that makes a master-key handoff sound.
+func (e *Endpoint) SameIdentity(dst *Endpoint) bool {
+	a, b := e.cfg.Identity, dst.cfg.Identity
+	return a.Addr == b.Addr &&
+		a.Public.Cmp(b.Public) == 0 &&
+		a.Group.P.Cmp(b.Group.P) == 0 &&
+		a.Group.G.Cmp(b.Group.G) == 0
+}
+
+// HandoffSoftState warms dst from this endpoint's keying caches so a
+// config-epoch swap does not trigger a thundering herd of upcalls.
+// Verified peer certificates always carry over — they are public,
+// signature-checked material, valid under any local configuration.
+// Pair master keys carry over only when dst keys for the same
+// identity: a rotated private value changes every pair key, so
+// rotation deliberately hands nothing over and the keys rebuild
+// through the normal upcall path. Flow keys and flow state stay
+// behind by design — they are one hash away from the master key, and
+// the successor's suite or policy choices may differ. Installs into
+// dst are gated by dst's own StateBudget; anything refused simply
+// rebuilds on demand.
+func (e *Endpoint) HandoffSoftState(dst *Endpoint) HandoffStats {
+	var hs HandoffStats
+	hs.Certs = e.ks.HandoffCerts(dst.ks)
+	if e.SameIdentity(dst) {
+		hs.MasterKeys = e.ks.HandoffMasterKeys(dst.ks)
+	}
+	return hs
+}
+
+// FlushPeer evicts everything cached about peer — verified
+// certificate, pair master key, negative-lookup memory, and both
+// directions' flow keys — so the next datagram to or from peer re-keys
+// from scratch. This is the hot-rotation seam: rotating one peer's
+// credentials flushes that peer alone, leaving every other flow's
+// soft state untouched.
+func (e *Endpoint) FlushPeer(peer principal.Address) {
+	e.ks.FlushPeer(peer)
+	match := func(k flowCacheKey, _ [16]byte) bool {
+		return k.Src == peer || k.Dst == peer
+	}
+	e.tfkc.EvictIf(match)
+	e.rfkc.EvictIf(match)
 }
 
 // Metrics returns a snapshot of the endpoint counters.
@@ -875,6 +995,10 @@ func (e *Endpoint) SealFlowAppend(dst []byte, dg transport.Datagram, id FlowID, 
 // into the metadata. The un-sampled, un-traced path pays the two gate
 // calls and nothing else.
 func (e *Endpoint) sealFlowGate(dst []byte, dg transport.Datagram, id FlowID, secret bool) ([]byte, TraceID, error) {
+	if err := e.beginOp(); err != nil {
+		return nil, 0, err
+	}
+	defer e.endOp()
 	if dg.Source == "" {
 		dg.Source = e.Addr()
 	}
@@ -1149,6 +1273,10 @@ func (e *Endpoint) OpenAppend(dst []byte, dg transport.Datagram) ([]byte, error)
 // is appended to dst; otherwise dst is unused and the returned slice
 // aliases dg.Payload when the body was not encrypted.
 func (e *Endpoint) open(dst []byte, dg transport.Datagram, copyBody bool) ([]byte, error) {
+	if err := e.beginOp(); err != nil {
+		return nil, err
+	}
+	defer e.endOp()
 	if e.cfg.Bypass != nil && e.cfg.Bypass(dg.Source) {
 		e.metrics.bypassedReceived.Add(1)
 		if copyBody {

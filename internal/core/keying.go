@@ -487,6 +487,42 @@ func (ks *KeyService) InvalidatePeer(peer principal.Address) {
 	ks.mkc.Invalidate(peer)
 }
 
+// HandoffCerts offers every verified peer certificate to dst's PVC and
+// reports how many were offered. Certificates are public,
+// signature-checked material, so they are valid under any local
+// configuration; each install is still gated by dst's own budget.
+func (ks *KeyService) HandoffCerts(dst *KeyService) int {
+	n := 0
+	ks.pvc.Each(func(_ principal.Address, c *cert.Certificate) {
+		dst.pvc.Put(c.Subject, c)
+		n++
+	})
+	return n
+}
+
+// HandoffMasterKeys offers every cached pair master key to dst's MKC
+// and reports how many were offered. Sound only when dst keys for the
+// same identity (same DH private value ⇒ identical pair keys with
+// every peer) — callers must check first; Endpoint.HandoffSoftState
+// does.
+func (ks *KeyService) HandoffMasterKeys(dst *KeyService) int {
+	n := 0
+	ks.mkc.Each(func(peer principal.Address, k [16]byte) {
+		dst.mkc.Put(peer, k)
+		n++
+	})
+	return n
+}
+
+// FlushPeer drops all keying state for peer — verified certificate,
+// pair master key, and negative-lookup memory — forcing the next
+// contact to re-run the full upcall chain. Endpoint.FlushPeer layers
+// the flow-key caches on top.
+func (ks *KeyService) FlushPeer(peer principal.Address) {
+	ks.InvalidatePeer(peer)
+	ks.negForget(peer)
+}
+
 // Stats returns a snapshot of keying counters.
 func (ks *KeyService) Stats() KeyServiceStats {
 	return KeyServiceStats{

@@ -301,6 +301,14 @@ func newPrefilter(cfg PrefilterConfig) (*prefilter, error) {
 	if cfg.EpochInterval <= 0 {
 		cfg.EpochInterval = 64 * time.Second
 	}
+	// Epoch arithmetic is in whole seconds (epochAt divides Unix time by
+	// EpochInterval/time.Second), so any interval in (0, 1s) would make
+	// the divisor zero and panic on the first challenge or cookie
+	// operation. Refuse it here, at config time, where the operator can
+	// see it — a sub-second secret rotation is never a sensible ask.
+	if cfg.EpochInterval < time.Second {
+		return nil, fmt.Errorf("core: Prefilter.EpochInterval %v below the 1s epoch granularity", cfg.EpochInterval)
+	}
 	if cfg.CookieTTL <= 0 {
 		cfg.CookieTTL = 2 * cfg.EpochInterval
 	}

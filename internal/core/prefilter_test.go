@@ -281,6 +281,76 @@ func TestPrefilterConfigValidation(t *testing.T) {
 	}
 }
 
+// TestPrefilterSubSecondEpochIntervalRejected is the regression test for
+// the epochAt division-by-zero: an EpochInterval in (0, 1s) passed the
+// old `<= 0` validation but truncated to a zero divisor in epochAt,
+// panicking on the first challenge or cookie operation. Such configs are
+// now refused at construction; the 1s floor itself must work end to end.
+func TestPrefilterSubSecondEpochIntervalRejected(t *testing.T) {
+	for _, d := range []time.Duration{time.Nanosecond, time.Millisecond, 999 * time.Millisecond} {
+		if _, err := newPrefilter(PrefilterConfig{Enable: true, EpochInterval: d}); err == nil {
+			t.Fatalf("EpochInterval %v accepted (would divide by zero in epochAt)", d)
+		}
+	}
+	p := newTestPrefilter(t, PrefilterConfig{Enable: true, EpochInterval: time.Second, SecretSeed: []byte("floor")})
+	const addr principal.Address = "epoch-floor-peer"
+	// Every epochAt caller: minting, verification, and the stats
+	// snapshot. Any of these panicked before the fix.
+	ck := p.mint(addr, pfEpoch)
+	if !p.verifyCookie(addr, ck, pfEpoch) {
+		t.Fatal("cookie minted at the 1s epoch floor did not verify")
+	}
+	if got := p.stats(pfEpoch).Epoch; got != uint32(pfEpoch.Unix()) {
+		t.Fatalf("1s epochs: stats epoch = %d, want %d", got, pfEpoch.Unix())
+	}
+}
+
+// TestPrefilterCookieTTLShorterThanEpochGrace pins the interaction of
+// the two cookie age bounds: a cookie is accepted under the current or
+// previous epoch's secret (the rotation grace), but CookieTTL is an
+// independent, possibly tighter bound on the stamp. A TTL shorter than
+// the grace window must govern — prev-epoch cookies older than the TTL
+// are refused even though their secret still verifies.
+func TestPrefilterCookieTTLShorterThanEpochGrace(t *testing.T) {
+	p := newTestPrefilter(t, PrefilterConfig{
+		Enable:        true,
+		EpochInterval: 64 * time.Second,
+		CookieTTL:     10 * time.Second,
+		SecretSeed:    []byte("ttl"),
+	})
+	const addr principal.Address = "ttl-peer"
+	minted := pfEpoch.Add(60 * time.Second) // 4s before rotation
+	ck := p.mint(addr, minted)
+	// Within the TTL, across the epoch boundary: previous-epoch secret
+	// plus fresh stamp — accepted.
+	if !p.verifyCookie(addr, ck, minted.Add(8*time.Second)) {
+		t.Fatal("fresh prev-epoch cookie rejected inside the TTL")
+	}
+	// Past the TTL but still inside the previous-epoch grace (the
+	// rotation was only 4s after minting): the TTL must refuse it.
+	if p.verifyCookie(addr, ck, minted.Add(12*time.Second)) {
+		t.Fatal("cookie older than CookieTTL accepted under epoch grace")
+	}
+}
+
+// TestPrefilterPrefixLenExceedsAddress: a PrefixLen longer than the
+// source address must fall back to the whole address — no slice panic,
+// and the sketch still scores, penalizes and sheds that source.
+func TestPrefilterPrefixLenExceedsAddress(t *testing.T) {
+	p := newTestPrefilter(t, PrefilterConfig{Enable: true, PrefixLen: 64, ShedThreshold: 4})
+	const addr principal.Address = "tiny"
+	prefix := p.prefixOf(addr)
+	if prefix != string(addr) {
+		t.Fatalf("prefix of short address = %q, want whole address", prefix)
+	}
+	for i := 0; i < 4; i++ {
+		p.penalize(prefix)
+	}
+	if got := p.score(prefix); got < 4 {
+		t.Fatalf("score after 4 penalties = %d, want >= 4 (shed threshold)", got)
+	}
+}
+
 // FuzzCookie hunts for panics and codec asymmetries in the cookie frame
 // parser: any input that parses must re-encode to an identical frame
 // prefix, and verification of arbitrary decoded cookies must never

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"fbs/internal/principal"
 	"fbs/internal/transport"
@@ -151,7 +152,63 @@ func (g *ShardGroup) ActiveFlows() int {
 	return n
 }
 
-// Close closes every shard, returning the first error.
+// BeginDrain flips every shard into drain mode (see
+// Endpoint.BeginDrain).
+func (g *ShardGroup) BeginDrain() {
+	for _, ep := range g.shards {
+		ep.BeginDrain()
+	}
+}
+
+// Quiesce drains every shard and waits for their in-flight operations
+// to finish, sharing one wall-clock deadline across the group. All
+// shards are flipped to draining first, so the group's in-flight total
+// only falls while the per-shard waits proceed.
+func (g *ShardGroup) Quiesce(timeout time.Duration) error {
+	g.BeginDrain()
+	deadline := time.Now().Add(timeout)
+	for _, ep := range g.shards {
+		if err := ep.Quiesce(time.Until(deadline)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inflight sums the in-flight operation counts across shards.
+func (g *ShardGroup) Inflight() int64 {
+	var n int64
+	for _, ep := range g.shards {
+		n += ep.Inflight()
+	}
+	return n
+}
+
+// HandoffSoftState warms every shard of dst from the keying caches of
+// every shard of this group, returning the summed counts. The union
+// fan-out makes the handoff insensitive to a shard-count change:
+// receive steering is hash % M, so a new M moves peers between shards,
+// and seeding each successor shard with every peer's certificate and
+// master key guarantees the swap costs zero exponentiations no matter
+// where a peer lands. Master keys carry only between matching
+// identities (see Endpoint.HandoffSoftState); installs a successor's
+// budget refuses simply rebuild via upcalls.
+func (g *ShardGroup) HandoffSoftState(dst *ShardGroup) HandoffStats {
+	var hs HandoffStats
+	for _, old := range g.shards {
+		for _, ep := range dst.shards {
+			s := old.HandoffSoftState(ep)
+			hs.Certs += s.Certs
+			hs.MasterKeys += s.MasterKeys
+		}
+	}
+	return hs
+}
+
+// Close closes every shard, returning the first error. Endpoint.Close
+// is idempotent, so closing a group twice — or closing a group whose
+// construction already failed partway — releases each transport
+// exactly once.
 func (g *ShardGroup) Close() error {
 	var first error
 	for _, ep := range g.shards {

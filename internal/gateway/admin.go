@@ -1,0 +1,150 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"fbs/internal/principal"
+)
+
+// ConfigHandler returns the admin-plane HTTP handler for /config,
+// in the style of Caddy's admin API:
+//
+//	GET   /config  → {"epoch": N, "config": {...}}   current config
+//	POST  /config  → {"epoch": N+1, ...}             full atomic swap
+//	PATCH /config  → {"epoch": ..., ...}             targeted mutation
+//
+// PATCH bodies name one tenant and one mutation; all but flush_peer are
+// sugar over a full swap (clone current config, edit, Swap), so they
+// inherit the same all-or-nothing validation and warm handoff:
+//
+//	{"tenant": "edge", "accept_suites": ["AES-128-GCM", "ChaCha20-Poly1305"]}
+//	{"tenant": "edge", "state_budget_bytes": 1048576}
+//	{"tenant": "edge", "admission": {...}}
+//	{"tenant": "edge", "flush_peer": "client-7"}   // in-place, no new epoch
+//
+// The handler is mounted on an obs.Admin via Handle("/config", ...), so
+// it shares the observability plane's listener and graceful shutdown.
+func (g *Gateway) ConfigHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			cfg := g.CurrentConfig()
+			if cfg == nil {
+				http.Error(w, "gateway not running", http.StatusServiceUnavailable)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"epoch": g.Epoch(), "config": cfg})
+		case http.MethodPost:
+			// Malformed JSON (or a typoed field) is 400; a well-formed
+			// config that fails validation or realisation is 422 — the
+			// Swap call runs Validate before touching anything live.
+			dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+			dec.DisallowUnknownFields()
+			cfg := new(Config)
+			if err := dec.Decode(cfg); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rep, err := g.Swap(cfg)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			writeJSON(w, http.StatusOK, rep)
+		case http.MethodPatch:
+			g.handlePatch(w, r)
+		default:
+			w.Header().Set("Allow", "GET, POST, PATCH")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// patchRequest is one targeted mutation of the running config.
+type patchRequest struct {
+	Tenant           string           `json:"tenant"`
+	AcceptSuites     []string         `json:"accept_suites,omitempty"`
+	StateBudgetBytes *int64           `json:"state_budget_bytes,omitempty"`
+	Admission        *AdmissionConfig `json:"admission,omitempty"`
+	FlushPeer        string           `json:"flush_peer,omitempty"`
+}
+
+func (g *Gateway) handlePatch(w http.ResponseWriter, r *http.Request) {
+	var req patchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Tenant == "" {
+		http.Error(w, "patch: tenant is required", http.StatusBadRequest)
+		return
+	}
+
+	// flush_peer is the one in-place mutation: it evicts soft state
+	// inside the live epoch rather than minting a new one.
+	if req.FlushPeer != "" {
+		if err := g.FlushPeer(req.Tenant, principal.Address(req.FlushPeer)); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": g.Epoch(), "flushed_peer": req.FlushPeer})
+		return
+	}
+
+	cur := g.CurrentConfig()
+	if cur == nil {
+		http.Error(w, "gateway not running", http.StatusServiceUnavailable)
+		return
+	}
+	next, err := cur.Clone()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var tc *TenantConfig
+	for i := range next.Tenants {
+		if next.Tenants[i].Name == req.Tenant {
+			tc = &next.Tenants[i]
+			break
+		}
+	}
+	if tc == nil {
+		http.Error(w, fmt.Sprintf("patch: no tenant %q", req.Tenant), http.StatusNotFound)
+		return
+	}
+	mutated := false
+	if req.AcceptSuites != nil {
+		tc.AcceptSuites = req.AcceptSuites
+		mutated = true
+	}
+	if req.StateBudgetBytes != nil {
+		tc.StateBudgetBytes = *req.StateBudgetBytes
+		mutated = true
+	}
+	if req.Admission != nil {
+		tc.Admission = req.Admission
+		mutated = true
+	}
+	if !mutated {
+		http.Error(w, "patch: no mutation given", http.StatusBadRequest)
+		return
+	}
+	rep, err := g.Swap(next)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}

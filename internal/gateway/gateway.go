@@ -1,0 +1,637 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fbs/internal/cert"
+	"fbs/internal/core"
+	"fbs/internal/principal"
+	"fbs/internal/transport"
+)
+
+// Options wires the gateway into an environment: where identities and
+// certificates come from and how listener transports are bound. The
+// daemon fills these from its provisioning state and real UDP sockets;
+// tests and netsim fill them from an in-memory domain and network.
+type Options struct {
+	// Identity returns the keying identity for a tenant (required).
+	// Returning a different identity for the same address across a
+	// swap is the key-rotation path: the new epoch's pair master keys
+	// rebuild through upcalls while unaffected tenants keep theirs.
+	Identity func(t TenantConfig) (*principal.Identity, error)
+	// Listen binds the listener transport for a tenant (required).
+	// Called once per tenant address; the transport then persists
+	// across config epochs — swaps never rebind, which is what makes
+	// them zero-downtime.
+	Listen func(t TenantConfig) (transport.Transport, error)
+	// Directory resolves peer certificates (required).
+	Directory cert.Directory
+	// Verifier checks certificate signatures (required).
+	Verifier cert.CertVerifier
+	// Clock is the time source; nil means the real clock.
+	Clock core.Clock
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) validate() error {
+	if o.Identity == nil || o.Listen == nil {
+		return errors.New("gateway: Options.Identity and Options.Listen are required")
+	}
+	if o.Directory == nil || o.Verifier == nil {
+		return errors.New("gateway: Options.Directory and Options.Verifier are required")
+	}
+	return nil
+}
+
+// tenantPlane is one tenant's realised data plane within an epoch.
+type tenantPlane struct {
+	cfg TenantConfig
+	id  *principal.Identity
+	grp *core.ShardGroup
+}
+
+// epoch is one realised configuration: the immutable unit the atomic
+// swap exchanges. Datagram dispatch loads the current epoch once per
+// datagram, so a datagram is processed entirely against the
+// configuration it arrived under.
+type epoch struct {
+	seq     uint64
+	file    *Config
+	tenants map[principal.Address]*tenantPlane
+}
+
+// listener is a persistent receive socket. Listeners belong to the
+// gateway, not to any epoch: endpoints send through them via a
+// nop-close wrapper, and only the gateway's shutdown (or a tenant
+// address disappearing from the config) actually closes one.
+type listener struct {
+	addr principal.Address
+	tr   transport.Transport
+}
+
+// sharedTransport lets every shard of every epoch send on one listener
+// socket while keeping Endpoint.Close harmless: core endpoints close
+// their transport when closed, and the listener must outlive them.
+type sharedTransport struct{ transport.Transport }
+
+func (sharedTransport) Close() error { return nil }
+
+// ledger accumulates the datagram accounting of retired epochs so the
+// gateway's totals stay exact across any number of swaps: every
+// datagram ever pulled off a listener is accounted either in a live
+// shard's counters or here.
+type ledger struct {
+	sent     uint64
+	accepted uint64
+	drops    [core.NumDropReasons]uint64
+}
+
+func (l *ledger) absorb(g *core.ShardGroup) {
+	m := g.Metrics()
+	l.sent += m.Sent
+	l.accepted += m.Received
+	d := g.DropCounts()
+	for i := range l.drops {
+		l.drops[i] += d[i]
+	}
+}
+
+// Gateway is the long-running daemon core: persistent listeners, an
+// atomically swappable config epoch, and cumulative accounting.
+type Gateway struct {
+	opts    Options
+	current atomic.Pointer[epoch]
+
+	// swapMu serialises configuration changes (swap, shutdown); the
+	// datagram path never takes it.
+	swapMu   sync.Mutex
+	seq      atomic.Uint64
+	swaps    atomic.Uint64
+	draining atomic.Bool
+
+	listenMu  sync.Mutex
+	listeners map[principal.Address]*listener
+
+	retiredMu sync.Mutex
+	retired   ledger
+
+	recvWG sync.WaitGroup
+
+	// Gateway-plane counters (everything endpoint counters can't see).
+	received     atomic.Uint64 // datagrams pulled off listeners
+	noTenant     atomic.Uint64 // no tenant keyed for the destination
+	absorbed     atomic.Uint64 // prefilter control frames absorbed
+	echoed       atomic.Uint64 // echo replies sealed and sent
+	echoFailures atomic.Uint64 // echo seal/send failures
+	delivered    atomic.Uint64 // accepted payloads handed to the mode
+	retryStarved atomic.Uint64 // ErrDraining retries exhausted (pathological)
+}
+
+// New validates the environment and returns an idle gateway; Start
+// realises the first config epoch.
+func New(opts Options) (*Gateway, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Clock == nil {
+		opts.Clock = core.RealClock{}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Gateway{opts: opts, listeners: make(map[principal.Address]*listener)}, nil
+}
+
+// Start realises cfg as the first config epoch and begins serving.
+func (g *Gateway) Start(cfg *Config) error {
+	_, err := g.Swap(cfg)
+	return err
+}
+
+// Epoch returns the current config epoch sequence number.
+func (g *Gateway) Epoch() uint64 { return g.seq.Load() }
+
+// CurrentConfig returns the configuration of the live epoch (nil
+// before Start or after Shutdown).
+func (g *Gateway) CurrentConfig() *Config {
+	if ep := g.current.Load(); ep != nil {
+		return ep.file
+	}
+	return nil
+}
+
+// SwapReport describes what a completed swap carried across.
+type SwapReport struct {
+	Epoch      uint64 `json:"epoch"`
+	Certs      int    `json:"certs_handed_off"`
+	MasterKeys int    `json:"master_keys_handed_off"`
+	// DrainErr reports a retiring tenant that missed the drain
+	// deadline (its residual operations finish against freed-from-duty
+	// state; nothing is lost, but the operator should know).
+	DrainErr string `json:"drain_error,omitempty"`
+}
+
+// Swap atomically replaces the running configuration. The sequence is
+// all-or-nothing on the build side — the new epoch's listeners,
+// identities and shard groups are fully constructed (and warmed from
+// the old epoch's keying caches) before the pointer moves, so a
+// failing config is rejected while the old epoch keeps serving. After
+// the pointer moves, the old epoch drains: in-flight datagrams finish
+// against it, its counters are absorbed into the cumulative ledger,
+// and its shards close (their transports are nop-close wrappers, so
+// the shared listeners live on).
+func (g *Gateway) Swap(cfg *Config) (*SwapReport, error) {
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	if g.draining.Load() {
+		return nil, errors.New("gateway: shutting down")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	old := g.current.Load()
+	if old != nil && cfg.AdminAddr != old.file.AdminAddr {
+		return nil, errors.New("gateway: admin_addr cannot change across a reload (restart to move the admin plane)")
+	}
+
+	// Build phase: nothing live is touched until every tenant plane
+	// stands. Listeners created for brand-new tenant addresses are
+	// rolled back on failure; reused listeners are left untouched.
+	next := &epoch{
+		seq:     g.seq.Load() + 1,
+		file:    cfg,
+		tenants: make(map[principal.Address]*tenantPlane, len(cfg.Tenants)),
+	}
+	var newListeners []*listener
+	fail := func(err error) (*SwapReport, error) {
+		for _, p := range next.tenants {
+			p.grp.Close()
+		}
+		g.listenMu.Lock()
+		for _, ln := range newListeners {
+			ln.tr.Close()
+			delete(g.listeners, ln.addr)
+		}
+		g.listenMu.Unlock()
+		return nil, err
+	}
+	for _, tc := range cfg.Tenants {
+		addr := principal.Address(tc.Address)
+		ln, created, err := g.ensureListener(tc)
+		if err != nil {
+			return fail(fmt.Errorf("gateway: tenant %q: listen: %w", tc.Name, err))
+		}
+		if created {
+			newListeners = append(newListeners, ln)
+		}
+		id, err := g.opts.Identity(tc)
+		if err != nil {
+			return fail(fmt.Errorf("gateway: tenant %q: identity: %w", tc.Name, err))
+		}
+		if id.Addr != addr {
+			return fail(fmt.Errorf("gateway: tenant %q: identity keyed for %q, config says %q", tc.Name, id.Addr, addr))
+		}
+		base, err := tc.coreConfigFor()
+		if err != nil {
+			return fail(err)
+		}
+		tr := sharedTransport{ln.tr}
+		grp, err := core.NewShardGroup(tc.shardsOrDefault(), func(int) (core.Config, error) {
+			shardCfg := base // per-tenant Budget pointer is shared across shards: one tenant, one envelope
+			shardCfg.Identity = id
+			shardCfg.Transport = tr
+			shardCfg.Directory = g.opts.Directory
+			shardCfg.Verifier = g.opts.Verifier
+			shardCfg.Clock = g.opts.Clock
+			return shardCfg, nil
+		})
+		if err != nil {
+			return fail(fmt.Errorf("gateway: tenant %q: %w", tc.Name, err))
+		}
+		next.tenants[addr] = &tenantPlane{cfg: tc, id: id, grp: grp}
+	}
+
+	// Warm phase: hand the old epoch's keying caches to the new one so
+	// established peers keep flowing without a single upcall. Master
+	// keys only cross when the tenant's identity is unchanged — a
+	// rotation hands nothing over by design.
+	report := &SwapReport{Epoch: next.seq}
+	if old != nil {
+		for addr, np := range next.tenants {
+			if op := old.tenants[addr]; op != nil {
+				hs := op.grp.HandoffSoftState(np.grp)
+				report.Certs += hs.Certs
+				report.MasterKeys += hs.MasterKeys
+			}
+		}
+	}
+
+	// Commit phase: one atomic store redirects every datagram that
+	// loads the epoch after this line.
+	g.current.Store(next)
+	g.seq.Store(next.seq)
+	g.swaps.Add(1)
+	for _, ln := range newListeners {
+		g.recvWG.Add(1)
+		go g.recvLoop(ln)
+	}
+
+	// Retire phase: the old epoch finishes what it already admitted,
+	// its totals move to the cumulative ledger, and tenant addresses
+	// dropped from the config lose their listeners.
+	if old != nil {
+		timeout := cfg.drainTimeout()
+		for _, op := range old.tenants {
+			if err := op.grp.Quiesce(timeout); err != nil && report.DrainErr == "" {
+				report.DrainErr = fmt.Sprintf("tenant %q: %v", op.cfg.Name, err)
+			}
+			g.retiredMu.Lock()
+			g.retired.absorb(op.grp)
+			g.retiredMu.Unlock()
+			op.grp.Close()
+		}
+		g.listenMu.Lock()
+		for addr, ln := range g.listeners {
+			if _, keep := next.tenants[addr]; !keep {
+				ln.tr.Close()
+				delete(g.listeners, addr)
+			}
+		}
+		g.listenMu.Unlock()
+	}
+	g.opts.Logf("gateway: epoch %d live (%d tenants, %d certs / %d master keys handed off)",
+		next.seq, len(next.tenants), report.Certs, report.MasterKeys)
+	return report, nil
+}
+
+// ensureListener reuses the persistent listener for a tenant address
+// or binds a new one. Caller holds swapMu.
+func (g *Gateway) ensureListener(tc TenantConfig) (*listener, bool, error) {
+	addr := principal.Address(tc.Address)
+	g.listenMu.Lock()
+	ln, ok := g.listeners[addr]
+	g.listenMu.Unlock()
+	if ok {
+		return ln, false, nil
+	}
+	tr, err := g.opts.Listen(tc)
+	if err != nil {
+		return nil, false, err
+	}
+	ln = &listener{addr: addr, tr: tr}
+	g.listenMu.Lock()
+	g.listeners[addr] = ln
+	g.listenMu.Unlock()
+	return ln, true, nil
+}
+
+// recvLoop pulls datagrams off one listener for the gateway's
+// lifetime. Dispatch is synchronous: by the time the loop returns to
+// Receive, the datagram is fully processed (opened, and echoed if the
+// tenant echoes), which is what lets shutdown reason "loops joined ⇒
+// nothing in flight".
+func (g *Gateway) recvLoop(ln *listener) {
+	defer g.recvWG.Done()
+	for {
+		dg, err := ln.tr.Receive()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			if g.draining.Load() {
+				return
+			}
+			g.opts.Logf("gateway: listener %s: receive: %v", ln.addr, err)
+			continue
+		}
+		g.handle(dg)
+	}
+}
+
+// handle processes one datagram against the current epoch. The
+// ErrDraining retry is the seam that makes the swap lossless: a
+// datagram that loaded the old epoch just as it was retired is simply
+// re-dispatched against the successor — never dropped.
+func (g *Gateway) handle(dg transport.Datagram) {
+	g.received.Add(1)
+	for attempt := 0; attempt < 4; attempt++ {
+		ep := g.current.Load()
+		if ep == nil {
+			return
+		}
+		plane := ep.tenants[dg.Destination]
+		if plane == nil {
+			g.noTenant.Add(1)
+			return
+		}
+		shard := plane.grp.Shard(plane.grp.ShardOfIncoming(dg))
+		opened, err := shard.Open(dg)
+		switch {
+		case err == nil:
+			g.delivered.Add(1)
+			g.reply(plane, dg.Source, opened.Payload)
+			return
+		case errors.Is(err, core.ErrDraining):
+			continue
+		case errors.Is(err, core.ErrChallengeAbsorbed):
+			g.absorbed.Add(1)
+			return
+		default:
+			// Refused: the shard's drop ledger has the reason.
+			g.opts.Logf("gateway: tenant %s: refused datagram from %s: %v", dg.Destination, dg.Source, err)
+			return
+		}
+	}
+	// Four consecutive swaps raced this one datagram — possible only
+	// under adversarial reconfiguration rates, but counted so the
+	// reconciliation invariant stays exact rather than approximately
+	// true.
+	g.retryStarved.Add(1)
+}
+
+// reply seals an accepted payload back to its sender when the tenant
+// is in echo mode. Like handle, it retries across an epoch swap.
+func (g *Gateway) reply(plane *tenantPlane, dst principal.Address, payload []byte) {
+	if plane.cfg.Mode == "sink" {
+		return
+	}
+	out := transport.Datagram{Source: plane.id.Addr, Destination: dst, Payload: payload}
+	for attempt := 0; attempt < 4; attempt++ {
+		shard := plane.grp.Shard(plane.grp.ShardOfPair(plane.id.Addr, dst))
+		sealed, err := shard.Seal(out, plane.cfg.SecretEcho)
+		switch {
+		case err == nil:
+			if err := g.send(plane, sealed); err != nil {
+				g.echoFailures.Add(1)
+				g.opts.Logf("gateway: tenant %s: echo to %s: %v", plane.id.Addr, dst, err)
+				return
+			}
+			g.echoed.Add(1)
+			return
+		case errors.Is(err, core.ErrDraining):
+			cur := g.current.Load()
+			if cur == nil {
+				g.echoFailures.Add(1)
+				return
+			}
+			np := cur.tenants[plane.id.Addr]
+			if np == nil {
+				g.echoFailures.Add(1)
+				return
+			}
+			plane = np
+			continue
+		default:
+			g.echoFailures.Add(1)
+			g.opts.Logf("gateway: tenant %s: echo seal for %s: %v", plane.id.Addr, dst, err)
+			return
+		}
+	}
+	g.echoFailures.Add(1)
+}
+
+// send pushes a sealed datagram out the tenant's listener.
+func (g *Gateway) send(plane *tenantPlane, dg transport.Datagram) error {
+	g.listenMu.Lock()
+	ln := g.listeners[plane.id.Addr]
+	g.listenMu.Unlock()
+	if ln == nil {
+		return errors.New("gateway: listener gone")
+	}
+	return ln.tr.Send(dg)
+}
+
+// FlushPeer evicts one peer's keying state from every shard of the
+// named tenant — the hot-rotation path when a peer's certificate is
+// reissued: only flows with that peer re-key; everything else keeps
+// its soft state.
+func (g *Gateway) FlushPeer(tenant string, peer principal.Address) error {
+	ep := g.current.Load()
+	if ep == nil {
+		return errors.New("gateway: not running")
+	}
+	for _, plane := range ep.tenants {
+		if plane.cfg.Name == tenant {
+			for i := 0; i < plane.grp.NumShards(); i++ {
+				plane.grp.Shard(i).FlushPeer(peer)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("gateway: no tenant %q", tenant)
+}
+
+// TenantKeyStats aggregates the keying-plane statistics across every
+// shard of the named tenant in the live epoch, plus the shards' MKD
+// upcall count. It is the external witness for warm handoff: an epoch
+// created by a swap that carried master keys across reports zero
+// MasterKeyComputes for peers that were already flowing.
+func (g *Gateway) TenantKeyStats(tenant string) (core.KeyServiceStats, uint64, error) {
+	ep := g.current.Load()
+	if ep == nil {
+		return core.KeyServiceStats{}, 0, errors.New("gateway: not running")
+	}
+	for _, plane := range ep.tenants {
+		if plane.cfg.Name != tenant {
+			continue
+		}
+		var sum core.KeyServiceStats
+		var upcalls uint64
+		for i := 0; i < plane.grp.NumShards(); i++ {
+			ks, _, _, up := plane.grp.Shard(i).KeyStats()
+			sum.MasterKeyRequests += ks.MasterKeyRequests
+			sum.MasterKeyComputes += ks.MasterKeyComputes
+			sum.CertFetches += ks.CertFetches
+			sum.CertVerifies += ks.CertVerifies
+			sum.Failures += ks.Failures
+			sum.Retries += ks.Retries
+			sum.NegativeHits += ks.NegativeHits
+			sum.StaleServed += ks.StaleServed
+			sum.DeadlineExceeded += ks.DeadlineExceeded
+			upcalls += up
+		}
+		return sum, upcalls, nil
+	}
+	return core.KeyServiceStats{}, 0, fmt.Errorf("gateway: no tenant %q", tenant)
+}
+
+// TenantStats is one tenant's slice of a stats snapshot.
+type TenantStats struct {
+	Name        string            `json:"name"`
+	Address     string            `json:"address"`
+	Shards      int               `json:"shards"`
+	Accepted    uint64            `json:"accepted"`
+	Sent        uint64            `json:"sent"`
+	ActiveFlows int               `json:"active_flows"`
+	Inflight    int64             `json:"inflight"`
+	Drops       map[string]uint64 `json:"drops,omitempty"`
+}
+
+// Stats is a point-in-time accounting snapshot. The cumulative fields
+// (Received, Accepted, Drops, ...) include every retired epoch, so
+//
+//	Received == Accepted + ΣDrops + NoTenant + Absorbed + RetryStarved
+//
+// holds across any number of swaps whenever EchoFailures is zero — the
+// gateway-level restatement of the repo's exact drop-ledger
+// reconciliation. (A failed echo seal charges the shared per-reason
+// ledger from the seal side; each such refusal is also counted in
+// EchoFailures, which is how to tell the two apart.)
+type Stats struct {
+	Epoch        uint64            `json:"epoch"`
+	Swaps        uint64            `json:"swaps"`
+	Received     uint64            `json:"received"`
+	Accepted     uint64            `json:"accepted"`
+	Delivered    uint64            `json:"delivered"`
+	Echoed       uint64            `json:"echoed"`
+	EchoFailures uint64            `json:"echo_failures"`
+	NoTenant     uint64            `json:"no_tenant"`
+	Absorbed     uint64            `json:"absorbed"`
+	RetryStarved uint64            `json:"retry_starved"`
+	ActiveFlows  int               `json:"active_flows"`
+	Drops        map[string]uint64 `json:"drops,omitempty"`
+	Tenants      []TenantStats     `json:"tenants,omitempty"`
+}
+
+// Stats snapshots the cumulative ledger plus the live epoch.
+func (g *Gateway) Stats() Stats {
+	st := Stats{
+		Epoch:        g.seq.Load(),
+		Swaps:        g.swaps.Load(),
+		Received:     g.received.Load(),
+		Delivered:    g.delivered.Load(),
+		Echoed:       g.echoed.Load(),
+		EchoFailures: g.echoFailures.Load(),
+		NoTenant:     g.noTenant.Load(),
+		Absorbed:     g.absorbed.Load(),
+		RetryStarved: g.retryStarved.Load(),
+		Drops:        make(map[string]uint64),
+	}
+	var drops [core.NumDropReasons]uint64
+	g.retiredMu.Lock()
+	st.Accepted = g.retired.accepted
+	drops = g.retired.drops
+	g.retiredMu.Unlock()
+	if ep := g.current.Load(); ep != nil {
+		names := make([]string, 0, len(ep.tenants))
+		byName := make(map[string]*tenantPlane, len(ep.tenants))
+		for _, p := range ep.tenants {
+			names = append(names, p.cfg.Name)
+			byName[p.cfg.Name] = p
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := byName[name]
+			m := p.grp.Metrics()
+			dc := p.grp.DropCounts()
+			ts := TenantStats{
+				Name:        name,
+				Address:     p.cfg.Address,
+				Shards:      p.grp.NumShards(),
+				Accepted:    m.Received,
+				Sent:        m.Sent,
+				ActiveFlows: p.grp.ActiveFlows(),
+				Inflight:    p.grp.Inflight(),
+				Drops:       make(map[string]uint64),
+			}
+			st.Accepted += m.Received
+			st.ActiveFlows += ts.ActiveFlows
+			for _, d := range core.DropReasons() {
+				drops[d] += dc[d]
+				if dc[d] > 0 {
+					ts.Drops[d.String()] = dc[d]
+				}
+			}
+			st.Tenants = append(st.Tenants, ts)
+		}
+	}
+	for _, d := range core.DropReasons() {
+		if drops[d] > 0 {
+			st.Drops[d.String()] = drops[d]
+		}
+	}
+	return st
+}
+
+// Shutdown is the graceful exit: stop intake (close every listener),
+// join the receive loops (synchronous dispatch means joined loops ⇒
+// nothing mid-datagram), quiesce and absorb the final epoch, and
+// return the final cumulative stats. The returned error reports a
+// missed drain deadline; the stats are valid either way.
+func (g *Gateway) Shutdown(timeout time.Duration) (Stats, error) {
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	g.draining.Store(true)
+
+	g.listenMu.Lock()
+	for addr, ln := range g.listeners {
+		ln.tr.Close()
+		delete(g.listeners, addr)
+	}
+	g.listenMu.Unlock()
+	g.recvWG.Wait()
+
+	var firstErr error
+	if ep := g.current.Load(); ep != nil {
+		for _, plane := range ep.tenants {
+			if err := plane.grp.Quiesce(timeout); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("gateway: drain tenant %q: %w", plane.cfg.Name, err)
+			}
+			g.retiredMu.Lock()
+			g.retired.absorb(plane.grp)
+			g.retiredMu.Unlock()
+			plane.grp.Close()
+		}
+		g.current.Store(nil)
+	}
+	st := g.Stats()
+	g.opts.Logf("gateway: drained at epoch %d: %d received, %d accepted, %d echoed",
+		st.Epoch, st.Received, st.Accepted, st.Echoed)
+	return st, firstErr
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -33,15 +34,26 @@ import (
 type Admin struct {
 	Registry *Registry
 
+	// ShutdownTimeout bounds how long Serve's stop function waits for
+	// in-flight requests (a /metrics scrape, a streaming pprof profile)
+	// to complete before cutting them off. Zero means 5 seconds.
+	ShutdownTimeout time.Duration
+
 	mu        sync.Mutex
 	endpoints []adminEndpoint
 	recorders []*Recorder
 	tracers   []*obstrace.Collector
+	extra     []adminRoute
 }
 
 type adminEndpoint struct {
 	name string
 	ep   *core.Endpoint
+}
+
+type adminRoute struct {
+	pattern string
+	h       http.Handler
 }
 
 // NewAdmin builds an admin plane over a registry (nil allocates a fresh
@@ -81,6 +93,15 @@ func (a *Admin) WatchTracer(c *obstrace.Collector) {
 	a.mu.Unlock()
 }
 
+// Handle mounts an additional handler on the admin mux (the gateway's
+// /config API rides this seam). Mount before calling Handler or Serve:
+// routes added later are only picked up by muxes built afterwards.
+func (a *Admin) Handle(pattern string, h http.Handler) {
+	a.mu.Lock()
+	a.extra = append(a.extra, adminRoute{pattern: pattern, h: h})
+	a.mu.Unlock()
+}
+
 // Handler returns the admin mux.
 func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -93,12 +114,21 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.mu.Lock()
+	for _, r := range a.extra {
+		mux.Handle(r.pattern, r.h)
+	}
+	a.mu.Unlock()
 	return mux
 }
 
 // Serve listens on addr (e.g. "127.0.0.1:0") and serves the admin plane
 // in a background goroutine. It returns the bound address and a stop
-// function.
+// function. The stop is graceful: it stops accepting, then waits up to
+// ShutdownTimeout for in-flight requests — a half-written /metrics
+// scrape, a pprof profile mid-stream — to complete before falling back
+// to a hard Close. A scrape racing a shutdown therefore sees a complete
+// body or a refused connection, never a truncated one.
 func (a *Admin) Serve(addr string) (net.Addr, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -106,7 +136,20 @@ func (a *Admin) Serve(addr string) (net.Addr, func() error, error) {
 	}
 	srv := &http.Server{Handler: a.Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr(), srv.Close, nil
+	timeout := a.ShutdownTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Stragglers outlived the deadline; cut the cord.
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr(), stop, nil
 }
 
 func (a *Admin) serveMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"fbs"
 	"fbs/internal/core"
@@ -351,6 +352,100 @@ func TestAdminServe(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestAdminServeGracefulStop is the regression test for the abrupt
+// shutdown bug: Serve's stop function used to be srv.Close, which
+// reset in-flight scrapes mid-body. Now it drains: a request that is
+// already being served when stop is called completes with its full
+// body, stop does not return until it has, and the route the slow
+// handler rides is mounted through Admin.Handle.
+func TestAdminServeGracefulStop(t *testing.T) {
+	admin := obs.NewAdmin(nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	admin.Handle("/slow", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "slow-body-complete")
+	}))
+	addr, stop, err := admin.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr.String() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-started
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- stop() }()
+	select {
+	case err := <-stopped:
+		t.Fatalf("stop returned (%v) while a request was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across stop: %v", r.err)
+	}
+	if r.body != "slow-body-complete" {
+		t.Fatalf("in-flight request body = %q, want the complete body", r.body)
+	}
+	if err := <-stopped; err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/slow"); err == nil {
+		t.Fatal("server still accepting connections after stop")
+	}
+}
+
+// TestAdminServeStopDeadline pins the fallback: a handler that never
+// finishes cannot wedge shutdown — past ShutdownTimeout the stop cuts
+// it off and returns.
+func TestAdminServeStopDeadline(t *testing.T) {
+	admin := obs.NewAdmin(nil)
+	admin.ShutdownTimeout = 30 * time.Millisecond
+	started := make(chan struct{})
+	release := make(chan struct{})
+	admin.Handle("/wedge", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		close(started)
+		<-release
+	}))
+	defer close(release)
+	addr, stop, err := admin.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + addr.String() + "/wedge")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() { done <- stop() }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not fall back to a hard close at the deadline")
 	}
 }
 

@@ -102,6 +102,12 @@ func newRefPrefilter(cfg PrefilterConfig) (*refPrefilter, error) {
 	if cfg.EpochInterval <= 0 {
 		cfg.EpochInterval = 64 * time.Second
 	}
+	// Mirror of core's granularity floor: epochAt divides by
+	// EpochInterval in whole seconds, so a sub-second interval would be
+	// a zero divisor.
+	if cfg.EpochInterval < time.Second {
+		return nil, fmt.Errorf("refmodel: prefilter epoch interval %v below the 1s epoch granularity", cfg.EpochInterval)
+	}
 	if cfg.CookieTTL <= 0 {
 		cfg.CookieTTL = 2 * cfg.EpochInterval
 	}

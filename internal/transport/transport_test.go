@@ -200,6 +200,51 @@ func TestUDPTransportRoundTrip(t *testing.T) {
 	}
 }
 
+func TestUDPTransportLearnPeers(t *testing.T) {
+	server, err := NewUDPTransport("server", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("UDP unavailable: %v", err)
+	}
+	defer server.Close()
+	client, err := NewUDPTransport("client", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.AddPeer("server", server.LocalAddr().String())
+
+	// Without learning, the server has no route back to an
+	// unannounced client.
+	if err := client.Send(Datagram{Destination: "server", Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Send(Datagram{Destination: "client", Payload: []byte("yo")}); err == nil {
+		t.Fatal("reply to unlearned client should fail without SetLearnPeers")
+	}
+
+	// With learning, one received frame teaches the reply route.
+	server.SetLearnPeers(true)
+	if err := client.Send(Datagram{Destination: "server", Payload: []byte("hi2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Send(Datagram{Destination: "client", Payload: []byte("yo")}); err != nil {
+		t.Fatalf("reply after learning: %v", err)
+	}
+	got, err := client.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "server" || !bytes.Equal(got.Payload, []byte("yo")) {
+		t.Fatalf("learned-route reply = %+v", got)
+	}
+}
+
 func TestUDPTransportNoPeer(t *testing.T) {
 	ua, err := NewUDPTransport("alice", "127.0.0.1:0")
 	if err != nil {

@@ -19,6 +19,7 @@ type UDPTransport struct {
 	conn  *net.UDPConn
 
 	mu    sync.RWMutex
+	learn bool
 	peers map[principal.Address]*net.UDPAddr
 
 	batchState
@@ -59,6 +60,20 @@ func (u *UDPTransport) AddPeer(peer principal.Address, addr string) error {
 	return nil
 }
 
+// SetLearnPeers makes Receive record each frame's source principal →
+// UDP origin mapping — the reply-to-observed-source behaviour a server
+// needs to answer clients it has no static peer table for (a gateway
+// cannot enumerate its clients in advance). Later frames from the same
+// principal update the mapping, so a client that re-binds keeps
+// working; static AddPeer entries are overwritten the same way.
+// Learning applies to the single-datagram Receive path; the recvmmsg
+// batch path keeps the static peer table.
+func (u *UDPTransport) SetLearnPeers(on bool) {
+	u.mu.Lock()
+	u.learn = on
+	u.mu.Unlock()
+}
+
 // Send implements Transport.
 func (u *UDPTransport) Send(dg Datagram) error {
 	if dg.Source == "" {
@@ -81,7 +96,7 @@ func (u *UDPTransport) Send(dg Datagram) error {
 // Receive implements Transport.
 func (u *UDPTransport) Receive() (Datagram, error) {
 	buf := make([]byte, 65536)
-	n, _, err := u.conn.ReadFromUDP(buf)
+	n, raddr, err := u.conn.ReadFromUDP(buf)
 	if err != nil {
 		return Datagram{}, ErrClosed
 	}
@@ -89,6 +104,14 @@ func (u *UDPTransport) Receive() (Datagram, error) {
 	src, used, err := principal.DecodeAddress(b)
 	if err != nil {
 		return Datagram{}, fmt.Errorf("transport: bad frame: %w", err)
+	}
+	u.mu.RLock()
+	learn := u.learn
+	u.mu.RUnlock()
+	if learn {
+		u.mu.Lock()
+		u.peers[src] = raddr
+		u.mu.Unlock()
 	}
 	b = b[used:]
 	dst, used, err := principal.DecodeAddress(b)
